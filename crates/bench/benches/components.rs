@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks of FedGTA's client-side components:
+//! label propagation, smoothing confidence, mixed moments, similarity —
+//! plus the underlying SpMM and normalization kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedgta::{
+    label_propagation, local_smoothing_confidence, mixed_moments, moment_similarity, MomentKind,
+    SimilarityKind,
+};
+use fedgta_data::{generate_from_spec, DatasetSpec, Task};
+use fedgta_graph::{normalized_adjacency, NormKind};
+use fedgta_nn::models::GraphDataset;
+use fedgta_nn::Matrix;
+use std::hint::black_box;
+
+fn dataset(n: usize, c: usize) -> GraphDataset {
+    let spec = DatasetSpec {
+        name: "bench",
+        nodes: n,
+        features: 32,
+        classes: c,
+        avg_degree: 10.0,
+        train_frac: 0.5,
+        val_frac: 0.2,
+        test_frac: 0.3,
+        task: Task::Transductive,
+        blocks_per_class: 2,
+        homophily: 0.8,
+        description: "bench",
+    };
+    generate_from_spec(&spec, 0).to_dataset()
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("label_propagation");
+    for n in [1000usize, 8000] {
+        let data = dataset(n, 8);
+        let soft = Matrix::from_vec(n, 8, vec![0.125; n * 8]);
+        g.bench_with_input(BenchmarkId::new("k5", n), &n, |b, _| {
+            b.iter(|| black_box(label_propagation(&data.adj_norm, &soft, 5, 0.5)));
+        });
+    }
+    // Depth ablation (DESIGN.md §5): cost is linear in k.
+    let data = dataset(4000, 8);
+    let soft = Matrix::from_vec(4000, 8, vec![0.125; 4000 * 8]);
+    for k in [1usize, 3, 5, 10] {
+        g.bench_with_input(BenchmarkId::new("depth", k), &k, |b, &k| {
+            b.iter(|| black_box(label_propagation(&data.adj_norm, &soft, k, 0.5)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_confidence_and_moments(c: &mut Criterion) {
+    let n = 8000;
+    let data = dataset(n, 8);
+    let soft = Matrix::from_vec(n, 8, vec![0.125; n * 8]);
+    let steps = label_propagation(&data.adj_norm, &soft, 5, 0.5);
+    c.bench_function("smoothing_confidence_8k", |b| {
+        b.iter(|| black_box(local_smoothing_confidence(steps.last().unwrap(), &data.degrees_hat)));
+    });
+    let mut g = c.benchmark_group("mixed_moments");
+    for order in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("order", order), &order, |b, &o| {
+            b.iter(|| black_box(mixed_moments(&steps, o, MomentKind::Central)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let a: Vec<f32> = (0..1000).map(|i| (i as f32).sin()).collect();
+    let b2: Vec<f32> = (0..1000).map(|i| (i as f32).cos()).collect();
+    c.bench_function("moment_similarity_cosine_1k", |b| {
+        b.iter(|| black_box(moment_similarity(&a, &b2, SimilarityKind::Cosine)));
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let data = dataset(8000, 8);
+    let x = Matrix::from_vec(8000, 32, vec![0.1; 8000 * 32]);
+    c.bench_function("spmm_8k_f32", |b| {
+        b.iter(|| black_box(fedgta_nn::ops::spmm_csr(&data.adj_norm, &x)));
+    });
+    let bench = generate_from_spec(
+        &DatasetSpec {
+            name: "norm",
+            nodes: 8000,
+            features: 8,
+            classes: 4,
+            avg_degree: 10.0,
+            train_frac: 0.3,
+            val_frac: 0.3,
+            test_frac: 0.4,
+            task: Task::Transductive,
+            blocks_per_class: 2,
+            homophily: 0.8,
+            description: "bench",
+        },
+        0,
+    );
+    c.bench_function("sym_normalization_8k", |b| {
+        b.iter(|| black_box(normalized_adjacency(&bench.graph, NormKind::Symmetric)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lp, bench_confidence_and_moments, bench_similarity, bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the federated split simulators (Louvain and
+//! the Metis-style multilevel partitioner) as the global graph grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedgta_data::{generate_sbm, SbmConfig};
+use fedgta_graph::Csr;
+use fedgta_partition::{communities_to_clients, louvain, metis_kway, LouvainConfig, MetisConfig};
+use std::hint::black_box;
+
+fn graph(n: usize) -> Csr {
+    generate_sbm(&SbmConfig::with_homophily(n, 8, 3, 10.0, 0.8, 0)).graph
+}
+
+fn bench_louvain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("louvain");
+    for n in [2000usize, 8000, 20000] {
+        let gr = graph(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(louvain(&gr, &LouvainConfig::default())));
+        });
+    }
+    g.finish();
+}
+
+fn bench_metis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metis_kway_10");
+    for n in [2000usize, 8000, 20000] {
+        let gr = graph(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(metis_kway(&gr, 10, &MetisConfig::default()).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let gr = graph(20000);
+    let comm = louvain(&gr, &LouvainConfig::default());
+    c.bench_function("communities_to_clients_20k", |b| {
+        b.iter(|| black_box(communities_to_clients(&comm, 10).unwrap()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_louvain, bench_metis, bench_assignment
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the decoupled-model precompute pipelines —
+//! the Table 1 client-side scalability story: the `O(kmf)` propagation
+//! dominates and is training-independent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedgta_data::{generate_from_spec, DatasetSpec, Task};
+use fedgta_nn::models::precompute::{precompute, PrecomputeKind};
+use fedgta_nn::models::GraphDataset;
+use std::hint::black_box;
+
+fn dataset(n: usize, f: usize) -> GraphDataset {
+    let spec = DatasetSpec {
+        name: "scale",
+        nodes: n,
+        features: f,
+        classes: 8,
+        avg_degree: 10.0,
+        train_frac: 0.5,
+        val_frac: 0.2,
+        test_frac: 0.3,
+        task: Task::Transductive,
+        blocks_per_class: 2,
+        homophily: 0.8,
+        description: "bench",
+    };
+    generate_from_spec(&spec, 0).to_dataset()
+}
+
+fn bench_precompute_vs_n(c: &mut Criterion) {
+    let mut g = c.benchmark_group("precompute_sgc_vs_n");
+    for n in [2000usize, 8000, 20000] {
+        let d = dataset(n, 32);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(precompute(PrecomputeKind::Sgc, &d.adj_norm, &d.features, 3)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_precompute_vs_k(c: &mut Criterion) {
+    let d = dataset(8000, 32);
+    let mut g = c.benchmark_group("precompute_sgc_vs_k");
+    for k in [1usize, 3, 6, 12] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(precompute(PrecomputeKind::Sgc, &d.adj_norm, &d.features, k)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let d = dataset(8000, 32);
+    let mut g = c.benchmark_group("precompute_pipelines_8k_k3");
+    for (name, kind) in [
+        ("sgc", PrecomputeKind::Sgc),
+        ("sign", PrecomputeKind::Sign),
+        ("s2gc", PrecomputeKind::S2gc),
+        ("gbp", PrecomputeKind::Gbp { beta: 0.5 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(precompute(kind, &d.adj_norm, &d.features, 3)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_precompute_vs_n, bench_precompute_vs_k, bench_pipelines
+}
+criterion_main!(benches);

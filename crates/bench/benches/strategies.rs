@@ -1,0 +1,105 @@
+//! Criterion benchmarks of server-side aggregation cost vs the number of
+//! participants — the Fig. 5 / Table 1 server-side story: FedAvg's single
+//! average is O(N·P); FedGTA's personalized pass is O(N²·sketch + N²·P);
+//! GCFL+'s pairwise DTW grows with N² · T².
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedgta::aggregate::{personalized_aggregate, AggregateOptions, ClientUpload};
+use fedgta::SimilarityKind;
+use fedgta_fed::strategies::gcfl::dtw_distance;
+use fedgta_fed::strategies::weighted_average;
+use std::hint::black_box;
+
+const PARAM_LEN: usize = 8 * 1024;
+const SKETCH_LEN: usize = 5 * 3 * 8;
+
+fn make_params(n: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| (0..PARAM_LEN).map(|j| ((i * 31 + j) % 101) as f32 / 101.0).collect())
+        .collect()
+}
+
+fn make_sketches(n: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| (0..SKETCH_LEN).map(|j| ((i * 7 + j) % 13) as f32 / 13.0).collect())
+        .collect()
+}
+
+fn bench_fedavg_aggregate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server_fedavg_average");
+    for n in [10usize, 50, 200] {
+        let params = make_params(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let ups: Vec<(Vec<f32>, f64)> =
+                    params.iter().map(|p| (p.clone(), 1.0)).collect();
+                black_box(weighted_average(&ups))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fedgta_aggregate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server_fedgta_personalized");
+    for n in [10usize, 50, 200] {
+        let params = make_params(n);
+        let sketches = make_sketches(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let ups: Vec<ClientUpload<'_>> = (0..n)
+                    .map(|i| ClientUpload {
+                        params: &params[i],
+                        confidence: 1.0 + i as f64,
+                        moments: &sketches[i],
+                        n_train: 10,
+                    })
+                    .collect();
+                black_box(personalized_aggregate(
+                    &ups,
+                    &AggregateOptions {
+                        epsilon: 0.5,
+                        epsilon_quantile: None,
+                        similarity: SimilarityKind::Cosine,
+                        use_moments: true,
+                        use_confidence: true,
+                    },
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_gcfl_dtw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server_gcfl_dtw_pairwise");
+    for n in [10usize, 30] {
+        // Window-5 sequences of 32-dim signatures.
+        let seqs: Vec<Vec<Vec<f32>>> = (0..n)
+            .map(|i| {
+                (0..5)
+                    .map(|t| (0..32).map(|j| ((i + t * 3 + j) % 17) as f32 / 17.0).collect())
+                    .collect()
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut total = 0f64;
+                for a in 0..n {
+                    for bb in (a + 1)..n {
+                        total += dtw_distance(&seqs[a], &seqs[bb]);
+                    }
+                }
+                black_box(total)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fedavg_aggregate, bench_fedgta_aggregate, bench_gcfl_dtw
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Figure 4 — convergence curves (test accuracy vs wall-clock seconds)
+//! on large benchmark graphs.
+//!
+//! One series per strategy per dataset; the paper's claim is that FedGTA
+//! converges fastest and most stably because its overhead is
+//! training-independent sparse matrix math.
+//!
+//! Usage: `cargo run --release -p fedgta-bench --bin fig4 [--full]`
+
+use fedgta_bench::{is_full_run, render_chart, run_experiment, ExperimentSpec, Series, Table};
+use fedgta_nn::models::ModelKind;
+
+fn main() {
+    let full = is_full_run();
+    let datasets = if full {
+        vec!["ogbn-arxiv", "ogbn-products", "flickr", "reddit"]
+    } else {
+        vec!["ogbn-arxiv", "flickr"]
+    };
+    let strategies = ["FedAvg", "FedProx", "MOON", "FedDC", "GCFL+", "FedGTA"];
+    let rounds = if full { 60 } else { 12 };
+
+    for d in &datasets {
+        println!("\nFig. 4 — {d}: accuracy over wall-clock (GAMLP, Louvain 10 clients)\n");
+        let mut chart_series: Vec<Series> = Vec::new();
+        let mut header = vec!["strategy".to_string()];
+        let checkpoints = 6usize;
+        header.extend((1..=checkpoints).map(|i| format!("t{i}")));
+        header.push("final acc".into());
+        header.push("total s".into());
+        let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(&hdr);
+        for strat in strategies {
+            let mut spec = ExperimentSpec::new(d, ModelKind::Gamlp, strat);
+            spec.rounds = rounds;
+            spec.runs = 1;
+            spec.eval_every = 1;
+            spec.seed = 23;
+            let r = run_experiment(&spec);
+            let hist = &r.histories[0];
+            let mut cells = vec![strat.to_string()];
+            for i in 1..=checkpoints {
+                let idx = (i * hist.len()) / checkpoints - 1;
+                let rec = &hist[idx];
+                cells.push(format!(
+                    "{:.1}@{:.0}s",
+                    100.0 * rec.test_acc.unwrap_or(0.0),
+                    rec.elapsed_s
+                ));
+            }
+            let last = hist.last().unwrap();
+            cells.push(format!("{:.1}", 100.0 * last.test_acc.unwrap_or(0.0)));
+            cells.push(format!("{:.1}", last.elapsed_s));
+            t.row(cells);
+            chart_series.push(Series {
+                name: strat.to_string(),
+                points: hist
+                    .iter()
+                    .filter_map(|r| r.test_acc.map(|a| (r.elapsed_s, 100.0 * a)))
+                    .collect(),
+            });
+            eprintln!("[fig4] {d} {strat} done");
+        }
+        t.print();
+        println!("\n{}", render_chart(&chart_series, 70, 14));
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 5 — training efficiency as the number of clients grows.
+//!
+//! Wall-clock seconds per federated round for each strategy at
+//! N ∈ {5, 10, 20, 50} clients. The paper's point: GCFL+'s clustering is
+//! superlinear in N, MOON/FedDC pay per-step model-forward overheads,
+//! while FedGTA's extra cost is tiny sparse matrix math.
+//!
+//! Usage: `cargo run --release -p fedgta-bench --bin fig5 [--full]`
+
+use fedgta_bench::{is_full_run, run_experiment, ExperimentSpec, Table};
+use fedgta_nn::models::ModelKind;
+
+fn main() {
+    let full = is_full_run();
+    let dataset = if full { "ogbn-arxiv" } else { "pubmed" };
+    let client_counts = if full {
+        vec![5usize, 10, 20, 50]
+    } else {
+        vec![5usize, 10, 20]
+    };
+    let strategies = ["FedAvg", "FedProx", "Scaffold", "MOON", "FedDC", "GCFL+", "FedGTA"];
+    let rounds = if full { 10 } else { 5 };
+
+    println!("Fig. 5 — seconds per round vs number of clients on {dataset} (SGC)\n");
+    let mut header = vec!["strategy".to_string()];
+    header.extend(client_counts.iter().map(|n| format!("N={n}")));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&hdr);
+    for strat in strategies {
+        let mut cells = vec![strat.to_string()];
+        for &n in &client_counts {
+            let mut spec = ExperimentSpec::new(dataset, ModelKind::Sgc, strat);
+            spec.clients = n;
+            spec.rounds = rounds;
+            spec.runs = 1;
+            spec.eval_every = 0; // exclude evaluation from timing
+            spec.seed = 29;
+            let r = run_experiment(&spec);
+            let total = r.histories[0].last().unwrap().elapsed_s;
+            cells.push(format!("{:.2}", total / rounds as f64));
+            eprintln!("[fig5] {strat} N={n}: {:.2}s/round", total / rounds as f64);
+        }
+        t.row(cells);
+    }
+    t.print();
+}

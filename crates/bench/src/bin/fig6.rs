@@ -1,0 +1,50 @@
+//! Figure 6 — robustness to partial client participation.
+//!
+//! Accuracy as the per-round participation ratio shrinks, on the
+//! ogbn-products stand-in with a Louvain 50-client split (and the
+//! papers100M stand-in with 500 clients in `--full` mode). The paper's
+//! claim: representation-comparison methods (MOON, FedDC) degrade with
+//! few participants while personalized strategies (FedGTA, GCFL+) stay
+//! robust.
+//!
+//! Usage: `cargo run --release -p fedgta-bench --bin fig6 [--full]`
+
+use fedgta_bench::{is_full_run, run_experiment, ExperimentSpec, Table};
+use fedgta_nn::models::ModelKind;
+
+fn main() {
+    let full = is_full_run();
+    let setups: Vec<(&str, usize)> = if full {
+        vec![("ogbn-products", 50), ("ogbn-papers100m", 500)]
+    } else {
+        vec![("ogbn-arxiv", 20)]
+    };
+    let ratios = [0.1f64, 0.2, 0.5, 1.0];
+    let strategies = ["FedAvg", "MOON", "FedDC", "GCFL+", "FedGTA"];
+    let rounds = if full { 50 } else { 15 };
+
+    for (dataset, n_clients) in setups {
+        println!("\nFig. 6 — accuracy vs participation ratio, {dataset}, Louvain {n_clients} clients (SGC)\n");
+        let mut header = vec!["strategy".to_string()];
+        header.extend(ratios.iter().map(|r| format!("{:.0}%", 100.0 * r)));
+        let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(&hdr);
+        for strat in strategies {
+            let mut cells = vec![strat.to_string()];
+            for &ratio in &ratios {
+                let mut spec = ExperimentSpec::new(dataset, ModelKind::Sgc, strat);
+                spec.clients = n_clients;
+                spec.participation = ratio;
+                spec.rounds = rounds;
+                spec.runs = 1;
+                spec.eval_every = 5;
+                spec.seed = 31;
+                let r = run_experiment(&spec);
+                cells.push(format!("{:.1}", 100.0 * r.mean));
+                eprintln!("[fig6] {dataset} {strat} p={ratio}: {:.3}", r.mean);
+            }
+            t.row(cells);
+        }
+        t.print();
+    }
+}

@@ -1,0 +1,48 @@
+//! Table 2 — statistical information of the experimental datasets.
+//!
+//! Prints the generated synthetic stand-ins' statistics next to their
+//! specs so the substitution (DESIGN.md §3) is auditable: node/edge/class
+//! counts, split sizes, mean degree, and realized edge homophily.
+//!
+//! Usage: `cargo run --release -p fedgta-bench --bin table2 [--full]`
+//! (`--quick`, the default, skips the two largest graphs).
+
+use fedgta_bench::{is_full_run, Table};
+use fedgta_data::{load_benchmark, SPECS};
+use fedgta_graph::metrics::{degree_stats, edge_homophily};
+
+fn main() {
+    let full = is_full_run();
+    let skip = ["ogbn-papers100m", "ogbn-products"];
+    let mut t = Table::new(&[
+        "Dataset", "#Nodes", "#Features", "#Edges", "#Classes", "#Train/Val/Test", "#Task",
+        "AvgDeg", "Homophily",
+    ]);
+    for spec in SPECS {
+        if !full && skip.contains(&spec.name) {
+            continue;
+        }
+        let b = load_benchmark(spec.name, 0).expect("catalog dataset");
+        let und_edges = b.graph.num_edges() / 2;
+        let deg = degree_stats(&b.graph);
+        let hom = edge_homophily(&b.graph, &b.labels);
+        t.row(vec![
+            spec.name.to_string(),
+            format!("{}", b.graph.num_nodes()),
+            format!("{}", b.features.cols()),
+            format!("{und_edges}"),
+            format!("{}", b.num_classes),
+            format!(
+                "{}/{}/{}",
+                b.split.train.len(),
+                b.split.val.len(),
+                b.split.test.len()
+            ),
+            format!("{:?}", spec.task),
+            format!("{:.1}", deg.mean),
+            format!("{:.2}", hom),
+        ]);
+    }
+    println!("Table 2 — synthetic stand-in dataset statistics (seed 0)\n");
+    t.print();
+}

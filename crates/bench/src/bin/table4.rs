@@ -1,0 +1,53 @@
+//! Table 4 — inductive performance under the 10-client Metis split.
+//!
+//! SIGN and S²GC local models × the seven FGL optimization strategies on
+//! the Flickr and Reddit stand-ins. Training graphs exclude val/test
+//! nodes entirely (the inductive protocol).
+//!
+//! Usage: `cargo run --release -p fedgta-bench --bin table4 [--full]`
+
+use fedgta_bench::{fmt_pm, is_full_run, run_experiment, ExperimentSpec, SplitKind, Table};
+use fedgta_nn::models::ModelKind;
+
+fn main() {
+    let full = is_full_run();
+    let datasets = if full {
+        vec!["flickr", "reddit"]
+    } else {
+        vec!["flickr"]
+    };
+    let strategies = [
+        "FedAvg", "FedProx", "Scaffold", "MOON", "FedDC", "GCFL+", "FedGTA",
+    ];
+    let (rounds, runs) = if full { (100, 5) } else { (20, 2) };
+
+    let mut header = vec!["Model".to_string(), "Optimization".to_string()];
+    header.extend(datasets.iter().map(|d| d.to_string()));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&hdr);
+
+    for model in [ModelKind::Sign, ModelKind::S2gc] {
+        for strat in strategies {
+            let mut row = vec![model.name().to_string(), strat.to_string()];
+            for d in &datasets {
+                let mut spec = ExperimentSpec::new(d, model, strat);
+                spec.split = SplitKind::Metis;
+                spec.rounds = rounds;
+                spec.runs = runs;
+                spec.eval_every = 5;
+                spec.seed = 11;
+                let r = run_experiment(&spec);
+                row.push(fmt_pm(r.mean, r.std));
+                eprintln!("[table4] {} {} {} -> {}", model.name(), strat, d, fmt_pm(r.mean, r.std));
+            }
+            t.row(row);
+        }
+    }
+    println!(
+        "Table 4 — inductive accuracy, Metis 10-client split, {} rounds, {} runs ({})\n",
+        rounds,
+        runs,
+        if full { "full" } else { "quick" }
+    );
+    t.print();
+}

@@ -1,0 +1,56 @@
+//! Table 5 — performance gain when FedGTA (and other strategies) drive
+//! the FGL Model baselines, Metis 10-client split.
+//!
+//! FedGL and FedSage+ each wrap {FedAvg, MOON, FedDC, FedGTA} on
+//! ogbn-arxiv, Flickr, and Reddit stand-ins.
+//!
+//! Usage: `cargo run --release -p fedgta-bench --bin table5 [--full]`
+
+use fedgta_bench::{fmt_pm, is_full_run, run_experiment, ExperimentSpec, SplitKind, Table};
+use fedgta_nn::models::ModelKind;
+
+fn main() {
+    let full = is_full_run();
+    let datasets = if full {
+        vec!["ogbn-arxiv", "flickr", "reddit"]
+    } else {
+        vec!["flickr"]
+    };
+    let inners = ["FedAvg", "MOON", "FedDC", "FedGTA"];
+    let (rounds, runs) = if full { (60, 3) } else { (15, 2) };
+
+    let mut header = vec!["Model".to_string(), "Optimization".to_string()];
+    header.extend(datasets.iter().map(|d| d.to_string()));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&hdr);
+
+    for (wrapper, model, label) in [
+        ("FedGL+", ModelKind::Gcn, "FedGL"),
+        ("FedSage++", ModelKind::Sage, "FedSage+"),
+    ] {
+        for inner in inners {
+            let name = format!("{wrapper}{inner}");
+            let mut row = vec![label.to_string(), inner.to_string()];
+            for d in &datasets {
+                let mut spec = ExperimentSpec::new(d, model, &name);
+                spec.split = SplitKind::Metis;
+                spec.rounds = rounds;
+                spec.runs = runs;
+                spec.eval_every = 5;
+                spec.halo = true;
+                spec.seed = 13;
+                let r = run_experiment(&spec);
+                row.push(fmt_pm(r.mean, r.std));
+                eprintln!("[table5] {name} {d} -> {}", fmt_pm(r.mean, r.std));
+            }
+            t.row(row);
+        }
+    }
+    println!(
+        "Table 5 — FGL Model × optimization strategy, Metis 10-client split, {} rounds, {} runs ({})\n",
+        rounds,
+        runs,
+        if full { "full" } else { "quick" }
+    );
+    t.print();
+}

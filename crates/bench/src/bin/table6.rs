@@ -1,0 +1,175 @@
+//! Table 6 — ablation study of FedGTA's two components.
+//!
+//! "w/o Mom." removes moment-based client selection (everyone aggregates
+//! with everyone, confidence-weighted); "w/o Conf." keeps selection but
+//! weights by training-set size. SGC / GBP / GraphSAGE backbones on the
+//! ogbn-products and Reddit stand-ins under both splits.
+//!
+//! `--sweep` adds the K (moment order) and ε (threshold) sensitivity
+//! sweep from DESIGN.md §5.
+//!
+//! Usage: `cargo run --release -p fedgta-bench --bin table6 [--full] [--sweep]`
+
+use fedgta_bench::{fmt_pm, is_full_run, run_experiment, ExperimentSpec, SplitKind, Table};
+use fedgta_nn::models::ModelKind;
+
+fn main() {
+    let full = is_full_run();
+    let sweep = std::env::args().any(|a| a == "--sweep");
+    let datasets = if full {
+        vec!["ogbn-products", "reddit"]
+    } else {
+        vec!["amazon-photo"]
+    };
+    let models = if full {
+        vec![ModelKind::Sgc, ModelKind::Gbp, ModelKind::Sage]
+    } else {
+        vec![ModelKind::Sgc, ModelKind::Gbp]
+    };
+    let variants = [
+        ("w/o Mom.", "FedGTA-noMom"),
+        ("w/o Conf.", "FedGTA-noConf"),
+        ("FedGTA", "FedGTA"),
+    ];
+    let (rounds, runs) = if full { (60, 3) } else { (20, 2) };
+
+    let mut header = vec!["Model".to_string(), "Component".to_string()];
+    for d in &datasets {
+        header.push(format!("{d} (Louvain)"));
+        header.push(format!("{d} (Metis)"));
+    }
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&hdr);
+
+    for model in &models {
+        for (label, strat) in variants {
+            let mut row = vec![model.name().to_string(), label.to_string()];
+            for d in &datasets {
+                for split in [SplitKind::Louvain, SplitKind::Metis] {
+                    let mut spec = ExperimentSpec::new(d, *model, strat);
+                    spec.split = split;
+                    spec.rounds = rounds;
+                    spec.runs = runs;
+                    spec.eval_every = 5;
+                    spec.seed = 17;
+                    let r = run_experiment(&spec);
+                    row.push(fmt_pm(r.mean, r.std));
+                    eprintln!(
+                        "[table6] {} {} {} {} -> {}",
+                        model.name(),
+                        label,
+                        d,
+                        split.name(),
+                        fmt_pm(r.mean, r.std)
+                    );
+                }
+            }
+            t.row(row);
+        }
+    }
+    println!(
+        "Table 6 — FedGTA component ablation, {} rounds, {} runs ({})\n",
+        rounds,
+        runs,
+        if full { "full" } else { "quick" }
+    );
+    t.print();
+
+    if sweep {
+        // Sweep on cora: the hardest small stand-in, where the knobs
+        // actually move the needle (amazon-photo saturates at the label
+        // ceiling).
+        sensitivity_sweep("cora", rounds.min(20), 19);
+    }
+}
+
+/// K (moment order) and ε (threshold) sensitivity (DESIGN.md §5).
+fn sensitivity_sweep(dataset: &str, rounds: usize, seed: u64) {
+    use fedgta::{FedGta, FedGtaConfig};
+    use fedgta_bench::partition_benchmark;
+    use fedgta_data::load_benchmark;
+    use fedgta_fed::client::{build_clients, ClientBuildConfig};
+    use fedgta_fed::round::{best_accuracy, SimConfig, Simulation};
+    use fedgta_nn::models::ModelConfig;
+
+    println!("\nSensitivity sweep on {dataset} (SGC backbone)\n");
+    let run_cfg = |cfg: FedGtaConfig| -> f64 {
+        let bench = load_benchmark(dataset, seed).expect("dataset");
+        let parts = partition_benchmark(&bench, SplitKind::Louvain, 10, seed);
+        let clients = build_clients(
+            &bench,
+            &parts,
+            &ClientBuildConfig {
+                model: ModelConfig {
+                    kind: ModelKind::Sgc,
+                    hidden: 32,
+                    layers: 1,
+                    k: 3,
+                    seed,
+                    ..ModelConfig::default()
+                },
+                lr: 0.01,
+                weight_decay: 5e-4,
+                halo: false,
+            },
+        );
+        let mut sim = Simulation::new(
+            clients,
+            Box::new(FedGta::new(cfg)),
+            SimConfig {
+                rounds,
+                local_epochs: 3,
+                eval_every: 5,
+                seed,
+                ..SimConfig::default()
+            },
+        );
+        best_accuracy(&sim.run())
+    };
+
+    let mut t = Table::new(&["K (order)", "acc"]);
+    for k in [1usize, 2, 3, 5, 8] {
+        let acc = run_cfg(FedGtaConfig {
+            moment_order: k,
+            ..FedGtaConfig::default()
+        });
+        t.row(vec![format!("{k}"), format!("{:.1}", 100.0 * acc)]);
+    }
+    t.print();
+
+    let mut t = Table::new(&["epsilon", "acc"]);
+    for eps in [0.0f32, 0.25, 0.5, 0.75, 0.9, 0.99] {
+        let acc = run_cfg(FedGtaConfig {
+            epsilon: eps,
+            ..FedGtaConfig::default()
+        });
+        t.row(vec![format!("{eps}"), format!("{:.1}", 100.0 * acc)]);
+    }
+    t.print();
+
+    let mut t = Table::new(&["moments", "acc"]);
+    for (label, kind) in [
+        ("central", fedgta::MomentKind::Central),
+        ("raw", fedgta::MomentKind::Raw),
+    ] {
+        let acc = run_cfg(FedGtaConfig {
+            moment_kind: kind,
+            ..FedGtaConfig::default()
+        });
+        t.row(vec![label.to_string(), format!("{:.1}", 100.0 * acc)]);
+    }
+    t.print();
+
+    let mut t = Table::new(&["similarity", "acc"]);
+    for (label, kind) in [
+        ("cosine", fedgta::SimilarityKind::Cosine),
+        ("inverse-L2", fedgta::SimilarityKind::InverseL2),
+    ] {
+        let acc = run_cfg(FedGtaConfig {
+            similarity: kind,
+            ..FedGtaConfig::default()
+        });
+        t.row(vec![label.to_string(), format!("{:.1}", 100.0 * acc)]);
+    }
+    t.print();
+}

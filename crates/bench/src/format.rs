@@ -1,0 +1,93 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// `mean ± std` in percent, matching the paper's table cells.
+pub fn fmt_pm(mean: f64, std: f64) -> String {
+    format!("{:.1}±{:.1}", 100.0 * mean, 100.0 * std)
+}
+
+/// A simple aligned text table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with column alignment.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], width: &[usize]| -> String {
+            let mut s = String::from("|");
+            for (c, w) in cells.iter().zip(width) {
+                s.push_str(&format!(" {:<w$} |", c, w = w));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.header, &width));
+        let mut sep = String::from("|");
+        for w in &width {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&line(row, &width));
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_pm_is_percent() {
+        assert_eq!(fmt_pm(0.823, 0.004), "82.3±0.4");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(vec!["xx".into(), "y".into()]);
+        let r = t.render();
+        assert!(r.contains("| a  | bbbb |"));
+        assert!(r.contains("| xx | y    |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # fedgta-bench — shared experiment runner
+//!
+//! Every table/figure binary (`src/bin/table*.rs`, `src/bin/fig*.rs`)
+//! builds on this runner: it loads a synthetic benchmark, partitions it
+//! with Louvain or Metis, constructs the federation, runs a strategy for
+//! `R` rounds over `runs` seeds, and reports `mean ± std` best test
+//! accuracy — the exact protocol behind the paper's tables.
+
+pub mod format;
+pub mod plot;
+pub mod runner;
+
+pub use format::{fmt_pm, Table};
+pub use plot::{render_chart, Series};
+pub use runner::{
+    make_strategy, partition_benchmark, run_experiment, run_global, ExperimentResult,
+    ExperimentSpec, SplitKind, STRATEGY_NAMES,
+};
+
+/// Parses the common `--quick` (default) / `--full` flag from argv.
+pub fn is_full_run() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Parses `--flag value` style overrides from argv.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}

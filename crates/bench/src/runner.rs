@@ -1,0 +1,325 @@
+//! The experiment runner: benchmark → partition → federation → rounds.
+
+use fedgta::{FedGta, FedGtaConfig};
+use fedgta_data::{load_benchmark, Benchmark};
+use fedgta_fed::client::{build_clients, ClientBuildConfig};
+use fedgta_fed::fgl_models::{FedGl, FedSagePlus};
+use fedgta_fed::round::{best_accuracy, RoundRecord, SimConfig, Simulation};
+use fedgta_fed::strategies::{FedAvg, FedDc, FedProx, GcflPlus, LocalOnly, Moon, Scaffold, Strategy};
+use fedgta_nn::loss::softmax_ce;
+use fedgta_nn::metrics::accuracy;
+use fedgta_nn::models::{build_model, ModelConfig, ModelKind};
+use fedgta_nn::{Adam, TrainHooks};
+use fedgta_partition::{communities_to_clients, louvain, metis_kway, LouvainConfig, MetisConfig, Partition};
+
+/// Which federated split simulation to use (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitKind {
+    /// Louvain communities packed onto clients.
+    Louvain,
+    /// Metis-style balanced k-way partition.
+    Metis,
+}
+
+impl SplitKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SplitKind::Louvain => "Louvain",
+            SplitKind::Metis => "Metis",
+        }
+    }
+}
+
+/// The strategy names the runner accepts.
+pub const STRATEGY_NAMES: &[&str] = &[
+    "Local", "FedAvg", "FedProx", "Scaffold", "MOON", "FedDC", "GCFL+", "FedGTA",
+    "FedGTA-noMom", "FedGTA-noConf",
+];
+
+/// Builds a strategy by name (paper-default hyperparameters).
+///
+/// `FedGL+X` / `FedSage++X` wrap the named inner strategy with the FGL
+/// Model baselines (Table 5).
+pub fn make_strategy(name: &str) -> Box<dyn Strategy> {
+    if let Some(inner) = name.strip_prefix("FedGL+") {
+        return Box::new(FedGl::new(make_strategy(inner)));
+    }
+    if let Some(inner) = name.strip_prefix("FedSage++") {
+        return Box::new(FedSagePlus::new(make_strategy(inner)));
+    }
+    match name {
+        "Local" => Box::new(LocalOnly::new()),
+        "FedAvg" => Box::new(FedAvg::new()),
+        "FedProx" => Box::new(FedProx::new(0.01)),
+        "Scaffold" => Box::new(Scaffold::new()),
+        "MOON" => Box::new(Moon::new(1.0, 0.5)),
+        "FedDC" => Box::new(FedDc::new(0.01)),
+        "GCFL+" => Box::new(GcflPlus::new(5, 1.1)),
+        "FedGTA" => Box::new(FedGta::with_defaults()),
+        "FedGTA-noMom" => Box::new(FedGta::new(FedGtaConfig::without_moments())),
+        "FedGTA-noConf" => Box::new(FedGta::new(FedGtaConfig::without_confidence())),
+        other => panic!("unknown strategy '{other}'"),
+    }
+}
+
+/// Partitions a benchmark into `n_clients` federated subgraphs.
+pub fn partition_benchmark(
+    bench: &Benchmark,
+    split: SplitKind,
+    n_clients: usize,
+    seed: u64,
+) -> Partition {
+    match split {
+        SplitKind::Louvain => {
+            // Louvain's resolution limit can merge planted communities
+            // below the client count; escalate the resolution until enough
+            // communities exist (real FGL pipelines hit the same issue on
+            // dense graphs). Metis remains the last-resort fallback.
+            for resolution in [1.0f64, 2.0, 4.0, 8.0, 16.0] {
+                let comm = louvain(
+                    &bench.graph,
+                    &LouvainConfig {
+                        seed,
+                        resolution,
+                        ..LouvainConfig::default()
+                    },
+                );
+                if comm.num_parts >= n_clients {
+                    return communities_to_clients(&comm, n_clients)
+                        .expect("enough communities");
+                }
+            }
+            metis_kway(&bench.graph, n_clients, &MetisConfig { seed, ..MetisConfig::default() })
+                .expect("valid k")
+        }
+        SplitKind::Metis => metis_kway(
+            &bench.graph,
+            n_clients,
+            &MetisConfig {
+                seed,
+                ..MetisConfig::default()
+            },
+        )
+        .expect("valid k"),
+    }
+}
+
+/// One experiment cell: dataset × model × strategy × split.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Catalog dataset name.
+    pub dataset: String,
+    /// Local model backbone.
+    pub model: ModelKind,
+    /// Strategy name (see [`make_strategy`]).
+    pub strategy: String,
+    /// Federated split simulation.
+    pub split: SplitKind,
+    /// Number of clients.
+    pub clients: usize,
+    /// Communication rounds.
+    pub rounds: usize,
+    /// Local epochs per round.
+    pub epochs: usize,
+    /// Independent runs (different seeds); paper uses 10.
+    pub runs: usize,
+    /// Client participation fraction per round.
+    pub participation: f64,
+    /// Hidden width of the local model.
+    pub hidden: usize,
+    /// Evaluate every this many rounds (trade accuracy-curve resolution
+    /// for wall-clock).
+    pub eval_every: usize,
+    /// Build halo (ghost-node) clients — required by FedGL/FedSage+.
+    pub halo: bool,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl ExperimentSpec {
+    /// A sensible default cell; override fields as needed.
+    pub fn new(dataset: &str, model: ModelKind, strategy: &str) -> Self {
+        Self {
+            dataset: dataset.to_string(),
+            model,
+            strategy: strategy.to_string(),
+            split: SplitKind::Louvain,
+            clients: 10,
+            rounds: 30,
+            epochs: 3,
+            runs: 2,
+            participation: 1.0,
+            hidden: 32,
+            eval_every: 1,
+            halo: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Aggregated result over runs.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Mean of the best test accuracy across runs.
+    pub mean: f64,
+    /// Population standard deviation across runs.
+    pub std: f64,
+    /// Per-run round records.
+    pub histories: Vec<Vec<RoundRecord>>,
+}
+
+fn mean_std(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len().max(1) as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Runs one experiment cell over `spec.runs` seeds.
+pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
+    let mut bests = Vec::with_capacity(spec.runs);
+    let mut histories = Vec::with_capacity(spec.runs);
+    for run in 0..spec.runs {
+        let seed = spec.seed + run as u64;
+        let bench = load_benchmark(&spec.dataset, seed).expect("known dataset");
+        let parts = partition_benchmark(&bench, spec.split, spec.clients, seed);
+        let needs_halo = spec.halo || spec.strategy.starts_with("FedGL");
+        let clients = build_clients(
+            &bench,
+            &parts,
+            &ClientBuildConfig {
+                model: ModelConfig {
+                    kind: spec.model,
+                    hidden: spec.hidden,
+                    layers: if spec.model == ModelKind::Sgc { 1 } else { 2 },
+                    k: 5,
+                    beta: 0.15,
+                    batch_size: 256,
+                    seed,
+                    ..ModelConfig::default()
+                },
+                lr: 0.02,
+                weight_decay: 5e-4,
+                halo: needs_halo,
+            },
+        );
+        let mut sim = Simulation::new(
+            clients,
+            make_strategy(&spec.strategy),
+            SimConfig {
+                rounds: spec.rounds,
+                local_epochs: spec.epochs,
+                participation: spec.participation,
+                eval_every: spec.eval_every,
+                seed,
+            },
+        );
+        let records = sim.run();
+        bests.push(best_accuracy(&records));
+        histories.push(records);
+    }
+    let (mean, std) = mean_std(&bests);
+    ExperimentResult {
+        mean,
+        std,
+        histories,
+    }
+}
+
+/// The "Global" row of Table 3: centralized training on the full graph.
+pub fn run_global(
+    dataset: &str,
+    model: ModelKind,
+    hidden: usize,
+    epochs: usize,
+    runs: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let mut accs = Vec::with_capacity(runs);
+    for run in 0..runs {
+        let s = seed + run as u64;
+        let bench = load_benchmark(dataset, s).expect("known dataset");
+        let data = bench.to_dataset();
+        let mut m = build_model(
+            &ModelConfig {
+                kind: model,
+                hidden,
+                layers: if model == ModelKind::Sgc { 1 } else { 2 },
+                k: 5,
+                beta: 0.15,
+                batch_size: 256,
+                seed: s,
+                ..ModelConfig::default()
+            },
+            data.num_features(),
+            data.num_classes,
+        );
+        let mut opt = Adam::new(0.02, 5e-4);
+        let mut best = 0f64;
+        for e in 0..epochs {
+            m.train_epoch(&data, &mut opt, &mut TrainHooks::none());
+            if e % 5 == 4 || e + 1 == epochs {
+                let probs = m.predict(&data);
+                best = best.max(accuracy(&probs, &data.labels, &data.test_nodes));
+            }
+        }
+        // Sanity: loss is finite.
+        let (l, _) = softmax_ce(
+            &m.predict(&data),
+            &data.labels,
+            &data.train_nodes,
+        );
+        debug_assert!(l.is_finite());
+        accs.push(best);
+    }
+    mean_std(&accs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_strategy_names_resolve() {
+        for name in STRATEGY_NAMES {
+            let s = make_strategy(name);
+            assert!(!s.name().is_empty());
+        }
+        assert_eq!(make_strategy("FedGL+FedAvg").name(), "FedGL+FedAvg");
+        assert_eq!(make_strategy("FedSage++MOON").name(), "FedSage++MOON");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown strategy")]
+    fn unknown_strategy_panics() {
+        make_strategy("FedMagic");
+    }
+
+    #[test]
+    fn quick_experiment_cell_runs() {
+        let mut spec = ExperimentSpec::new("cora", ModelKind::Sgc, "FedGTA");
+        spec.rounds = 3;
+        spec.runs = 1;
+        spec.clients = 4;
+        spec.eval_every = 3;
+        let r = run_experiment(&spec);
+        assert!(r.mean > 0.2, "accuracy {}", r.mean);
+        assert_eq!(r.histories.len(), 1);
+    }
+
+    #[test]
+    fn global_baseline_runs() {
+        let (mean, _) = run_global("cora", ModelKind::Sgc, 16, 10, 1, 0);
+        assert!(mean > 0.3, "global acc {mean}");
+    }
+
+    #[test]
+    fn partitioners_produce_requested_clients() {
+        let bench = load_benchmark("cora", 0).unwrap();
+        for split in [SplitKind::Louvain, SplitKind::Metis] {
+            let p = partition_benchmark(&bench, split, 10, 0);
+            assert_eq!(p.num_parts, 10, "{:?}", split);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Minimal flag parser (`--key value` pairs after a subcommand).
+//!
+//! Hand-rolled on purpose: the allowed dependency set has no argument
+//! parser, and the CLI's surface is small enough that a 100-line parser
+//! with good error messages beats pulling one in.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The first positional argument.
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// Errors from parsing or flag lookup.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` had no value.
+    MissingValue(String),
+    /// A positional argument appeared where a flag was expected.
+    UnexpectedPositional(String),
+    /// A flag's value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The offending value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand (try 'help')"),
+            ArgError::MissingValue(k) => write!(f, "flag --{k} needs a value"),
+            ArgError::UnexpectedPositional(v) => write!(f, "unexpected argument '{v}'"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "cannot parse '{value}' for --{flag}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ArgError> {
+        let mut it = argv.into_iter();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        let mut flags = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let val = it.next().ok_or_else(|| ArgError::MissingValue(key.to_string()))?;
+                flags.insert(key.to_string(), val);
+            } else {
+                return Err(ArgError::UnexpectedPositional(tok));
+            }
+        }
+        Ok(Self { command, flags })
+    }
+
+    /// A string flag with a default.
+    pub fn str_or(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// An optional string flag.
+    pub fn str_opt(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    /// A parsed numeric flag with a default.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: key.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["run", "--dataset", "cora", "--rounds", "30"]).unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.str_or("dataset", "x"), "cora");
+        assert_eq!(a.num_or("rounds", 0usize).unwrap(), 30);
+        assert_eq!(a.num_or("clients", 10usize).unwrap(), 10);
+    }
+
+    #[test]
+    fn rejects_missing_command_and_values() {
+        assert_eq!(parse(&[]), Err(ArgError::MissingCommand));
+        assert_eq!(
+            parse(&["run", "--dataset"]),
+            Err(ArgError::MissingValue("dataset".into()))
+        );
+        assert_eq!(
+            parse(&["run", "oops"]),
+            Err(ArgError::UnexpectedPositional("oops".into()))
+        );
+    }
+
+    #[test]
+    fn reports_bad_numbers() {
+        let a = parse(&["run", "--rounds", "many"]).unwrap();
+        assert!(matches!(
+            a.num_or("rounds", 1usize),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+}

@@ -1,0 +1,52 @@
+//! `fedgta-cli` — command-line access to the FedGTA reproduction.
+//!
+//! ```text
+//! fedgta-cli datasets
+//! fedgta-cli inspect   --dataset cora [--seed 0]
+//! fedgta-cli generate  --dataset cora --out cora.fgtb [--seed 0]
+//! fedgta-cli partition --dataset cora --method louvain --clients 10
+//! fedgta-cli run       --dataset cora --strategy FedGTA --model gamlp
+//!                      [--clients 10] [--rounds 30] [--epochs 3]
+//!                      [--split louvain] [--participation 1.0] [--seed 0]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            commands::print_help();
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "datasets" => commands::datasets(),
+        "inspect" => commands::inspect(&parsed),
+        "generate" => commands::generate(&parsed),
+        "partition" => commands::partition(&parsed),
+        "run" => commands::run(&parsed),
+        "help" | "--help" | "-h" => {
+            commands::print_help();
+            Ok(())
+        }
+        other => {
+            eprintln!("error: unknown subcommand '{other}'");
+            commands::print_help();
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Personalized server-side aggregation (paper Eq. 7).
+//!
+//! For each participating client `i`:
+//! `Iᵢ = { j : sim(Mᵢ, Mⱼ) ≥ ε } ∪ {i}` and
+//! `W̃ᵢ = Σ_{j∈Iᵢ} (Hⱼ / Σ_{j'∈Iᵢ} Hⱼ') Wⱼ`.
+//!
+//! The returned [`AggregationReport`] carries the per-client aggregation
+//! sets and weights — the exact data the paper's Fig. 3 visualizes.
+
+use crate::similarity::{similarity_matrix, SimilarityKind};
+use serde::Serialize;
+
+/// One client's upload as seen by the server.
+pub struct ClientUpload<'a> {
+    /// Flattened model parameters `Wᵢ`.
+    pub params: &'a [f32],
+    /// Local smoothing confidence `Hᵢ` (Eq. 4).
+    pub confidence: f64,
+    /// Flattened moment sketch `Mᵢ` (Eq. 5).
+    pub moments: &'a [f32],
+    /// Local training-set size (fallback weight for the w/o-Conf.
+    /// ablation).
+    pub n_train: usize,
+}
+
+/// What the server did for one client (Fig. 3's raw data).
+#[derive(Debug, Clone, Serialize)]
+pub struct AggregationEntry {
+    /// Indices (into the participant list) this client aggregated with.
+    pub members: Vec<usize>,
+    /// The normalized weight of each member (parallel to `members`).
+    pub weights: Vec<f32>,
+}
+
+/// Per-round aggregation transparency report.
+#[derive(Debug, Clone, Serialize)]
+pub struct AggregationReport {
+    /// Pairwise similarity matrix over participants.
+    pub similarity: Vec<Vec<f32>>,
+    /// One entry per participant, in upload order.
+    pub entries: Vec<AggregationEntry>,
+}
+
+/// Options controlling Eqs. 6–7 (a subset of
+/// [`crate::config::FedGtaConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AggregateOptions {
+    /// Similarity threshold ε.
+    pub epsilon: f32,
+    /// When set, override `epsilon` with this quantile of the observed
+    /// off-diagonal similarities (adaptive aggregation).
+    pub epsilon_quantile: Option<f64>,
+    /// Similarity metric.
+    pub similarity: SimilarityKind,
+    /// `false` = "w/o Mom.": every client aggregates with everyone.
+    pub use_moments: bool,
+    /// `false` = "w/o Conf.": weights fall back to `n_train`.
+    pub use_confidence: bool,
+}
+
+/// Computes the personalized aggregate for every upload.
+///
+/// Returns `(per-client aggregated parameters, report)`, both in upload
+/// order.
+pub fn personalized_aggregate(
+    uploads: &[ClientUpload<'_>],
+    opts: &AggregateOptions,
+) -> (Vec<Vec<f32>>, AggregationReport) {
+    assert!(!uploads.is_empty(), "no uploads to aggregate");
+    let n = uploads.len();
+    let plen = uploads[0].params.len();
+    for u in uploads {
+        assert_eq!(u.params.len(), plen, "inconsistent parameter lengths");
+    }
+    let sketches: Vec<Vec<f32>> = uploads.iter().map(|u| u.moments.to_vec()).collect();
+    let sim = similarity_matrix(&sketches, opts.similarity);
+    let epsilon = match opts.epsilon_quantile {
+        Some(q) => crate::extensions::adaptive_epsilon(&sim, q),
+        None => opts.epsilon,
+    };
+
+    let mut results = Vec::with_capacity(n);
+    let mut entries = Vec::with_capacity(n);
+    for i in 0..n {
+        let members: Vec<usize> = if opts.use_moments {
+            (0..n)
+                .filter(|&j| j == i || sim[i][j] >= epsilon)
+                .collect()
+        } else {
+            (0..n).collect()
+        };
+        // Eq. 7 weights: smoothing confidence, normalized within Iᵢ.
+        let raw: Vec<f64> = members
+            .iter()
+            .map(|&j| {
+                if opts.use_confidence {
+                    uploads[j].confidence
+                } else {
+                    uploads[j].n_train as f64
+                }
+            })
+            .collect();
+        let total: f64 = raw.iter().sum();
+        let weights: Vec<f32> = if total <= 0.0 {
+            // Degenerate (all-zero confidence): uniform fallback.
+            vec![1.0 / members.len() as f32; members.len()]
+        } else {
+            raw.iter().map(|&w| (w / total) as f32).collect()
+        };
+        let mut agg = vec![0f64; plen];
+        for (&j, &w) in members.iter().zip(&weights) {
+            for (o, &p) in agg.iter_mut().zip(uploads[j].params) {
+                *o += w as f64 * p as f64;
+            }
+        }
+        results.push(agg.into_iter().map(|v| v as f32).collect());
+        entries.push(AggregationEntry { members, weights });
+    }
+    (
+        results,
+        AggregationReport {
+            similarity: sim,
+            entries,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(eps: f32) -> AggregateOptions {
+        AggregateOptions {
+            epsilon: eps,
+            epsilon_quantile: None,
+            similarity: SimilarityKind::Cosine,
+            use_moments: true,
+            use_confidence: true,
+        }
+    }
+
+    fn upload<'a>(params: &'a [f32], conf: f64, moments: &'a [f32]) -> ClientUpload<'a> {
+        ClientUpload {
+            params,
+            confidence: conf,
+            moments,
+            n_train: 10,
+        }
+    }
+
+    #[test]
+    fn similar_clients_aggregate_dissimilar_stay_apart() {
+        let p1 = [1.0, 1.0];
+        let p2 = [3.0, 3.0];
+        let p3 = [100.0, 100.0];
+        let m_a = [1.0, 0.0];
+        let m_b = [0.95, 0.05];
+        let m_c = [0.0, 1.0];
+        let ups = vec![
+            upload(&p1, 1.0, &m_a),
+            upload(&p2, 1.0, &m_b),
+            upload(&p3, 1.0, &m_c),
+        ];
+        let (agg, report) = personalized_aggregate(&ups, &opts(0.9));
+        // Clients 0 and 1 merge (equal confidence → mean); client 2 alone.
+        assert_eq!(report.entries[0].members, vec![0, 1]);
+        assert_eq!(report.entries[2].members, vec![2]);
+        assert!((agg[0][0] - 2.0).abs() < 1e-5);
+        assert!((agg[2][0] - 100.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confidence_weights_dominant_member() {
+        let p1 = [0.0];
+        let p2 = [10.0];
+        let m = [1.0, 0.0];
+        let ups = vec![upload(&p1, 9.0, &m), upload(&p2, 1.0, &m)];
+        let (agg, report) = personalized_aggregate(&ups, &opts(0.5));
+        assert!((agg[0][0] - 1.0).abs() < 1e-5, "agg {}", agg[0][0]);
+        assert!((report.entries[0].weights[0] - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn without_moments_everyone_aggregates() {
+        let p1 = [0.0];
+        let p2 = [10.0];
+        let ma = [1.0, 0.0];
+        let mb = [0.0, 1.0]; // orthogonal: would be excluded with moments on
+        let ups = vec![upload(&p1, 1.0, &ma), upload(&p2, 1.0, &mb)];
+        let o = AggregateOptions {
+            use_moments: false,
+            ..opts(0.9)
+        };
+        let (agg, _) = personalized_aggregate(&ups, &o);
+        assert!((agg[0][0] - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn without_confidence_weights_by_train_size() {
+        let p1 = [0.0];
+        let p2 = [10.0];
+        let m = [1.0, 0.0];
+        let mut u1 = upload(&p1, 100.0, &m);
+        u1.n_train = 30;
+        let mut u2 = upload(&p2, 1.0, &m);
+        u2.n_train = 10;
+        let o = AggregateOptions {
+            use_confidence: false,
+            ..opts(0.5)
+        };
+        let (agg, _) = personalized_aggregate(&[u1, u2], &o);
+        // Weighted 30:10 ⇒ (0·0.75 + 10·0.25).
+        assert!((agg[0][0] - 2.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_confidence_falls_back_to_uniform() {
+        let p1 = [0.0];
+        let p2 = [2.0];
+        let m = [1.0, 0.0];
+        let ups = vec![upload(&p1, 0.0, &m), upload(&p2, 0.0, &m)];
+        let (agg, _) = personalized_aggregate(&ups, &opts(0.5));
+        assert!((agg[0][0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn self_is_always_a_member() {
+        // Client 0's sketch is orthogonal to everyone including itself
+        // being the only match.
+        let p1 = [7.0];
+        let p2 = [9.0];
+        let ma = [1.0, 0.0];
+        let mb = [0.0, 1.0];
+        let ups = vec![upload(&p1, 1.0, &ma), upload(&p2, 1.0, &mb)];
+        let (agg, report) = personalized_aggregate(&ups, &opts(0.99));
+        assert_eq!(report.entries[0].members, vec![0]);
+        assert_eq!(agg[0][0], 7.0);
+        assert_eq!(agg[1][0], 9.0);
+    }
+}

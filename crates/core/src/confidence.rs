@@ -1,0 +1,67 @@
+//! Local smoothing confidence (paper Eq. 4).
+//!
+//! `H = Σᵢ Σⱼ D̂ᵢᵢ ( e⁻¹ − (−Ŷᵏᵢⱼ log Ŷᵏᵢⱼ) )`.
+//!
+//! The function `p ↦ −p ln p` attains its maximum `e⁻¹` at `p = e⁻¹`, so
+//! each summand is non-negative: confident (low-entropy) predictions push
+//! `H` up, and high-degree nodes — whose smoothness reflects more of the
+//! topology — count more. `H ≥ 0` always.
+
+use fedgta_nn::Matrix;
+
+/// Computes `H` for the final propagated soft labels `y_k` with node
+/// degrees `degrees_hat` (`D̂ᵢᵢ`, degree including self-loop).
+pub fn local_smoothing_confidence(y_k: &Matrix, degrees_hat: &[f32]) -> f64 {
+    assert_eq!(y_k.rows(), degrees_hat.len(), "degree length mismatch");
+    let ceiling = (-1.0f64).exp(); // e⁻¹
+    let mut h = 0f64;
+    for i in 0..y_k.rows() {
+        let d = degrees_hat[i] as f64;
+        let mut row_sum = 0f64;
+        for &p in y_k.row(i) {
+            let p = p as f64;
+            let ent = if p > 0.0 { -p * p.ln() } else { 0.0 };
+            row_sum += ceiling - ent;
+        }
+        h += d * row_sum;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidence_is_nonnegative() {
+        // Even the worst-case entropy (p = e⁻¹ per entry) gives H = 0.
+        let p = (-1.0f32).exp();
+        let y = Matrix::from_vec(2, 3, vec![p; 6]);
+        let h = local_smoothing_confidence(&y, &[2.0, 3.0]);
+        assert!(h.abs() < 1e-9, "h = {h}");
+    }
+
+    #[test]
+    fn one_hot_predictions_maximize_confidence() {
+        let onehot = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let uniform = Matrix::from_vec(2, 2, vec![0.5; 4]);
+        let deg = vec![2.0, 2.0];
+        let h1 = local_smoothing_confidence(&onehot, &deg);
+        let h2 = local_smoothing_confidence(&uniform, &deg);
+        assert!(h1 > h2, "onehot {h1} vs uniform {h2}");
+    }
+
+    #[test]
+    fn degrees_weight_the_sum() {
+        let y = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0]]);
+        let h_light = local_smoothing_confidence(&y, &[1.0, 1.0]);
+        let h_heavy = local_smoothing_confidence(&y, &[5.0, 5.0]);
+        assert!((h_heavy - 5.0 * h_light).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix_gives_zero() {
+        let y = Matrix::zeros(0, 3);
+        assert_eq!(local_smoothing_confidence(&y, &[]), 0.0);
+    }
+}

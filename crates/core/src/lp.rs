@@ -1,0 +1,109 @@
+//! Non-parametric label propagation (paper Eq. 3).
+//!
+//! `Ŷ⁰ = softmax(Encoder(A, X))`;
+//! `Ŷˡ = α Ŷ⁰ + (1−α) Ã Ŷˡ⁻¹` with the symmetric normalization
+//! `Ã = D̂^{-1/2} Â D̂^{-1/2}` — the approximate personalized-PageRank
+//! smoother of Gasteiger et al. No parameters are trained; this is a pure
+//! sparse-matrix pipeline, which is why FedGTA's client overhead is
+//! training-independent (Table 1).
+
+use fedgta_graph::spmm::spmm_into;
+use fedgta_graph::Csr;
+use fedgta_nn::Matrix;
+
+/// Runs `k` propagation steps; returns `[Ŷ¹, …, Ŷᵏ]` (the input `Ŷ⁰` is
+/// *not* included — moments are computed over propagated steps only).
+pub fn label_propagation(adj_norm: &Csr, soft_labels: &Matrix, k: usize, alpha: f32) -> Vec<Matrix> {
+    assert_eq!(
+        adj_norm.num_nodes(),
+        soft_labels.rows(),
+        "adjacency and label rows must agree"
+    );
+    let (n, c) = soft_labels.shape();
+    let mut steps = Vec::with_capacity(k);
+    let mut cur = soft_labels.clone();
+    let mut prop = vec![0f32; n * c];
+    for _ in 0..k {
+        spmm_into(adj_norm, cur.as_slice(), c, &mut prop);
+        let mut next = Matrix::from_vec(n, c, prop.clone());
+        next.scale(1.0 - alpha);
+        next.axpy(alpha, soft_labels);
+        steps.push(next.clone());
+        cur = next;
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedgta_graph::{normalized_adjacency, EdgeList, NormKind};
+
+    fn line_graph(n: usize) -> Csr {
+        let mut el = EdgeList::new(n);
+        for i in 1..n as u32 {
+            el.push_undirected(i - 1, i).unwrap();
+        }
+        normalized_adjacency(&el.to_csr(), NormKind::Symmetric)
+    }
+
+    #[test]
+    fn returns_k_steps() {
+        let a = line_graph(4);
+        let y = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[0.0, 1.0]]);
+        let steps = label_propagation(&a, &y, 5, 0.5);
+        assert_eq!(steps.len(), 5);
+        for s in &steps {
+            assert_eq!(s.shape(), (4, 2));
+        }
+    }
+
+    #[test]
+    fn alpha_one_freezes_labels() {
+        let a = line_graph(3);
+        let y = Matrix::from_rows(&[&[0.9, 0.1], &[0.5, 0.5], &[0.2, 0.8]]);
+        let steps = label_propagation(&a, &y, 3, 1.0);
+        for s in &steps {
+            for (got, want) in s.as_slice().iter().zip(y.as_slice()) {
+                assert!((got - want).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn propagation_spreads_labels_to_neighbors() {
+        // Node 0 is the only one with class-0 mass; after one step its
+        // neighbor should have gained some.
+        let a = line_graph(3);
+        let y = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.0, 1.0]]);
+        let steps = label_propagation(&a, &y, 1, 0.5);
+        assert!(steps[0].get(1, 0) > 0.0);
+        assert!(steps[0].get(2, 0) < steps[0].get(1, 0));
+    }
+
+    #[test]
+    fn homophilous_graph_converges_to_smooth_labels() {
+        // Two disconnected pairs: propagation never mixes components.
+        let mut el = EdgeList::new(4);
+        el.push_undirected(0, 1).unwrap();
+        el.push_undirected(2, 3).unwrap();
+        let a = normalized_adjacency(&el.to_csr(), NormKind::Symmetric);
+        let y = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[0.0, 1.0]]);
+        let steps = label_propagation(&a, &y, 8, 0.5);
+        let last = steps.last().unwrap();
+        assert!(last.get(0, 1) < 1e-6);
+        assert!(last.get(3, 0) < 1e-6);
+    }
+
+    #[test]
+    fn mass_stays_bounded() {
+        let a = line_graph(6);
+        let y = Matrix::from_vec(6, 3, vec![1.0 / 3.0; 18]);
+        let steps = label_propagation(&a, &y, 10, 0.5);
+        for s in &steps {
+            for &v in s.as_slice() {
+                assert!((0.0..=1.0 + 1e-5).contains(&v), "value {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Mixed moments of neighbor features (paper Eq. 5).
+//!
+//! For each propagation step `l = 1..k` and order `o = 1..K`, the per-class
+//! moment vector `E[(ŷˡ − μˡ)ᵒ] ∈ R^{|Y|}` — with the per-node mean
+//! `μᵢˡ = (1/|Y|) Σⱼ ŷᵢⱼˡ` subtracted (central) or not (raw) — taken in
+//! expectation over the client's nodes. Concatenating all `k·K` vectors
+//! yields the flattened `M ∈ R^{k·K·|Y|}` sketch the client uploads.
+
+use fedgta_nn::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Central (paper's example) vs raw moments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MomentKind {
+    /// Subtract the per-node class-mean before exponentiation.
+    Central,
+    /// Use the propagated values directly.
+    Raw,
+}
+
+/// Computes the flattened mixed-moment sketch of the propagation steps.
+///
+/// `steps` are `[Ŷ¹, …, Ŷᵏ]` from [`crate::lp::label_propagation`];
+/// `order` is `K ≥ 1`. Output length: `steps.len() · order · |Y|`.
+pub fn mixed_moments(steps: &[Matrix], order: usize, kind: MomentKind) -> Vec<f32> {
+    assert!(order >= 1, "moment order must be positive");
+    if steps.is_empty() {
+        return Vec::new();
+    }
+    let (n, c) = steps[0].shape();
+    let mut out = Vec::with_capacity(steps.len() * order * c);
+    for step in steps {
+        assert_eq!(step.shape(), (n, c), "inconsistent step shapes");
+        // Per-node centered (or raw) values, reused across orders via
+        // running powers.
+        // acc[o][j] accumulates Σᵢ vᵢⱼ^(o+1).
+        let mut acc = vec![vec![0f64; c]; order];
+        for i in 0..n {
+            let row = step.row(i);
+            let mu = match kind {
+                MomentKind::Central => row.iter().sum::<f32>() / c as f32,
+                MomentKind::Raw => 0.0,
+            };
+            for (j, &y) in row.iter().enumerate() {
+                let v = (y - mu) as f64;
+                let mut p = v;
+                for ord in 0..order {
+                    acc[ord][j] += p;
+                    p *= v;
+                }
+            }
+        }
+        let inv = 1.0 / n.max(1) as f64;
+        for ord in acc {
+            for j in ord {
+                out.push((j * inv) as f32);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_length_is_k_times_order_times_classes() {
+        let steps = vec![Matrix::zeros(4, 3), Matrix::zeros(4, 3)];
+        let m = mixed_moments(&steps, 4, MomentKind::Central);
+        assert_eq!(m.len(), 2 * 4 * 3);
+    }
+
+    #[test]
+    fn first_central_moment_of_uniform_rows_is_zero() {
+        // Every row equal to its own mean ⇒ centered values are 0.
+        let steps = vec![Matrix::from_vec(3, 2, vec![0.5; 6])];
+        let m = mixed_moments(&steps, 2, MomentKind::Central);
+        assert!(m.iter().all(|&v| v.abs() < 1e-7), "{m:?}");
+    }
+
+    #[test]
+    fn raw_first_moment_is_class_mean() {
+        let steps = vec![Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0]])];
+        let m = mixed_moments(&steps, 1, MomentKind::Raw);
+        assert!((m[0] - 2.0 / 3.0).abs() < 1e-6);
+        assert!((m[1] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn central_second_moment_matches_variance() {
+        // One row [1, 0]: mean 0.5, centered [0.5, −0.5], squares 0.25.
+        let steps = vec![Matrix::from_rows(&[&[1.0, 0.0]])];
+        let m = mixed_moments(&steps, 2, MomentKind::Central);
+        assert!((m[0] - 0.5).abs() < 1e-6); // order-1 class 0
+        assert!((m[1] + 0.5).abs() < 1e-6); // order-1 class 1
+        assert!((m[2] - 0.25).abs() < 1e-6); // order-2 class 0
+        assert!((m[3] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn different_label_distributions_give_different_sketches() {
+        let a = vec![Matrix::from_rows(&[&[0.9, 0.1], &[0.8, 0.2]])];
+        let b = vec![Matrix::from_rows(&[&[0.1, 0.9], &[0.2, 0.8]])];
+        let ma = mixed_moments(&a, 3, MomentKind::Central);
+        let mb = mixed_moments(&b, 3, MomentKind::Central);
+        assert_ne!(ma, mb);
+    }
+
+    #[test]
+    fn empty_steps_give_empty_sketch() {
+        assert!(mixed_moments(&[], 3, MomentKind::Central).is_empty());
+    }
+}

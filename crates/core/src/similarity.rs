@@ -1,0 +1,114 @@
+//! Moment-sketch similarity (paper Eq. 6).
+//!
+//! The paper uses cosine similarity over the flattened moment sketches and
+//! notes it "can be replaced with any reasonable metric"; a negative-L2
+//! variant is provided for the ablation benches.
+
+use serde::{Deserialize, Serialize};
+
+/// Which similarity to apply to moment sketches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimilarityKind {
+    /// Cosine similarity (paper default), range `[-1, 1]`.
+    Cosine,
+    /// `1 / (1 + ‖a − b‖₂)`, range `(0, 1]` — a drop-in bounded
+    /// alternative.
+    InverseL2,
+}
+
+/// Similarity of two equal-length sketches.
+pub fn moment_similarity(a: &[f32], b: &[f32], kind: SimilarityKind) -> f32 {
+    assert_eq!(a.len(), b.len(), "sketch length mismatch");
+    match kind {
+        SimilarityKind::Cosine => {
+            let (mut dot, mut na, mut nb) = (0f64, 0f64, 0f64);
+            for (&x, &y) in a.iter().zip(b) {
+                dot += x as f64 * y as f64;
+                na += (x as f64).powi(2);
+                nb += (y as f64).powi(2);
+            }
+            let denom = na.sqrt() * nb.sqrt();
+            if denom < 1e-24 {
+                0.0
+            } else {
+                (dot / denom) as f32
+            }
+        }
+        SimilarityKind::InverseL2 => {
+            let d2: f64 = a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| ((x - y) as f64).powi(2))
+                .sum();
+            (1.0 / (1.0 + d2.sqrt())) as f32
+        }
+    }
+}
+
+/// Full pairwise similarity matrix (`n × n`, diagonal = self-similarity).
+pub fn similarity_matrix(sketches: &[Vec<f32>], kind: SimilarityKind) -> Vec<Vec<f32>> {
+    let n = sketches.len();
+    let mut sim = vec![vec![0f32; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let s = moment_similarity(&sketches[i], &sketches[j], kind);
+            sim[i][j] = s;
+            sim[j][i] = s;
+        }
+    }
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_of_identical_is_one() {
+        let a = vec![0.3, -0.7, 1.1];
+        assert!((moment_similarity(&a, &a, SimilarityKind::Cosine) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_opposite_is_minus_one() {
+        let a = vec![1.0, 2.0];
+        let b = vec![-1.0, -2.0];
+        assert!((moment_similarity(&a, &b, SimilarityKind::Cosine) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_is_zero() {
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        assert!(moment_similarity(&a, &b, SimilarityKind::Cosine).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_sketch_similarity_is_zero_not_nan() {
+        let z = vec![0.0; 3];
+        let a = vec![1.0, 2.0, 3.0];
+        let s = moment_similarity(&z, &a, SimilarityKind::Cosine);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn inverse_l2_is_one_iff_equal() {
+        let a = vec![0.5, 0.5];
+        assert_eq!(moment_similarity(&a, &a, SimilarityKind::InverseL2), 1.0);
+        let b = vec![0.5, 1.5];
+        let s = moment_similarity(&a, &b, SimilarityKind::InverseL2);
+        assert!(s < 1.0 && s > 0.0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let sk = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        let m = similarity_matrix(&sk, SimilarityKind::Cosine);
+        for i in 0..3 {
+            assert!((m[i][i] - 1.0).abs() < 1e-6);
+            for j in 0..3 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+    }
+}

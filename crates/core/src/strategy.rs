@@ -1,0 +1,310 @@
+//! FedGTA as a [`fedgta_fed::Strategy`] — Algorithms 1 & 2 of the paper.
+//!
+//! Per round:
+//! 1. every participant trains locally from its *personalized* parameters
+//!    (Algorithm 1, lines 2–4);
+//! 2. the client computes its topology-aware soft labels via
+//!    non-parametric LP, its smoothing confidence `H`, and its moment
+//!    sketch `M` (lines 5–10) and "uploads" them;
+//! 3. the server forms each client's aggregation set by moment similarity
+//!    and returns the confidence-weighted personalized average
+//!    (Algorithm 2).
+//!
+//! Non-participants keep their previous personalized parameters — FedGTA
+//! is robust to partial participation (paper Fig. 6).
+
+use crate::aggregate::{personalized_aggregate, AggregateOptions, AggregationReport, ClientUpload};
+use crate::config::FedGtaConfig;
+use crate::confidence::local_smoothing_confidence;
+use crate::lp::label_propagation;
+use crate::extensions::feature_moment_sketch;
+use crate::moments::mixed_moments;
+use fedgta_fed::client::Client;
+use fedgta_fed::strategies::{RoundCtx, RoundStats, Strategy};
+use fedgta_nn::TrainHooks;
+
+/// The FedGTA optimization strategy.
+pub struct FedGta {
+    /// Hyperparameters (paper defaults via `FedGtaConfig::default()`).
+    pub config: FedGtaConfig,
+    /// Per-client personalized parameters (`W̃ᵢ` between rounds).
+    personalized: Vec<Option<Vec<f32>>>,
+    /// The last round's aggregation report (Fig. 3 data).
+    last_report: Option<AggregationReport>,
+}
+
+impl FedGta {
+    /// Creates FedGTA with the given configuration.
+    pub fn new(config: FedGtaConfig) -> Self {
+        Self {
+            config,
+            personalized: Vec::new(),
+            last_report: None,
+        }
+    }
+
+    /// Creates FedGTA with paper-default hyperparameters.
+    pub fn with_defaults() -> Self {
+        Self::new(FedGtaConfig::default())
+    }
+
+    /// The most recent aggregation report (populated after each round).
+    pub fn last_report(&self) -> Option<&AggregationReport> {
+        self.last_report.as_ref()
+    }
+
+    /// Computes one client's upload metrics `(H, M)` from its current
+    /// model — Algorithm 1, lines 5–10.
+    pub fn client_metrics(&self, client: &mut Client) -> (f64, Vec<f32>) {
+        // Disjoint borrows: model (mut) vs data (imm).
+        let soft = client.model.predict(&client.data);
+        let steps = label_propagation(
+            &client.data.adj_norm,
+            &soft,
+            self.config.k_lp,
+            self.config.alpha,
+        );
+        let h = local_smoothing_confidence(
+            steps.last().expect("k_lp >= 1"),
+            &client.data.degrees_hat,
+        );
+        let mut m = mixed_moments(&steps, self.config.moment_order, self.config.moment_kind);
+        if let Some(fm) = &self.config.feature_moments {
+            m.extend(feature_moment_sketch(
+                &client.data.adj_norm,
+                &client.data.features,
+                self.config.k_lp,
+                self.config.moment_order,
+                self.config.moment_kind,
+                fm,
+            ));
+        }
+        (h, m)
+    }
+}
+
+impl Strategy for FedGta {
+    fn name(&self) -> String {
+        if self.config.use_moments && self.config.use_confidence {
+            "FedGTA".into()
+        } else if !self.config.use_moments {
+            "FedGTA(w/o Mom.)".into()
+        } else {
+            "FedGTA(w/o Conf.)".into()
+        }
+    }
+
+    fn round(
+        &mut self,
+        clients: &mut [Client],
+        participants: &[usize],
+        ctx: &RoundCtx<'_>,
+    ) -> RoundStats {
+        if self.personalized.len() != clients.len() {
+            self.personalized = vec![None; clients.len()];
+        }
+        // Algorithm 1: local update + metric computation.
+        let mut params: Vec<Vec<f32>> = Vec::with_capacity(participants.len());
+        let mut confidences: Vec<f64> = Vec::with_capacity(participants.len());
+        let mut sketches: Vec<Vec<f32>> = Vec::with_capacity(participants.len());
+        let mut n_trains: Vec<usize> = Vec::with_capacity(participants.len());
+        let mut loss = 0f32;
+        for &i in participants {
+            if let Some(p) = &self.personalized[i] {
+                clients[i].model.set_params(p);
+                clients[i].opt.reset();
+            }
+            let mut hooks = TrainHooks {
+                pseudo: ctx.pseudo_for(i),
+                ..TrainHooks::none()
+            };
+            loss += clients[i].train_local(ctx.epochs, &mut hooks);
+            let (h, m) = self.client_metrics(&mut clients[i]);
+            params.push(clients[i].model.params());
+            confidences.push(h);
+            sketches.push(m);
+            n_trains.push(clients[i].n_train());
+        }
+        // Algorithm 2: personalized aggregation.
+        let uploads: Vec<ClientUpload<'_>> = (0..participants.len())
+            .map(|p| ClientUpload {
+                params: &params[p],
+                confidence: confidences[p],
+                moments: &sketches[p],
+                n_train: n_trains[p],
+            })
+            .collect();
+        let opts = AggregateOptions {
+            epsilon: self.config.epsilon,
+            epsilon_quantile: self.config.epsilon_quantile,
+            similarity: self.config.similarity,
+            use_moments: self.config.use_moments,
+            use_confidence: self.config.use_confidence,
+        };
+        let (aggregated, report) = personalized_aggregate(&uploads, &opts);
+        for (p, &i) in participants.iter().enumerate() {
+            clients[i].model.set_params(&aggregated[p]);
+            self.personalized[i] = Some(aggregated[p].clone());
+        }
+        self.last_report = Some(report);
+        // Upload = model weights + moment sketch + confidence scalar.
+        let bytes_uploaded = (0..participants.len())
+            .map(|p| params[p].len() * 4 + sketches[p].len() * 4 + 8)
+            .sum();
+        RoundStats {
+            mean_loss: loss / participants.len().max(1) as f32,
+            bytes_uploaded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedgta_fed::eval::global_test_accuracy;
+    use fedgta_fed::strategies::test_support::small_federation;
+    use fedgta_fed::strategies::FedAvg;
+    use fedgta_nn::models::ModelKind;
+
+    #[test]
+    fn fedgta_learns() {
+        let mut clients = small_federation(ModelKind::Sgc, 100);
+        let mut s = FedGta::with_defaults();
+        let parts: Vec<usize> = (0..clients.len()).collect();
+        for _ in 0..15 {
+            s.round(&mut clients, &parts, &RoundCtx::plain(2));
+        }
+        let acc = global_test_accuracy(&mut clients);
+        assert!(acc > 0.7, "acc {acc}");
+    }
+
+    #[test]
+    fn report_is_populated_and_consistent() {
+        let mut clients = small_federation(ModelKind::Sgc, 101);
+        let mut s = FedGta::with_defaults();
+        let parts: Vec<usize> = (0..clients.len()).collect();
+        s.round(&mut clients, &parts, &RoundCtx::plain(1));
+        let report = s.last_report().expect("report after round");
+        assert_eq!(report.entries.len(), clients.len());
+        for (i, e) in report.entries.iter().enumerate() {
+            assert!(e.members.contains(&i), "self missing from I_{i}");
+            let w: f32 = e.weights.iter().sum();
+            assert!((w - 1.0).abs() < 1e-4, "weights of {i} sum to {w}");
+        }
+    }
+
+    #[test]
+    fn personalization_can_differ_across_clients() {
+        let mut clients = small_federation(ModelKind::Sgc, 102);
+        let mut s = FedGta::new(FedGtaConfig {
+            epsilon: 0.999, // near-exclusive: most clients aggregate alone
+            ..FedGtaConfig::default()
+        });
+        let parts: Vec<usize> = (0..clients.len()).collect();
+        for _ in 0..3 {
+            s.round(&mut clients, &parts, &RoundCtx::plain(1));
+        }
+        let any_different = clients
+            .windows(2)
+            .any(|w| w[0].model.params() != w[1].model.params());
+        assert!(any_different, "all clients identical despite epsilon≈1");
+    }
+
+    #[test]
+    fn partial_participation_preserves_absent_models() {
+        let mut clients = small_federation(ModelKind::Sgc, 103);
+        let mut s = FedGta::with_defaults();
+        let before = clients[3].model.params();
+        s.round(&mut clients, &[0, 1], &RoundCtx::plain(1));
+        assert_eq!(clients[3].model.params(), before);
+    }
+
+    #[test]
+    fn metrics_have_expected_shapes() {
+        let mut clients = small_federation(ModelKind::Sgc, 104);
+        let s = FedGta::with_defaults();
+        let (h, m) = s.client_metrics(&mut clients[0]);
+        assert!(h >= 0.0);
+        let c = clients[0].data.num_classes;
+        assert_eq!(m.len(), s.config.k_lp * s.config.moment_order * c);
+    }
+
+    #[test]
+    fn ablations_still_learn() {
+        for cfg in [FedGtaConfig::without_moments(), FedGtaConfig::without_confidence()] {
+            let mut clients = small_federation(ModelKind::Sgc, 105);
+            let mut s = FedGta::new(cfg);
+            let parts: Vec<usize> = (0..clients.len()).collect();
+            for _ in 0..10 {
+                s.round(&mut clients, &parts, &RoundCtx::plain(2));
+            }
+            // w/o-Mom is confidence-weighted FedAvg: under heavy label
+            // Non-iid it is expected to trail full FedGTA, so the bar is lower.
+            assert!(global_test_accuracy(&mut clients) > 0.45, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn adaptive_epsilon_extension_learns_and_varies_threshold() {
+        let mut clients = small_federation(ModelKind::Sgc, 110);
+        let mut s = FedGta::new(FedGtaConfig::adaptive(0.8));
+        let parts: Vec<usize> = (0..clients.len()).collect();
+        for _ in 0..10 {
+            s.round(&mut clients, &parts, &RoundCtx::plain(2));
+        }
+        assert!(global_test_accuracy(&mut clients) > 0.6);
+        // Quantile 0.8 keeps only the most-similar pairs: the threshold is
+        // selective, so no client may aggregate with the whole federation.
+        let report = s.last_report().unwrap();
+        let n = clients.len();
+        assert!(
+            report.entries.iter().all(|e| e.members.len() < n),
+            "adaptive threshold connected everyone"
+        );
+    }
+
+    #[test]
+    fn feature_moment_extension_learns_and_extends_sketch() {
+        let mut clients = small_federation(ModelKind::Sgc, 111);
+        let s = FedGta::new(FedGtaConfig::with_feature_moments());
+        let (_, m) = s.client_metrics(&mut clients[0]);
+        let cfg = &s.config;
+        let c = clients[0].data.num_classes;
+        let label_len = cfg.k_lp * cfg.moment_order * c;
+        let fm = cfg.feature_moments.as_ref().unwrap();
+        let feat_len = cfg.k_lp * cfg.moment_order * fm.dims.min(clients[0].data.num_features());
+        assert_eq!(m.len(), label_len + feat_len);
+
+        let mut s = FedGta::new(FedGtaConfig::with_feature_moments());
+        let parts: Vec<usize> = (0..clients.len()).collect();
+        for _ in 0..10 {
+            s.round(&mut clients, &parts, &RoundCtx::plain(2));
+        }
+        assert!(global_test_accuracy(&mut clients) > 0.6);
+    }
+
+    #[test]
+    fn fedgta_beats_or_matches_fedavg_on_noniid_split() {
+        // The headline claim, at unit-test scale: Louvain split ⇒ label
+        // Non-iid clients ⇒ personalized aggregation should not lose.
+        let run = |mut strat: Box<dyn Strategy>, seed: u64| {
+            let mut clients = small_federation(ModelKind::Sgc, seed);
+            let parts: Vec<usize> = (0..clients.len()).collect();
+            let mut best = 0f64;
+            for _ in 0..12 {
+                strat.round(&mut clients, &parts, &RoundCtx::plain(2));
+                best = best.max(global_test_accuracy(&mut clients));
+            }
+            best
+        };
+        let mut wins = 0;
+        for seed in [200u64, 201, 202] {
+            let gta = run(Box::new(FedGta::with_defaults()), seed);
+            let avg = run(Box::new(FedAvg::new()), seed);
+            if gta >= avg - 0.02 {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 2, "FedGTA lost to FedAvg on most seeds");
+    }
+}

@@ -1,0 +1,220 @@
+//! On-disk benchmark cache.
+//!
+//! Generating the largest stand-ins (ogbn-papers100M at 120k nodes) costs
+//! tens of seconds; experiment sweeps regenerate them once per seed. This
+//! cache persists a generated [`Benchmark`] to a single versioned binary
+//! file (graph via [`fedgta_graph::io`], dense arrays little-endian) and
+//! loads it back verbatim.
+
+use crate::catalog::{load_benchmark, spec_by_name, Benchmark};
+use crate::splits::Split;
+use crate::DataError;
+use fedgta_graph::io::{read_csr, write_csr, IoError};
+use fedgta_nn::Matrix;
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"FGTB";
+const VERSION: u8 = 1;
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> std::io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn write_u32s<W: Write>(w: &mut W, xs: &[u32]) -> std::io::Result<()> {
+    write_u64(w, xs.len() as u64)?;
+    for &x in xs {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u32s<R: Read>(r: &mut R) -> std::io::Result<Vec<u32>> {
+    let n = read_u64(r)? as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut b = [0u8; 4];
+    for _ in 0..n {
+        r.read_exact(&mut b)?;
+        out.push(u32::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+/// Writes a benchmark to `path` (created/truncated).
+pub fn save_benchmark(bench: &Benchmark, path: &Path) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    // Spec identity: name + classes (full spec is re-resolved by name).
+    let name = bench.spec.name.as_bytes();
+    write_u64(&mut w, name.len() as u64)?;
+    w.write_all(name)?;
+    write_csr(&mut w, &bench.graph)?;
+    write_u64(&mut w, bench.features.rows() as u64)?;
+    write_u64(&mut w, bench.features.cols() as u64)?;
+    for &v in bench.features.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    write_u32s(&mut w, &bench.labels)?;
+    write_u64(&mut w, bench.num_classes as u64)?;
+    write_u32s(&mut w, &bench.blocks)?;
+    write_u32s(&mut w, &bench.split.train)?;
+    write_u32s(&mut w, &bench.split.val)?;
+    write_u32s(&mut w, &bench.split.test)?;
+    Ok(())
+}
+
+/// Reads a benchmark from `path`.
+pub fn read_benchmark(path: &Path) -> Result<Benchmark, CacheError> {
+    let mut r = BufReader::new(File::open(path).map_err(IoError::Io)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(IoError::Io)?;
+    if &magic != MAGIC {
+        return Err(IoError::BadMagic.into());
+    }
+    let mut ver = [0u8; 1];
+    r.read_exact(&mut ver).map_err(IoError::Io)?;
+    if ver[0] != VERSION {
+        return Err(IoError::BadVersion(ver[0]).into());
+    }
+    let name_len = read_u64(&mut r).map_err(IoError::Io)? as usize;
+    let mut name_bytes = vec![0u8; name_len];
+    r.read_exact(&mut name_bytes).map_err(IoError::Io)?;
+    let name = String::from_utf8(name_bytes)
+        .map_err(|_| IoError::Corrupt("dataset name not utf-8"))?;
+    let spec = spec_by_name(&name)?.clone();
+    let graph = read_csr(&mut r)?;
+    let rows = read_u64(&mut r).map_err(IoError::Io)? as usize;
+    let cols = read_u64(&mut r).map_err(IoError::Io)? as usize;
+    let mut feats = vec![0f32; rows * cols];
+    let mut b = [0u8; 4];
+    for v in &mut feats {
+        r.read_exact(&mut b).map_err(IoError::Io)?;
+        *v = f32::from_le_bytes(b);
+    }
+    let labels = read_u32s(&mut r).map_err(IoError::Io)?;
+    let num_classes = read_u64(&mut r).map_err(IoError::Io)? as usize;
+    let blocks = read_u32s(&mut r).map_err(IoError::Io)?;
+    let train = read_u32s(&mut r).map_err(IoError::Io)?;
+    let val = read_u32s(&mut r).map_err(IoError::Io)?;
+    let test = read_u32s(&mut r).map_err(IoError::Io)?;
+    if labels.len() != graph.num_nodes() || rows != graph.num_nodes() {
+        return Err(IoError::Corrupt("node count mismatch").into());
+    }
+    Ok(Benchmark {
+        graph,
+        features: Matrix::from_vec(rows, cols, feats),
+        labels,
+        num_classes,
+        blocks,
+        split: Split { train, val, test },
+        spec,
+    })
+}
+
+/// Loads a benchmark through the cache: reads `dir/<name>-<seed>.fgtb`
+/// when present, otherwise generates, saves, and returns it.
+pub fn load_benchmark_cached(
+    name: &str,
+    seed: u64,
+    dir: &Path,
+) -> Result<Benchmark, CacheError> {
+    let path: PathBuf = dir.join(format!("{name}-{seed}.fgtb"));
+    if path.exists() {
+        if let Ok(b) = read_benchmark(&path) {
+            return Ok(b);
+        }
+        // Corrupt or stale cache entry: fall through and regenerate.
+    }
+    let bench = load_benchmark(name, seed)?;
+    fs::create_dir_all(dir).map_err(IoError::Io)?;
+    save_benchmark(&bench, &path)?;
+    Ok(bench)
+}
+
+/// Errors from the cache layer.
+#[derive(Debug)]
+pub enum CacheError {
+    /// Codec / filesystem failure.
+    Io(IoError),
+    /// Spec resolution failure.
+    Data(DataError),
+}
+
+impl From<IoError> for CacheError {
+    fn from(e: IoError) -> Self {
+        CacheError::Io(e)
+    }
+}
+
+impl From<DataError> for CacheError {
+    fn from(e: DataError) -> Self {
+        CacheError::Data(e)
+    }
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Io(e) => write!(f, "cache i/o: {e}"),
+            CacheError::Data(e) => write!(f, "cache data: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("fedgta-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn roundtrip_preserves_benchmark() {
+        let dir = tmpdir("roundtrip");
+        let bench = load_benchmark("cora", 3).unwrap();
+        let path = dir.join("cora.fgtb");
+        save_benchmark(&bench, &path).unwrap();
+        let back = read_benchmark(&path).unwrap();
+        assert_eq!(back.graph, bench.graph);
+        assert_eq!(back.features, bench.features);
+        assert_eq!(back.labels, bench.labels);
+        assert_eq!(back.split, bench.split);
+        assert_eq!(back.spec.name, "cora");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cached_load_hits_disk_second_time() {
+        let dir = tmpdir("hits");
+        let a = load_benchmark_cached("citeseer", 5, &dir).unwrap();
+        assert!(dir.join("citeseer-5.fgtb").exists());
+        let b = load_benchmark_cached("citeseer", 5, &dir).unwrap();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.features, b.features);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_regenerates() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("cora-9.fgtb");
+        fs::write(&path, b"garbage").unwrap();
+        let b = load_benchmark_cached("cora", 9, &dir).unwrap();
+        assert_eq!(b.graph.num_nodes(), 2708);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,271 @@
+//! Federated clients and their construction from a partitioned benchmark.
+
+use fedgta_data::{Benchmark, Task};
+use fedgta_graph::{halo_subgraph, induced_subgraph, Subgraph};
+use fedgta_nn::models::{build_model, ModelConfig};
+use fedgta_nn::{Adam, GraphDataset, GraphModel, Optimizer, TrainHooks};
+use fedgta_partition::Partition;
+
+/// One federated participant.
+pub struct Client {
+    /// Client index (position in the simulation's client vector).
+    pub id: usize,
+    /// The training view of the local subgraph.
+    pub data: GraphDataset,
+    /// Inductive evaluation view (full local subgraph including test
+    /// nodes); `None` means transductive — evaluate on `data`.
+    pub eval_data: Option<GraphDataset>,
+    /// The local model.
+    pub model: Box<dyn GraphModel>,
+    /// The local optimizer (state persists across rounds unless a strategy
+    /// resets it after replacing parameters).
+    pub opt: Box<dyn Optimizer>,
+    /// Local-to-global node id map of the training view.
+    pub global_ids: Vec<u32>,
+}
+
+impl Client {
+    /// Number of local training nodes (FedAvg's `n_i`).
+    pub fn n_train(&self) -> usize {
+        self.data.train_nodes.len()
+    }
+
+    /// The dataset evaluation should run on.
+    pub fn eval_view(&self) -> &GraphDataset {
+        self.eval_data.as_ref().unwrap_or(&self.data)
+    }
+
+    /// Runs `epochs` local epochs with the given hooks; returns mean loss.
+    pub fn train_local(&mut self, epochs: usize, hooks: &mut TrainHooks<'_>) -> f32 {
+        let mut total = 0f32;
+        for _ in 0..epochs {
+            total += self.model.train_epoch(&self.data, self.opt.as_mut(), hooks);
+        }
+        if epochs == 0 {
+            0.0
+        } else {
+            total / epochs as f32
+        }
+    }
+}
+
+/// How clients are carved out of the global benchmark.
+#[derive(Debug, Clone)]
+pub struct ClientBuildConfig {
+    /// Local model hyperparameters (seed is offset per client).
+    pub model: ModelConfig,
+    /// Adam learning rate for local optimizers.
+    pub lr: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Materialize 1-hop halo (ghost) nodes so client subgraphs overlap —
+    /// required by FedGL/FedSage+.
+    pub halo: bool,
+}
+
+impl Default for ClientBuildConfig {
+    fn default() -> Self {
+        Self {
+            model: ModelConfig::default(),
+            lr: 0.01,
+            weight_decay: 5e-4,
+            halo: false,
+        }
+    }
+}
+
+/// Builds the local [`GraphDataset`] for one subgraph view.
+///
+/// Only *owned* nodes receive labels and split membership; halo nodes are
+/// present for message passing but never supervised or evaluated.
+fn subgraph_dataset(sg: &Subgraph, bench: &Benchmark, train_only: bool) -> GraphDataset {
+    let n = sg.global_ids.len();
+    let features = bench.features.gather_rows(&sg.global_ids);
+    let labels: Vec<u32> = sg
+        .global_ids
+        .iter()
+        .map(|&g| bench.labels[g as usize])
+        .collect();
+    let mut in_train = vec![false; bench.graph.num_nodes()];
+    let mut in_val = vec![false; bench.graph.num_nodes()];
+    let mut in_test = vec![false; bench.graph.num_nodes()];
+    for &v in &bench.split.train {
+        in_train[v as usize] = true;
+    }
+    for &v in &bench.split.val {
+        in_val[v as usize] = true;
+    }
+    for &v in &bench.split.test {
+        in_test[v as usize] = true;
+    }
+    let mut train = Vec::new();
+    let mut val = Vec::new();
+    let mut test = Vec::new();
+    for local in 0..n {
+        if local >= sg.num_owned {
+            break; // halo suffix carries no supervision
+        }
+        let g = sg.global_ids[local] as usize;
+        if in_train[g] {
+            train.push(local as u32);
+        }
+        if !train_only {
+            if in_val[g] {
+                val.push(local as u32);
+            }
+            if in_test[g] {
+                test.push(local as u32);
+            }
+        }
+    }
+    GraphDataset::new(
+        &sg.graph,
+        features,
+        labels,
+        bench.num_classes,
+        train,
+        val,
+        test,
+    )
+}
+
+/// Builds one client per partition part.
+///
+/// Transductive benchmarks give each client a single dataset (training and
+/// evaluation share the graph). Inductive benchmarks give a training view
+/// whose graph is induced on the client's train nodes only, plus a full
+/// evaluation view — test nodes and their edges are invisible during
+/// training, matching the paper's Flickr/Reddit protocol.
+pub fn build_clients(
+    bench: &Benchmark,
+    partition: &Partition,
+    cfg: &ClientBuildConfig,
+) -> Vec<Client> {
+    let members = partition.members();
+    let mut clients = Vec::with_capacity(members.len());
+    for (id, nodes) in members.iter().enumerate() {
+        if nodes.is_empty() {
+            continue;
+        }
+        let full_sg = if cfg.halo {
+            halo_subgraph(&bench.graph, nodes).expect("nonempty client")
+        } else {
+            induced_subgraph(&bench.graph, nodes).expect("nonempty client")
+        };
+        let (data, eval_data) = match bench.spec.task {
+            Task::Transductive => (subgraph_dataset(&full_sg, bench, false), None),
+            Task::Inductive => {
+                // Training graph: induced on owned train nodes only.
+                let mut in_train = vec![false; bench.graph.num_nodes()];
+                for &v in &bench.split.train {
+                    in_train[v as usize] = true;
+                }
+                let train_nodes: Vec<u32> = nodes
+                    .iter()
+                    .copied()
+                    .filter(|&v| in_train[v as usize])
+                    .collect();
+                let eval_view = subgraph_dataset(&full_sg, bench, false);
+                if train_nodes.is_empty() {
+                    (eval_view, None)
+                } else {
+                    let train_sg =
+                        induced_subgraph(&bench.graph, &train_nodes).expect("nonempty");
+                    (
+                        subgraph_dataset(&train_sg, bench, true),
+                        Some(eval_view),
+                    )
+                }
+            }
+        };
+        let mut model_cfg = cfg.model.clone();
+        model_cfg.seed = cfg.model.seed.wrapping_add(id as u64 * 1013);
+        let model = build_model(&model_cfg, bench.features.cols(), bench.num_classes);
+        clients.push(Client {
+            id,
+            data,
+            eval_data,
+            model,
+            opt: Box::new(Adam::new(cfg.lr, cfg.weight_decay)),
+            global_ids: full_sg.global_ids,
+        });
+    }
+    clients
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedgta_data::load_benchmark;
+    use fedgta_nn::models::ModelKind;
+    use fedgta_partition::{louvain, communities_to_clients, LouvainConfig};
+
+    fn setup(halo: bool) -> Vec<Client> {
+        let bench = load_benchmark("cora", 0).unwrap();
+        let comm = louvain(&bench.graph, &LouvainConfig::default());
+        let parts = communities_to_clients(&comm, 4).unwrap();
+        build_clients(
+            &bench,
+            &parts,
+            &ClientBuildConfig {
+                model: ModelConfig {
+                    kind: ModelKind::Sgc,
+                    layers: 2,
+                    hidden: 16,
+                    ..ModelConfig::default()
+                },
+                halo,
+                ..ClientBuildConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn clients_partition_the_global_nodes() {
+        let clients = setup(false);
+        assert_eq!(clients.len(), 4);
+        let total: usize = clients.iter().map(|c| c.data.num_nodes()).sum();
+        assert_eq!(total, 2708);
+        for c in &clients {
+            assert!(c.n_train() > 0, "client {} has no train nodes", c.id);
+        }
+    }
+
+    #[test]
+    fn halo_clients_overlap() {
+        let clients = setup(true);
+        let total: usize = clients.iter().map(|c| c.global_ids.len()).sum();
+        assert!(total > 2708, "halo should duplicate boundary nodes");
+        // Halo nodes never appear in train/test.
+        for c in &clients {
+            let owned = c.data.num_nodes();
+            assert!(c.data.train_nodes.iter().all(|&v| (v as usize) < owned));
+        }
+    }
+
+    #[test]
+    fn local_training_reduces_loss() {
+        let mut clients = setup(false);
+        let c = &mut clients[0];
+        let l0 = c.train_local(1, &mut TrainHooks::none());
+        for _ in 0..15 {
+            c.train_local(1, &mut TrainHooks::none());
+        }
+        let l1 = c.train_local(1, &mut TrainHooks::none());
+        assert!(l1 < l0, "loss {l0} -> {l1}");
+    }
+
+    #[test]
+    fn inductive_split_hides_test_nodes_from_training_graph() {
+        let bench = load_benchmark("flickr", 0).unwrap();
+        let comm = louvain(&bench.graph, &LouvainConfig::default());
+        let parts = communities_to_clients(&comm, 4).unwrap();
+        let clients = build_clients(&bench, &parts, &ClientBuildConfig::default());
+        for c in &clients {
+            let eval = c.eval_data.as_ref().expect("inductive eval view");
+            assert!(c.data.num_nodes() < eval.num_nodes());
+            assert!(c.data.test_nodes.is_empty());
+            assert!(!eval.test_nodes.is_empty() || eval.num_nodes() < 50);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Federated evaluation: global test accuracy over the union of client
+//! test nodes.
+//!
+//! Each client evaluates its *own* model on its *own* test nodes (the
+//! personalized-FL protocol FedGTA uses; for global-model strategies every
+//! client holds the same parameters, so this reduces to the standard
+//! global-model evaluation). The result is micro-averaged over all test
+//! nodes in the federation.
+
+use crate::client::Client;
+use fedgta_nn::metrics::accuracy;
+
+fn client_accuracy(c: &mut Client, val: bool) -> (f64, usize) {
+    // Disjoint field borrows: `model` (mut) and `eval_data`/`data` (imm).
+    let (probs, labels, nodes) = match &c.eval_data {
+        Some(view) => (
+            c.model.predict(view),
+            &view.labels,
+            if val { &view.val_nodes } else { &view.test_nodes },
+        ),
+        None => (
+            c.model.predict(&c.data),
+            &c.data.labels,
+            if val { &c.data.val_nodes } else { &c.data.test_nodes },
+        ),
+    };
+    if nodes.is_empty() {
+        return (0.0, 0);
+    }
+    (accuracy(&probs, labels, nodes), nodes.len())
+}
+
+/// Micro-averaged test accuracy across all clients.
+pub fn global_test_accuracy(clients: &mut [Client]) -> f64 {
+    let mut correct = 0f64;
+    let mut total = 0usize;
+    for c in clients.iter_mut() {
+        let (acc, n) = client_accuracy(c, false);
+        correct += acc * n as f64;
+        total += n;
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct / total as f64
+    }
+}
+
+/// Micro-averaged validation accuracy across all clients.
+pub fn global_val_accuracy(clients: &mut [Client]) -> f64 {
+    let mut correct = 0f64;
+    let mut total = 0usize;
+    for c in clients.iter_mut() {
+        let (acc, n) = client_accuracy(c, true);
+        correct += acc * n as f64;
+        total += n;
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::test_support::small_federation;
+    use fedgta_nn::models::ModelKind;
+
+    #[test]
+    fn accuracy_is_a_probability() {
+        let mut clients = small_federation(ModelKind::Sgc, 40);
+        let acc = global_test_accuracy(&mut clients);
+        assert!((0.0..=1.0).contains(&acc));
+        let vacc = global_val_accuracy(&mut clients);
+        assert!((0.0..=1.0).contains(&vacc));
+    }
+
+    #[test]
+    fn empty_clients_give_zero() {
+        let mut clients: Vec<crate::client::Client> = Vec::new();
+        assert_eq!(global_test_accuracy(&mut clients), 0.0);
+    }
+}

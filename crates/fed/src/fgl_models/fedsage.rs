@@ -1,0 +1,341 @@
+//! FedSage+ (Zhang et al. 2021): subgraph federated learning with missing
+//! neighbor generation.
+//!
+//! Pipeline (run once, before normal federated rounds):
+//!
+//! 1. **Self-supervision** — each client hides a fraction of its nodes;
+//!    the remaining nodes' hidden-neighbor counts and feature centroids
+//!    become regression targets.
+//! 2. **NeighGen** — a degree head (`dGen`) predicts how many neighbors a
+//!    node is missing; a feature head (`fGen`) predicts their features.
+//!    Both train locally, then are federated-averaged across clients for a
+//!    few generator rounds (this weight-level averaging carries the
+//!    cross-client signal of the original's hidden-node feature loss —
+//!    substitution recorded in DESIGN.md).
+//! 3. **Mending** — every client appends `dGen`-many generated neighbors
+//!    (features from `fGen` plus noise) to each of its nodes and rebuilds
+//!    its local dataset.
+//!
+//! Classification then proceeds with any inner strategy on the mended
+//! graphs (the paper uses GraphSAGE locally).
+
+use crate::client::Client;
+use crate::strategies::{weighted_average, RoundCtx, RoundStats, Strategy};
+use fedgta_graph::EdgeList;
+use fedgta_nn::ops::spmm_csr;
+use fedgta_nn::{GraphDataset, Matrix, Mlp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// FedSage+ wrapper strategy.
+pub struct FedSagePlus {
+    inner: Box<dyn Strategy>,
+    /// Fraction of nodes hidden for generator self-supervision.
+    pub hide_frac: f64,
+    /// Local epochs per generator round.
+    pub gen_epochs: usize,
+    /// Federated generator rounds.
+    pub gen_rounds: usize,
+    /// Maximum generated neighbors per node (paper's `g` grid: {2,5,10}).
+    pub max_gen: usize,
+    /// Seed for hiding/noise.
+    pub seed: u64,
+    mended: bool,
+}
+
+impl FedSagePlus {
+    /// Wraps `inner` with FedSage+'s graph mending.
+    pub fn new(inner: Box<dyn Strategy>) -> Self {
+        Self {
+            inner,
+            hide_frac: 0.2,
+            gen_epochs: 10,
+            gen_rounds: 3,
+            max_gen: 2,
+            seed: 0,
+            mended: false,
+        }
+    }
+}
+
+/// The neighbor generator: shared trunk input `[x ‖ mean_neigh(x)]`.
+struct NeighGen {
+    dgen: Mlp,
+    fgen: Mlp,
+}
+
+impl NeighGen {
+    fn new(f: usize, seed: u64) -> Self {
+        Self {
+            dgen: Mlp::new(&[2 * f, 32, 1], 0.0, seed),
+            fgen: Mlp::new(&[2 * f, 64, f], 0.0, seed ^ 0xabcd),
+        }
+    }
+
+    fn params(&self) -> Vec<f32> {
+        let mut p = self.dgen.params().to_vec();
+        p.extend_from_slice(self.fgen.params());
+        p
+    }
+
+    fn set_params(&mut self, p: &[f32]) {
+        let d = self.dgen.num_params();
+        self.dgen.set_params(&p[..d]);
+        self.fgen.set_params(&p[d..]);
+    }
+}
+
+/// Node representation for the generator: `[X ‖ Ā X]`.
+fn gen_input(data: &GraphDataset) -> Matrix {
+    let agg = spmm_csr(&data.adj_mean, &data.features);
+    data.features.hcat(&agg)
+}
+
+/// One MSE training epoch of an Mlp regressor (exact gradient through the
+/// shared backward machinery).
+fn mse_epoch(mlp: &mut Mlp, x: &Matrix, target: &Matrix, lr: f32) -> f32 {
+    let (pred, cache) = mlp.forward(x, true);
+    let n = (pred.rows() * pred.cols()) as f32;
+    let mut d = pred.clone();
+    d.axpy(-1.0, target);
+    let loss = d.as_slice().iter().map(|v| v * v).sum::<f32>() / n;
+    d.scale(2.0 / n);
+    let (grads, _) = mlp.backward(&cache, &d, None);
+    let mut p = mlp.params().to_vec();
+    for (pj, gj) in p.iter_mut().zip(&grads) {
+        *pj -= lr * gj;
+    }
+    mlp.set_params(&p);
+    loss
+}
+
+impl FedSagePlus {
+    /// Trains NeighGen federatedly and mends every client's graph.
+    fn mend_all(&self, clients: &mut [Client]) {
+        if clients.is_empty() {
+            return;
+        }
+        let f = clients[0].data.num_features();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // --- Build self-supervision views per client ---------------------
+        struct GenTask {
+            input: Matrix,   // [x ‖ mean_neigh] on the visible subgraph
+            d_target: Matrix, // hidden-neighbor counts (n_vis × 1)
+            f_target: Matrix, // hidden-neighbor feature centroids (n_vis × f)
+            weight: f64,
+        }
+        let mut tasks = Vec::with_capacity(clients.len());
+        for c in clients.iter() {
+            let n = c.data.num_nodes();
+            let hidden: Vec<bool> = (0..n).map(|_| rng.random::<f64>() < self.hide_frac).collect();
+            let visible: Vec<u32> = (0..n as u32).filter(|&v| !hidden[v as usize]).collect();
+            if visible.is_empty() {
+                continue;
+            }
+            // Visible-only adjacency for the generator input.
+            let mut el = EdgeList::new(visible.len());
+            let local_of = {
+                let mut map = vec![u32::MAX; n];
+                for (i, &v) in visible.iter().enumerate() {
+                    map[v as usize] = i as u32;
+                }
+                map
+            };
+            let mut d_target = Matrix::zeros(visible.len(), 1);
+            let mut f_target = Matrix::zeros(visible.len(), f);
+            for (i, &v) in visible.iter().enumerate() {
+                let mut hidden_cnt = 0usize;
+                for &u in c.data.adj_mean.neighbors(v) {
+                    if u == v {
+                        continue;
+                    }
+                    if hidden[u as usize] {
+                        hidden_cnt += 1;
+                        let row = c.data.features.row(u as usize);
+                        let out = f_target.row_mut(i);
+                        for (o, &x) in out.iter_mut().zip(row) {
+                            *o += x;
+                        }
+                    } else {
+                        el.push(i as u32, local_of[u as usize]).expect("in range");
+                    }
+                }
+                d_target.set(i, 0, hidden_cnt as f32);
+                if hidden_cnt > 0 {
+                    let inv = 1.0 / hidden_cnt as f32;
+                    for o in f_target.row_mut(i) {
+                        *o *= inv;
+                    }
+                } else {
+                    // Centroid target defaults to the node's own features.
+                    let row = c.data.features.row(v as usize).to_vec();
+                    f_target.row_mut(i).copy_from_slice(&row);
+                }
+            }
+            let vis_graph = el.to_csr();
+            let vis_feats = c.data.features.gather_rows(&visible);
+            let vis_data = GraphDataset::new(
+                &vis_graph,
+                vis_feats,
+                vec![0; visible.len()],
+                1,
+                Vec::new(),
+                Vec::new(),
+                Vec::new(),
+            );
+            tasks.push(GenTask {
+                input: gen_input(&vis_data),
+                d_target,
+                f_target,
+                weight: visible.len() as f64,
+            });
+        }
+        if tasks.is_empty() {
+            return;
+        }
+
+        // --- Federated generator training --------------------------------
+        let mut global_gen = NeighGen::new(f, self.seed ^ 0x51de);
+        for _ in 0..self.gen_rounds {
+            let start = global_gen.params();
+            let mut uploads = Vec::with_capacity(tasks.len());
+            for t in &tasks {
+                let mut local = NeighGen::new(f, 0);
+                local.set_params(&start);
+                for _ in 0..self.gen_epochs {
+                    mse_epoch(&mut local.dgen, &t.input, &t.d_target, 0.01);
+                    mse_epoch(&mut local.fgen, &t.input, &t.f_target, 0.01);
+                }
+                uploads.push((local.params(), t.weight));
+            }
+            global_gen.set_params(&weighted_average(&uploads));
+        }
+
+        // --- Mend every client's graph ------------------------------------
+        for c in clients.iter_mut() {
+            let input = gen_input(&c.data);
+            let counts = global_gen.dgen.infer(&input);
+            let feats = global_gen.fgen.infer(&input);
+            let n = c.data.num_nodes();
+            let mut extra_feats: Vec<(u32, Vec<f32>)> = Vec::new(); // (attach-to, features)
+            for v in 0..n {
+                let k = counts.get(v, 0).round().max(0.0) as usize;
+                for _ in 0..k.min(self.max_gen) {
+                    let noise: Vec<f32> = feats
+                        .row(v)
+                        .iter()
+                        .map(|&x| x + 0.05 * (rng.random::<f32>() - 0.5))
+                        .collect();
+                    extra_feats.push((v as u32, noise));
+                }
+            }
+            if extra_feats.is_empty() {
+                continue;
+            }
+            let total = n + extra_feats.len();
+            let mut el = EdgeList::new(total);
+            for u in 0..n as u32 {
+                for &v in c.data.adj_mean.neighbors(u) {
+                    if v != u {
+                        el.push(u, v).expect("in range");
+                    }
+                }
+            }
+            let mut features = Matrix::zeros(total, f);
+            for v in 0..n {
+                features.row_mut(v).copy_from_slice(c.data.features.row(v));
+            }
+            let mut labels = c.data.labels.clone();
+            for (g, (attach, fv)) in extra_feats.iter().enumerate() {
+                let id = (n + g) as u32;
+                el.push_undirected(*attach, id).expect("in range");
+                features.row_mut(n + g).copy_from_slice(fv);
+                labels.push(0); // never supervised or evaluated
+            }
+            let mended = GraphDataset::new(
+                &el.to_csr(),
+                features,
+                labels,
+                c.data.num_classes,
+                c.data.train_nodes.clone(),
+                c.data.val_nodes.clone(),
+                c.data.test_nodes.clone(),
+            );
+            c.data = mended;
+            // Eval view keeps the same mended training graph in the
+            // transductive case (eval_data stays as-is when inductive).
+        }
+    }
+}
+
+impl Strategy for FedSagePlus {
+    fn name(&self) -> String {
+        format!("FedSage++{}", self.inner.name())
+    }
+
+    fn round(
+        &mut self,
+        clients: &mut [Client],
+        participants: &[usize],
+        ctx: &RoundCtx<'_>,
+    ) -> RoundStats {
+        if !self.mended {
+            self.mend_all(clients);
+            self.mended = true;
+        }
+        self.inner.round(clients, participants, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::global_test_accuracy;
+    use crate::strategies::test_support::small_federation;
+    use crate::strategies::FedAvg;
+    use fedgta_nn::models::ModelKind;
+
+    #[test]
+    fn mending_grows_graphs_without_touching_splits() {
+        let mut clients = small_federation(ModelKind::Sage, 70);
+        let before: Vec<usize> = clients.iter().map(|c| c.data.num_nodes()).collect();
+        let trains: Vec<Vec<u32>> = clients.iter().map(|c| c.data.train_nodes.clone()).collect();
+        let s = FedSagePlus::new(Box::new(FedAvg::new()));
+        s.mend_all(&mut clients);
+        let mut grew = false;
+        for (i, c) in clients.iter().enumerate() {
+            assert!(c.data.num_nodes() >= before[i]);
+            grew |= c.data.num_nodes() > before[i];
+            assert_eq!(c.data.train_nodes, trains[i]);
+        }
+        assert!(grew, "no client's graph was mended");
+    }
+
+    #[test]
+    fn fedsage_learns_on_mended_graphs() {
+        let mut clients = small_federation(ModelKind::Sage, 71);
+        let mut s = FedSagePlus::new(Box::new(FedAvg::new()));
+        let parts: Vec<usize> = (0..clients.len()).collect();
+        for _ in 0..12 {
+            s.round(&mut clients, &parts, &RoundCtx::plain(2));
+        }
+        let acc = global_test_accuracy(&mut clients);
+        // SAGE sees only 2 hops, which caps it on this noise-calibrated
+        // task; the bar checks learning, not parity with deeper backbones.
+        assert!(acc > 0.5, "acc {acc}");
+    }
+
+    #[test]
+    fn mse_epoch_reduces_loss() {
+        let mut mlp = Mlp::new(&[4, 8, 1], 0.0, 1);
+        let x = Matrix::from_vec(10, 4, (0..40).map(|i| (i as f32 * 0.37).sin()).collect());
+        let t = Matrix::from_vec(10, 1, (0..10).map(|i| i as f32 / 10.0).collect());
+        let first = mse_epoch(&mut mlp, &x, &t, 0.05);
+        let mut last = first;
+        for _ in 0..100 {
+            last = mse_epoch(&mut mlp, &x, &t, 0.05);
+        }
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+}

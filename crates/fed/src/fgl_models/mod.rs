@@ -1,0 +1,11 @@
+//! FGL **Model** baselines (paper §2.4): FedGL and FedSage+.
+//!
+//! Both are implemented as *wrappers* around any optimization
+//! [`crate::strategies::Strategy`], which is exactly how the paper's
+//! Table 5 combines them with FedAvg / MOON / FedDC / FedGTA.
+
+pub mod fedgl;
+pub mod fedsage;
+
+pub use fedgl::FedGl;
+pub use fedsage::FedSagePlus;

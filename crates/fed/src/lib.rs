@@ -1,0 +1,48 @@
+//! # fedgta-fed — federated graph learning simulator
+//!
+//! The distributed-training substrate of the reproduction:
+//!
+//! - [`client::Client`]: a participant holding a local subgraph (built from
+//!   a global benchmark via a Louvain/Metis [`fedgta_partition::Partition`]),
+//!   its model, and optimizer;
+//! - [`strategies`]: the six FGL optimization baselines the paper compares
+//!   against — FedAvg, FedProx, Scaffold, MOON, FedDC, GCFL+ — plus the
+//!   Local-only and Global references of Fig. 1(b), all behind one
+//!   [`strategies::Strategy`] trait (FedGTA itself implements the same
+//!   trait from the `fedgta` crate);
+//! - [`fgl_models`]: the two FGL **Model** baselines — FedGL (overlap
+//!   pseudo-label supervision) and FedSage+ (missing-neighbor generation) —
+//!   which wrap any optimization strategy (Table 5);
+//! - [`round::Simulation`]: the round driver with participation sampling,
+//!   per-round evaluation and wall-clock accounting (Figs. 4–6).
+
+pub mod client;
+pub mod eval;
+pub mod fgl_models;
+pub mod round;
+pub mod strategies;
+
+pub use client::{build_clients, Client, ClientBuildConfig};
+pub use eval::global_test_accuracy;
+pub use round::{RoundRecord, SimConfig, Simulation};
+pub use strategies::{RoundCtx, RoundStats, Strategy};
+
+/// Errors from the federated simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FedError {
+    /// A client index was out of range.
+    UnknownClient(usize),
+    /// A partition left a client without training nodes.
+    EmptyClient(usize),
+}
+
+impl std::fmt::Display for FedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FedError::UnknownClient(c) => write!(f, "unknown client {c}"),
+            FedError::EmptyClient(c) => write!(f, "client {c} has no training nodes"),
+        }
+    }
+}
+
+impl std::error::Error for FedError {}

@@ -1,0 +1,206 @@
+//! The federated round driver: participation sampling, per-round
+//! evaluation, wall-clock accounting (the machinery behind Figs. 4–6).
+
+use crate::client::Client;
+use crate::eval::global_test_accuracy;
+use crate::strategies::{RoundCtx, Strategy};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of communication rounds (paper default 100).
+    pub rounds: usize,
+    /// Local epochs per round (paper: 3 small / 5 large datasets).
+    pub local_epochs: usize,
+    /// Fraction of clients participating per round (Fig. 6 sweeps this).
+    pub participation: f64,
+    /// Evaluate every `eval_every` rounds (0 = only at the end).
+    pub eval_every: usize,
+    /// Seed for participation sampling.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 50,
+            local_epochs: 3,
+            participation: 1.0,
+            eval_every: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// One round's record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Round index (1-based).
+    pub round: usize,
+    /// Mean local training loss over participants.
+    pub mean_loss: f32,
+    /// Global test accuracy after this round (`None` when not evaluated).
+    pub test_acc: Option<f64>,
+    /// Cumulative wall-clock seconds (training + aggregation, excluding
+    /// evaluation).
+    pub elapsed_s: f64,
+    /// Bytes uploaded by participants this round.
+    pub bytes_uploaded: usize,
+}
+
+/// A federated simulation binding clients to a strategy.
+pub struct Simulation {
+    /// The federation.
+    pub clients: Vec<Client>,
+    /// The optimization strategy under test.
+    pub strategy: Box<dyn Strategy>,
+    /// Driver configuration.
+    pub config: SimConfig,
+}
+
+impl Simulation {
+    /// Creates a simulation.
+    pub fn new(clients: Vec<Client>, strategy: Box<dyn Strategy>, config: SimConfig) -> Self {
+        Self {
+            clients,
+            strategy,
+            config,
+        }
+    }
+
+    /// Samples this round's participants.
+    fn sample_participants(&self, rng: &mut StdRng) -> Vec<usize> {
+        let n = self.clients.len();
+        let k = ((n as f64 * self.config.participation).round() as usize).clamp(1, n);
+        let mut ids: Vec<usize> = (0..n).collect();
+        if k == n {
+            return ids;
+        }
+        ids.shuffle(rng);
+        ids.truncate(k);
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Runs all rounds; returns per-round records. Always evaluates after
+    /// the final round.
+    pub fn run(&mut self) -> Vec<RoundRecord> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut records = Vec::with_capacity(self.config.rounds);
+        let mut elapsed = 0f64;
+        for round in 1..=self.config.rounds {
+            let participants = self.sample_participants(&mut rng);
+            let t0 = Instant::now();
+            let stats = self.strategy.round(
+                &mut self.clients,
+                &participants,
+                &RoundCtx::plain(self.config.local_epochs),
+            );
+            elapsed += t0.elapsed().as_secs_f64();
+            let eval_now = round == self.config.rounds
+                || (self.config.eval_every > 0 && round % self.config.eval_every == 0);
+            let test_acc = eval_now.then(|| global_test_accuracy(&mut self.clients));
+            records.push(RoundRecord {
+                round,
+                mean_loss: stats.mean_loss,
+                test_acc,
+                elapsed_s: elapsed,
+                bytes_uploaded: stats.bytes_uploaded,
+            });
+        }
+        records
+    }
+
+    /// Final test accuracy (evaluates now).
+    pub fn test_accuracy(&mut self) -> f64 {
+        global_test_accuracy(&mut self.clients)
+    }
+}
+
+/// Total bytes uploaded across all recorded rounds (the communication
+/// cost a deployment would pay).
+pub fn total_bytes(records: &[RoundRecord]) -> usize {
+    records.iter().map(|r| r.bytes_uploaded).sum()
+}
+
+/// The best (maximum) test accuracy across records — the number the
+/// paper's tables report (best round over federated training).
+pub fn best_accuracy(records: &[RoundRecord]) -> f64 {
+    records
+        .iter()
+        .filter_map(|r| r.test_acc)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::test_support::small_federation;
+    use crate::strategies::FedAvg;
+    use fedgta_nn::models::ModelKind;
+
+    #[test]
+    fn simulation_runs_and_improves() {
+        let clients = small_federation(ModelKind::Sgc, 50);
+        let mut sim = Simulation::new(
+            clients,
+            Box::new(FedAvg::new()),
+            SimConfig {
+                rounds: 10,
+                local_epochs: 2,
+                eval_every: 5,
+                ..SimConfig::default()
+            },
+        );
+        let records = sim.run();
+        assert_eq!(records.len(), 10);
+        // Only rounds 5 and 10 evaluated.
+        assert!(records[0].test_acc.is_none());
+        assert!(records[4].test_acc.is_some());
+        assert!(records[9].test_acc.is_some());
+        assert!(best_accuracy(&records) > 0.5);
+        // Wall clock is monotone; FedAvg uploads every round.
+        for w in records.windows(2) {
+            assert!(w[1].elapsed_s >= w[0].elapsed_s);
+        }
+        assert!(total_bytes(&records) > 0);
+        assert!(records.iter().all(|r| r.bytes_uploaded > 0));
+    }
+
+    #[test]
+    fn participation_fraction_limits_round_size() {
+        let clients = small_federation(ModelKind::Sgc, 51);
+        let sim = Simulation::new(
+            clients,
+            Box::new(FedAvg::new()),
+            SimConfig {
+                participation: 0.5,
+                ..SimConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = sim.sample_participants(&mut rng);
+        assert_eq!(p.len(), 2);
+        // Sorted and unique.
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn at_least_one_participant() {
+        let clients = small_federation(ModelKind::Sgc, 52);
+        let sim = Simulation::new(
+            clients,
+            Box::new(FedAvg::new()),
+            SimConfig {
+                participation: 0.0,
+                ..SimConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sim.sample_participants(&mut rng).len(), 1);
+    }
+}

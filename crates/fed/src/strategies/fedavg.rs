@@ -1,0 +1,169 @@
+//! FedAvg (McMahan et al. 2017) — the data-size-weighted baseline
+//! (paper Eq. 2) — and the Local-only reference of Fig. 1(b).
+
+use super::{weighted_average, RoundCtx, RoundStats, Strategy};
+use crate::client::Client;
+use fedgta_nn::TrainHooks;
+
+/// Classic FedAvg: all participants start from the global model, train
+/// locally, and the server averages parameters weighted by `n_i / n`.
+#[derive(Default)]
+pub struct FedAvg {
+    global: Option<Vec<f32>>,
+}
+
+impl FedAvg {
+    /// Creates a FedAvg strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current global parameters (after at least one round).
+    pub fn global_params(&self) -> Option<&[f32]> {
+        self.global.as_deref()
+    }
+}
+
+impl Strategy for FedAvg {
+    fn name(&self) -> String {
+        "FedAvg".into()
+    }
+
+    fn round(
+        &mut self,
+        clients: &mut [Client],
+        participants: &[usize],
+        ctx: &RoundCtx<'_>,
+    ) -> RoundStats {
+        let global = self
+            .global
+            .get_or_insert_with(|| clients[0].model.params())
+            .clone();
+        let mut uploads = Vec::with_capacity(participants.len());
+        let mut loss = 0f32;
+        for &i in participants {
+            let c = &mut clients[i];
+            c.model.set_params(&global);
+            c.opt.reset();
+            let mut hooks = TrainHooks {
+                pseudo: ctx.pseudo_for(i),
+                ..TrainHooks::none()
+            };
+            loss += c.train_local(ctx.epochs, &mut hooks);
+            uploads.push((c.model.params(), c.n_train() as f64));
+        }
+        let bytes_uploaded = uploads.iter().map(|(p, _)| p.len() * 4 + 8).sum();
+        let new_global = weighted_average(&uploads);
+        for c in clients.iter_mut() {
+            c.model.set_params(&new_global);
+        }
+        self.global = Some(new_global);
+        RoundStats {
+            mean_loss: loss / participants.len().max(1) as f32,
+            bytes_uploaded,
+        }
+    }
+}
+
+/// No collaboration: every client trains on its own data only (the
+/// "Local" curve of Fig. 1(b)).
+#[derive(Default)]
+pub struct LocalOnly;
+
+impl LocalOnly {
+    /// Creates the local-only baseline.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Strategy for LocalOnly {
+    fn name(&self) -> String {
+        "Local".into()
+    }
+
+    fn round(
+        &mut self,
+        clients: &mut [Client],
+        participants: &[usize],
+        ctx: &RoundCtx<'_>,
+    ) -> RoundStats {
+        let mut loss = 0f32;
+        for &i in participants {
+            let c = &mut clients[i];
+            let mut hooks = TrainHooks {
+                pseudo: ctx.pseudo_for(i),
+                ..TrainHooks::none()
+            };
+            loss += c.train_local(ctx.epochs, &mut hooks);
+        }
+        RoundStats {
+            mean_loss: loss / participants.len().max(1) as f32,
+            bytes_uploaded: 0, // no communication at all
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{federation_accuracy, small_federation};
+    use super::*;
+    use fedgta_nn::models::ModelKind;
+
+    #[test]
+    fn fedavg_synchronizes_all_clients() {
+        let mut clients = small_federation(ModelKind::Sgc, 1);
+        let mut s = FedAvg::new();
+        let parts: Vec<usize> = (0..clients.len()).collect();
+        s.round(&mut clients, &parts, &RoundCtx::plain(1));
+        let p0 = clients[0].model.params();
+        for c in &clients[1..] {
+            assert_eq!(c.model.params(), p0);
+        }
+    }
+
+    #[test]
+    fn fedavg_learns_over_rounds() {
+        let mut clients = small_federation(ModelKind::Sgc, 2);
+        let mut s = FedAvg::new();
+        let parts: Vec<usize> = (0..clients.len()).collect();
+        let before = federation_accuracy(&mut clients);
+        for _ in 0..15 {
+            s.round(&mut clients, &parts, &RoundCtx::plain(2));
+        }
+        let after = federation_accuracy(&mut clients);
+        assert!(after > before + 0.2, "acc {before} -> {after}");
+        assert!(after > 0.7, "acc {after}");
+    }
+
+    #[test]
+    fn partial_participation_still_updates_global() {
+        let mut clients = small_federation(ModelKind::Sgc, 3);
+        let mut s = FedAvg::new();
+        s.round(&mut clients, &[0, 2], &RoundCtx::plain(1));
+        // Non-participants also received the global model.
+        assert_eq!(clients[1].model.params(), clients[0].model.params());
+    }
+
+    #[test]
+    fn local_only_diverges_across_clients() {
+        let mut clients = small_federation(ModelKind::Sgc, 4);
+        let mut s = LocalOnly::new();
+        let parts: Vec<usize> = (0..clients.len()).collect();
+        for _ in 0..3 {
+            s.round(&mut clients, &parts, &RoundCtx::plain(1));
+        }
+        assert_ne!(clients[0].model.params(), clients[1].model.params());
+    }
+
+    #[test]
+    fn local_only_learns_its_own_subgraph() {
+        let mut clients = small_federation(ModelKind::Sgc, 5);
+        let mut s = LocalOnly::new();
+        let parts: Vec<usize> = (0..clients.len()).collect();
+        for _ in 0..20 {
+            s.round(&mut clients, &parts, &RoundCtx::plain(2));
+        }
+        assert!(federation_accuracy(&mut clients) > 0.6);
+    }
+}

@@ -1,0 +1,182 @@
+//! FGL optimization strategies behind one [`Strategy`] trait.
+//!
+//! A strategy owns the *entire* federated round: it decides which
+//! parameters each participant starts from, what auxiliary objectives are
+//! injected into local training (via [`fedgta_nn::TrainHooks`]), and how
+//! uploaded parameters are aggregated. This mirrors the paper's framing:
+//! FedGTA is "a personalized optimization strategy" that can wrap any
+//! local model — and here it implements exactly this trait (from the
+//! `fedgta` crate), next to the six baselines.
+
+pub mod feddc;
+pub mod fedavg;
+pub mod fedprox;
+pub mod gcfl;
+pub mod moon;
+pub mod privacy;
+pub mod scaffold;
+
+pub use feddc::FedDc;
+pub use fedavg::{FedAvg, LocalOnly};
+pub use fedprox::FedProx;
+pub use gcfl::GcflPlus;
+pub use moon::Moon;
+pub use privacy::DpUpload;
+pub use scaffold::Scaffold;
+
+use crate::client::Client;
+use fedgta_nn::models::PseudoLabels;
+
+/// Per-round context passed by the driver.
+pub struct RoundCtx<'a> {
+    /// Local epochs per round (paper: 3 small / 5 large).
+    pub epochs: usize,
+    /// Optional FedGL-style pseudo-labels, indexed by position in the
+    /// clients slice.
+    pub pseudo: Option<&'a [Option<PseudoLabels>]>,
+}
+
+impl<'a> RoundCtx<'a> {
+    /// A plain context with no auxiliary supervision.
+    pub fn plain(epochs: usize) -> Self {
+        Self {
+            epochs,
+            pseudo: None,
+        }
+    }
+
+    /// The pseudo-labels for client `i`, if any.
+    pub fn pseudo_for(&self, i: usize) -> Option<&'a PseudoLabels> {
+        self.pseudo.and_then(|p| p.get(i)).and_then(|p| p.as_ref())
+    }
+}
+
+/// Statistics reported by one round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundStats {
+    /// Mean local training loss over participants.
+    pub mean_loss: f32,
+    /// Bytes the participants uploaded this round (model weights plus any
+    /// strategy-specific extras like control variates or FedGTA sketches).
+    pub bytes_uploaded: usize,
+}
+
+/// A federated optimization strategy.
+pub trait Strategy: Send {
+    /// Human-readable name matching the paper's tables.
+    fn name(&self) -> String;
+    /// Executes one round: local training on `participants` + aggregation
+    /// + distribution of updated models.
+    fn round(
+        &mut self,
+        clients: &mut [Client],
+        participants: &[usize],
+        ctx: &RoundCtx<'_>,
+    ) -> RoundStats;
+}
+
+/// `Σ wᵢ·paramsᵢ / Σ wᵢ` over uploaded parameter vectors.
+pub fn weighted_average(uploads: &[(Vec<f32>, f64)]) -> Vec<f32> {
+    assert!(!uploads.is_empty(), "cannot average zero uploads");
+    let len = uploads[0].0.len();
+    let mut out = vec![0f64; len];
+    let mut total = 0f64;
+    for (p, w) in uploads {
+        assert_eq!(p.len(), len, "inconsistent parameter lengths");
+        total += w;
+        for (o, &v) in out.iter_mut().zip(p) {
+            *o += w * v as f64;
+        }
+    }
+    assert!(total > 0.0, "zero total weight");
+    out.iter().map(|&v| (v / total) as f32).collect()
+}
+
+/// Elementwise `a - b`.
+pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x - y).collect()
+}
+
+/// Euclidean norm of a flat vector.
+pub fn l2_norm(v: &[f32]) -> f64 {
+    v.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+}
+
+/// Test/bench utilities: a small deterministic federation for unit tests
+/// across crates (not part of the stable API).
+pub mod test_support {
+    use crate::client::{build_clients, Client, ClientBuildConfig};
+    use fedgta_data::{generate_from_spec, DatasetSpec, Task};
+    use fedgta_nn::models::{ModelConfig, ModelKind};
+    use fedgta_partition::{communities_to_clients, louvain, LouvainConfig};
+
+    /// A small 4-client federation on a synthetic homophilous graph.
+    pub fn small_federation(kind: ModelKind, seed: u64) -> Vec<Client> {
+        let spec = DatasetSpec {
+            name: "unit",
+            nodes: 600,
+            features: 16,
+            classes: 4,
+            avg_degree: 8.0,
+            train_frac: 0.3,
+            val_frac: 0.2,
+            test_frac: 0.5,
+            task: Task::Transductive,
+            blocks_per_class: 3,
+            homophily: 0.85,
+            description: "unit-test graph",
+        };
+        let bench = generate_from_spec(&spec, seed);
+        let comm = louvain(&bench.graph, &LouvainConfig::default());
+        let parts = communities_to_clients(&comm, 4).unwrap();
+        build_clients(
+            &bench,
+            &parts,
+            &ClientBuildConfig {
+                model: ModelConfig {
+                    kind,
+                    hidden: 16,
+                    layers: 2,
+                    k: 2,
+                    batch_size: 0,
+                    seed,
+                    ..ModelConfig::default()
+                },
+                lr: 0.03,
+                weight_decay: 0.0,
+                halo: false,
+            },
+        )
+    }
+
+    /// Global test accuracy over all clients.
+    pub fn federation_accuracy(clients: &mut [Client]) -> f64 {
+        crate::eval::global_test_accuracy(clients)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_average_weights_proportionally() {
+        let avg = weighted_average(&[(vec![1.0, 0.0], 1.0), (vec![0.0, 1.0], 3.0)]);
+        assert!((avg[0] - 0.25).abs() < 1e-6);
+        assert!((avg[1] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot average zero uploads")]
+    fn empty_average_panics() {
+        weighted_average(&[]);
+    }
+
+    #[test]
+    fn sub_and_norm() {
+        let d = sub(&[3.0, 4.0], &[0.0, 0.0]);
+        assert_eq!(d, vec![3.0, 4.0]);
+        assert!((l2_norm(&d) - 5.0).abs() < 1e-9);
+    }
+}

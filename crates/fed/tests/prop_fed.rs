@@ -1,0 +1,101 @@
+//! Property-based tests for the federated substrate.
+
+use fedgta_fed::strategies::gcfl::dtw_distance;
+use fedgta_fed::strategies::{l2_norm, sub, weighted_average};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn weighted_average_is_convex_per_coordinate(
+        params in proptest::collection::vec(
+            proptest::collection::vec(-5.0f32..5.0, 4),
+            1..6,
+        ),
+        weights in proptest::collection::vec(0.1f64..10.0, 6),
+    ) {
+        let ups: Vec<(Vec<f32>, f64)> = params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), weights[i % weights.len()]))
+            .collect();
+        let avg = weighted_average(&ups);
+        for j in 0..4 {
+            let lo = params.iter().map(|p| p[j]).fold(f32::INFINITY, f32::min);
+            let hi = params.iter().map(|p| p[j]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(avg[j] >= lo - 1e-4 && avg[j] <= hi + 1e-4);
+        }
+    }
+
+    #[test]
+    fn weighted_average_identity_on_single_upload(
+        p in proptest::collection::vec(-5.0f32..5.0, 1..10),
+        w in 0.1f64..100.0,
+    ) {
+        let avg = weighted_average(&[(p.clone(), w)]);
+        for (a, b) in avg.iter().zip(&p) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn weighted_average_scale_invariant_in_weights(
+        params in proptest::collection::vec(
+            proptest::collection::vec(-2.0f32..2.0, 3),
+            2..5,
+        ),
+        scale in 0.5f64..20.0,
+    ) {
+        let w: Vec<f64> = (1..=params.len()).map(|i| i as f64).collect();
+        let a = weighted_average(
+            &params.iter().cloned().zip(w.iter().copied()).collect::<Vec<_>>(),
+        );
+        let b = weighted_average(
+            &params.iter().cloned().zip(w.iter().map(|&x| x * scale)).collect::<Vec<_>>(),
+        );
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dtw_is_symmetric_and_zero_on_self(
+        a in proptest::collection::vec(proptest::collection::vec(-3.0f32..3.0, 2), 1..6),
+        b in proptest::collection::vec(proptest::collection::vec(-3.0f32..3.0, 2), 1..6),
+    ) {
+        prop_assert!(dtw_distance(&a, &a) < 1e-9);
+        let ab = dtw_distance(&a, &b);
+        let ba = dtw_distance(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab >= 0.0);
+    }
+
+    #[test]
+    fn dtw_dominated_by_pointwise_distance_sum(
+        a in proptest::collection::vec(proptest::collection::vec(-3.0f32..3.0, 2), 2..6),
+    ) {
+        // Aligning a sequence with a shifted copy of itself can never cost
+        // more than the naive step-by-step alignment.
+        let mut shifted = a.clone();
+        shifted.rotate_right(1);
+        let dtw = dtw_distance(&a, &shifted);
+        let naive: f64 = a
+            .iter()
+            .zip(&shifted)
+            .map(|(x, y)| l2_norm(&sub(x, y)))
+            .sum();
+        prop_assert!(dtw <= naive + 1e-6, "dtw {} > naive {}", dtw, naive);
+    }
+
+    #[test]
+    fn sub_norm_triangle_inequality(
+        a in proptest::collection::vec(-5.0f32..5.0, 1..8),
+        b in proptest::collection::vec(-5.0f32..5.0, 1..8),
+    ) {
+        prop_assume!(a.len() == b.len());
+        let d = l2_norm(&sub(&a, &b));
+        prop_assert!(d <= l2_norm(&a) + l2_norm(&b) + 1e-6);
+        prop_assert!(d >= (l2_norm(&a) - l2_norm(&b)).abs() - 1e-6);
+    }
+}

@@ -1,0 +1,310 @@
+//! Compressed sparse row adjacency — the immutable compute format.
+
+use crate::{GraphError, Result};
+
+/// A sparse matrix / graph adjacency in compressed sparse row form.
+///
+/// Row `i`'s neighbors occupy `indices[indptr[i]..indptr[i+1]]`, sorted
+/// ascending with no duplicates (guaranteed when built through
+/// [`crate::EdgeList::to_csr`]). `weights`, when present, is parallel to
+/// `indices`; absence means every edge has weight `1.0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    weights: Option<Vec<f32>>,
+}
+
+impl Csr {
+    /// Assembles a CSR from raw parts.
+    ///
+    /// Invariants (checked by debug assertions): `indptr` is monotone,
+    /// starts at 0, ends at `indices.len()`; weights, if given, match the
+    /// edge count.
+    pub fn from_raw_parts(indptr: Vec<usize>, indices: Vec<u32>, weights: Option<Vec<f32>>) -> Self {
+        debug_assert!(!indptr.is_empty());
+        debug_assert_eq!(indptr[0], 0);
+        debug_assert_eq!(*indptr.last().unwrap(), indices.len());
+        debug_assert!(indptr.windows(2).all(|w| w[0] <= w[1]));
+        if let Some(w) = &weights {
+            debug_assert_eq!(w.len(), indices.len());
+        }
+        Self {
+            indptr,
+            indices,
+            weights,
+        }
+    }
+
+    /// An empty graph over `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Self::from_raw_parts(vec![0; n + 1], Vec::new(), None)
+    }
+
+    /// Number of nodes (rows).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Number of stored directed edges (nnz).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Neighbor ids of node `u` (sorted ascending).
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        let u = u as usize;
+        &self.indices[self.indptr[u]..self.indptr[u + 1]]
+    }
+
+    /// Edge weights of node `u`'s incident edges, parallel to
+    /// [`Csr::neighbors`]; `None` when the graph is unweighted.
+    #[inline]
+    pub fn neighbor_weights(&self, u: u32) -> Option<&[f32]> {
+        let u = u as usize;
+        self.weights
+            .as_ref()
+            .map(|w| &w[self.indptr[u]..self.indptr[u + 1]])
+    }
+
+    /// The weight of the `k`-th edge out of node `u` (1.0 when unweighted).
+    #[inline]
+    pub fn edge_weight_at(&self, u: u32, k: usize) -> f32 {
+        match &self.weights {
+            Some(w) => w[self.indptr[u as usize] + k],
+            None => 1.0,
+        }
+    }
+
+    /// Out-degree of node `u` (edge count, ignoring weights).
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        let u = u as usize;
+        self.indptr[u + 1] - self.indptr[u]
+    }
+
+    /// Weighted out-degree of node `u` (sum of incident edge weights).
+    pub fn weighted_degree(&self, u: u32) -> f32 {
+        match self.neighbor_weights(u) {
+            Some(w) => w.iter().sum(),
+            None => self.degree(u) as f32,
+        }
+    }
+
+    /// Weighted degrees of all nodes.
+    pub fn weighted_degrees(&self) -> Vec<f32> {
+        (0..self.num_nodes() as u32).map(|u| self.weighted_degree(u)).collect()
+    }
+
+    /// Raw row offsets.
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Raw column indices.
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Raw weights (absent for unweighted graphs).
+    #[inline]
+    pub fn weights(&self) -> Option<&[f32]> {
+        self.weights.as_deref()
+    }
+
+    /// Whether node `u` has an edge to `v` (binary search: O(log deg)).
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Total edge weight (sum over all stored directed edges).
+    pub fn total_weight(&self) -> f64 {
+        match &self.weights {
+            Some(w) => w.iter().map(|&x| x as f64).sum(),
+            None => self.num_edges() as f64,
+        }
+    }
+
+    /// Returns a copy with a unit self-loop added to every node that lacks
+    /// one — Â = A + I, the first step of GCN normalization.
+    pub fn with_self_loops(&self) -> Csr {
+        let n = self.num_nodes();
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = Vec::with_capacity(self.num_edges() + n);
+        let mut weights: Option<Vec<f32>> = self
+            .weights
+            .as_ref()
+            .map(|_| Vec::with_capacity(self.num_edges() + n));
+        indptr.push(0);
+        for u in 0..n as u32 {
+            let neigh = self.neighbors(u);
+            let mut inserted = false;
+            for (k, &v) in neigh.iter().enumerate() {
+                if !inserted && v >= u {
+                    if v != u {
+                        indices.push(u);
+                        if let Some(w) = &mut weights {
+                            w.push(1.0);
+                        }
+                    }
+                    inserted = true;
+                }
+                indices.push(v);
+                if let Some(w) = &mut weights {
+                    w.push(self.edge_weight_at(u, k));
+                }
+            }
+            if !inserted {
+                indices.push(u);
+                if let Some(w) = &mut weights {
+                    w.push(1.0);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Csr::from_raw_parts(indptr, indices, weights)
+    }
+
+    /// Transpose (reverse all edges). For symmetric graphs this is a
+    /// (possibly reordered-weight) identity operation.
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_nodes();
+        let mut counts = vec![0usize; n + 1];
+        for &v in &self.indices {
+            counts[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut cursor = counts.clone();
+        let mut indices = vec![0u32; self.num_edges()];
+        let mut weights = self.weights.as_ref().map(|_| vec![0f32; self.num_edges()]);
+        for u in 0..n as u32 {
+            for (k, &v) in self.neighbors(u).iter().enumerate() {
+                let slot = cursor[v as usize];
+                cursor[v as usize] += 1;
+                indices[slot] = u;
+                if let Some(w) = &mut weights {
+                    w[slot] = self.edge_weight_at(u, k);
+                }
+            }
+        }
+        Csr::from_raw_parts(counts, indices, weights)
+    }
+
+    /// True when the adjacency structure (ignoring weights) is symmetric.
+    pub fn is_symmetric(&self) -> bool {
+        (0..self.num_nodes() as u32)
+            .all(|u| self.neighbors(u).iter().all(|&v| self.has_edge(v, u)))
+    }
+
+    /// Validates that all column indices are in range; used after
+    /// deserialization or manual construction.
+    pub fn validate(&self) -> Result<()> {
+        let n = self.num_nodes();
+        for &v in &self.indices {
+            if (v as usize) >= n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: v,
+                    num_nodes: n,
+                });
+            }
+        }
+        if let Some(w) = &self.weights {
+            if w.len() != self.indices.len() {
+                return Err(GraphError::WeightLengthMismatch {
+                    edges: self.indices.len(),
+                    weights: w.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeList;
+
+    fn path3() -> Csr {
+        // 0 - 1 - 2 undirected path
+        let mut el = EdgeList::new(3);
+        el.push_undirected(0, 1).unwrap();
+        el.push_undirected(1, 2).unwrap();
+        el.to_csr()
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = path3();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.weighted_degree(1), 2.0);
+    }
+
+    #[test]
+    fn self_loops_inserted_in_sorted_position() {
+        let g = path3().with_self_loops();
+        assert_eq!(g.neighbors(0), &[0, 1]);
+        assert_eq!(g.neighbors(1), &[0, 1, 2]);
+        assert_eq!(g.neighbors(2), &[1, 2]);
+        // Idempotent on structure: nodes that already have loops keep one.
+        let g2 = g.with_self_loops();
+        assert_eq!(g2.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn transpose_of_symmetric_graph_is_identical() {
+        let g = path3();
+        assert!(g.is_symmetric());
+        assert_eq!(g.transpose(), g);
+    }
+
+    #[test]
+    fn transpose_reverses_directed_edges() {
+        let mut el = EdgeList::new(3);
+        el.push(0, 1).unwrap();
+        el.push(0, 2).unwrap();
+        let g = el.to_csr();
+        assert!(!g.is_symmetric());
+        let t = g.transpose();
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(2), &[0]);
+        assert!(t.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn has_edge_binary_search() {
+        let g = path3();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_symmetric());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_out_of_range() {
+        let g = Csr::from_raw_parts(vec![0, 1], vec![7], None);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn total_weight_counts_edges_when_unweighted() {
+        assert_eq!(path3().total_weight(), 4.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Binary serialization of CSR graphs.
+//!
+//! A small, versioned, self-describing little-endian codec (no external
+//! format crate): magic `FGTA`, version byte, node/edge counts, then the
+//! offset, index, and optional weight arrays. Used by the dataset cache in
+//! `fedgta-data` and usable for shipping client subgraphs across real
+//! transports.
+
+use crate::Csr;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"FGTA";
+const VERSION: u8 = 1;
+
+/// Errors from graph (de)serialization.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Bad magic bytes — not a graph stream.
+    BadMagic,
+    /// Unsupported codec version.
+    BadVersion(u8),
+    /// Structural inconsistency in the decoded data.
+    Corrupt(&'static str),
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::BadMagic => write!(f, "bad magic: not a fedgta graph stream"),
+            IoError::BadVersion(v) => write!(f, "unsupported codec version {v}"),
+            IoError::Corrupt(m) => write!(f, "corrupt graph stream: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Serializes a CSR graph to a writer.
+pub fn write_csr<W: Write>(w: &mut W, g: &Csr) -> Result<(), IoError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    write_u64(w, g.num_nodes() as u64)?;
+    write_u64(w, g.num_edges() as u64)?;
+    w.write_all(&[u8::from(g.weights().is_some())])?;
+    for &off in g.indptr() {
+        write_u64(w, off as u64)?;
+    }
+    for &idx in g.indices() {
+        w.write_all(&idx.to_le_bytes())?;
+    }
+    if let Some(weights) = g.weights() {
+        for &wt in weights {
+            w.write_all(&wt.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a CSR graph from a reader, validating structure.
+pub fn read_csr<R: Read>(r: &mut R) -> Result<Csr, IoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let mut ver = [0u8; 1];
+    r.read_exact(&mut ver)?;
+    if ver[0] != VERSION {
+        return Err(IoError::BadVersion(ver[0]));
+    }
+    let n = read_u64(r)? as usize;
+    let m = read_u64(r)? as usize;
+    let mut has_w = [0u8; 1];
+    r.read_exact(&mut has_w)?;
+    let mut indptr = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        indptr.push(read_u64(r)? as usize);
+    }
+    if indptr.first() != Some(&0) || indptr.last() != Some(&m) {
+        return Err(IoError::Corrupt("offset array endpoints"));
+    }
+    if indptr.windows(2).any(|w| w[0] > w[1]) {
+        return Err(IoError::Corrupt("offsets not monotone"));
+    }
+    let mut indices = Vec::with_capacity(m);
+    let mut b4 = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut b4)?;
+        indices.push(u32::from_le_bytes(b4));
+    }
+    let weights = if has_w[0] == 1 {
+        let mut w = Vec::with_capacity(m);
+        for _ in 0..m {
+            r.read_exact(&mut b4)?;
+            w.push(f32::from_le_bytes(b4));
+        }
+        Some(w)
+    } else {
+        None
+    };
+    let g = Csr::from_raw_parts(indptr, indices, weights);
+    g.validate().map_err(|_| IoError::Corrupt("column index out of range"))?;
+    Ok(g)
+}
+
+/// Parses a whitespace-separated edge-list text (`u v [w]` per line;
+/// `#`-prefixed lines are comments) into an undirected graph over
+/// `num_nodes` nodes. The format real benchmark dumps (SNAP, OGB edge
+/// files) use.
+pub fn parse_edge_list_text(text: &str, num_nodes: usize) -> Result<Csr, IoError> {
+    let mut el = crate::EdgeList::new(num_nodes);
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (u, v) = match (parts.next(), parts.next()) {
+            (Some(u), Some(v)) => (u, v),
+            _ => return Err(IoError::Corrupt("edge line needs two endpoints")),
+        };
+        let u: u32 = u.parse().map_err(|_| IoError::Corrupt("bad source id"))?;
+        let v: u32 = v.parse().map_err(|_| IoError::Corrupt("bad target id"))?;
+        let w: Option<f32> = match parts.next() {
+            Some(w) => Some(w.parse().map_err(|_| IoError::Corrupt("bad weight"))?),
+            None => None,
+        };
+        if parts.next().is_some() {
+            return Err(IoError::Corrupt("trailing tokens on edge line"));
+        }
+        let push = |el: &mut crate::EdgeList, a: u32, b: u32| match w {
+            Some(w) => el.push_weighted(a, b, w),
+            None => el.push(a, b),
+        };
+        push(&mut el, u, v).map_err(|_| IoError::Corrupt("node id out of range"))?;
+        if u != v {
+            push(&mut el, v, u).map_err(|_| IoError::Corrupt("node id out of range"))?;
+        }
+        let _ = lineno;
+    }
+    Ok(el.to_csr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeList;
+
+    fn sample() -> Csr {
+        let mut el = EdgeList::new(5);
+        el.push_undirected(0, 1).unwrap();
+        el.push_undirected(1, 2).unwrap();
+        el.push_weighted(3, 4, 2.5).unwrap();
+        el.to_csr()
+    }
+
+    #[test]
+    fn text_edge_list_parses_comments_and_weights() {
+        let text = "# a comment\n0 1\n1 2 0.5\n\n2 2\n";
+        let g = parse_edge_list_text(text, 3).unwrap();
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(g.has_edge(2, 2));
+        let k = g.neighbors(1).iter().position(|&v| v == 2).unwrap();
+        assert_eq!(g.edge_weight_at(1, k), 0.5);
+    }
+
+    #[test]
+    fn text_edge_list_rejects_garbage() {
+        assert!(parse_edge_list_text("0", 2).is_err());
+        assert!(parse_edge_list_text("0 x", 2).is_err());
+        assert!(parse_edge_list_text("0 1 1.0 extra", 2).is_err());
+        assert!(parse_edge_list_text("0 9", 2).is_err());
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_csr(&mut buf, &g).unwrap();
+        let back = read_csr(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let mut el = EdgeList::new(3);
+        el.push_undirected(0, 2).unwrap();
+        let g = el.to_csr();
+        let mut buf = Vec::new();
+        write_csr(&mut buf, &g).unwrap();
+        let back = read_csr(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, g);
+        assert!(back.weights().is_none());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE\x01".to_vec();
+        assert!(matches!(read_csr(&mut buf.as_slice()), Err(IoError::BadMagic)));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_csr(&mut buf, &sample()).unwrap();
+        buf[4] = 99;
+        assert!(matches!(read_csr(&mut buf.as_slice()), Err(IoError::BadVersion(99))));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let mut buf = Vec::new();
+        write_csr(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_csr(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupt_index_rejected() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_csr(&mut buf, &g).unwrap();
+        // Overwrite the last column index with an out-of-range node id
+        // (weights follow indices: 6 edges * 4 bytes of weights at tail).
+        let widx = buf.len() - g.num_edges() * 4 - 4;
+        buf[widx..widx + 4].copy_from_slice(&999u32.to_le_bytes());
+        assert!(matches!(
+            read_csr(&mut buf.as_slice()),
+            Err(IoError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,94 @@
+//! Deterministic data-parallel helpers built on crossbeam scoped threads.
+//!
+//! Work is split into contiguous chunks so results are identical regardless
+//! of the number of worker threads; each output chunk is written by exactly
+//! one thread (no atomics, no locks on the hot path).
+
+/// Number of worker threads to use for parallel kernels.
+///
+/// Defaults to available parallelism; override with the
+/// `FEDGTA_THREADS` environment variable (useful for benchmarking the
+/// scaling story or forcing single-threaded determinism checks).
+pub fn num_threads() -> usize {
+    if let Ok(s) = std::env::var("FEDGTA_THREADS") {
+        if let Ok(n) = s.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f(chunk_index, out_chunk, row_range)` over `out` split into
+/// `threads` contiguous chunks of `row_size` elements each.
+///
+/// `out.len()` must be `rows * row_size`. When only one thread is available
+/// (or the workload is tiny) the closure runs inline without spawning.
+pub fn par_chunks_mut<F>(out: &mut [f32], rows: usize, row_size: usize, f: F)
+where
+    F: Fn(usize, &mut [f32], std::ops::Range<usize>) + Sync,
+{
+    assert_eq!(out.len(), rows * row_size, "output buffer size mismatch");
+    let threads = num_threads().min(rows.max(1));
+    if threads <= 1 || rows < 2 * threads {
+        f(0, out, 0..rows);
+        return;
+    }
+    let rows_per = rows.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        let mut rest = out;
+        let mut start = 0usize;
+        let mut idx = 0usize;
+        while start < rows {
+            let end = (start + rows_per).min(rows);
+            let take = (end - start) * row_size;
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let fr = &f;
+            let range = start..end;
+            scope.spawn(move |_| fr(idx, head, range));
+            start = end;
+            idx += 1;
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_all_rows_once() {
+        let rows = 103;
+        let width = 4;
+        let mut out = vec![0f32; rows * width];
+        par_chunks_mut(&mut out, rows, width, |_, chunk, range| {
+            for (local, row) in range.enumerate() {
+                for c in 0..width {
+                    chunk[local * width + c] = (row * width + c) as f32;
+                }
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as f32);
+        }
+    }
+
+    #[test]
+    fn single_row_runs_inline() {
+        let mut out = vec![0f32; 3];
+        par_chunks_mut(&mut out, 1, 3, |idx, chunk, range| {
+            assert_eq!(idx, 0);
+            assert_eq!(range, 0..1);
+            chunk.fill(7.0);
+        });
+        assert_eq!(out, vec![7.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer size mismatch")]
+    fn size_mismatch_panics() {
+        let mut out = vec![0f32; 5];
+        par_chunks_mut(&mut out, 2, 3, |_, _, _| {});
+    }
+}

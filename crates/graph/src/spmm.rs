@@ -1,0 +1,184 @@
+//! Sparse × dense multiplication — the propagation kernel.
+//!
+//! `Y = A · X` where `A` is CSR (`n × n`) and `X` is a row-major dense
+//! matrix (`n × f`). This single kernel powers every feature-propagation
+//! step (SGC/SIGN/S²GC/GBP/GAMLP precompute, GCN forward/backward) and
+//! FedGTA's non-parametric label propagation. Rows of `Y` are independent,
+//! so the kernel parallelizes over contiguous row chunks (deterministic
+//! regardless of thread count).
+
+use crate::par::par_chunks_mut;
+use crate::{Csr, GraphError, Result};
+
+/// Computes `Y = A · X` into a fresh buffer.
+///
+/// `x` is row-major with `cols` columns and `A.num_nodes()` rows.
+pub fn spmm(a: &Csr, x: &[f32], cols: usize) -> Result<Vec<f32>> {
+    let n = a.num_nodes();
+    if x.len() != n * cols {
+        return Err(GraphError::DimensionMismatch {
+            expected: n * cols,
+            found: x.len(),
+            context: "spmm dense operand",
+        });
+    }
+    let mut y = vec![0f32; n * cols];
+    spmm_into(a, x, cols, &mut y);
+    Ok(y)
+}
+
+/// Computes `Y = A · X` into a caller-provided buffer (`y.len() == n*cols`).
+///
+/// Panics on size mismatch (internal hot path; the checked entry point is
+/// [`spmm`]).
+pub fn spmm_into(a: &Csr, x: &[f32], cols: usize, y: &mut [f32]) {
+    let n = a.num_nodes();
+    assert_eq!(x.len(), n * cols);
+    assert_eq!(y.len(), n * cols);
+    par_chunks_mut(y, n, cols, |_, chunk, range| {
+        for (local, row) in range.enumerate() {
+            let out = &mut chunk[local * cols..(local + 1) * cols];
+            out.fill(0.0);
+            let u = row as u32;
+            let neigh = a.neighbors(u);
+            match a.neighbor_weights(u) {
+                Some(ws) => {
+                    for (&v, &w) in neigh.iter().zip(ws) {
+                        let src = &x[v as usize * cols..(v as usize + 1) * cols];
+                        for (o, &s) in out.iter_mut().zip(src) {
+                            *o += w * s;
+                        }
+                    }
+                }
+                None => {
+                    for &v in neigh {
+                        let src = &x[v as usize * cols..(v as usize + 1) * cols];
+                        for (o, &s) in out.iter_mut().zip(src) {
+                            *o += s;
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Sparse × vector: `y = A · x`.
+pub fn spmv(a: &Csr, x: &[f32]) -> Result<Vec<f32>> {
+    spmm(a, x, 1)
+}
+
+/// Repeatedly propagates: returns `A^k · X` (overwrites nothing; uses two
+/// ping-pong buffers internally).
+pub fn propagate_k(a: &Csr, x: &[f32], cols: usize, k: usize) -> Result<Vec<f32>> {
+    let mut cur = x.to_vec();
+    let mut next = vec![0f32; x.len()];
+    let n = a.num_nodes();
+    if x.len() != n * cols {
+        return Err(GraphError::DimensionMismatch {
+            expected: n * cols,
+            found: x.len(),
+            context: "propagate_k dense operand",
+        });
+    }
+    for _ in 0..k {
+        spmm_into(a, &cur, cols, &mut next);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    Ok(cur)
+}
+
+/// Returns all propagation steps `[X, A·X, A²·X, …, A^k·X]` (k+1 matrices).
+///
+/// Used by SIGN/GAMLP-style hop-feature models and by FedGTA's mixed
+/// moments, which need every intermediate step.
+pub fn propagate_steps(a: &Csr, x: &[f32], cols: usize, k: usize) -> Result<Vec<Vec<f32>>> {
+    let n = a.num_nodes();
+    if x.len() != n * cols {
+        return Err(GraphError::DimensionMismatch {
+            expected: n * cols,
+            found: x.len(),
+            context: "propagate_steps dense operand",
+        });
+    }
+    let mut steps = Vec::with_capacity(k + 1);
+    steps.push(x.to_vec());
+    for i in 0..k {
+        let mut next = vec![0f32; x.len()];
+        spmm_into(a, &steps[i], cols, &mut next);
+        steps.push(next);
+    }
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{normalized_adjacency, EdgeList, NormKind};
+
+    fn path3() -> Csr {
+        let mut el = EdgeList::new(3);
+        el.push_undirected(0, 1).unwrap();
+        el.push_undirected(1, 2).unwrap();
+        el.to_csr()
+    }
+
+    #[test]
+    fn unweighted_spmm_sums_neighbors() {
+        let g = path3();
+        let x = vec![1.0, 10.0, 100.0]; // one column
+        let y = spmv(&g, &x).unwrap();
+        assert_eq!(y, vec![10.0, 101.0, 10.0]);
+    }
+
+    #[test]
+    fn weighted_spmm_scales() {
+        let mut el = EdgeList::new(2);
+        el.push_weighted(0, 1, 0.5).unwrap();
+        let g = el.to_csr();
+        let y = spmm(&g, &[3.0, 4.0, 5.0, 6.0], 2).unwrap();
+        assert_eq!(y, vec![2.5, 3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let g = path3();
+        assert!(spmm(&g, &[1.0, 2.0], 1).is_err());
+        assert!(propagate_k(&g, &[1.0], 1, 2).is_err());
+        assert!(propagate_steps(&g, &[1.0], 1, 2).is_err());
+    }
+
+    #[test]
+    fn propagate_k_equals_repeated_spmm() {
+        let g = normalized_adjacency(&path3(), NormKind::Symmetric);
+        let x = vec![1.0, 0.0, 0.0, 1.0, 0.5, 0.5];
+        let once = spmm(&g, &x, 2).unwrap();
+        let twice = spmm(&g, &once, 2).unwrap();
+        let pk = propagate_k(&g, &x, 2, 2).unwrap();
+        for (a, b) in pk.iter().zip(&twice) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn propagate_steps_returns_all_hops() {
+        let g = normalized_adjacency(&path3(), NormKind::RowStochastic);
+        let x = vec![1.0, 2.0, 3.0];
+        let steps = propagate_steps(&g, &x, 1, 3).unwrap();
+        assert_eq!(steps.len(), 4);
+        assert_eq!(steps[0], x);
+        let manual = spmv(&g, &steps[2]).unwrap();
+        assert_eq!(steps[3], manual);
+    }
+
+    #[test]
+    fn row_stochastic_propagation_preserves_mean_mass() {
+        // Row-stochastic A keeps values in the convex hull of inputs.
+        let g = normalized_adjacency(&path3(), NormKind::RowStochastic);
+        let x = vec![0.0, 1.0, 0.5];
+        let y = spmv(&g, &x).unwrap();
+        for &v in &y {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

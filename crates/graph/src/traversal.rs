@@ -1,0 +1,173 @@
+//! Breadth-first traversal utilities: connected components and BFS orders.
+
+use crate::Csr;
+
+/// Labels each node with its connected-component id (0-based, assigned in
+/// order of first discovery). Treats edges as undirected by following
+/// stored edges in both directions only if present — call on symmetric
+/// graphs for true undirected components.
+pub fn connected_components(g: &Csr) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut comp = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    let mut next_id = 0u32;
+    for start in 0..n as u32 {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = next_id;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = next_id;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next_id += 1;
+    }
+    comp
+}
+
+/// Number of connected components.
+pub fn num_components(g: &Csr) -> usize {
+    connected_components(g)
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Power-iteration PageRank with restart probability `alpha`
+/// (`α = 0.15` is the classic choice; the paper's non-parametric label
+/// propagation is the personalized variant of this same smoother).
+///
+/// Returns scores summing to 1 (dangling mass is redistributed
+/// uniformly). Runs until the L1 change drops below `tol` or `max_iters`.
+pub fn pagerank(g: &Csr, alpha: f64, tol: f64, max_iters: usize) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0f64; n];
+    let out_w: Vec<f64> = (0..n as u32).map(|u| g.weighted_degree(u) as f64).collect();
+    for _ in 0..max_iters {
+        next.fill(0.0);
+        let mut dangling = 0.0;
+        for u in 0..n as u32 {
+            let r = rank[u as usize];
+            if out_w[u as usize] <= 0.0 {
+                dangling += r;
+                continue;
+            }
+            let share = r / out_w[u as usize];
+            for (k, &v) in g.neighbors(u).iter().enumerate() {
+                next[v as usize] += share * g.edge_weight_at(u, k) as f64;
+            }
+        }
+        let base = alpha * uniform + (1.0 - alpha) * dangling * uniform;
+        let mut delta = 0.0;
+        for (nx, r) in next.iter_mut().zip(&rank) {
+            let v = base + (1.0 - alpha) * *nx;
+            delta += (v - r).abs();
+            *nx = v;
+        }
+        std::mem::swap(&mut rank, &mut next);
+        if delta < tol {
+            break;
+        }
+    }
+    rank
+}
+
+/// BFS order from `start`, visiting only reachable nodes.
+pub fn bfs_order(g: &Csr, start: u32) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut seen = vec![false; n];
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    seen[start as usize] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeList;
+
+    #[test]
+    fn two_components_detected() {
+        let mut el = EdgeList::new(5);
+        el.push_undirected(0, 1).unwrap();
+        el.push_undirected(2, 3).unwrap();
+        let g = el.to_csr();
+        let comp = connected_components(&g);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_eq!(num_components(&g), 3); // node 4 isolated
+    }
+
+    #[test]
+    fn bfs_visits_reachable_only() {
+        let mut el = EdgeList::new(4);
+        el.push_undirected(0, 1).unwrap();
+        el.push_undirected(1, 2).unwrap();
+        let g = el.to_csr();
+        let order = bfs_order(&g, 0);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_favors_hubs() {
+        // Star: hub 0 connected to 1..5.
+        let mut el = EdgeList::new(6);
+        for i in 1..6u32 {
+            el.push_undirected(0, i).unwrap();
+        }
+        let g = el.to_csr();
+        let pr = pagerank(&g, 0.15, 1e-10, 200);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-8, "sum {sum}");
+        for i in 1..6 {
+            assert!(pr[0] > pr[i], "hub should dominate leaf {i}");
+            assert!((pr[i] - pr[1]).abs() < 1e-9, "leaves symmetric");
+        }
+    }
+
+    #[test]
+    fn pagerank_handles_dangling_nodes() {
+        // Directed edge 0 -> 1; node 1 dangles.
+        let mut el = EdgeList::new(2);
+        el.push(0, 1).unwrap();
+        let g = el.to_csr();
+        let pr = pagerank(&g, 0.15, 1e-10, 200);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-8);
+        assert!(pr[1] > pr[0]);
+    }
+
+    #[test]
+    fn pagerank_empty_graph() {
+        assert!(pagerank(&Csr::empty(0), 0.15, 1e-8, 10).is_empty());
+    }
+
+    #[test]
+    fn empty_graph_has_singleton_components() {
+        let g = Csr::empty(3);
+        assert_eq!(num_components(&g), 3);
+    }
+}

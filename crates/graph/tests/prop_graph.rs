@@ -1,0 +1,156 @@
+//! Property-based tests for the graph engine's core invariants.
+
+use fedgta_graph::{
+    metrics::modularity,
+    norm::{normalized_adjacency, NormKind},
+    spmm::{propagate_steps, spmm},
+    subgraph::{halo_subgraph, induced_subgraph},
+    traversal::connected_components,
+    Csr, EdgeList,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random undirected graph with up to `max_n` nodes.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Csr> {
+    (2usize..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m).prop_map(move |edges| {
+            let mut el = EdgeList::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    el.push_undirected(u, v).unwrap();
+                }
+            }
+            el.to_csr()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn edgelist_to_csr_is_sorted_and_unique(g in arb_graph(30, 120)) {
+        for u in 0..g.num_nodes() as u32 {
+            let neigh = g.neighbors(u);
+            prop_assert!(neigh.windows(2).all(|w| w[0] < w[1]));
+        }
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn undirected_build_is_symmetric(g in arb_graph(25, 100)) {
+        prop_assert!(g.is_symmetric());
+        let t = g.transpose();
+        prop_assert_eq!(t.indptr(), g.indptr());
+    }
+
+    #[test]
+    fn self_loops_add_exactly_missing_loops(g in arb_graph(25, 100)) {
+        let looped = g.with_self_loops();
+        prop_assert_eq!(looped.num_edges(), g.num_edges() + g.num_nodes());
+        for u in 0..g.num_nodes() as u32 {
+            prop_assert!(looped.has_edge(u, u));
+        }
+    }
+
+    #[test]
+    fn row_stochastic_norm_rows_sum_to_one(g in arb_graph(25, 100)) {
+        let a = normalized_adjacency(&g, NormKind::RowStochastic);
+        for u in 0..a.num_nodes() as u32 {
+            let s: f32 = a.neighbor_weights(u).unwrap().iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4, "row {} sums to {}", u, s);
+        }
+    }
+
+    #[test]
+    fn sym_norm_spectral_radius_bounded(g in arb_graph(20, 80)) {
+        // D^-1/2 Â D^-1/2 is symmetric with spectral radius ≤ 1, so the
+        // L2 norm of any vector is non-increasing under propagation.
+        let a = normalized_adjacency(&g, NormKind::Symmetric);
+        let n = a.num_nodes();
+        let x: Vec<f32> = (0..n).map(|i| ((i % 5) as f32) - 2.0).collect();
+        let steps = propagate_steps(&a, &x, 1, 6).unwrap();
+        let norm = |v: &[f32]| v.iter().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt();
+        let mut prev = norm(&steps[0]);
+        for step in &steps[1..] {
+            let cur = norm(step);
+            prop_assert!(cur <= prev + 1e-3, "norm grew {} -> {}", prev, cur);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn spmm_linear_in_operand(g in arb_graph(15, 60)) {
+        // A(x + y) == Ax + Ay within f32 tolerance.
+        let n = g.num_nodes();
+        let x: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
+        let y: Vec<f32> = (0..n).map(|i| ((i * 3) % 5) as f32).collect();
+        let sum: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let ax = spmm(&g, &x, 1).unwrap();
+        let ay = spmm(&g, &y, 1).unwrap();
+        let axy = spmm(&g, &sum, 1).unwrap();
+        for i in 0..n {
+            prop_assert!((axy[i] - (ax[i] + ay[i])).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edges(g in arb_graph(20, 80), pick in proptest::collection::vec(any::<bool>(), 20)) {
+        let nodes: Vec<u32> = (0..g.num_nodes() as u32)
+            .filter(|&u| pick.get(u as usize).copied().unwrap_or(false))
+            .collect();
+        prop_assume!(!nodes.is_empty());
+        let sg = induced_subgraph(&g, &nodes).unwrap();
+        // Every local edge corresponds to a global edge and vice versa.
+        for lu in 0..sg.graph.num_nodes() as u32 {
+            for &lv in sg.graph.neighbors(lu) {
+                let (gu, gv) = (sg.global_ids[lu as usize], sg.global_ids[lv as usize]);
+                prop_assert!(g.has_edge(gu, gv));
+            }
+        }
+        for &gu in &nodes {
+            for &gv in g.neighbors(gu) {
+                if nodes.binary_search(&gv).is_ok() {
+                    let lu = sg.local_of(gu).unwrap();
+                    let lv = sg.local_of(gv).unwrap();
+                    prop_assert!(sg.graph.has_edge(lu, lv));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn halo_contains_induced(g in arb_graph(20, 80), pick in proptest::collection::vec(any::<bool>(), 20)) {
+        let nodes: Vec<u32> = (0..g.num_nodes() as u32)
+            .filter(|&u| pick.get(u as usize).copied().unwrap_or(false))
+            .collect();
+        prop_assume!(!nodes.is_empty());
+        let ind = induced_subgraph(&g, &nodes).unwrap();
+        let hal = halo_subgraph(&g, &nodes).unwrap();
+        prop_assert_eq!(hal.num_owned, ind.graph.num_nodes());
+        prop_assert!(hal.graph.num_edges() >= ind.graph.num_edges());
+        prop_assert!(hal.graph.is_symmetric());
+    }
+
+    #[test]
+    fn components_partition_nodes(g in arb_graph(25, 60)) {
+        let comp = connected_components(&g);
+        prop_assert_eq!(comp.len(), g.num_nodes());
+        // Endpoints of every edge share a component.
+        for u in 0..g.num_nodes() as u32 {
+            for &v in g.neighbors(u) {
+                prop_assert_eq!(comp[u as usize], comp[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn modularity_in_valid_range(g in arb_graph(20, 80), labels in proptest::collection::vec(0u32..4, 20)) {
+        prop_assume!(g.num_edges() > 0);
+        let community: Vec<u32> = (0..g.num_nodes())
+            .map(|i| labels.get(i).copied().unwrap_or(0))
+            .collect();
+        let q = modularity(&g, &community);
+        prop_assert!((-1.0..=1.0).contains(&q), "q = {}", q);
+    }
+}

@@ -1,0 +1,46 @@
+//! Parameter initialization (seeded, reproducible).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Fills `buf` with Glorot/Xavier-uniform values for a `fan_in × fan_out`
+/// weight: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(buf: &mut [f32], fan_in: usize, fan_out: usize, rng: &mut StdRng) {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    for v in buf {
+        *v = rng.random_range(-a..a);
+    }
+}
+
+/// Fills `buf` with zeros (bias init).
+pub fn zeros(buf: &mut [f32]) {
+    buf.fill(0.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bound_and_seeded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut a = vec![0f32; 64];
+        xavier_uniform(&mut a, 8, 8, &mut rng);
+        let bound = (6.0f32 / 16.0).sqrt();
+        assert!(a.iter().all(|&v| v.abs() <= bound));
+        assert!(a.iter().any(|&v| v != 0.0));
+        // Deterministic.
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let mut b = vec![0f32; 64];
+        xavier_uniform(&mut b, 8, 8, &mut rng2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zeros_clears() {
+        let mut a = vec![1f32; 4];
+        zeros(&mut a);
+        assert!(a.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,161 @@
+//! Softmax cross-entropy losses with exact gradients.
+//!
+//! Both hard-label CE (supervised training on the labeled set) and
+//! soft-target CE (FedGL's pseudo-label supervision) are computed over an
+//! explicit row subset, returning the mean loss and the full-shape logits
+//! gradient (zero outside the subset) — ready to feed straight into
+//! [`crate::mlp::Mlp::backward`].
+
+use crate::ops::softmax_rows;
+use crate::tensor::Matrix;
+
+/// Hard-label softmax cross-entropy over `rows`.
+///
+/// Returns `(mean_loss, d_logits)` where `d_logits[i,·] =
+/// (softmax(logits[i,·]) − onehot(labels[i])) / |rows|` for selected rows
+/// and zero elsewhere.
+pub fn softmax_ce(logits: &Matrix, labels: &[u32], rows: &[u32]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), labels.len(), "labels length mismatch");
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    if rows.is_empty() {
+        return (0.0, grad);
+    }
+    let probs = softmax_rows(logits);
+    let inv = 1.0 / rows.len() as f32;
+    let mut loss = 0f64;
+    for &i in rows {
+        let i = i as usize;
+        let y = labels[i] as usize;
+        debug_assert!(y < logits.cols(), "label out of range");
+        let p = probs.get(i, y).max(1e-12);
+        loss += -(p as f64).ln();
+        let g = grad.row_mut(i);
+        for (gj, &pj) in g.iter_mut().zip(probs.row(i)) {
+            *gj = pj * inv;
+        }
+        g[y] -= inv;
+    }
+    ((loss / rows.len() as f64) as f32, grad)
+}
+
+/// Soft-target cross-entropy over `rows`, scaled by `weight`.
+///
+/// `targets` rows must be probability vectors. Returns `(weighted mean
+/// loss, d_logits)` with `d_logits[i,·] = weight · (softmax − target) /
+/// |rows|` on selected rows.
+pub fn soft_ce(logits: &Matrix, targets: &Matrix, rows: &[u32], weight: f32) -> (f32, Matrix) {
+    assert_eq!(logits.shape(), targets.shape(), "target shape mismatch");
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    if rows.is_empty() || weight == 0.0 {
+        return (0.0, grad);
+    }
+    let probs = softmax_rows(logits);
+    let inv = weight / rows.len() as f32;
+    let mut loss = 0f64;
+    for &i in rows {
+        let i = i as usize;
+        let mut row_loss = 0f64;
+        let g = grad.row_mut(i);
+        for ((gj, &pj), &tj) in g.iter_mut().zip(probs.row(i)).zip(targets.row(i)) {
+            *gj = inv * (pj - tj);
+            if tj > 0.0 {
+                row_loss += -(tj as f64) * (pj.max(1e-12) as f64).ln();
+            }
+        }
+        loss += row_loss;
+    }
+    (
+        (weight as f64 * loss / rows.len() as f64) as f32,
+        grad,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_low_loss_small_grad() {
+        let logits = Matrix::from_rows(&[&[10.0, -10.0], &[-10.0, 10.0]]);
+        let (loss, grad) = softmax_ce(&logits, &[0, 1], &[0, 1]);
+        assert!(loss < 1e-6);
+        assert!(grad.norm() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_logits_loss_is_log_c() {
+        let logits = Matrix::zeros(1, 4);
+        let (loss, _) = softmax_ce(&logits, &[2], &[0]);
+        assert!((loss - (4f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_zero_outside_mask() {
+        let logits = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 0.5]]);
+        let (_, grad) = softmax_ce(&logits, &[0, 1], &[1]);
+        assert_eq!(grad.row(0), &[0.0, 0.0]);
+        assert!(grad.row(1).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn ce_gradient_matches_finite_differences() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.7, 1.2], &[0.1, 0.4, -0.2]]);
+        let labels = [2u32, 0];
+        let rows = [0u32, 1];
+        let (_, grad) = softmax_ce(&logits, &labels, &rows);
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            for j in 0..3 {
+                let mut lp = logits.clone();
+                lp.set(i, j, lp.get(i, j) + eps);
+                let (up, _) = softmax_ce(&lp, &labels, &rows);
+                let mut lm = logits.clone();
+                lm.set(i, j, lm.get(i, j) - eps);
+                let (dn, _) = softmax_ce(&lm, &labels, &rows);
+                let fd = (up - dn) / (2.0 * eps);
+                assert!(
+                    (fd - grad.get(i, j)).abs() < 1e-3,
+                    "fd {fd} vs grad {}",
+                    grad.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn soft_ce_gradient_matches_finite_differences() {
+        let logits = Matrix::from_rows(&[&[0.5, -0.5], &[1.0, 0.0]]);
+        let targets = Matrix::from_rows(&[&[0.7, 0.3], &[0.2, 0.8]]);
+        let rows = [0u32, 1];
+        let w = 0.5;
+        let (_, grad) = soft_ce(&logits, &targets, &rows, w);
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut lp = logits.clone();
+                lp.set(i, j, lp.get(i, j) + eps);
+                let (up, _) = soft_ce(&lp, &targets, &rows, w);
+                let mut lm = logits.clone();
+                lm.set(i, j, lm.get(i, j) - eps);
+                let (dn, _) = soft_ce(&lm, &targets, &rows, w);
+                let fd = (up - dn) / (2.0 * eps);
+                assert!(
+                    (fd - grad.get(i, j)).abs() < 1e-3,
+                    "fd {fd} vs grad {}",
+                    grad.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_rows_return_zero() {
+        let logits = Matrix::zeros(2, 3);
+        let (loss, grad) = softmax_ce(&logits, &[0, 1], &[]);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.norm(), 0.0);
+        let t = Matrix::zeros(2, 3);
+        let (loss, _) = soft_ce(&logits, &t, &[], 1.0);
+        assert_eq!(loss, 0.0);
+    }
+}

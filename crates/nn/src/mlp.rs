@@ -1,0 +1,397 @@
+//! Multi-layer perceptron over a single flat parameter buffer, with exact
+//! manual backprop and hidden-gradient injection.
+//!
+//! Layout: for each layer `l` the flat buffer stores `W_l`
+//! (`dims[l] × dims[l+1]`, row-major) followed by `b_l` (`dims[l+1]`).
+//! Hidden layers apply ReLU then (inverted) dropout; the final layer is
+//! linear — pair with [`crate::loss::softmax_ce`].
+//!
+//! **Hidden-gradient injection**: [`Mlp::backward`] accepts an optional
+//! extra gradient on the *input of the final layer* (the model's
+//! penultimate representation). MOON's model-contrastive loss differentiates
+//! w.r.t. exactly that representation, so federated strategies can add
+//! auxiliary losses without touching the model code.
+
+use crate::init::xavier_uniform;
+use crate::ops::{add_bias, col_sums, matmul, matmul_nt, matmul_tn, relu_backward_inplace, relu_inplace};
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A multi-layer perceptron (`dims = [in, h₁, …, out]`).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    dims: Vec<usize>,
+    params: Vec<f32>,
+    dropout: f32,
+    rng: StdRng,
+}
+
+/// Forward cache for one batch: everything backward needs.
+pub struct MlpCache {
+    /// `inputs[l]` is the input fed to layer `l`; `inputs.len() == L`.
+    inputs: Vec<Matrix>,
+    /// Post-activation (and post-dropout) output of each hidden layer.
+    hidden_out: Vec<Matrix>,
+    /// Inverted-dropout masks (values `0` or `1/keep`), hidden layers only.
+    dropout_masks: Vec<Option<Vec<f32>>>,
+}
+
+impl MlpCache {
+    /// The representation entering the final layer (MOON's `z`).
+    pub fn penultimate(&self) -> &Matrix {
+        self.inputs.last().expect("at least one layer")
+    }
+}
+
+impl Mlp {
+    /// Creates an MLP with Xavier-initialized weights and zero biases.
+    ///
+    /// `dims` must have at least 2 entries. `dropout` applies to hidden
+    /// activations during training only.
+    pub fn new(dims: &[usize], dropout: f32, seed: u64) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least one layer");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = vec![0f32; Self::param_count(dims)];
+        let mut off = 0;
+        for l in 0..dims.len() - 1 {
+            let (fi, fo) = (dims[l], dims[l + 1]);
+            xavier_uniform(&mut params[off..off + fi * fo], fi, fo, &mut rng);
+            off += fi * fo + fo; // biases stay zero
+        }
+        Self {
+            dims: dims.to_vec(),
+            params,
+            dropout,
+            rng,
+        }
+    }
+
+    fn param_count(dims: &[usize]) -> usize {
+        dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
+    }
+
+    /// Number of layers (linear transforms).
+    pub fn num_layers(&self) -> usize {
+        self.dims.len() - 1
+    }
+
+    /// Layer dimensions `[in, h₁, …, out]`.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The flat parameter buffer.
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Replaces all parameters (length must match).
+    pub fn set_params(&mut self, p: &[f32]) {
+        assert_eq!(p.len(), self.params.len(), "param length mismatch");
+        self.params.copy_from_slice(p);
+    }
+
+    /// Mutable flat parameter access (for the optimizer).
+    pub fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    pub(crate) fn layer_offsets(&self, l: usize) -> (usize, usize, usize) {
+        // returns (w_start, b_start, end)
+        let mut off = 0;
+        for i in 0..l {
+            off += self.dims[i] * self.dims[i + 1] + self.dims[i + 1];
+        }
+        let w = off;
+        let b = w + self.dims[l] * self.dims[l + 1];
+        (w, b, b + self.dims[l + 1])
+    }
+
+    pub(crate) fn weight(&self, l: usize) -> Matrix {
+        let (w, b, _) = self.layer_offsets(l);
+        Matrix::from_vec(self.dims[l], self.dims[l + 1], self.params[w..b].to_vec())
+    }
+
+    pub(crate) fn bias(&self, l: usize) -> &[f32] {
+        let (_, b, e) = self.layer_offsets(l);
+        &self.params[b..e]
+    }
+
+    /// Full forward pass; returns `(logits, cache)`.
+    ///
+    /// `train = true` enables dropout (consuming internal RNG state).
+    pub fn forward(&mut self, x: &Matrix, train: bool) -> (Matrix, MlpCache) {
+        let layers = self.num_layers();
+        let mut inputs = Vec::with_capacity(layers);
+        let mut hidden_out = Vec::with_capacity(layers.saturating_sub(1));
+        let mut dropout_masks = Vec::with_capacity(layers.saturating_sub(1));
+        let mut cur = x.clone();
+        for l in 0..layers {
+            inputs.push(cur.clone());
+            let mut z = matmul(&cur, &self.weight(l));
+            add_bias(&mut z, self.bias(l));
+            if l + 1 < layers {
+                relu_inplace(&mut z);
+                let mask = if train && self.dropout > 0.0 {
+                    let keep = 1.0 - self.dropout;
+                    let inv = 1.0 / keep;
+                    let mut mask = vec![0f32; z.rows() * z.cols()];
+                    for (m, v) in mask.iter_mut().zip(z.as_mut_slice()) {
+                        if self.rng.random::<f32>() < keep {
+                            *m = inv;
+                            *v *= inv;
+                        } else {
+                            *v = 0.0;
+                        }
+                    }
+                    Some(mask)
+                } else {
+                    None
+                };
+                dropout_masks.push(mask);
+                hidden_out.push(z.clone());
+            }
+            cur = z;
+        }
+        (
+            cur,
+            MlpCache {
+                inputs,
+                hidden_out,
+                dropout_masks,
+            },
+        )
+    }
+
+    /// Inference forward (no dropout, no RNG consumption).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let layers = self.num_layers();
+        let mut cur = x.clone();
+        for l in 0..layers {
+            let mut z = matmul(&cur, &self.weight(l));
+            add_bias(&mut z, self.bias(l));
+            if l + 1 < layers {
+                relu_inplace(&mut z);
+            }
+            cur = z;
+        }
+        cur
+    }
+
+    /// The penultimate representation for inference (input to final layer).
+    pub fn infer_hidden(&self, x: &Matrix) -> Matrix {
+        let layers = self.num_layers();
+        if layers == 1 {
+            return x.clone();
+        }
+        let mut cur = x.clone();
+        for l in 0..layers - 1 {
+            let mut z = matmul(&cur, &self.weight(l));
+            add_bias(&mut z, self.bias(l));
+            relu_inplace(&mut z);
+            cur = z;
+        }
+        cur
+    }
+
+    /// Exact backward pass.
+    ///
+    /// `d_logits` is the gradient at the final linear output;
+    /// `hidden_grad`, if given, is added to the gradient at the input of
+    /// the final layer. Returns `(flat parameter gradients, gradient
+    /// w.r.t. the batch input)`.
+    pub fn backward(
+        &self,
+        cache: &MlpCache,
+        d_logits: &Matrix,
+        hidden_grad: Option<&Matrix>,
+    ) -> (Vec<f32>, Matrix) {
+        let layers = self.num_layers();
+        let mut grads = vec![0f32; self.params.len()];
+        let mut d_out = d_logits.clone();
+        for l in (0..layers).rev() {
+            let x = &cache.inputs[l];
+            // dW = xᵀ · d_out ; db = col_sums(d_out) ; dx = d_out · Wᵀ
+            let dw = matmul_tn(x, &d_out);
+            let db = col_sums(&d_out);
+            let (ws, bs, be) = self.layer_offsets(l);
+            grads[ws..bs].copy_from_slice(dw.as_slice());
+            grads[bs..be].copy_from_slice(&db);
+            if l == 0 {
+                let dx = matmul_nt(&d_out, &self.weight(l));
+                return (grads, dx);
+            }
+            let mut dx = matmul_nt(&d_out, &self.weight(l));
+            if l == layers - 1 {
+                if let Some(hg) = hidden_grad {
+                    dx.axpy(1.0, hg);
+                }
+            }
+            // Backward through dropout then ReLU of hidden layer l-1.
+            if let Some(mask) = &cache.dropout_masks[l - 1] {
+                for (g, &m) in dx.as_mut_slice().iter_mut().zip(mask) {
+                    *g *= m;
+                }
+            }
+            relu_backward_inplace(&mut dx, &cache.hidden_out[l - 1]);
+            d_out = dx;
+        }
+        unreachable!("loop always returns at l == 0");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_ce;
+
+    #[test]
+    fn shapes_and_param_count() {
+        let mlp = Mlp::new(&[4, 8, 3], 0.0, 0);
+        assert_eq!(mlp.num_params(), 4 * 8 + 8 + 8 * 3 + 3);
+        let x = Matrix::zeros(5, 4);
+        let y = mlp.infer(&x);
+        assert_eq!(y.shape(), (5, 3));
+        assert_eq!(mlp.infer_hidden(&x).shape(), (5, 8));
+    }
+
+    #[test]
+    fn set_params_roundtrip() {
+        let mut mlp = Mlp::new(&[2, 3], 0.0, 1);
+        let p: Vec<f32> = (0..mlp.num_params()).map(|i| i as f32).collect();
+        mlp.set_params(&p);
+        assert_eq!(mlp.params(), &p[..]);
+    }
+
+    #[test]
+    fn gradient_check_two_layer() {
+        let mut mlp = Mlp::new(&[3, 5, 4], 0.0, 7);
+        let x = Matrix::from_vec(6, 3, (0..18).map(|i| ((i * 13 % 7) as f32 - 3.0) / 3.0).collect());
+        let labels: Vec<u32> = (0..6).map(|i| (i % 4) as u32).collect();
+        let rows: Vec<u32> = (0..6).collect();
+
+        let (logits, cache) = mlp.forward(&x, false);
+        let (_, d_logits) = softmax_ce(&logits, &labels, &rows);
+        let (grads, _) = mlp.backward(&cache, &d_logits, None);
+
+        let eps = 1e-2f32;
+        let n = mlp.num_params();
+        // Spot-check a spread of parameters.
+        for idx in (0..n).step_by(n / 17 + 1) {
+            let orig = mlp.params()[idx];
+            let mut p = mlp.params().to_vec();
+            p[idx] = orig + eps;
+            mlp.set_params(&p);
+            let (lp, _) = softmax_ce(&mlp.infer(&x), &labels, &rows);
+            p[idx] = orig - eps;
+            mlp.set_params(&p);
+            let (lm, _) = softmax_ce(&mlp.infer(&x), &labels, &rows);
+            p[idx] = orig;
+            mlp.set_params(&p);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grads[idx]).abs() < 2e-2,
+                "param {idx}: fd {fd} vs analytic {}",
+                grads[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_check() {
+        let mut mlp = Mlp::new(&[3, 4, 2], 0.0, 3);
+        let x = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.8, -0.7, 0.1, 0.3]);
+        let labels = vec![1u32, 0];
+        let rows = vec![0u32, 1];
+        let (logits, cache) = mlp.forward(&x, false);
+        let (_, d_logits) = softmax_ce(&logits, &labels, &rows);
+        let (_, dx) = mlp.backward(&cache, &d_logits, None);
+        let eps = 1e-2f32;
+        for i in 0..2 {
+            for j in 0..3 {
+                let mut xp = x.clone();
+                xp.set(i, j, xp.get(i, j) + eps);
+                let (lp, _) = softmax_ce(&mlp.infer(&xp), &labels, &rows);
+                let mut xm = x.clone();
+                xm.set(i, j, xm.get(i, j) - eps);
+                let (lm, _) = softmax_ce(&mlp.infer(&xm), &labels, &rows);
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - dx.get(i, j)).abs() < 1e-2,
+                    "input ({i},{j}): fd {fd} vs {}",
+                    dx.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hidden_grad_injection_check() {
+        // Loss = CE + 0.5 * sum(h²) where h is the penultimate rep;
+        // dL_extra/dh = h injected via hidden_grad.
+        let mut mlp = Mlp::new(&[2, 3, 2], 0.0, 11);
+        let x = Matrix::from_vec(2, 2, vec![0.4, -0.6, 0.9, 0.2]);
+        let labels = vec![0u32, 1];
+        let rows = vec![0u32, 1];
+        let loss_fn = |m: &mut Mlp| {
+            let h = m.infer_hidden(&x);
+            let (ce, _) = softmax_ce(&m.infer(&x), &labels, &rows);
+            ce + 0.5 * h.as_slice().iter().map(|v| v * v).sum::<f32>()
+        };
+        let (logits, cache) = mlp.forward(&x, false);
+        let (_, d_logits) = softmax_ce(&logits, &labels, &rows);
+        let hidden = cache.penultimate().clone();
+        let (grads, _) = mlp.backward(&cache, &d_logits, Some(&hidden));
+        let eps = 1e-2f32;
+        let n = mlp.num_params();
+        for idx in (0..n).step_by(3) {
+            let orig = mlp.params()[idx];
+            let mut p = mlp.params().to_vec();
+            p[idx] = orig + eps;
+            mlp.set_params(&p);
+            let lp = loss_fn(&mut mlp);
+            p[idx] = orig - eps;
+            mlp.set_params(&p);
+            let lm = loss_fn(&mut mlp);
+            p[idx] = orig;
+            mlp.set_params(&p);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grads[idx]).abs() < 5e-2,
+                "param {idx}: fd {fd} vs analytic {}",
+                grads[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn dropout_zeroes_and_rescales() {
+        let mut mlp = Mlp::new(&[2, 64, 2], 0.5, 5);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let (_, cache) = mlp.forward(&x, true);
+        let mask = cache.dropout_masks[0].as_ref().unwrap();
+        let zeros = mask.iter().filter(|&&m| m == 0.0).count();
+        let twos = mask.iter().filter(|&&m| (m - 2.0).abs() < 1e-6).count();
+        assert_eq!(zeros + twos, 64);
+        assert!(zeros > 8 && twos > 8, "zeros {zeros} twos {twos}");
+        // Inference ignores dropout.
+        let a = mlp.infer(&x);
+        let b = mlp.infer(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_layer_penultimate_is_input() {
+        let mut mlp = Mlp::new(&[3, 2], 0.0, 0);
+        let x = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let (_, cache) = mlp.forward(&x, false);
+        assert_eq!(cache.penultimate(), &x);
+        assert_eq!(mlp.infer_hidden(&x), x);
+    }
+}

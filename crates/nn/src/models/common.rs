@@ -1,0 +1,193 @@
+//! Shared data structures for graph models: the dataset view a model
+//! trains on and the hook bundle federated strategies use to inject
+//! auxiliary objectives.
+
+use crate::tensor::Matrix;
+use fedgta_graph::{normalized_adjacency, Csr, NormKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_DATASET_KEY: AtomicU64 = AtomicU64::new(1);
+
+/// A node-classification dataset over one graph (global or a client's
+/// local subgraph), with the two normalized adjacencies models need
+/// precomputed.
+#[derive(Debug, Clone)]
+pub struct GraphDataset {
+    /// Symmetric GCN normalization `D̂^{-1/2} Â D̂^{-1/2}`.
+    pub adj_norm: Csr,
+    /// Row-stochastic mean aggregation `D̂^{-1} Â` (GraphSAGE).
+    pub adj_mean: Csr,
+    /// Transpose of `adj_mean` (needed by SAGE backprop).
+    pub adj_mean_t: Csr,
+    /// Node features (`n × f`).
+    pub features: Matrix,
+    /// Node labels (`n`; ignored where masks exclude a node).
+    pub labels: Vec<u32>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Node ids with training labels.
+    pub train_nodes: Vec<u32>,
+    /// Node ids used for validation.
+    pub val_nodes: Vec<u32>,
+    /// Node ids used for testing.
+    pub test_nodes: Vec<u32>,
+    /// Weighted degrees of `Â = A + I` (the `D̂_ii` FedGTA's smoothing
+    /// confidence weights by).
+    pub degrees_hat: Vec<f32>,
+    /// Identity key for propagated-feature caches (unique per dataset
+    /// instance; cloning keeps the key because the contents are equal).
+    pub cache_key: u64,
+}
+
+impl GraphDataset {
+    /// Builds a dataset from a raw graph; computes both normalized
+    /// adjacencies.
+    pub fn new(
+        graph: &Csr,
+        features: Matrix,
+        labels: Vec<u32>,
+        num_classes: usize,
+        train_nodes: Vec<u32>,
+        val_nodes: Vec<u32>,
+        test_nodes: Vec<u32>,
+    ) -> Self {
+        assert_eq!(graph.num_nodes(), features.rows(), "feature row mismatch");
+        assert_eq!(graph.num_nodes(), labels.len(), "label length mismatch");
+        let adj_norm = normalized_adjacency(graph, NormKind::Symmetric);
+        let adj_mean = normalized_adjacency(graph, NormKind::RowStochastic);
+        let adj_mean_t = adj_mean.transpose();
+        let degrees_hat = graph.with_self_loops().weighted_degrees();
+        Self {
+            adj_norm,
+            adj_mean,
+            adj_mean_t,
+            features,
+            labels,
+            num_classes,
+            train_nodes,
+            val_nodes,
+            test_nodes,
+            degrees_hat,
+            cache_key: NEXT_DATASET_KEY.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Input feature dimension.
+    pub fn num_features(&self) -> usize {
+        self.features.cols()
+    }
+}
+
+/// FedGL-style soft pseudo-label supervision.
+#[derive(Debug, Clone)]
+pub struct PseudoLabels {
+    /// Soft targets per node (`n × |Y|`); rows outside `mask` are ignored.
+    pub targets: Matrix,
+    /// Which nodes carry a pseudo-label.
+    pub mask: Vec<bool>,
+    /// Loss weight λ.
+    pub weight: f32,
+}
+
+/// Auxiliary-objective hooks a federated strategy can inject into local
+/// training. All fields default to `None` ([`TrainHooks::none`]).
+#[derive(Default)]
+pub struct TrainHooks<'a> {
+    /// Applied to the flat gradient before each optimizer step:
+    /// `f(current_params, &mut grads)`. FedProx/Scaffold/FedDC plug in
+    /// here.
+    pub grad_hook: Option<&'a mut dyn FnMut(&[f32], &mut [f32])>,
+    /// Given `(batch_node_ids, penultimate_batch)`, returns an extra
+    /// gradient on the penultimate representation (same shape). MOON's
+    /// model-contrastive loss plugs in here.
+    pub hidden_hook: Option<&'a mut dyn FnMut(&[u32], &Matrix) -> Matrix>,
+    /// Soft pseudo-label supervision on unlabeled nodes (FedGL).
+    pub pseudo: Option<&'a PseudoLabels>,
+}
+
+impl<'a> TrainHooks<'a> {
+    /// No auxiliary objectives (plain local training).
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// Splits `nodes` into shuffled mini-batches of `batch_size`
+/// (`0` = single full batch). Returns owned batches.
+pub fn make_batches(
+    nodes: &[u32],
+    batch_size: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> Vec<Vec<u32>> {
+    use rand::seq::SliceRandom;
+    let mut order = nodes.to_vec();
+    order.shuffle(rng);
+    if batch_size == 0 || batch_size >= order.len() {
+        return vec![order];
+    }
+    order.chunks(batch_size).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedgta_graph::EdgeList;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> GraphDataset {
+        let mut el = EdgeList::new(4);
+        el.push_undirected(0, 1).unwrap();
+        el.push_undirected(2, 3).unwrap();
+        GraphDataset::new(
+            &el.to_csr(),
+            Matrix::zeros(4, 3),
+            vec![0, 0, 1, 1],
+            2,
+            vec![0, 2],
+            vec![1],
+            vec![3],
+        )
+    }
+
+    #[test]
+    fn dataset_builds_both_norms() {
+        let d = tiny();
+        assert_eq!(d.num_nodes(), 4);
+        assert_eq!(d.num_features(), 3);
+        // Row-stochastic rows sum to 1.
+        for u in 0..4u32 {
+            let s: f32 = d.adj_mean.neighbor_weights(u).unwrap().iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cache_keys_are_unique_per_construction() {
+        let a = tiny();
+        let b = tiny();
+        assert_ne!(a.cache_key, b.cache_key);
+        let c = a.clone();
+        assert_eq!(a.cache_key, c.cache_key);
+    }
+
+    #[test]
+    fn batches_cover_all_nodes() {
+        let nodes: Vec<u32> = (0..10).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches = make_batches(&nodes, 3, &mut rng);
+        assert_eq!(batches.len(), 4);
+        let mut all: Vec<u32> = batches.concat();
+        all.sort_unstable();
+        assert_eq!(all, nodes);
+        // Full-batch mode.
+        let full = make_batches(&nodes, 0, &mut rng);
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0].len(), 10);
+    }
+}

@@ -1,0 +1,263 @@
+//! GCN (Kipf & Welling 2017): coupled message passing with the symmetric
+//! normalization, `softmax(Â σ(Â X W₀) W₁)` for two layers (generalized to
+//! `L` layers).
+//!
+//! Parameters live in an internal [`Mlp`] used purely as flat storage;
+//! forward/backward interleave sparse propagation with the linear layers.
+//! Because `Â` is symmetric, the backward propagation reuses the same
+//! matrix (`Âᵀ = Â`).
+
+use super::common::{GraphDataset, TrainHooks};
+use super::GraphModel;
+use crate::loss::{soft_ce, softmax_ce};
+use crate::mlp::Mlp;
+use crate::models::ModelConfig;
+use crate::ops::{
+    add_bias, col_sums, matmul, matmul_nt, matmul_tn, relu_backward_inplace, relu_inplace,
+    softmax_rows, spmm_csr,
+};
+use crate::optim::Optimizer;
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A full-batch GCN.
+#[derive(Clone)]
+pub struct Gcn {
+    lin: Mlp,
+    dropout: f32,
+    rng: StdRng,
+}
+
+struct GcnCache {
+    /// Propagated input to each linear layer (`P_l = Â X_l`).
+    propagated: Vec<Matrix>,
+    /// Post-ReLU (and dropout) hidden outputs.
+    hidden_out: Vec<Matrix>,
+    /// Inverted-dropout masks for hidden layers.
+    dropout_masks: Vec<Option<Vec<f32>>>,
+}
+
+impl Gcn {
+    /// Builds an `L`-layer GCN (`cfg.layers`, min 2 recommended).
+    pub fn new(cfg: &ModelConfig, in_dim: usize, num_classes: usize) -> Self {
+        let mut dims = vec![in_dim];
+        for _ in 0..cfg.layers.saturating_sub(1) {
+            dims.push(cfg.hidden);
+        }
+        dims.push(num_classes);
+        Self {
+            lin: Mlp::new(&dims, 0.0, cfg.seed),
+            dropout: cfg.dropout,
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xda94_2042_e4dd_58b5),
+        }
+    }
+
+    fn forward(&mut self, data: &GraphDataset, train: bool) -> (Matrix, GcnCache) {
+        let layers = self.lin.num_layers();
+        let mut propagated = Vec::with_capacity(layers);
+        let mut hidden_out = Vec::with_capacity(layers - 1);
+        let mut dropout_masks = Vec::with_capacity(layers - 1);
+        let mut cur = data.features.clone();
+        for l in 0..layers {
+            let p = spmm_csr(&data.adj_norm, &cur);
+            let mut z = matmul(&p, &self.lin.weight(l));
+            add_bias(&mut z, self.lin.bias(l));
+            propagated.push(p);
+            if l + 1 < layers {
+                relu_inplace(&mut z);
+                let mask = if train && self.dropout > 0.0 {
+                    let keep = 1.0 - self.dropout;
+                    let inv = 1.0 / keep;
+                    let mut mask = vec![0f32; z.rows() * z.cols()];
+                    for (m, v) in mask.iter_mut().zip(z.as_mut_slice()) {
+                        if self.rng.random::<f32>() < keep {
+                            *m = inv;
+                            *v *= inv;
+                        } else {
+                            *v = 0.0;
+                        }
+                    }
+                    Some(mask)
+                } else {
+                    None
+                };
+                dropout_masks.push(mask);
+                hidden_out.push(z.clone());
+            }
+            cur = z;
+        }
+        (
+            cur,
+            GcnCache {
+                propagated,
+                hidden_out,
+                dropout_masks,
+            },
+        )
+    }
+
+    fn backward(
+        &self,
+        data: &GraphDataset,
+        cache: &GcnCache,
+        d_logits: &Matrix,
+        hidden_grad: Option<&Matrix>,
+    ) -> Vec<f32> {
+        let layers = self.lin.num_layers();
+        let mut grads = vec![0f32; self.lin.num_params()];
+        let mut d_out = d_logits.clone();
+        for l in (0..layers).rev() {
+            let p = &cache.propagated[l];
+            let dw = matmul_tn(p, &d_out);
+            let db = col_sums(&d_out);
+            let (ws, bs, be) = self.lin.layer_offsets(l);
+            grads[ws..bs].copy_from_slice(dw.as_slice());
+            grads[bs..be].copy_from_slice(&db);
+            let mut dp = matmul_nt(&d_out, &self.lin.weight(l));
+            if l == layers - 1 {
+                if let Some(hg) = hidden_grad {
+                    dp.axpy(1.0, hg);
+                }
+            }
+            if l == 0 {
+                break;
+            }
+            // dX_l = Âᵀ dP = Â dP (symmetric normalization).
+            let mut dx = spmm_csr(&data.adj_norm, &dp);
+            if let Some(mask) = &cache.dropout_masks[l - 1] {
+                for (g, &m) in dx.as_mut_slice().iter_mut().zip(mask) {
+                    *g *= m;
+                }
+            }
+            relu_backward_inplace(&mut dx, &cache.hidden_out[l - 1]);
+            d_out = dx;
+        }
+        grads
+    }
+}
+
+impl GraphModel for Gcn {
+    fn num_params(&self) -> usize {
+        self.lin.num_params()
+    }
+
+    fn params(&self) -> Vec<f32> {
+        self.lin.params().to_vec()
+    }
+
+    fn set_params(&mut self, p: &[f32]) {
+        self.lin.set_params(p);
+    }
+
+    fn train_epoch(
+        &mut self,
+        data: &GraphDataset,
+        opt: &mut dyn Optimizer,
+        hooks: &mut TrainHooks<'_>,
+    ) -> f32 {
+        let (logits, cache) = self.forward(data, true);
+        let (loss, mut d_logits) = softmax_ce(&logits, &data.labels, &data.train_nodes);
+        if let Some(pl) = hooks.pseudo.as_ref() {
+            let rows: Vec<u32> = (0..data.num_nodes() as u32)
+                .filter(|&i| pl.mask[i as usize])
+                .collect();
+            if !rows.is_empty() {
+                let (_, d_extra) = soft_ce(&logits, &pl.targets, &rows, pl.weight);
+                d_logits.axpy(1.0, &d_extra);
+            }
+        }
+        let all_nodes: Vec<u32> = (0..data.num_nodes() as u32).collect();
+        let hidden_grad = hooks
+            .hidden_hook
+            .as_mut()
+            .map(|h| h(&all_nodes, cache.propagated.last().expect("≥1 layer")));
+        let mut grads = self.backward(data, &cache, &d_logits, hidden_grad.as_ref());
+        if let Some(gh) = hooks.grad_hook.as_mut() {
+            gh(self.lin.params(), &mut grads);
+        }
+        opt.step(self.lin.params_mut(), &grads);
+        loss
+    }
+
+    fn predict(&mut self, data: &GraphDataset) -> Matrix {
+        let (logits, _) = self.forward(data, false);
+        softmax_rows(&logits)
+    }
+
+    fn penultimate(&mut self, data: &GraphDataset) -> Matrix {
+        let (_, cache) = self.forward(data, false);
+        cache.propagated.last().expect("≥1 layer").clone()
+    }
+
+    fn clone_box(&self) -> Box<dyn GraphModel> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use crate::models::decoupled::tests::toy_dataset;
+    use crate::models::ModelKind;
+    use crate::optim::Adam;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig {
+            kind: ModelKind::Gcn,
+            hidden: 16,
+            layers: 2,
+            ..ModelConfig::default()
+        }
+    }
+
+    #[test]
+    fn gcn_learns_the_toy_task() {
+        let data = toy_dataset(10);
+        let mut m = Gcn::new(&cfg(), data.num_features(), 2);
+        let mut opt = Adam::new(0.05, 0.0);
+        for _ in 0..60 {
+            m.train_epoch(&data, &mut opt, &mut TrainHooks::none());
+        }
+        let acc = accuracy(&m.predict(&data), &data.labels, &data.test_nodes);
+        assert!(acc > 0.9, "acc = {acc}");
+    }
+
+    #[test]
+    fn gcn_gradient_matches_finite_differences() {
+        let data = toy_dataset(11);
+        let mut m = Gcn::new(&cfg(), data.num_features(), 2);
+        let (logits, cache) = m.forward(&data, false);
+        let (_, d_logits) = softmax_ce(&logits, &data.labels, &data.train_nodes);
+        let grads = m.backward(&data, &cache, &d_logits, None);
+        let eps = 1e-2f32;
+        let n = m.num_params();
+        for idx in (0..n).step_by(n / 13 + 1) {
+            let mut p = m.params();
+            let orig = p[idx];
+            p[idx] = orig + eps;
+            m.set_params(&p);
+            let (lp, _) = softmax_ce(&m.forward(&data, false).0, &data.labels, &data.train_nodes);
+            p[idx] = orig - eps;
+            m.set_params(&p);
+            let (lm, _) = softmax_ce(&m.forward(&data, false).0, &data.labels, &data.train_nodes);
+            p[idx] = orig;
+            m.set_params(&p);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grads[idx]).abs() < 2e-2,
+                "param {idx}: fd {fd} vs {}",
+                grads[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn penultimate_shape_is_hidden_width() {
+        let data = toy_dataset(12);
+        let mut m = Gcn::new(&cfg(), data.num_features(), 2);
+        let h = m.penultimate(&data);
+        assert_eq!(h.shape(), (data.num_nodes(), 16));
+    }
+}

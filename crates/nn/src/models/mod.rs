@@ -1,0 +1,169 @@
+//! The paper's seven GNN backbones behind one [`GraphModel`] trait.
+//!
+//! | Model | Kind | Architecture |
+//! |-------|------|--------------|
+//! | GCN | coupled | `softmax(Â σ(Â X W₀) W₁)` |
+//! | GraphSAGE | coupled | mean aggregator `σ([H ‖ ĀH] W)` per layer |
+//! | SGC | decoupled | linear on `Âᵏ X` |
+//! | SIGN | decoupled | MLP on `[X ‖ ÂX ‖ … ‖ Âᵏ X]` |
+//! | S²GC | decoupled | MLP on `(1/(k+1)) Σ Âˡ X` |
+//! | GBP | decoupled | MLP on `Σ β(1−β)ˡ Âˡ X` |
+//! | GAMLP | decoupled | MLP on a learned softmax gate over hop features |
+//!
+//! Decoupled models precompute propagated features once per dataset
+//! (cached by the dataset's identity key) — the scalability property the
+//! paper's Table 1 relies on.
+
+pub mod common;
+pub mod decoupled;
+pub mod gamlp;
+pub mod gcn;
+pub mod precompute;
+pub mod sage;
+
+pub use common::{GraphDataset, PseudoLabels, TrainHooks};
+pub use decoupled::DecoupledModel;
+pub use gamlp::Gamlp;
+pub use gcn::Gcn;
+pub use precompute::PrecomputeKind;
+pub use sage::Sage;
+
+use crate::optim::Optimizer;
+use crate::tensor::Matrix;
+
+/// A trainable node-classification model over a [`GraphDataset`].
+///
+/// All parameters live in one flat `f32` buffer so federated strategies
+/// can aggregate models as opaque vectors. `predict`/`penultimate` take
+/// `&mut self` because decoupled models lazily cache propagated features
+/// per dataset.
+pub trait GraphModel: Send {
+    /// Total parameter count.
+    fn num_params(&self) -> usize;
+    /// Snapshot of the flat parameter buffer.
+    fn params(&self) -> Vec<f32>;
+    /// Replaces all parameters (length must match [`Self::num_params`]).
+    fn set_params(&mut self, p: &[f32]);
+    /// Runs one local training epoch; returns the mean supervised loss.
+    fn train_epoch(
+        &mut self,
+        data: &GraphDataset,
+        opt: &mut dyn Optimizer,
+        hooks: &mut TrainHooks<'_>,
+    ) -> f32;
+    /// Softmax class probabilities for every node (`n × |Y|`).
+    fn predict(&mut self, data: &GraphDataset) -> Matrix;
+    /// The penultimate representation for every node (MOON's contrastive
+    /// anchor).
+    fn penultimate(&mut self, data: &GraphDataset) -> Matrix;
+    /// Clones into a boxed trait object.
+    fn clone_box(&self) -> Box<dyn GraphModel>;
+}
+
+impl Clone for Box<dyn GraphModel> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Which backbone to construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Graph convolutional network (coupled).
+    Gcn,
+    /// GraphSAGE with full-neighborhood mean aggregation (coupled).
+    Sage,
+    /// Simple graph convolution (decoupled, linear head).
+    Sgc,
+    /// Scalable inception GNN (decoupled, concatenated hops).
+    Sign,
+    /// Simple spectral graph convolution (decoupled, averaged hops).
+    S2gc,
+    /// Graph neural network via bidirectional propagation (decoupled,
+    /// β-weighted hops).
+    Gbp,
+    /// Graph attention MLP (decoupled, learned hop gate).
+    Gamlp,
+}
+
+impl ModelKind {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Gcn => "GCN",
+            ModelKind::Sage => "SAGE",
+            ModelKind::Sgc => "SGC",
+            ModelKind::Sign => "SIGN",
+            ModelKind::S2gc => "S2GC",
+            ModelKind::Gbp => "GBP",
+            ModelKind::Gamlp => "GAMLP",
+        }
+    }
+
+    /// All seven backbones.
+    pub fn all() -> [ModelKind; 7] {
+        [
+            ModelKind::Gcn,
+            ModelKind::Sage,
+            ModelKind::Sgc,
+            ModelKind::Sign,
+            ModelKind::S2gc,
+            ModelKind::Gbp,
+            ModelKind::Gamlp,
+        ]
+    }
+}
+
+/// Hyperparameters shared by all backbones.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Which backbone.
+    pub kind: ModelKind,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Number of linear layers in the head (decoupled) or of graph
+    /// convolutions (coupled).
+    pub layers: usize,
+    /// Feature-propagation steps `k` for decoupled models.
+    pub k: usize,
+    /// Dropout probability on hidden activations.
+    pub dropout: f32,
+    /// Mini-batch size for decoupled heads (`0` = full batch).
+    pub batch_size: usize,
+    /// GBP's β.
+    pub beta: f32,
+    /// GraphSAGE: neighbors sampled per node per training epoch
+    /// (`0` = full-neighborhood mean aggregation).
+    pub sample_neighbors: usize,
+    /// Parameter-init / batching seed.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            kind: ModelKind::Sgc,
+            hidden: 64,
+            layers: 2,
+            k: 3,
+            dropout: 0.0,
+            batch_size: 256,
+            beta: 0.5,
+            sample_neighbors: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// Builds a boxed model for `in_dim` input features and `num_classes`
+/// output classes.
+pub fn build_model(cfg: &ModelConfig, in_dim: usize, num_classes: usize) -> Box<dyn GraphModel> {
+    match cfg.kind {
+        ModelKind::Gcn => Box::new(Gcn::new(cfg, in_dim, num_classes)),
+        ModelKind::Sage => Box::new(Sage::new(cfg, in_dim, num_classes)),
+        ModelKind::Sgc | ModelKind::Sign | ModelKind::S2gc | ModelKind::Gbp => {
+            Box::new(DecoupledModel::new(cfg, in_dim, num_classes))
+        }
+        ModelKind::Gamlp => Box::new(Gamlp::new(cfg, in_dim, num_classes)),
+    }
+}

@@ -1,0 +1,153 @@
+//! Propagated-feature pipelines for the decoupled backbones (paper §2.2).
+//!
+//! All pipelines share the hop sequence `X⁽⁰⁾ … X⁽ᵏ⁾` with
+//! `X⁽ˡ⁾ = Ãˡ X` under the symmetric normalization; they differ only in
+//! how hops are combined:
+//!
+//! - **SGC**: take the last hop `X⁽ᵏ⁾`;
+//! - **SIGN**: concatenate all hops;
+//! - **S²GC**: average all hops;
+//! - **GBP**: weighted average with `wₗ = β(1−β)ˡ`.
+
+use crate::tensor::Matrix;
+use fedgta_graph::spmm::propagate_steps;
+use fedgta_graph::Csr;
+
+/// How hop features are combined into the model input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrecomputeKind {
+    /// `X⁽ᵏ⁾` (SGC).
+    Sgc,
+    /// `[X⁽⁰⁾ ‖ … ‖ X⁽ᵏ⁾]` (SIGN).
+    Sign,
+    /// `(1/(k+1)) Σ X⁽ˡ⁾` (S²GC).
+    S2gc,
+    /// `Σ β(1−β)ˡ X⁽ˡ⁾` (GBP).
+    Gbp {
+        /// Decay coefficient β ∈ (0, 1].
+        beta: f32,
+    },
+}
+
+impl PrecomputeKind {
+    /// The input dimension the combined features have for `f` raw features
+    /// and `k` hops.
+    pub fn out_dim(self, f: usize, k: usize) -> usize {
+        match self {
+            PrecomputeKind::Sign => f * (k + 1),
+            _ => f,
+        }
+    }
+}
+
+/// Computes all hop features `[X⁽⁰⁾, …, X⁽ᵏ⁾]` under `adj_norm`.
+pub fn hop_features(adj_norm: &Csr, features: &Matrix, k: usize) -> Vec<Matrix> {
+    let steps = propagate_steps(adj_norm, features.as_slice(), features.cols(), k)
+        .expect("adjacency and features share the node count");
+    steps
+        .into_iter()
+        .map(|s| Matrix::from_vec(features.rows(), features.cols(), s))
+        .collect()
+}
+
+/// Combines hop features per `kind` into the model input matrix.
+pub fn combine(kind: PrecomputeKind, hops: &[Matrix]) -> Matrix {
+    let k = hops.len() - 1;
+    match kind {
+        PrecomputeKind::Sgc => hops[k].clone(),
+        PrecomputeKind::Sign => {
+            let mut out = hops[0].clone();
+            for h in &hops[1..] {
+                out = out.hcat(h);
+            }
+            out
+        }
+        PrecomputeKind::S2gc => {
+            let mut out = hops[0].clone();
+            for h in &hops[1..] {
+                out.axpy(1.0, h);
+            }
+            out.scale(1.0 / (k as f32 + 1.0));
+            out
+        }
+        PrecomputeKind::Gbp { beta } => {
+            let mut out = hops[0].clone();
+            out.scale(beta);
+            let mut w = beta;
+            for h in &hops[1..] {
+                w *= 1.0 - beta;
+                out.axpy(w, h);
+            }
+            out
+        }
+    }
+}
+
+/// One-shot helper: propagate and combine.
+pub fn precompute(kind: PrecomputeKind, adj_norm: &Csr, features: &Matrix, k: usize) -> Matrix {
+    combine(kind, &hop_features(adj_norm, features, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedgta_graph::{normalized_adjacency, EdgeList, NormKind};
+
+    fn setup() -> (Csr, Matrix) {
+        let mut el = EdgeList::new(3);
+        el.push_undirected(0, 1).unwrap();
+        el.push_undirected(1, 2).unwrap();
+        let a = normalized_adjacency(&el.to_csr(), NormKind::Symmetric);
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        (a, x)
+    }
+
+    #[test]
+    fn hop_zero_is_input() {
+        let (a, x) = setup();
+        let hops = hop_features(&a, &x, 2);
+        assert_eq!(hops.len(), 3);
+        assert_eq!(hops[0], x);
+    }
+
+    #[test]
+    fn sgc_takes_last_hop() {
+        let (a, x) = setup();
+        let hops = hop_features(&a, &x, 2);
+        assert_eq!(combine(PrecomputeKind::Sgc, &hops), hops[2]);
+    }
+
+    #[test]
+    fn sign_concatenates_dims() {
+        let (a, x) = setup();
+        let p = precompute(PrecomputeKind::Sign, &a, &x, 2);
+        assert_eq!(p.shape(), (3, 6));
+        assert_eq!(PrecomputeKind::Sign.out_dim(2, 2), 6);
+    }
+
+    #[test]
+    fn s2gc_is_hop_mean() {
+        let (a, x) = setup();
+        let hops = hop_features(&a, &x, 2);
+        let p = combine(PrecomputeKind::S2gc, &hops);
+        let expect = (hops[0].get(1, 1) + hops[1].get(1, 1) + hops[2].get(1, 1)) / 3.0;
+        assert!((p.get(1, 1) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gbp_weights_decay_geometrically() {
+        let (a, x) = setup();
+        let hops = hop_features(&a, &x, 2);
+        let beta = 0.5f32;
+        let p = combine(PrecomputeKind::Gbp { beta }, &hops);
+        let expect = 0.5 * hops[0].get(0, 0) + 0.25 * hops[1].get(0, 0) + 0.125 * hops[2].get(0, 0);
+        assert!((p.get(0, 0) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beta_one_reduces_gbp_to_raw_features() {
+        let (a, x) = setup();
+        let p = precompute(PrecomputeKind::Gbp { beta: 1.0 }, &a, &x, 3);
+        assert_eq!(p, x);
+    }
+}

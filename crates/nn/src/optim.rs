@@ -1,0 +1,197 @@
+//! Optimizers over flat parameter buffers.
+//!
+//! Models in this crate keep every parameter in one contiguous `Vec<f32>`,
+//! so optimizers are simple elementwise loops — and federated strategies
+//! can treat a model as an opaque flat vector.
+
+/// A first-order optimizer stepping a flat parameter buffer.
+pub trait Optimizer: Send {
+    /// Applies one update: `params -= f(grads)`.
+    fn step(&mut self, params: &mut [f32], grads: &[f32]);
+    /// Clears internal state (momentum/moment estimates). Called when the
+    /// server replaces a client's parameters wholesale.
+    fn reset(&mut self);
+    /// The configured learning rate.
+    fn learning_rate(&self) -> f32;
+}
+
+/// SGD with optional momentum and weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate η.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    /// L2 weight decay added to the gradient.
+    pub weight_decay: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        if self.momentum == 0.0 {
+            for (p, &g) in params.iter_mut().zip(grads) {
+                *p -= self.lr * (g + self.weight_decay * *p);
+            }
+            return;
+        }
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            let g = g + self.weight_decay * *p;
+            *v = self.momentum * *v + g;
+            *p -= self.lr * *v;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with decoupled-ish L2 (added to the gradient,
+/// as in the original paper).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate η.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Numerical-stability ε.
+    pub eps: f32,
+    /// L2 weight decay added to the gradient.
+    pub weight_decay: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard betas.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i] + self.weight_decay * params[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizing f(x) = x² with gradient 2x should converge toward 0.
+    fn run<O: Optimizer>(opt: &mut O, steps: usize) -> f32 {
+        let mut p = vec![5.0f32];
+        for _ in 0..steps {
+            let g = vec![2.0 * p[0]];
+            opt.step(&mut p, &g);
+        }
+        p[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut o = Sgd::new(0.1, 0.0, 0.0);
+        assert!(run(&mut o, 100).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut o = Sgd::new(0.05, 0.9, 0.0);
+        assert!(run(&mut o, 200).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut o = Adam::new(0.2, 0.0);
+        assert!(run(&mut o, 300).abs() < 1e-2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_without_gradient() {
+        let mut o = Sgd::new(0.1, 0.0, 0.5);
+        let mut p = vec![1.0f32];
+        o.step(&mut p, &[0.0]);
+        assert!((p[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_clears_momentum() {
+        let mut o = Sgd::new(0.1, 0.9, 0.0);
+        let mut p = vec![1.0f32];
+        o.step(&mut p, &[1.0]);
+        o.reset();
+        let before = p[0];
+        o.step(&mut p, &[0.0]);
+        // No velocity carry-over: zero grad means no movement.
+        assert_eq!(p[0], before);
+    }
+
+    #[test]
+    fn adam_state_resizes_with_param_length() {
+        let mut o = Adam::new(0.1, 0.0);
+        let mut p = vec![1.0f32; 2];
+        o.step(&mut p, &[0.1, 0.1]);
+        let mut q = vec![1.0f32; 3];
+        o.step(&mut q, &[0.1, 0.1, 0.1]); // must not panic
+    }
+}

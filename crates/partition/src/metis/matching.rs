@@ -1,0 +1,153 @@
+//! Coarsening by heavy-edge matching.
+//!
+//! Nodes are visited in random order; each unmatched node matches the
+//! unmatched neighbor connected by the heaviest edge (ties → lowest id).
+//! Matched pairs collapse into one super-node; unmatched nodes carry over.
+
+use super::WorkGraph;
+use fedgta_graph::EdgeList;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// One level of coarsening. Returns the coarse graph and the
+/// fine-node → coarse-node map.
+pub(crate) fn coarsen(fine: &WorkGraph, rng: &mut StdRng) -> (WorkGraph, Vec<u32>) {
+    let n = fine.graph.num_nodes();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    for &u in &order {
+        if mate[u as usize] != UNMATCHED {
+            continue;
+        }
+        let mut best: Option<(f32, u32)> = None;
+        for (k, &v) in fine.graph.neighbors(u).iter().enumerate() {
+            if v == u || mate[v as usize] != UNMATCHED {
+                continue;
+            }
+            let w = fine.graph.edge_weight_at(u, k);
+            let better = match best {
+                None => true,
+                Some((bw, bv)) => w > bw || (w == bw && v < bv),
+            };
+            if better {
+                best = Some((w, v));
+            }
+        }
+        match best {
+            Some((_, v)) => {
+                mate[u as usize] = v;
+                mate[v as usize] = u;
+            }
+            None => mate[u as usize] = u, // matched with itself
+        }
+    }
+
+    // Assign coarse ids: the smaller endpoint of each pair owns the id.
+    let mut map = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for u in 0..n as u32 {
+        if map[u as usize] != u32::MAX {
+            continue;
+        }
+        let m = mate[u as usize];
+        map[u as usize] = next;
+        if m != u && m != u32::MAX {
+            map[m as usize] = next;
+        }
+        next += 1;
+    }
+
+    // Build the coarse graph: merge parallel edges, drop self-loops
+    // (intra-super-node weight does not affect the cut).
+    let coarse_n = next as usize;
+    let mut vwgt = vec![0f64; coarse_n];
+    for u in 0..n {
+        vwgt[map[u] as usize] += fine.vwgt[u];
+    }
+    let mut el = EdgeList::new(coarse_n);
+    for u in 0..n as u32 {
+        let cu = map[u as usize];
+        for (k, &v) in fine.graph.neighbors(u).iter().enumerate() {
+            let cv = map[v as usize];
+            if cu != cv {
+                let w = fine.graph.edge_weight_at(u, k);
+                el.push_weighted(cu, cv, w).expect("coarse ids in range");
+            }
+        }
+    }
+    (
+        WorkGraph {
+            graph: el.to_csr(),
+            vwgt,
+        },
+        map,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedgta_graph::Csr;
+    use rand::SeedableRng;
+
+    fn wg(g: Csr) -> WorkGraph {
+        let n = g.num_nodes();
+        WorkGraph {
+            graph: g,
+            vwgt: vec![1.0; n],
+        }
+    }
+
+    #[test]
+    fn matching_halves_a_path() {
+        let mut el = EdgeList::new(8);
+        for i in 1..8u32 {
+            el.push_undirected(i - 1, i).unwrap();
+        }
+        let fine = wg(el.to_csr());
+        let mut rng = StdRng::seed_from_u64(0);
+        let (coarse, map) = coarsen(&fine, &mut rng);
+        assert!(coarse.graph.num_nodes() <= 6); // at least some pairs merged
+        assert_eq!(map.len(), 8);
+        // Node weights conserve total mass.
+        let total: f64 = coarse.vwgt.iter().sum();
+        assert_eq!(total, 8.0);
+    }
+
+    #[test]
+    fn heavy_edges_matched_first() {
+        // Heavy pairs 0-1 and 2-3, light bridge 1-2: any visit order must
+        // match the heavy pairs.
+        let mut el = EdgeList::new(4);
+        el.push_weighted(0, 1, 10.0).unwrap();
+        el.push_weighted(1, 0, 10.0).unwrap();
+        el.push_weighted(2, 3, 10.0).unwrap();
+        el.push_weighted(3, 2, 10.0).unwrap();
+        el.push_undirected(1, 2).unwrap();
+        let fine = wg(el.to_csr());
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (_, map) = coarsen(&fine, &mut rng);
+            assert_eq!(map[0], map[1], "seed {seed}");
+            assert_eq!(map[2], map[3], "seed {seed}");
+            assert_ne!(map[0], map[2], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn coarse_graph_has_no_self_loops() {
+        let mut el = EdgeList::new(4);
+        el.push_undirected(0, 1).unwrap();
+        el.push_undirected(2, 3).unwrap();
+        el.push_undirected(1, 2).unwrap();
+        let fine = wg(el.to_csr());
+        let mut rng = StdRng::seed_from_u64(1);
+        let (coarse, _) = coarsen(&fine, &mut rng);
+        for u in 0..coarse.graph.num_nodes() as u32 {
+            assert!(!coarse.graph.has_edge(u, u));
+        }
+    }
+}

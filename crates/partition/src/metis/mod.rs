@@ -1,0 +1,207 @@
+//! Metis-style multilevel k-way graph partitioning, from scratch.
+//!
+//! The three classic phases (Karypis & Kumar 1998):
+//!
+//! 1. **Coarsening** ([`matching`]) — heavy-edge matching collapses matched
+//!    node pairs into super-nodes until the graph is small;
+//! 2. **Initial partitioning** ([`initial`]) — a BFS-ordered contiguous
+//!    chunking of the coarsest graph into `k` weight-balanced parts;
+//! 3. **Uncoarsening + refinement** ([`refine`]) — the partition is
+//!    projected back level by level, with greedy boundary moves (the FM
+//!    gain rule) reducing edge cut under a balance constraint.
+
+pub mod initial;
+pub mod matching;
+pub mod refine;
+
+use crate::{Partition, PartitionError};
+use fedgta_graph::Csr;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for the multilevel k-way partitioner.
+#[derive(Debug, Clone)]
+pub struct MetisConfig {
+    /// RNG seed (matching order, initial seeds).
+    pub seed: u64,
+    /// Stop coarsening when the graph has at most `coarsen_factor * k`
+    /// nodes.
+    pub coarsen_factor: usize,
+    /// Allowed part weight over the perfect balance (`1.05` = 5% slack).
+    pub imbalance: f64,
+    /// Refinement passes per uncoarsening level.
+    pub refine_passes: usize,
+}
+
+impl Default for MetisConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            coarsen_factor: 30,
+            imbalance: 1.05,
+            refine_passes: 8,
+        }
+    }
+}
+
+/// A graph level in the multilevel hierarchy: weighted adjacency plus node
+/// weights (number of original nodes collapsed into each super-node).
+#[derive(Debug, Clone)]
+pub(crate) struct WorkGraph {
+    pub graph: Csr,
+    pub vwgt: Vec<f64>,
+}
+
+impl WorkGraph {
+    fn from_input(g: &Csr) -> Self {
+        WorkGraph {
+            graph: g.clone(),
+            vwgt: vec![1.0; g.num_nodes()],
+        }
+    }
+}
+
+/// Partitions an undirected (symmetric CSR) graph into `k` balanced parts.
+pub fn metis_kway(g: &Csr, k: usize, config: &MetisConfig) -> Result<Partition, PartitionError> {
+    if k == 0 {
+        return Err(PartitionError::ZeroParts);
+    }
+    let n = g.num_nodes();
+    if k > n {
+        return Err(PartitionError::TooManyParts { parts: k, nodes: n });
+    }
+    if k == 1 {
+        return Ok(Partition::new(vec![0; n]));
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Phase 1: coarsen.
+    let mut levels: Vec<WorkGraph> = vec![WorkGraph::from_input(g)];
+    let mut maps: Vec<Vec<u32>> = Vec::new(); // fine node -> coarse node per level
+    let target = (config.coarsen_factor * k).max(64);
+    loop {
+        let cur = levels.last().unwrap();
+        if cur.graph.num_nodes() <= target {
+            break;
+        }
+        let (coarse, map) = matching::coarsen(cur, &mut rng);
+        // Diminishing returns: stop if we shrank by < 10%.
+        if coarse.graph.num_nodes() as f64 > 0.9 * cur.graph.num_nodes() as f64 {
+            break;
+        }
+        maps.push(map);
+        levels.push(coarse);
+    }
+
+    // Phase 2: initial partition of the coarsest graph.
+    let coarsest = levels.last().unwrap();
+    let mut parts = initial::grow_initial(coarsest, k, &mut rng);
+    refine::refine(coarsest, &mut parts, k, config, &mut rng);
+
+    // Phase 3: uncoarsen and refine.
+    for lvl in (0..maps.len()).rev() {
+        let fine = &levels[lvl];
+        let map = &maps[lvl];
+        let mut fine_parts = vec![0u32; fine.graph.num_nodes()];
+        for (v, &cv) in map.iter().enumerate() {
+            fine_parts[v] = parts[cv as usize];
+        }
+        parts = fine_parts;
+        refine::refine(fine, &mut parts, k, config, &mut rng);
+    }
+    Ok(Partition::new(parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedgta_graph::EdgeList;
+    use rand::Rng;
+
+    /// Random connected graph: a path plus random chords.
+    fn random_graph(n: usize, extra: usize, seed: u64) -> Csr {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut el = EdgeList::new(n);
+        for i in 1..n {
+            el.push_undirected(i as u32 - 1, i as u32).unwrap();
+        }
+        for _ in 0..extra {
+            let u = rng.random_range(0..n as u32);
+            let v = rng.random_range(0..n as u32);
+            if u != v {
+                el.push_undirected(u, v).unwrap();
+            }
+        }
+        el.to_csr()
+    }
+
+    #[test]
+    fn produces_k_nonempty_balanced_parts() {
+        let g = random_graph(500, 1000, 7);
+        for &k in &[2usize, 4, 10] {
+            let p = metis_kway(&g, k, &MetisConfig::default()).unwrap();
+            assert_eq!(p.num_parts, k);
+            let sizes = p.sizes();
+            let ideal = 500.0 / k as f64;
+            for (i, &s) in sizes.iter().enumerate() {
+                assert!(s > 0, "part {i} empty for k={k}");
+                assert!(
+                    (s as f64) <= ideal * 1.30,
+                    "part {i} size {s} too large for k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cut_beats_random_assignment() {
+        let g = random_graph(400, 400, 3);
+        let k = 8;
+        let p = metis_kway(&g, k, &MetisConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let random = Partition::new((0..400).map(|_| rng.random_range(0..k as u32)).collect());
+        assert!(
+            p.edge_cut(&g) < random.edge_cut(&g),
+            "metis cut {} not better than random {}",
+            p.edge_cut(&g),
+            random.edge_cut(&g)
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_requests() {
+        let g = random_graph(10, 0, 0);
+        assert!(matches!(metis_kway(&g, 0, &MetisConfig::default()), Err(PartitionError::ZeroParts)));
+        assert!(matches!(
+            metis_kway(&g, 11, &MetisConfig::default()),
+            Err(PartitionError::TooManyParts { .. })
+        ));
+        let one = metis_kway(&g, 1, &MetisConfig::default()).unwrap();
+        assert_eq!(one.num_parts, 1);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = random_graph(300, 500, 5);
+        let a = metis_kway(&g, 6, &MetisConfig::default()).unwrap();
+        let b = metis_kway(&g, 6, &MetisConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn two_cliques_split_cleanly() {
+        // Two 20-cliques with a single bridge: the 2-way cut should be 1.
+        let mut el = EdgeList::new(40);
+        for b in 0..2 {
+            for i in 0..20usize {
+                for j in (i + 1)..20 {
+                    el.push_undirected((b * 20 + i) as u32, (b * 20 + j) as u32).unwrap();
+                }
+            }
+        }
+        el.push_undirected(0, 20).unwrap();
+        let g = el.to_csr();
+        let p = metis_kway(&g, 2, &MetisConfig::default()).unwrap();
+        assert_eq!(p.edge_cut(&g), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Greedy boundary refinement (the Fiduccia–Mattheyses gain rule applied
+//! k-way): move boundary nodes to the adjacent part with the largest
+//! cut-gain, subject to a weight-balance constraint.
+//!
+//! Pure positive-gain greedy stalls on zero-gain plateaus (e.g. an
+//! alternating assignment of a clique is perfectly balanced and every move
+//! has gain 0). We therefore allow seeded random zero-gain moves to break
+//! plateaus, and keep the best assignment seen across passes so the result
+//! never regresses.
+
+use super::{MetisConfig, WorkGraph};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Refines `parts` in place for up to `config.refine_passes` sweeps.
+pub(crate) fn refine(
+    wg: &WorkGraph,
+    parts: &mut Vec<u32>,
+    k: usize,
+    config: &MetisConfig,
+    rng: &mut StdRng,
+) {
+    let n = wg.graph.num_nodes();
+    debug_assert_eq!(parts.len(), n);
+    let total: f64 = wg.vwgt.iter().sum();
+    let ideal = total / k as f64;
+    let max_vwgt = wg.vwgt.iter().copied().fold(0.0f64, f64::max);
+    // At least one-vertex slack above ideal, or moves can deadlock on
+    // perfectly balanced partitions (METIS applies the same rule).
+    let max_w = (config.imbalance * ideal).max(ideal + max_vwgt);
+    // Never let a part drop below half the ideal weight (keeps parts
+    // nonempty and roughly balanced from below).
+    let min_w = 0.5 * total / k as f64;
+
+    let mut part_w = vec![0f64; k];
+    for (u, &p) in parts.iter().enumerate() {
+        part_w[p as usize] += wg.vwgt[u];
+    }
+
+    // Scratch: edge weight from a node to each part.
+    let mut w_to = vec![0f64; k];
+    let mut touched: Vec<u32> = Vec::with_capacity(8);
+
+    let cut_of = |parts: &[u32]| -> f64 {
+        let mut cut = 0.0;
+        for u in 0..n as u32 {
+            for (idx, &v) in wg.graph.neighbors(u).iter().enumerate() {
+                if v > u && parts[u as usize] != parts[v as usize] {
+                    cut += wg.graph.edge_weight_at(u, idx) as f64;
+                }
+            }
+        }
+        cut
+    };
+
+    let mut best_parts = parts.clone();
+    let mut best_cut = cut_of(parts);
+
+    for pass in 0..config.refine_passes {
+        // Zero-gain plateau moves only on odd passes, so even passes can
+        // harvest the resulting positive gains.
+        let allow_plateau = pass % 2 == 1;
+        let mut moved = 0usize;
+        for u in 0..n as u32 {
+            let pu = parts[u as usize];
+            touched.clear();
+            let mut boundary = false;
+            for (idx, &v) in wg.graph.neighbors(u).iter().enumerate() {
+                if v == u {
+                    continue;
+                }
+                let pv = parts[v as usize];
+                if pv != pu {
+                    boundary = true;
+                }
+                if w_to[pv as usize] == 0.0 {
+                    touched.push(pv);
+                }
+                w_to[pv as usize] += wg.graph.edge_weight_at(u, idx) as f64;
+            }
+            if boundary {
+                let internal = w_to[pu as usize];
+                let wu = wg.vwgt[u as usize];
+                let mut best: Option<(f64, u32)> = None;
+                for &p in &touched {
+                    if p == pu {
+                        continue;
+                    }
+                    let gain = w_to[p as usize] - internal;
+                    let fits =
+                        part_w[p as usize] + wu <= max_w && part_w[pu as usize] - wu >= min_w;
+                    let acceptable = gain > 1e-12
+                        || (allow_plateau && gain.abs() <= 1e-12 && rng.random_bool(0.5));
+                    if acceptable && fits {
+                        let better = match best {
+                            None => true,
+                            Some((bg, bp)) => gain > bg || (gain == bg && p < bp),
+                        };
+                        if better {
+                            best = Some((gain, p));
+                        }
+                    }
+                }
+                if let Some((_, p)) = best {
+                    parts[u as usize] = p;
+                    part_w[pu as usize] -= wu;
+                    part_w[p as usize] += wu;
+                    moved += 1;
+                }
+            }
+            for &p in &touched {
+                w_to[p as usize] = 0.0;
+            }
+        }
+        let cut = cut_of(parts);
+        if cut < best_cut - 1e-12 {
+            best_cut = cut;
+            best_parts.copy_from_slice(parts);
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+    // Never return something worse than the best assignment seen.
+    parts.copy_from_slice(&best_parts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Partition;
+    use fedgta_graph::EdgeList;
+    use rand::SeedableRng;
+
+    #[test]
+    fn refinement_reduces_cut_on_shuffled_cliques() {
+        // Two 10-cliques + bridge, with a deliberately bad start.
+        let mut el = EdgeList::new(20);
+        for b in 0..2 {
+            for i in 0..10usize {
+                for j in (i + 1)..10 {
+                    el.push_undirected((b * 10 + i) as u32, (b * 10 + j) as u32).unwrap();
+                }
+            }
+        }
+        el.push_undirected(0, 10).unwrap();
+        let g = el.to_csr();
+        let wg = WorkGraph {
+            vwgt: vec![1.0; 20],
+            graph: g.clone(),
+        };
+        // Bad start: alternate parts (a perfectly balanced plateau).
+        let mut parts: Vec<u32> = (0..20).map(|i| (i % 2) as u32).collect();
+        let before = Partition::new(parts.clone()).edge_cut(&g);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = MetisConfig {
+            refine_passes: 40,
+            ..MetisConfig::default()
+        };
+        refine(&wg, &mut parts, 2, &cfg, &mut rng);
+        let after = Partition::new(parts.clone()).edge_cut(&g);
+        assert!(after < before, "cut {before} -> {after}");
+        assert!(after <= 10, "cut {before} -> {after}");
+    }
+
+    #[test]
+    fn balance_constraint_respected() {
+        // Star graph: everything wants to join the hub's part, but balance
+        // must prevent collapse.
+        let mut el = EdgeList::new(21);
+        for i in 1..21u32 {
+            el.push_undirected(0, i).unwrap();
+        }
+        let g = el.to_csr();
+        let wg = WorkGraph {
+            vwgt: vec![1.0; 21],
+            graph: g,
+        };
+        let mut parts: Vec<u32> = (0..21).map(|i| if i < 11 { 0 } else { 1 }).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        refine(&wg, &mut parts, 2, &MetisConfig::default(), &mut rng);
+        let sizes = Partition::new(parts).sizes();
+        assert!(sizes[0] >= 6 && sizes[1] >= 6, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn never_regresses_from_a_good_start() {
+        let mut el = EdgeList::new(8);
+        for b in 0..2 {
+            for i in 0..4usize {
+                for j in (i + 1)..4 {
+                    el.push_undirected((b * 4 + i) as u32, (b * 4 + j) as u32).unwrap();
+                }
+            }
+        }
+        el.push_undirected(0, 4).unwrap();
+        let g = el.to_csr();
+        let wg = WorkGraph {
+            vwgt: vec![1.0; 8],
+            graph: g.clone(),
+        };
+        let mut parts = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let mut rng = StdRng::seed_from_u64(9);
+        refine(&wg, &mut parts, 2, &MetisConfig::default(), &mut rng);
+        assert_eq!(Partition::new(parts).edge_cut(&g), 1);
+    }
+}

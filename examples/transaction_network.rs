@@ -1,0 +1,89 @@
+//! Federated transaction-network risk scoring — the paper's second
+//! motivating application: regional institutions hold online-transaction
+//! subgraphs and must classify risky accounts without pooling data.
+//!
+//! New accounts appear after training (the inductive setting), so the
+//! training graphs exclude them entirely and evaluation runs on the full
+//! subgraphs — the Flickr/Reddit protocol of the paper's Table 4.
+//!
+//! ```sh
+//! cargo run --release --example transaction_network
+//! ```
+
+use fedgta_suite::core::FedGta;
+use fedgta_suite::data::{generate_from_spec, DatasetSpec, Task};
+use fedgta_suite::fed::client::{build_clients, ClientBuildConfig};
+use fedgta_suite::fed::round::{best_accuracy, SimConfig, Simulation};
+use fedgta_suite::fed::strategies::{FedAvg, Moon, Strategy};
+use fedgta_suite::nn::models::{ModelConfig, ModelKind};
+use fedgta_suite::partition::{metis_kway, MetisConfig};
+
+fn main() {
+    // A transaction network: 5 risk tiers, 6 regional institutions.
+    let spec = DatasetSpec {
+        name: "transactions",
+        nodes: 8000,
+        features: 48,
+        classes: 5,
+        avg_degree: 10.0,
+        train_frac: 0.5,
+        val_frac: 0.1,
+        test_frac: 0.4,
+        task: Task::Inductive,
+        blocks_per_class: 4,
+        homophily: 0.75,
+        description: "synthetic online-transaction network",
+    };
+    let bench = generate_from_spec(&spec, 11);
+    let partition = metis_kway(&bench.graph, 6, &MetisConfig::default()).expect("6 institutions");
+
+    println!(
+        "transaction network: {} accounts, {} edges, 6 institutions (Metis split)",
+        bench.graph.num_nodes(),
+        bench.graph.num_edges() / 2
+    );
+
+    for strategy in [
+        Box::new(FedAvg::new()) as Box<dyn Strategy>,
+        Box::new(Moon::new(1.0, 0.5)),
+        Box::new(FedGta::with_defaults()),
+    ] {
+        let clients = build_clients(
+            &bench,
+            &partition,
+            &ClientBuildConfig {
+                model: ModelConfig {
+                    kind: ModelKind::S2gc, // decoupled: scales to big silos
+                    hidden: 32,
+                    layers: 2,
+                    k: 3,
+                    seed: 11,
+                    ..ModelConfig::default()
+                },
+                lr: 0.01,
+                weight_decay: 5e-4,
+                halo: false,
+            },
+        );
+        // Sanity: the inductive protocol hid unseen accounts at train time.
+        let c0 = &clients[0];
+        assert!(c0.eval_data.is_some(), "inductive eval view expected");
+        let name = strategy.name();
+        let mut sim = Simulation::new(
+            clients,
+            strategy,
+            SimConfig {
+                rounds: 25,
+                local_epochs: 3,
+                eval_every: 5,
+                seed: 11,
+                ..SimConfig::default()
+            },
+        );
+        let records = sim.run();
+        println!(
+            "{name:<8} risk-tier accuracy on unseen accounts: {:.1}%",
+            100.0 * best_accuracy(&records)
+        );
+    }
+}

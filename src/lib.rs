@@ -1,0 +1,21 @@
+//! # fedgta-suite — umbrella crate
+//!
+//! Re-exports the public API of every crate in the FedGTA reproduction so
+//! examples and downstream users can depend on a single crate:
+//!
+//! ```
+//! use fedgta_suite::prelude::*;
+//! ```
+
+pub use fedgta as core;
+pub use fedgta_data as data;
+pub use fedgta_fed as fed;
+pub use fedgta_graph as graph;
+pub use fedgta_nn as nn;
+pub use fedgta_partition as partition;
+
+/// Convenient glob import of the most-used types.
+pub mod prelude {
+    pub use fedgta_graph::{Csr, EdgeList};
+    pub use fedgta_partition::{louvain, metis_kway, LouvainConfig, MetisConfig, Partition};
+}
