@@ -1,13 +1,16 @@
 //! Criterion benchmarks of server-side aggregation cost vs the number of
 //! participants — the Fig. 5 / Table 1 server-side story: FedAvg's single
 //! average is O(N·P); FedGTA's personalized pass is O(N²·sketch + N²·P);
-//! GCFL+'s pairwise DTW grows with N² · T².
+//! GCFL+'s pairwise DTW grows with N² · T² — plus the client-parallel
+//! round-scaling story: one full federated round at 1/2/4 worker threads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fedgta::aggregate::{personalized_aggregate, AggregateOptions, ClientUpload};
-use fedgta::SimilarityKind;
+use fedgta::{FedGta, SimilarityKind};
 use fedgta_fed::strategies::gcfl::dtw_distance;
-use fedgta_fed::strategies::weighted_average;
+use fedgta_fed::strategies::test_support::federation_with;
+use fedgta_fed::strategies::{weighted_average, FedAvg, RoundCtx, Strategy};
+use fedgta_nn::models::ModelKind;
 use std::hint::black_box;
 
 const PARAM_LEN: usize = 8 * 1024;
@@ -97,9 +100,47 @@ fn bench_gcfl_dtw(c: &mut Criterion) {
     g.finish();
 }
 
+/// One full federated round (local training + aggregation) on a 12-client
+/// federation, swept over the worker-thread count. By the determinism
+/// contract all three counts produce bit-identical models — this group
+/// measures the *only* thing that is allowed to change: wall clock. The
+/// client-parallel executor should give near-linear speedup while clients
+/// outnumber workers.
+fn bench_round_thread_scaling(c: &mut Criterion) {
+    for (label, make) in [
+        ("round_threads_fedavg_gcn", {
+            fn f() -> Box<dyn Strategy> {
+                Box::new(FedAvg::new())
+            }
+            f as fn() -> Box<dyn Strategy>
+        }),
+        ("round_threads_fedgta_gcn", {
+            fn f() -> Box<dyn Strategy> {
+                Box::new(FedGta::with_defaults())
+            }
+            f
+        }),
+    ] {
+        let mut g = c.benchmark_group(label);
+        for threads in [1usize, 2, 4] {
+            // Fresh federation per thread count so every cell measures the
+            // same round-1 workload.
+            let mut clients = federation_with(ModelKind::Gcn, 7, 12, 2400);
+            let mut strategy = make();
+            let participants: Vec<usize> = (0..clients.len()).collect();
+            let ctx = RoundCtx::with_threads(3, threads);
+            g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+                b.iter(|| black_box(strategy.round(&mut clients, &participants, &ctx)));
+            });
+        }
+        g.finish();
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_fedavg_aggregate, bench_fedgta_aggregate, bench_gcfl_dtw
+    targets = bench_fedavg_aggregate, bench_fedgta_aggregate, bench_gcfl_dtw,
+        bench_round_thread_scaling
 }
 criterion_main!(benches);

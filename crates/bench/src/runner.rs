@@ -135,6 +135,9 @@ pub struct ExperimentSpec {
     pub halo: bool,
     /// Base seed.
     pub seed: u64,
+    /// Worker threads for client-parallel local training (0 = auto).
+    /// Never affects results — only wall clock.
+    pub threads: usize,
 }
 
 impl ExperimentSpec {
@@ -154,6 +157,7 @@ impl ExperimentSpec {
             eval_every: 1,
             halo: false,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -213,6 +217,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
                 participation: spec.participation,
                 eval_every: spec.eval_every,
                 seed,
+                threads: spec.threads,
             },
         );
         let records = sim.run();

@@ -26,6 +26,8 @@ USAGE:
                        [--model gcn|sage|sgc|sign|s2gc|gbp|gamlp]
                        [--clients N] [--rounds N] [--epochs N]
                        [--split louvain|metis] [--participation F] [--seed N]
+                       [--threads N]           (0 = auto; results are
+                                                identical for any value)
                        [--save-params <file>]  (checkpoint of client 0's model)",
         STRATEGY_NAMES.join("|")
     );
@@ -151,6 +153,7 @@ pub fn run(a: &Args) -> CliResult {
     let rounds = a.num_or("rounds", 30usize)?;
     let epochs = a.num_or("epochs", 3usize)?;
     let participation = a.num_or("participation", 1.0f64)?;
+    let threads = a.num_or("threads", 0usize)?;
     let split = parse_split(&a.str_or("split", "louvain"))?;
     let model = parse_model(&a.str_or("model", "gamlp"))?;
     let strategy_name = a.str_or("strategy", "FedGTA");
@@ -178,10 +181,11 @@ pub fn run(a: &Args) -> CliResult {
     );
     let strategy = make_strategy(&strategy_name);
     println!(
-        "running {} on {name}: {} clients ({} split), {rounds} rounds × {epochs} epochs, participation {participation}",
+        "running {} on {name}: {} clients ({} split), {rounds} rounds × {epochs} epochs, participation {participation}, {} threads",
         strategy.name(),
         clients.len(),
-        split.name()
+        split.name(),
+        fedgta_graph::par::resolve_threads(Some(threads)),
     );
     let mut sim = Simulation::new(
         clients,
@@ -192,6 +196,7 @@ pub fn run(a: &Args) -> CliResult {
             participation,
             eval_every: 5.min(rounds),
             seed,
+            threads,
         },
     );
     let records = sim.run();

@@ -20,6 +20,7 @@ use crate::lp::label_propagation;
 use crate::extensions::feature_moment_sketch;
 use crate::moments::mixed_moments;
 use fedgta_fed::client::Client;
+use fedgta_fed::exec::{mean_loss, train_participants};
 use fedgta_fed::strategies::{RoundCtx, RoundStats, Strategy};
 use fedgta_nn::TrainHooks;
 
@@ -103,27 +104,35 @@ impl Strategy for FedGta {
         if self.personalized.len() != clients.len() {
             self.personalized = vec![None; clients.len()];
         }
-        // Algorithm 1: local update + metric computation.
-        let mut params: Vec<Vec<f32>> = Vec::with_capacity(participants.len());
-        let mut confidences: Vec<f64> = Vec::with_capacity(participants.len());
-        let mut sketches: Vec<Vec<f32>> = Vec::with_capacity(participants.len());
-        let mut n_trains: Vec<usize> = Vec::with_capacity(participants.len());
-        let mut loss = 0f32;
-        for &i in participants {
-            if let Some(p) = &self.personalized[i] {
-                clients[i].model.set_params(p);
-                clients[i].opt.reset();
+        // Algorithm 1: local update + metric computation, client-parallel.
+        // Each worker reads only its own personalized snapshot and the
+        // shared config (through `&self`); all `self` mutation happens
+        // after aggregation on the driver, in participant order.
+        let this = &*self;
+        let results = train_participants(clients, participants, ctx, |i, c| {
+            if let Some(p) = &this.personalized[i] {
+                c.model.set_params(p);
+                c.opt.reset();
             }
             let mut hooks = TrainHooks {
                 pseudo: ctx.pseudo_for(i),
                 ..TrainHooks::none()
             };
-            loss += clients[i].train_local(ctx.epochs, &mut hooks);
-            let (h, m) = self.client_metrics(&mut clients[i]);
-            params.push(clients[i].model.params());
+            let loss = c.train_local(ctx.epochs, &mut hooks);
+            let (h, m) = this.client_metrics(c);
+            (loss, (c.model.params(), h, m, c.n_train()))
+        });
+        let loss = mean_loss(&results);
+        let mut params: Vec<Vec<f32>> = Vec::with_capacity(participants.len());
+        let mut confidences: Vec<f64> = Vec::with_capacity(participants.len());
+        let mut sketches: Vec<Vec<f32>> = Vec::with_capacity(participants.len());
+        let mut n_trains: Vec<usize> = Vec::with_capacity(participants.len());
+        for r in results {
+            let (p, h, m, n) = r.payload;
+            params.push(p);
             confidences.push(h);
             sketches.push(m);
-            n_trains.push(clients[i].n_train());
+            n_trains.push(n);
         }
         // Algorithm 2: personalized aggregation.
         let uploads: Vec<ClientUpload<'_>> = (0..participants.len())
@@ -152,7 +161,7 @@ impl Strategy for FedGta {
             .map(|p| params[p].len() * 4 + sketches[p].len() * 4 + 8)
             .sum();
         RoundStats {
-            mean_loss: loss / participants.len().max(1) as f32,
+            mean_loss: loss,
             bytes_uploaded,
         }
     }

@@ -8,6 +8,7 @@
 //! nodes in the federation.
 
 use crate::client::Client;
+use fedgta_graph::par::par_map_indexed;
 use fedgta_nn::metrics::accuracy;
 
 fn client_accuracy(c: &mut Client, val: bool) -> (f64, usize) {
@@ -30,12 +31,14 @@ fn client_accuracy(c: &mut Client, val: bool) -> (f64, usize) {
     (accuracy(&probs, labels, nodes), nodes.len())
 }
 
-/// Micro-averaged test accuracy across all clients.
-pub fn global_test_accuracy(clients: &mut [Client]) -> f64 {
+/// Per-client accuracies computed client-parallel (auto thread count),
+/// reduced on the caller's thread in client order — deterministic for any
+/// thread count.
+fn micro_average(clients: &mut [Client], val: bool) -> f64 {
+    let per_client = par_map_indexed(clients, None, |_, c| client_accuracy(c, val));
     let mut correct = 0f64;
     let mut total = 0usize;
-    for c in clients.iter_mut() {
-        let (acc, n) = client_accuracy(c, false);
+    for (acc, n) in per_client {
         correct += acc * n as f64;
         total += n;
     }
@@ -46,20 +49,14 @@ pub fn global_test_accuracy(clients: &mut [Client]) -> f64 {
     }
 }
 
+/// Micro-averaged test accuracy across all clients.
+pub fn global_test_accuracy(clients: &mut [Client]) -> f64 {
+    micro_average(clients, false)
+}
+
 /// Micro-averaged validation accuracy across all clients.
 pub fn global_val_accuracy(clients: &mut [Client]) -> f64 {
-    let mut correct = 0f64;
-    let mut total = 0usize;
-    for c in clients.iter_mut() {
-        let (acc, n) = client_accuracy(c, true);
-        correct += acc * n as f64;
-        total += n;
-    }
-    if total == 0 {
-        0.0
-    } else {
-        correct / total as f64
-    }
+    micro_average(clients, true)
 }
 
 #[cfg(test)]

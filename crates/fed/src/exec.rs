@@ -1,0 +1,232 @@
+//! Deterministic client-parallel execution of local training.
+//!
+//! [`train_participants`] is the one way strategies run their per-client
+//! local step. The closure receives `(client_index, &mut Client)` and may
+//! run on a worker thread; everything else — parameter aggregation,
+//! strategy-state updates, floating-point reductions — stays on the driver
+//! thread in **participant order**. Combined with the determinism contract
+//! of [`fedgta_graph::par::par_map_indexed`] (contiguous chunking, one
+//! worker per disjoint slot, input-order collection, nested-parallelism
+//! suppression), every federated round is bit-identical for any thread
+//! count: `threads = 1` and `threads = 64` produce the same losses,
+//! parameters and accuracies.
+//!
+//! Why this is safe to parallelize:
+//!
+//! - each [`Client`] owns its model, optimizer and dataset — no shared
+//!   mutable state between participants;
+//! - closures only capture shared *immutable* round state (the global
+//!   parameters, per-client anchors, configuration);
+//! - any strategy state touched by more than one client (control variates,
+//!   drift vectors, momentum buffers) is updated after the parallel
+//!   section, on the driver, in participant order.
+
+use crate::client::Client;
+use crate::strategies::RoundCtx;
+use fedgta_graph::par::par_map_indexed;
+
+/// The outcome of one participant's local step.
+///
+/// `payload` carries whatever the strategy needs downstream (uploaded
+/// parameters, step counts, sketches); the executor itself only fixes the
+/// loss so [`mean_loss`] works uniformly.
+pub struct LocalResult<R> {
+    /// Client index in the federation (the participant id).
+    pub client: usize,
+    /// Mean local training loss reported by the per-client closure.
+    pub loss: f32,
+    /// Strategy-specific payload.
+    pub payload: R,
+}
+
+/// Runs `f(client_index, &mut client)` for every participant, in parallel
+/// across `ctx.threads` workers (0 = auto via `FEDGTA_THREADS` /
+/// available parallelism), returning results **in participant order**.
+///
+/// `participants` may be in any order (GCFL+ clusters are unsorted after
+/// a split) but must be unique and in range; the result vector matches
+/// the caller's order exactly, so downstream floating-point reductions
+/// are order-stable regardless of which worker ran which client.
+///
+/// # Panics
+///
+/// Panics on duplicate or out-of-range participant indices, and
+/// propagates any panic raised inside `f`.
+pub fn train_participants<R, F>(
+    clients: &mut [Client],
+    participants: &[usize],
+    ctx: &RoundCtx<'_>,
+    f: F,
+) -> Vec<LocalResult<R>>
+where
+    R: Send,
+    F: Fn(usize, &mut Client) -> (f32, R) + Sync,
+{
+    let slots = disjoint_slots(clients, participants);
+    run_slots(slots, ctx.threads, |i, c| {
+        let (loss, payload) = f(i, c);
+        LocalResult {
+            client: i,
+            loss,
+            payload,
+        }
+    })
+}
+
+/// Runs `f(client_index, &mut client)` over an arbitrary subset of
+/// clients (deterministically parallel, results in `indices` order).
+///
+/// The evaluation/prediction sibling of [`train_participants`] for code
+/// that maps over clients without the loss bookkeeping — e.g. FedGL's
+/// prediction fusion or global accuracy. Same ordering and uniqueness
+/// contract.
+pub fn par_clients<R, F>(
+    clients: &mut [Client],
+    indices: &[usize],
+    threads: usize,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &mut Client) -> R + Sync,
+{
+    let slots = disjoint_slots(clients, indices);
+    run_slots(slots, threads, f)
+}
+
+/// Mean loss over local results (0 when empty).
+pub fn mean_loss<R>(results: &[LocalResult<R>]) -> f32 {
+    let n = results.len();
+    if n == 0 {
+        return 0.0;
+    }
+    results.iter().map(|r| r.loss).sum::<f32>() / n as f32
+}
+
+/// Collects disjoint `&mut Client` references for `indices`, preserving
+/// the caller's order.
+///
+/// Single pass over `clients`: indices are argsorted, references are
+/// picked up in ascending index order, then scattered back to the
+/// caller's positions. Panics on duplicates or out-of-range indices.
+fn disjoint_slots<'a>(
+    clients: &'a mut [Client],
+    indices: &[usize],
+) -> Vec<(usize, &'a mut Client)> {
+    let n = clients.len();
+    let mut order: Vec<usize> = (0..indices.len()).collect();
+    order.sort_unstable_by_key(|&p| indices[p]);
+    for w in order.windows(2) {
+        assert!(
+            indices[w[0]] != indices[w[1]],
+            "duplicate participant index {}",
+            indices[w[0]]
+        );
+    }
+    if let Some(&p) = order.last() {
+        assert!(
+            indices[p] < n,
+            "participant index {} out of range (federation size {n})",
+            indices[p]
+        );
+    }
+    let mut picked: Vec<Option<(usize, &mut Client)>> = Vec::with_capacity(indices.len());
+    picked.resize_with(indices.len(), || None);
+    let mut rest = clients;
+    let mut base = 0usize;
+    for &pos in &order {
+        let idx = indices[pos];
+        let (_, tail) = std::mem::take(&mut rest).split_at_mut(idx - base);
+        let (slot, tail) = tail.split_first_mut().expect("index in range");
+        picked[pos] = Some((idx, slot));
+        rest = tail;
+        base = idx + 1;
+    }
+    picked
+        .into_iter()
+        .map(|s| s.expect("every slot picked"))
+        .collect()
+}
+
+/// Maps `f` over the slots in parallel, keeping slot order.
+fn run_slots<R, F>(mut slots: Vec<(usize, &mut Client)>, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &mut Client) -> R + Sync,
+{
+    par_map_indexed(&mut slots, Some(threads), |_, (i, c)| f(*i, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::test_support::small_federation;
+    use fedgta_nn::models::ModelKind;
+
+    #[test]
+    fn results_follow_participant_order_even_when_unsorted() {
+        let mut clients = small_federation(ModelKind::Sgc, 30);
+        let order = [2usize, 0, 3];
+        let results = train_participants(
+            &mut clients,
+            &order,
+            &RoundCtx::plain(0),
+            |i, c| (i as f32, c.id),
+        );
+        let got: Vec<usize> = results.iter().map(|r| r.client).collect();
+        assert_eq!(got, order);
+        for r in &results {
+            assert_eq!(r.loss, r.client as f32);
+            assert_eq!(r.payload, r.client);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let train = |threads: usize| {
+            let mut clients = small_federation(ModelKind::Sgc, 31);
+            let ctx = RoundCtx::with_threads(2, threads);
+            let r = train_participants(&mut clients, &[0, 1, 2, 3], &ctx, |i, c| {
+                let mut hooks = fedgta_nn::TrainHooks::none();
+                let loss = c.train_local(ctx.epochs, &mut hooks);
+                (loss, (i, c.model.params()))
+            });
+            (
+                r.iter().map(|x| x.loss.to_bits()).collect::<Vec<_>>(),
+                r.into_iter().map(|x| x.payload.1).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(train(1), train(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate participant index")]
+    fn duplicate_participants_panic() {
+        let mut clients = small_federation(ModelKind::Sgc, 32);
+        train_participants(&mut clients, &[1, 1], &RoundCtx::plain(0), |_, _| (0.0, ()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_participant_panics() {
+        let mut clients = small_federation(ModelKind::Sgc, 33);
+        train_participants(&mut clients, &[99], &RoundCtx::plain(0), |_, _| (0.0, ()));
+    }
+
+    #[test]
+    fn empty_participants_give_empty_results() {
+        let mut clients = small_federation(ModelKind::Sgc, 34);
+        let r = train_participants(&mut clients, &[], &RoundCtx::plain(1), |_, _| (1.0, ()));
+        assert!(r.is_empty());
+        assert_eq!(mean_loss(&r), 0.0);
+    }
+
+    #[test]
+    fn mean_loss_averages() {
+        let r = vec![
+            LocalResult { client: 0, loss: 1.0, payload: () },
+            LocalResult { client: 1, loss: 3.0, payload: () },
+        ];
+        assert_eq!(mean_loss(&r), 2.0);
+    }
+}

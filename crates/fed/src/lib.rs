@@ -14,16 +14,21 @@
 //!   pseudo-label supervision) and FedSage+ (missing-neighbor generation) —
 //!   which wrap any optimization strategy (Table 5);
 //! - [`round::Simulation`]: the round driver with participation sampling,
-//!   per-round evaluation and wall-clock accounting (Figs. 4–6).
+//!   per-round evaluation and wall-clock accounting (Figs. 4–6);
+//! - [`exec::train_participants`]: the deterministic client-parallel
+//!   executor every strategy runs its local steps through — bit-identical
+//!   results for any worker-thread count.
 
 pub mod client;
 pub mod eval;
+pub mod exec;
 pub mod fgl_models;
 pub mod round;
 pub mod strategies;
 
 pub use client::{build_clients, Client, ClientBuildConfig};
 pub use eval::global_test_accuracy;
+pub use exec::{mean_loss, par_clients, train_participants, LocalResult};
 pub use round::{RoundRecord, SimConfig, Simulation};
 pub use strategies::{RoundCtx, RoundStats, Strategy};
 

@@ -22,6 +22,10 @@ pub struct SimConfig {
     pub eval_every: usize,
     /// Seed for participation sampling.
     pub seed: u64,
+    /// Worker threads for client-parallel local training (0 = auto:
+    /// `FEDGTA_THREADS` env var, else available parallelism). Results are
+    /// bit-identical for any value — this knob only changes wall clock.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -32,6 +36,7 @@ impl Default for SimConfig {
             participation: 1.0,
             eval_every: 1,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -50,6 +55,9 @@ pub struct RoundRecord {
     pub elapsed_s: f64,
     /// Bytes uploaded by participants this round.
     pub bytes_uploaded: usize,
+    /// Resolved worker-thread count local training ran with (the
+    /// determinism contract says this never affects the other fields).
+    pub threads: usize,
 }
 
 /// A federated simulation binding clients to a strategy.
@@ -72,18 +80,10 @@ impl Simulation {
         }
     }
 
-    /// Samples this round's participants.
-    fn sample_participants(&self, rng: &mut StdRng) -> Vec<usize> {
-        let n = self.clients.len();
-        let k = ((n as f64 * self.config.participation).round() as usize).clamp(1, n);
-        let mut ids: Vec<usize> = (0..n).collect();
-        if k == n {
-            return ids;
-        }
-        ids.shuffle(rng);
-        ids.truncate(k);
-        ids.sort_unstable();
-        ids
+    /// Samples this round's participants: a sorted, duplicate-free subset
+    /// of client indices of size `clamp(round(n · participation), 1, n)`.
+    pub fn sample_participants(&self, rng: &mut StdRng) -> Vec<usize> {
+        sample_participants(self.clients.len(), self.config.participation, rng)
     }
 
     /// Runs all rounds; returns per-round records. Always evaluates after
@@ -92,13 +92,14 @@ impl Simulation {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut records = Vec::with_capacity(self.config.rounds);
         let mut elapsed = 0f64;
+        let threads = fedgta_graph::par::resolve_threads(Some(self.config.threads));
         for round in 1..=self.config.rounds {
             let participants = self.sample_participants(&mut rng);
             let t0 = Instant::now();
             let stats = self.strategy.round(
                 &mut self.clients,
                 &participants,
-                &RoundCtx::plain(self.config.local_epochs),
+                &RoundCtx::with_threads(self.config.local_epochs, self.config.threads),
             );
             elapsed += t0.elapsed().as_secs_f64();
             let eval_now = round == self.config.rounds
@@ -110,6 +111,7 @@ impl Simulation {
                 test_acc,
                 elapsed_s: elapsed,
                 bytes_uploaded: stats.bytes_uploaded,
+                threads,
             });
         }
         records
@@ -119,6 +121,23 @@ impl Simulation {
     pub fn test_accuracy(&mut self) -> f64 {
         global_test_accuracy(&mut self.clients)
     }
+}
+
+/// Samples a round's participants from a federation of `n` clients: a
+/// sorted, duplicate-free subset of `0..n` of size
+/// `clamp(round(n · participation), 1, n)`, drawn by Fisher–Yates shuffle
+/// from the given seeded RNG (so the sequence is reproducible and
+/// independent of the training thread count).
+pub fn sample_participants(n: usize, participation: f64, rng: &mut StdRng) -> Vec<usize> {
+    let k = ((n as f64 * participation).round() as usize).clamp(1, n.max(1)).min(n);
+    let mut ids: Vec<usize> = (0..n).collect();
+    if k == n {
+        return ids;
+    }
+    ids.shuffle(rng);
+    ids.truncate(k);
+    ids.sort_unstable();
+    ids
 }
 
 /// Total bytes uploaded across all recorded rounds (the communication

@@ -3,6 +3,7 @@
 
 use super::{weighted_average, RoundCtx, RoundStats, Strategy};
 use crate::client::Client;
+use crate::exec::{mean_loss, train_participants};
 use fedgta_nn::TrainHooks;
 
 /// Classic FedAvg: all participants start from the global model, train
@@ -39,19 +40,20 @@ impl Strategy for FedAvg {
             .global
             .get_or_insert_with(|| clients[0].model.params())
             .clone();
-        let mut uploads = Vec::with_capacity(participants.len());
-        let mut loss = 0f32;
-        for &i in participants {
-            let c = &mut clients[i];
+        // Local steps run client-parallel; results come back in
+        // participant order, so the weighted average below is order-stable.
+        let results = train_participants(clients, participants, ctx, |i, c| {
             c.model.set_params(&global);
             c.opt.reset();
             let mut hooks = TrainHooks {
                 pseudo: ctx.pseudo_for(i),
                 ..TrainHooks::none()
             };
-            loss += c.train_local(ctx.epochs, &mut hooks);
-            uploads.push((c.model.params(), c.n_train() as f64));
-        }
+            let loss = c.train_local(ctx.epochs, &mut hooks);
+            (loss, (c.model.params(), c.n_train() as f64))
+        });
+        let loss = mean_loss(&results);
+        let uploads: Vec<(Vec<f32>, f64)> = results.into_iter().map(|r| r.payload).collect();
         let bytes_uploaded = uploads.iter().map(|(p, _)| p.len() * 4 + 8).sum();
         let new_global = weighted_average(&uploads);
         for c in clients.iter_mut() {
@@ -59,7 +61,7 @@ impl Strategy for FedAvg {
         }
         self.global = Some(new_global);
         RoundStats {
-            mean_loss: loss / participants.len().max(1) as f32,
+            mean_loss: loss,
             bytes_uploaded,
         }
     }
@@ -88,17 +90,15 @@ impl Strategy for LocalOnly {
         participants: &[usize],
         ctx: &RoundCtx<'_>,
     ) -> RoundStats {
-        let mut loss = 0f32;
-        for &i in participants {
-            let c = &mut clients[i];
+        let results = train_participants(clients, participants, ctx, |i, c| {
             let mut hooks = TrainHooks {
                 pseudo: ctx.pseudo_for(i),
                 ..TrainHooks::none()
             };
-            loss += c.train_local(ctx.epochs, &mut hooks);
-        }
+            (c.train_local(ctx.epochs, &mut hooks), ())
+        });
         RoundStats {
-            mean_loss: loss / participants.len().max(1) as f32,
+            mean_loss: mean_loss(&results),
             bytes_uploaded: 0, // no communication at all
         }
     }
@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn fedavg_learns_over_rounds() {
-        let mut clients = small_federation(ModelKind::Sgc, 2);
+        let mut clients = small_federation(ModelKind::Sgc, 3);
         let mut s = FedAvg::new();
         let parts: Vec<usize> = (0..clients.len()).collect();
         let before = federation_accuracy(&mut clients);

@@ -9,6 +9,7 @@
 
 use super::{weighted_average, RoundCtx, RoundStats, Strategy};
 use crate::client::Client;
+use crate::exec::{mean_loss, train_participants};
 use fedgta_nn::TrainHooks;
 
 /// FedDC state.
@@ -49,16 +50,17 @@ impl Strategy for FedDc {
             self.drift = vec![vec![0.0; global.len()]; clients.len()];
         }
         let lambda = self.lambda;
-        let mut uploads = Vec::with_capacity(participants.len());
-        let mut loss = 0f32;
-        for &i in participants {
-            let c = &mut clients[i];
+        // Client-parallel local steps: each worker reads the shared global
+        // snapshot and its own drift vector; drift mutation happens below
+        // on the driver in participant order.
+        let drift = &self.drift;
+        let results = train_participants(clients, participants, ctx, |i, c| {
             c.model.set_params(&global);
             c.opt.reset();
             // Anchor: w_global − hᵢ.
             let anchor: Vec<f32> = global
                 .iter()
-                .zip(&self.drift[i])
+                .zip(&drift[i])
                 .map(|(&g, &h)| g - h)
                 .collect();
             let mut grad_hook = move |w: &[f32], g: &mut [f32]| {
@@ -71,15 +73,21 @@ impl Strategy for FedDc {
                 pseudo: ctx.pseudo_for(i),
                 ..TrainHooks::none()
             };
-            loss += c.train_local(ctx.epochs, &mut hooks);
-            let w_i = c.model.params();
+            let loss = c.train_local(ctx.epochs, &mut hooks);
+            (loss, (c.model.params(), c.n_train() as f64))
+        });
+        let loss = mean_loss(&results);
+        let mut uploads = Vec::with_capacity(results.len());
+        for r in &results {
+            let i = r.client;
+            let (w_i, n) = &r.payload;
             // Drift update and drift-corrected upload.
             let mut corrected = vec![0f32; global.len()];
             for j in 0..global.len() {
                 self.drift[i][j] += w_i[j] - global[j];
                 corrected[j] = w_i[j] + self.drift[i][j];
             }
-            uploads.push((corrected, c.n_train() as f64));
+            uploads.push((corrected, *n));
         }
         let bytes_uploaded = uploads.iter().map(|(p, _)| p.len() * 4 + 8).sum();
         let new_global = weighted_average(&uploads);
@@ -88,7 +96,7 @@ impl Strategy for FedDc {
         }
         self.global = Some(new_global);
         RoundStats {
-            mean_loss: loss / participants.len().max(1) as f32,
+            mean_loss: loss,
             bytes_uploaded,
         }
     }

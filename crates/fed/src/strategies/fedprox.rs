@@ -5,6 +5,7 @@
 
 use super::{weighted_average, RoundCtx, RoundStats, Strategy};
 use crate::client::Client;
+use crate::exec::{mean_loss, train_participants};
 use fedgta_nn::TrainHooks;
 
 /// FedProx with proximal coefficient `mu`.
@@ -37,15 +38,14 @@ impl Strategy for FedProx {
             .get_or_insert_with(|| clients[0].model.params())
             .clone();
         let mu = self.mu;
-        let mut uploads = Vec::with_capacity(participants.len());
-        let mut loss = 0f32;
-        for &i in participants {
-            let c = &mut clients[i];
+        // Client-parallel local steps; the proximal anchor is the shared
+        // immutable global snapshot, so workers never contend.
+        let results = train_participants(clients, participants, ctx, |i, c| {
             c.model.set_params(&global);
             c.opt.reset();
-            let anchor = global.clone();
+            let anchor = &global;
             let mut grad_hook = move |w: &[f32], g: &mut [f32]| {
-                for ((gj, &wj), &aj) in g.iter_mut().zip(w).zip(&anchor) {
+                for ((gj, &wj), &aj) in g.iter_mut().zip(w).zip(anchor) {
                     *gj += mu * (wj - aj);
                 }
             };
@@ -54,9 +54,11 @@ impl Strategy for FedProx {
                 pseudo: ctx.pseudo_for(i),
                 ..TrainHooks::none()
             };
-            loss += c.train_local(ctx.epochs, &mut hooks);
-            uploads.push((c.model.params(), c.n_train() as f64));
-        }
+            let loss = c.train_local(ctx.epochs, &mut hooks);
+            (loss, (c.model.params(), c.n_train() as f64))
+        });
+        let loss = mean_loss(&results);
+        let uploads: Vec<(Vec<f32>, f64)> = results.into_iter().map(|r| r.payload).collect();
         let bytes_uploaded = uploads.iter().map(|(p, _)| p.len() * 4 + 8).sum();
         let new_global = weighted_average(&uploads);
         for c in clients.iter_mut() {
@@ -64,7 +66,7 @@ impl Strategy for FedProx {
         }
         self.global = Some(new_global);
         RoundStats {
-            mean_loss: loss / participants.len().max(1) as f32,
+            mean_loss: loss,
             bytes_uploaded,
         }
     }

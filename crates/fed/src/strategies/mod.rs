@@ -34,14 +34,27 @@ pub struct RoundCtx<'a> {
     /// Optional FedGL-style pseudo-labels, indexed by position in the
     /// clients slice.
     pub pseudo: Option<&'a [Option<PseudoLabels>]>,
+    /// Worker threads for client-parallel local training (0 = auto:
+    /// `FEDGTA_THREADS` env var, else available parallelism). By the
+    /// executor's determinism contract the value never changes results —
+    /// only wall clock.
+    pub threads: usize,
 }
 
 impl<'a> RoundCtx<'a> {
-    /// A plain context with no auxiliary supervision.
+    /// A plain context with no auxiliary supervision and automatic
+    /// thread-count selection.
     pub fn plain(epochs: usize) -> Self {
+        Self::with_threads(epochs, 0)
+    }
+
+    /// A plain context with an explicit worker-thread count
+    /// (0 = automatic).
+    pub fn with_threads(epochs: usize, threads: usize) -> Self {
         Self {
             epochs,
             pseudo: None,
+            threads,
         }
     }
 
@@ -113,9 +126,21 @@ pub mod test_support {
 
     /// A small 4-client federation on a synthetic homophilous graph.
     pub fn small_federation(kind: ModelKind, seed: u64) -> Vec<Client> {
+        federation_with(kind, seed, 4, 600)
+    }
+
+    /// A federation with an arbitrary client count and graph size — used
+    /// by determinism/scaling tests that need more clients than worker
+    /// threads.
+    pub fn federation_with(
+        kind: ModelKind,
+        seed: u64,
+        num_clients: usize,
+        nodes: usize,
+    ) -> Vec<Client> {
         let spec = DatasetSpec {
             name: "unit",
-            nodes: 600,
+            nodes,
             features: 16,
             classes: 4,
             avg_degree: 8.0,
@@ -129,7 +154,7 @@ pub mod test_support {
         };
         let bench = generate_from_spec(&spec, seed);
         let comm = louvain(&bench.graph, &LouvainConfig::default());
-        let parts = communities_to_clients(&comm, 4).unwrap();
+        let parts = communities_to_clients(&comm, num_clients).unwrap();
         build_clients(
             &bench,
             &parts,

@@ -8,6 +8,7 @@
 
 use super::{weighted_average, RoundCtx, RoundStats, Strategy};
 use crate::client::Client;
+use crate::exec::{mean_loss, train_participants};
 use fedgta_nn::{Matrix, TrainHooks};
 
 /// MOON state and hyperparameters.
@@ -117,22 +118,23 @@ impl Strategy for Moon {
             .get_or_insert_with(|| clients[0].model.params())
             .clone();
         let (mu, tau) = (self.mu, self.tau);
-        let mut uploads = Vec::with_capacity(participants.len());
-        let mut loss = 0f32;
-        for &i in participants {
+        // Client-parallel local steps: each worker computes its anchor
+        // representations with its own scratch model, reading only the
+        // shared global snapshot and its own previous-round parameters.
+        // `self.prev` is updated afterwards on the driver.
+        let prev = &self.prev;
+        let results = train_participants(clients, participants, ctx, |i, c| {
             // Anchor representations computed with a scratch model.
             let (z_glob, z_prev) = {
-                let c = &mut clients[i];
                 let mut scratch = c.model.clone();
                 scratch.set_params(&global);
                 let zg = scratch.penultimate(&c.data);
-                let zp = self.prev[i].as_ref().map(|p| {
+                let zp = prev[i].as_ref().map(|p| {
                     scratch.set_params(p);
                     scratch.penultimate(&c.data)
                 });
                 (zg, zp)
             };
-            let c = &mut clients[i];
             c.model.set_params(&global);
             c.opt.reset();
             let mut hidden_hook = |ids: &[u32], z: &Matrix| -> Matrix {
@@ -151,10 +153,14 @@ impl Strategy for Moon {
                 pseudo: ctx.pseudo_for(i),
                 ..TrainHooks::none()
             };
-            loss += c.train_local(ctx.epochs, &mut hooks);
-            let p = c.model.params();
-            self.prev[i] = Some(p.clone());
-            uploads.push((p, c.n_train() as f64));
+            let loss = c.train_local(ctx.epochs, &mut hooks);
+            (loss, (c.model.params(), c.n_train() as f64))
+        });
+        let loss = mean_loss(&results);
+        let mut uploads = Vec::with_capacity(results.len());
+        for r in results {
+            self.prev[r.client] = Some(r.payload.0.clone());
+            uploads.push(r.payload);
         }
         let bytes_uploaded = uploads.iter().map(|(p, _)| p.len() * 4 + 8).sum();
         let new_global = weighted_average(&uploads);
@@ -163,7 +169,7 @@ impl Strategy for Moon {
         }
         self.global = Some(new_global);
         RoundStats {
-            mean_loss: loss / participants.len().max(1) as f32,
+            mean_loss: loss,
             bytes_uploaded,
         }
     }

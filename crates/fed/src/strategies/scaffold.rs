@@ -8,6 +8,7 @@
 
 use super::{sub, weighted_average, RoundCtx, RoundStats, Strategy};
 use crate::client::Client;
+use crate::exec::{mean_loss, train_participants};
 use fedgta_nn::{Sgd, TrainHooks};
 use std::cell::Cell;
 
@@ -66,20 +67,22 @@ impl Strategy for Scaffold {
         self.ensure_state(clients);
         let global = self.global.clone().expect("initialized");
         let n_total = clients.len();
-        let mut sum_dw = vec![0f64; global.len()];
-        let mut sum_dc = vec![0f64; global.len()];
-        let mut uploads_n = Vec::with_capacity(participants.len());
-        let mut loss = 0f32;
-        for &i in participants {
-            let c = &mut clients[i];
+        let sgd_lr = self.sgd_lr;
+        // Client-parallel local steps: each worker reads only the shared
+        // global snapshot and its *own* control variate, so the corrected
+        // gradients are unaffected by execution order. All control-variate
+        // mutation (option II) happens below on the driver, in participant
+        // order — bit-identical to the sequential round.
+        let (c_server, c_clients) = (&self.c_server, &self.c_clients);
+        let results = train_participants(clients, participants, ctx, |i, c| {
             c.model.set_params(&global);
             // SCAFFOLD assumes SGD locally (see struct docs). With heavy-ball
             // momentum β the asymptotic effective step is η/(1−β); the
             // option-II control update uses that effective rate.
             let momentum = 0.9f32;
-            c.opt = Box::new(Sgd::new(self.sgd_lr, momentum, 0.0));
+            c.opt = Box::new(Sgd::new(sgd_lr, momentum, 0.0));
             let lr = c.opt.learning_rate() / (1.0 - momentum);
-            let correction: Vec<f32> = sub(&self.c_server, &self.c_clients[i]);
+            let correction: Vec<f32> = sub(c_server, &c_clients[i]);
             let steps = Cell::new(0usize);
             let mut grad_hook = |_w: &[f32], g: &mut [f32]| {
                 for (gj, &cj) in g.iter_mut().zip(&correction) {
@@ -92,11 +95,18 @@ impl Strategy for Scaffold {
                 pseudo: ctx.pseudo_for(i),
                 ..TrainHooks::none()
             };
-            loss += c.train_local(ctx.epochs, &mut hooks);
-            let k = steps.get().max(1);
-            let w_i = c.model.params();
-            // Option II client-control update.
-            let scale = 1.0 / (k as f32 * lr);
+            let loss = c.train_local(ctx.epochs, &mut hooks);
+            (loss, (c.model.params(), steps.get().max(1), lr))
+        });
+        let loss = mean_loss(&results);
+        let mut sum_dw = vec![0f64; global.len()];
+        let mut sum_dc = vec![0f64; global.len()];
+        for r in &results {
+            let i = r.client;
+            let (w_i, k, lr) = &r.payload;
+            // Option II client-control update (driver-side, participant
+            // order).
+            let scale = 1.0 / (*k as f32 * lr);
             let mut dc = vec![0f32; global.len()];
             for j in 0..global.len() {
                 let ci_new =
@@ -108,7 +118,6 @@ impl Strategy for Scaffold {
                 sum_dw[j] += (w_i[j] - global[j]) as f64;
                 sum_dc[j] += dc[j] as f64;
             }
-            uploads_n.push(c.n_train() as f64);
         }
         let m = participants.len().max(1) as f64;
         let mut new_global = global.clone();
@@ -117,13 +126,12 @@ impl Strategy for Scaffold {
             self.c_server[j] += ((participants.len() as f64 / n_total as f64) * sum_dc[j] / m) as f32;
         }
         let _ = weighted_average; // (FedAvg-style weighting unused: SCAFFOLD averages uniformly)
-        let _ = uploads_n;
         for c in clients.iter_mut() {
             c.model.set_params(&new_global);
         }
         self.global = Some(new_global);
         RoundStats {
-            mean_loss: loss / participants.len().max(1) as f32,
+            mean_loss: loss,
             // SCAFFOLD ships the model update and the control update.
             bytes_uploaded: participants.len() * (2 * global.len() * 4 + 8),
         }

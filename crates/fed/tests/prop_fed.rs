@@ -1,8 +1,11 @@
 //! Property-based tests for the federated substrate.
 
+use fedgta_fed::round::sample_participants;
 use fedgta_fed::strategies::gcfl::dtw_distance;
 use fedgta_fed::strategies::{l2_norm, sub, weighted_average};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -89,6 +92,43 @@ proptest! {
     }
 
     #[test]
+    fn participant_samples_are_sorted_unique_and_sized(
+        n in 1usize..40,
+        participation in 0.0f64..1.5,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = sample_participants(n, participation, &mut rng);
+        // Sorted and duplicate-free.
+        prop_assert!(p.windows(2).all(|w| w[0] < w[1]));
+        // All in range.
+        prop_assert!(p.iter().all(|&i| i < n));
+        // Exactly clamp(round(n·participation), 1, n) participants.
+        let expect = ((n as f64 * participation).round() as usize).clamp(1, n);
+        prop_assert_eq!(p.len(), expect);
+    }
+
+    #[test]
+    fn participant_sampling_is_seed_stable(
+        n in 1usize..40,
+        participation in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        // Same seed ⇒ same subset; the round driver relies on this for
+        // thread-count-independent participation.
+        let a = sample_participants(n, participation, &mut StdRng::seed_from_u64(seed));
+        let b = sample_participants(n, participation, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_participation_selects_everyone(n in 1usize..40, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = sample_participants(n, 1.0, &mut rng);
+        prop_assert_eq!(p, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn sub_norm_triangle_inequality(
         a in proptest::collection::vec(-5.0f32..5.0, 1..8),
         b in proptest::collection::vec(-5.0f32..5.0, 1..8),
@@ -98,4 +138,10 @@ proptest! {
         prop_assert!(d <= l2_norm(&a) + l2_norm(&b) + 1e-6);
         prop_assert!(d >= (l2_norm(&a) - l2_norm(&b)).abs() - 1e-6);
     }
+}
+
+#[test]
+fn zero_clients_yield_no_participants() {
+    let mut rng = StdRng::seed_from_u64(0);
+    assert!(sample_participants(0, 1.0, &mut rng).is_empty());
 }

@@ -3,6 +3,33 @@
 //! Work is split into contiguous chunks so results are identical regardless
 //! of the number of worker threads; each output chunk is written by exactly
 //! one thread (no atomics, no locks on the hot path).
+//!
+//! Two granularities share the same determinism contract:
+//!
+//! - [`par_chunks_mut`]: row-chunked kernels (SpMM and friends) splitting
+//!   one output buffer;
+//! - [`par_map_indexed`]: a task scope mapping a closure over disjoint
+//!   `&mut` slots (e.g. federated clients), collecting results **in input
+//!   order** so downstream floating-point reductions are order-stable.
+//!
+//! Nested parallelism is suppressed: when a [`par_map_indexed`] worker
+//! calls back into either helper, the inner call runs inline on that
+//! worker. This keeps a client-parallel federated round from multiplying
+//! thread counts (outer × inner) while — by the determinism contract —
+//! changing no results.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Set while the current thread is a `par_map_indexed` worker; nested
+    /// parallel helpers then run inline instead of spawning again.
+    static IN_PARALLEL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when called from inside a [`par_map_indexed`] worker.
+pub fn in_parallel_worker() -> bool {
+    IN_PARALLEL_WORKER.with(|f| f.get())
+}
 
 /// Number of worker threads to use for parallel kernels.
 ///
@@ -10,12 +37,80 @@
 /// `FEDGTA_THREADS` environment variable (useful for benchmarking the
 /// scaling story or forcing single-threaded determinism checks).
 pub fn num_threads() -> usize {
+    resolve_threads(None)
+}
+
+/// Resolves a worker-thread count: an explicit non-zero request wins,
+/// otherwise the `FEDGTA_THREADS` environment variable, otherwise
+/// available parallelism. Always at least 1.
+///
+/// `Some(0)` and `None` both mean "no explicit request" so callers can
+/// plumb a plain `usize` config field (0 = auto) straight through.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        if n > 0 {
+            return n;
+        }
+    }
     if let Ok(s) = std::env::var("FEDGTA_THREADS") {
         if let Ok(n) = s.parse::<usize>() {
             return n.max(1);
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f(index, &mut items[index])` over every item, in parallel across
+/// `threads` workers (resolved via [`resolve_threads`]), returning the
+/// results **in item order**.
+///
+/// Determinism contract: each item is visited exactly once by exactly one
+/// worker, items never share state (disjoint `&mut` slots), and the output
+/// vector is assembled in input order on the caller's thread — so the
+/// result is bit-identical for any thread count provided `f` itself only
+/// touches its own item (plus shared immutable state).
+///
+/// Worker panics propagate to the caller as a panic after all workers have
+/// been joined. Runs inline (no spawning) when fewer than 2 items, when
+/// only one thread is resolved, or when already inside a parallel worker.
+pub fn par_map_indexed<T, R, F>(items: &mut [T], threads: Option<usize>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 || n < 2 || in_parallel_worker() {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let per = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    crossbeam::scope(|scope| {
+        let mut items_rest = &mut items[..];
+        let mut out_rest = &mut out[..];
+        let mut start = 0usize;
+        while start < n {
+            let take = per.min(n - start);
+            let (item_chunk, items_tail) = items_rest.split_at_mut(take);
+            let (out_chunk, out_tail) = out_rest.split_at_mut(take);
+            items_rest = items_tail;
+            out_rest = out_tail;
+            let fr = &f;
+            scope.spawn(move |_| {
+                IN_PARALLEL_WORKER.with(|flag| flag.set(true));
+                for (k, (item, slot)) in item_chunk.iter_mut().zip(out_chunk).enumerate() {
+                    *slot = Some(fr(start + k, item));
+                }
+            });
+            start += take;
+        }
+    })
+    .expect("parallel worker panicked");
+    out.into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
 }
 
 /// Runs `f(chunk_index, out_chunk, row_range)` over `out` split into
@@ -29,7 +124,7 @@ where
 {
     assert_eq!(out.len(), rows * row_size, "output buffer size mismatch");
     let threads = num_threads().min(rows.max(1));
-    if threads <= 1 || rows < 2 * threads {
+    if threads <= 1 || rows < 2 * threads || in_parallel_worker() {
         f(0, out, 0..rows);
         return;
     }
@@ -56,6 +151,12 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate the `FEDGTA_THREADS` environment
+    /// variable (the test harness runs tests concurrently and env vars are
+    /// process-global).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn chunks_cover_all_rows_once() {
@@ -90,5 +191,123 @@ mod tests {
     fn size_mismatch_panics() {
         let mut out = vec![0f32; 5];
         par_chunks_mut(&mut out, 2, 3, |_, _, _| {});
+    }
+
+    #[test]
+    fn map_indexed_returns_results_in_input_order() {
+        // Odd item count over several workers: chunk boundaries don't
+        // align, yet results must land at their input positions.
+        let mut items: Vec<u64> = (0..37).collect();
+        let got = par_map_indexed(&mut items, Some(8), |i, v| {
+            *v += 1;
+            (i as u64) * 100 + *v
+        });
+        for (i, r) in got.iter().enumerate() {
+            assert_eq!(*r, (i as u64) * 100 + i as u64 + 1);
+        }
+        assert_eq!(items, (1..=37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_indexed_parallel_matches_inline_bitwise() {
+        // The determinism contract itself: per-item results are computed
+        // independently, so any thread count yields identical bits.
+        let mut a: Vec<f32> = (0..25).map(|i| i as f32 * 0.37).collect();
+        let mut b = a.clone();
+        let one = par_map_indexed(&mut a, Some(1), |i, v| (*v * (i as f32 + 0.5)).sin());
+        let four = par_map_indexed(&mut b, Some(4), |i, v| (*v * (i as f32 + 0.5)).sin());
+        assert_eq!(one.len(), four.len());
+        for (x, y) in one.iter().zip(&four) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn map_indexed_handles_empty_and_singleton() {
+        let mut empty: Vec<i32> = vec![];
+        let got: Vec<i32> = par_map_indexed(&mut empty, Some(4), |_, v| *v);
+        assert!(got.is_empty());
+        // A single item takes the inline path (n < 2) even with many
+        // threads requested.
+        let mut one = vec![41];
+        let got = par_map_indexed(&mut one, Some(16), |i, v| {
+            assert_eq!(i, 0);
+            assert!(!in_parallel_worker(), "singleton must run inline");
+            *v + 1
+        });
+        assert_eq!(got, vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn map_indexed_propagates_worker_panics() {
+        let mut items: Vec<u32> = (0..8).collect();
+        par_map_indexed(&mut items, Some(4), |i, _| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn nested_calls_run_inline_inside_workers() {
+        // A worker calling back into par_map_indexed must not spawn again:
+        // the inner call sees IN_PARALLEL_WORKER and runs inline, and the
+        // combined result is still deterministic.
+        let mut outer: Vec<u32> = (0..6).collect();
+        let got = par_map_indexed(&mut outer, Some(3), |_, v| {
+            assert!(in_parallel_worker());
+            let mut inner: Vec<u32> = (0..4).map(|k| *v + k).collect();
+            let inner_sums = par_map_indexed(&mut inner, Some(3), |_, w| *w * 2);
+            inner_sums.iter().sum::<u32>()
+        });
+        let expect: Vec<u32> = (0..6u32)
+            .map(|v| (0..4).map(|k| (v + k) * 2).sum())
+            .collect();
+        assert_eq!(got, expect);
+        assert!(!in_parallel_worker(), "flag must not leak to the caller");
+    }
+
+    #[test]
+    fn resolve_threads_precedence() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let saved = std::env::var("FEDGTA_THREADS").ok();
+        // Explicit non-zero request always wins.
+        std::env::set_var("FEDGTA_THREADS", "7");
+        assert_eq!(resolve_threads(Some(3)), 3);
+        // 0 / None fall back to the environment variable.
+        assert_eq!(resolve_threads(Some(0)), 7);
+        assert_eq!(resolve_threads(None), 7);
+        assert_eq!(num_threads(), 7);
+        // An unparsable value is ignored; a zero value clamps to 1.
+        std::env::set_var("FEDGTA_THREADS", "0");
+        assert_eq!(resolve_threads(None), 1);
+        std::env::set_var("FEDGTA_THREADS", "not-a-number");
+        assert!(resolve_threads(None) >= 1);
+        match saved {
+            Some(v) => std::env::set_var("FEDGTA_THREADS", v),
+            None => std::env::remove_var("FEDGTA_THREADS"),
+        }
+    }
+
+    #[test]
+    fn env_single_thread_forces_inline_map() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let saved = std::env::var("FEDGTA_THREADS").ok();
+        std::env::set_var("FEDGTA_THREADS", "1");
+        let mut items: Vec<u32> = (0..12).collect();
+        let got = par_map_indexed(&mut items, None, |i, v| {
+            assert!(
+                !in_parallel_worker(),
+                "FEDGTA_THREADS=1 must take the inline path"
+            );
+            *v + i as u32
+        });
+        assert_eq!(got, (0..12).map(|i| 2 * i).collect::<Vec<_>>());
+        match saved {
+            Some(v) => std::env::set_var("FEDGTA_THREADS", v),
+            None => std::env::remove_var("FEDGTA_THREADS"),
+        }
     }
 }

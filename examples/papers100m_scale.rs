@@ -69,6 +69,7 @@ fn main() {
             participation: 0.2, // 40 of 200 clients per round
             eval_every: 2,
             seed: 5,
+            threads: 0, // auto: one worker per core, clients chunked across them
         },
     );
     for r in sim.run() {

@@ -1,0 +1,95 @@
+//! Offline shim for the subset of `crossbeam 0.8` this workspace uses:
+//! `crossbeam::scope` / `crossbeam::thread::scope` scoped threads.
+//!
+//! Implemented directly on `std::thread::scope` (stable since 1.63), with a
+//! `catch_unwind` wrapper so worker panics surface as `Err(payload)` like
+//! crossbeam's API instead of unwinding through the caller.
+
+/// Scoped-thread module mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::thread::ScopedJoinHandle;
+
+    /// A scope handle passed to [`scope`]'s closure and to spawned workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives the scope handle
+        /// (crossbeam's signature), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed data may be sent to worker
+    /// threads; joins all workers before returning. Returns `Err` with the
+    /// panic payload when any unjoined worker panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use super::scope;
+
+    #[test]
+    fn workers_see_borrowed_data_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| s.spawn(move |_| x * 10))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn disjoint_mut_chunks_are_writable() {
+        let mut buf = vec![0u32; 8];
+        scope(|s| {
+            let (a, b) = buf.split_at_mut(4);
+            s.spawn(move |_| a.fill(1));
+            s.spawn(move |_| b.fill(2));
+        })
+        .unwrap();
+        assert_eq!(buf, vec![1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("worker exploded"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let n = scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 7u32).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+}

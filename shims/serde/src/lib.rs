@@ -1,0 +1,12 @@
+//! Offline shim for the subset of `serde 1.0` this workspace uses: the
+//! `Serialize`/`Deserialize` derive macros (no-op expansion) and marker
+//! traits so `use serde::{Serialize, Deserialize}` keeps compiling.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
