@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the register-blocked kernels against the
+//! retained naive scalars, at MLP-head and GCN-layer shapes.
+//!
+//! The authoritative GFLOP/s numbers come from the `kernels` bench binary
+//! (which also counts allocations); this harness keeps the same kernels
+//! visible in `cargo bench` alongside the other component benches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedgta_graph::spmm::spmm_into;
+use fedgta_graph::EdgeList;
+use fedgta_nn::ops::{self, matmul_bias_relu_into, matmul_into, matmul_nt_into, matmul_tn_into};
+use fedgta_nn::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn filled(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.random::<f32>() - 0.5).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn bench_matmul_family(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut g = c.benchmark_group("matmul_blocked");
+    for n in [2000usize, 8000] {
+        let (f, h) = (128usize, 64usize);
+        let x = filled(n, f, &mut rng);
+        let w = filled(f, h, &mut rng);
+        let dy = filled(n, h, &mut rng);
+        let bias = vec![0.01f32; h];
+        let mut fwd = vec![0f32; n * h];
+        let mut dw = vec![0f32; f * h];
+        let mut dx = vec![0f32; n * f];
+        g.bench_with_input(BenchmarkId::new("matmul", n), &n, |b, _| {
+            b.iter(|| matmul_into(x.view(), w.view(), black_box(&mut fwd)));
+        });
+        g.bench_with_input(BenchmarkId::new("fused_bias_relu", n), &n, |b, _| {
+            b.iter(|| matmul_bias_relu_into(x.view(), w.view(), &bias, black_box(&mut fwd)));
+        });
+        g.bench_with_input(BenchmarkId::new("matmul_tn", n), &n, |b, _| {
+            b.iter(|| matmul_tn_into(x.view(), dy.view(), black_box(&mut dw)));
+        });
+        g.bench_with_input(BenchmarkId::new("matmul_nt", n), &n, |b, _| {
+            b.iter(|| matmul_nt_into(dy.view(), w.view(), black_box(&mut dx)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_blocked_vs_naive(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let d = 256usize;
+    let a = filled(d, d, &mut rng);
+    let b2 = filled(d, d, &mut rng);
+    let mut out = vec![0f32; d * d];
+    let mut g = c.benchmark_group("matmul_256_cubed");
+    g.bench_function("blocked", |b| {
+        b.iter(|| matmul_into(a.view(), b2.view(), black_box(&mut out)));
+    });
+    g.bench_function("naive", |b| {
+        b.iter(|| black_box(ops::naive::matmul(&a, &b2)));
+    });
+    g.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let n = 8000usize;
+    let mut el = EdgeList::new(n);
+    for i in 0..n as u32 {
+        for d in 1..=5u32 {
+            let j = (i + d) % n as u32;
+            if i < j {
+                el.push_undirected(i, j).unwrap();
+            }
+        }
+    }
+    let a = el.to_csr();
+    let mut g = c.benchmark_group("spmm_blocked_8k");
+    for cols in [64usize, 500] {
+        let x = filled(n, cols, &mut rng);
+        let mut y = vec![0f32; n * cols];
+        g.bench_with_input(BenchmarkId::from_parameter(cols), &cols, |b, &cols| {
+            b.iter(|| spmm_into(&a, x.as_slice(), cols, black_box(&mut y)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul_family, bench_blocked_vs_naive, bench_spmm);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! `kernels` — the kernel microbenchmark binary.
+//!
+//! ```text
+//! cargo run --release -p fedgta-bench --bin kernels            # full grid
+//! cargo run --release -p fedgta-bench --bin kernels -- --test  # CI smoke
+//! cargo run --release -p fedgta-bench --bin kernels -- --out path.json
+//! ```
+//!
+//! Installs the counting allocator so every `_into` kernel's allocation
+//! count is measured (the `blocked matmul ≥ 2× naive` and `0 allocs per
+//! call` claims in EXPERIMENTS.md come from this binary's output).
+
+use fedgta_bench::alloc::{alloc_count, CountingAlloc};
+use fedgta_bench::kernels;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test");
+    let out = fedgta_bench::arg_value("--out").unwrap_or_else(|| "BENCH_KERNELS.json".into());
+    let report = kernels::run(quick, Some(alloc_count));
+    print!("{}", kernels::render_table(&report));
+    let json = kernels::to_json(&report);
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    // In full mode the acceptance bar is part of the binary itself so a
+    // regression fails loudly, not silently in a stale JSON file.
+    if !quick && report.matmul_speedup_vs_naive < 2.0 {
+        eprintln!(
+            "error: blocked matmul only {:.2}x naive at {}^3 (need >= 2.0x)",
+            report.matmul_speedup_vs_naive, report.anchor_dim
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,423 @@
+//! Kernel microbenchmark suite: GFLOP/s and allocation counts for the
+//! register-blocked dense kernels and the column-blocked SpMM.
+//!
+//! Two entry points consume this module:
+//!
+//! - the `kernels` bench binary (`cargo run --release -p fedgta-bench --bin
+//!   kernels`), which installs a counting allocator and writes
+//!   `BENCH_KERNELS.json`;
+//! - `fedgta-cli bench kernels [--test ...]`, the runner subcommand (no
+//!   allocator instrumentation — allocation counts are reported as `null`).
+//!
+//! The shape grid follows the training hot path: row counts `n ∈ {2k, 8k,
+//! 32k}` (nodes per client subgraph) × feature widths `f ∈ {64, 128, 500}`
+//! (hidden width … Cora-scale input width), with a 64-wide output. A
+//! square `512³` head-to-head against the retained scalar kernels
+//! (`fedgta_nn::ops::naive`) anchors the before/after comparison.
+//! `--test` mode shrinks every shape and runs one iteration per cell so CI
+//! can smoke the whole pipeline in under a second.
+
+use fedgta_graph::spmm::spmm_into;
+use fedgta_graph::{Csr, EdgeList};
+use fedgta_nn::ops::{
+    self, matmul_bias_relu_into, matmul_into, matmul_nt_into, matmul_tn_into,
+};
+use fedgta_nn::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Reads the process-wide allocation counter (monotone), when the host
+/// binary installed one (see [`crate::alloc`]).
+pub type AllocCounter = fn() -> u64;
+
+/// One timed cell of the benchmark grid.
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    /// Kernel name (`matmul`, `matmul_tn`, `matmul_nt`, `matmul_bias_relu`,
+    /// `spmm`).
+    pub kernel: &'static str,
+    /// `blocked` (this PR's kernels) or `naive` (retained seed scalars).
+    pub variant: &'static str,
+    /// Output rows / left rows.
+    pub m: usize,
+    /// Inner dimension (dense) or feature width (spmm).
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Throughput in GFLOP/s (`2·m·k·n` flops per dense call,
+    /// `2·nnz·cols` per spmm call).
+    pub gflops: f64,
+    /// Wall time per call in nanoseconds.
+    pub ns_per_call: f64,
+    /// Heap allocations per `_into` call with pre-allocated buffers
+    /// (`None` when the host binary has no counting allocator).
+    pub allocs_per_call: Option<u64>,
+}
+
+/// The full report: grid results plus the naive-vs-blocked anchor.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// `"quick"` (`--test`) or `"full"`.
+    pub mode: &'static str,
+    /// Worker threads the kernels ran with (`FEDGTA_THREADS`).
+    pub threads: usize,
+    /// All timed cells, including the square anchor shapes.
+    pub results: Vec<KernelResult>,
+    /// `blocked GFLOP/s ÷ naive GFLOP/s` for `matmul` at the anchor shape.
+    pub matmul_speedup_vs_naive: f64,
+    /// Side length of the square anchor (`512` full, `96` quick).
+    pub anchor_dim: usize,
+}
+
+fn filled(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.random::<f32>() - 0.5).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Ring-lattice graph: node `i` links to `i±1..=i±5` (≈10 neighbors),
+/// deterministic and degree-uniform — a stand-in for a client subgraph.
+fn lattice(n: usize) -> Csr {
+    let mut el = EdgeList::new(n);
+    for i in 0..n as u32 {
+        for d in 1..=5u32 {
+            let j = (i + d) % n as u32;
+            if i < j {
+                el.push_undirected(i, j).expect("in range");
+            }
+        }
+    }
+    el.to_csr()
+}
+
+/// Times `f` (called repeatedly) and returns (ns/call, calls made).
+/// Runs one warmup call, then batches until `min_ns` elapsed or `max_calls`.
+fn time_fn(mut f: impl FnMut(), min_ns: u64, max_calls: usize) -> (f64, usize) {
+    f(); // warmup (pulls operands into cache, faults pages)
+    let start = Instant::now();
+    let mut calls = 0usize;
+    loop {
+        f();
+        calls += 1;
+        let elapsed = start.elapsed().as_nanos() as u64;
+        if elapsed >= min_ns || calls >= max_calls {
+            return (elapsed as f64 / calls as f64, calls);
+        }
+    }
+}
+
+/// Allocations across one call of `f` (0 expected for `_into` kernels).
+fn count_allocs(counter: Option<AllocCounter>, mut f: impl FnMut()) -> Option<u64> {
+    counter.map(|c| {
+        let before = c();
+        f();
+        c() - before
+    })
+}
+
+struct Grid {
+    rows: Vec<usize>,
+    feats: Vec<usize>,
+    out_cols: usize,
+    anchor: usize,
+    min_ns: u64,
+    max_calls: usize,
+}
+
+impl Grid {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Self {
+                rows: vec![256],
+                feats: vec![32],
+                out_cols: 16,
+                anchor: 96,
+                min_ns: 0,
+                max_calls: 1,
+            }
+        } else {
+            Self {
+                rows: vec![2_000, 8_000, 32_000],
+                feats: vec![64, 128, 500],
+                out_cols: 64,
+                anchor: 512,
+                min_ns: 150_000_000,
+                max_calls: 20,
+            }
+        }
+    }
+}
+
+/// Runs the suite. `quick` is the CI `--test` mode; `counter` enables
+/// allocation counting when the host binary installed [`crate::alloc`].
+pub fn run(quick: bool, counter: Option<AllocCounter>) -> KernelReport {
+    let grid = Grid::new(quick);
+    let mut rng = StdRng::seed_from_u64(0x5eed_be4c);
+    let mut results = Vec::new();
+
+    // --- Dense grid: training-shaped operands -------------------------
+    for &n_rows in &grid.rows {
+        for &f_in in &grid.feats {
+            let h = grid.out_cols;
+            let x = filled(n_rows, f_in, &mut rng); // features / propagated
+            let w = filled(f_in, h, &mut rng); // weights
+            let dy = filled(n_rows, h, &mut rng); // output gradient
+            let bias = vec![0.01f32; h];
+            let mut out_fwd = vec![0f32; n_rows * h];
+            let mut out_dw = vec![0f32; f_in * h];
+            let mut out_dx = vec![0f32; n_rows * f_in];
+            let flops_fwd = 2.0 * n_rows as f64 * f_in as f64 * h as f64;
+
+            // matmul: Z = X · W
+            let (ns, _) = time_fn(
+                || matmul_into(x.view(), w.view(), &mut out_fwd),
+                grid.min_ns,
+                grid.max_calls,
+            );
+            let allocs =
+                count_allocs(counter, || matmul_into(x.view(), w.view(), &mut out_fwd));
+            results.push(KernelResult {
+                kernel: "matmul",
+                variant: "blocked",
+                m: n_rows,
+                k: f_in,
+                n: h,
+                gflops: flops_fwd / ns,
+                ns_per_call: ns,
+                allocs_per_call: allocs,
+            });
+
+            // fused epilogue: Z = relu(X · W + b)
+            let (ns, _) = time_fn(
+                || matmul_bias_relu_into(x.view(), w.view(), &bias, &mut out_fwd),
+                grid.min_ns,
+                grid.max_calls,
+            );
+            let allocs = count_allocs(counter, || {
+                matmul_bias_relu_into(x.view(), w.view(), &bias, &mut out_fwd)
+            });
+            results.push(KernelResult {
+                kernel: "matmul_bias_relu",
+                variant: "blocked",
+                m: n_rows,
+                k: f_in,
+                n: h,
+                gflops: flops_fwd / ns,
+                ns_per_call: ns,
+                allocs_per_call: allocs,
+            });
+
+            // matmul_tn: dW = Xᵀ · dY
+            let (ns, _) = time_fn(
+                || matmul_tn_into(x.view(), dy.view(), &mut out_dw),
+                grid.min_ns,
+                grid.max_calls,
+            );
+            let allocs =
+                count_allocs(counter, || matmul_tn_into(x.view(), dy.view(), &mut out_dw));
+            results.push(KernelResult {
+                kernel: "matmul_tn",
+                variant: "blocked",
+                m: n_rows,
+                k: f_in,
+                n: h,
+                gflops: flops_fwd / ns,
+                ns_per_call: ns,
+                allocs_per_call: allocs,
+            });
+
+            // matmul_nt: dX = dY · Wᵀ
+            let (ns, _) = time_fn(
+                || matmul_nt_into(dy.view(), w.view(), &mut out_dx),
+                grid.min_ns,
+                grid.max_calls,
+            );
+            let allocs =
+                count_allocs(counter, || matmul_nt_into(dy.view(), w.view(), &mut out_dx));
+            results.push(KernelResult {
+                kernel: "matmul_nt",
+                variant: "blocked",
+                m: n_rows,
+                k: f_in,
+                n: h,
+                gflops: flops_fwd / ns,
+                ns_per_call: ns,
+                allocs_per_call: allocs,
+            });
+
+            // spmm: Y = A · X over the ring lattice (≈10 nnz/row)
+            let a = lattice(n_rows);
+            let nnz = a.num_edges();
+            let mut y = vec![0f32; n_rows * f_in];
+            let spmm_flops = 2.0 * nnz as f64 * f_in as f64;
+            let (ns, _) = time_fn(
+                || spmm_into(&a, x.as_slice(), f_in, &mut y),
+                grid.min_ns,
+                grid.max_calls,
+            );
+            let allocs = count_allocs(counter, || spmm_into(&a, x.as_slice(), f_in, &mut y));
+            results.push(KernelResult {
+                kernel: "spmm",
+                variant: "blocked",
+                m: n_rows,
+                k: f_in,
+                n: f_in,
+                gflops: spmm_flops / ns,
+                ns_per_call: ns,
+                allocs_per_call: allocs,
+            });
+        }
+    }
+
+    // --- Square anchor: blocked vs retained naive scalars -------------
+    let d = grid.anchor;
+    let a = filled(d, d, &mut rng);
+    let b = filled(d, d, &mut rng);
+    let mut out = vec![0f32; d * d];
+    let flops = 2.0 * (d as f64).powi(3);
+    let (ns_blocked, _) = time_fn(
+        || matmul_into(a.view(), b.view(), &mut out),
+        grid.min_ns,
+        grid.max_calls,
+    );
+    let blocked_gflops = flops / ns_blocked;
+    results.push(KernelResult {
+        kernel: "matmul",
+        variant: "blocked",
+        m: d,
+        k: d,
+        n: d,
+        gflops: blocked_gflops,
+        ns_per_call: ns_blocked,
+        allocs_per_call: count_allocs(counter, || {
+            matmul_into(a.view(), b.view(), &mut out)
+        }),
+    });
+    let (ns_naive, _) = time_fn(
+        || {
+            std::hint::black_box(ops::naive::matmul(&a, &b));
+        },
+        grid.min_ns,
+        grid.max_calls,
+    );
+    let naive_gflops = flops / ns_naive;
+    results.push(KernelResult {
+        kernel: "matmul",
+        variant: "naive",
+        m: d,
+        k: d,
+        n: d,
+        gflops: naive_gflops,
+        ns_per_call: ns_naive,
+        allocs_per_call: None,
+    });
+
+    KernelReport {
+        mode: if quick { "quick" } else { "full" },
+        threads: fedgta_graph::par::num_threads(),
+        results,
+        matmul_speedup_vs_naive: blocked_gflops / naive_gflops,
+        anchor_dim: d,
+    }
+}
+
+/// Hand-rolled JSON (the vendored serde shim is a no-op, so the report
+/// serializes itself).
+pub fn to_json(r: &KernelReport) -> String {
+    let mut s = String::with_capacity(4096);
+    s.push_str("{\n");
+    s.push_str(&format!("  \"mode\": \"{}\",\n", r.mode));
+    s.push_str(&format!("  \"threads\": {},\n", r.threads));
+    s.push_str(&format!("  \"anchor_dim\": {},\n", r.anchor_dim));
+    s.push_str(&format!(
+        "  \"matmul_speedup_vs_naive\": {:.3},\n",
+        r.matmul_speedup_vs_naive
+    ));
+    s.push_str("  \"results\": [\n");
+    for (i, k) in r.results.iter().enumerate() {
+        let allocs = match k.allocs_per_call {
+            Some(a) => a.to_string(),
+            None => "null".to_string(),
+        };
+        s.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"variant\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+             \"gflops\": {:.4}, \"ns_per_call\": {:.0}, \"allocs_per_call\": {}}}{}\n",
+            k.kernel,
+            k.variant,
+            k.m,
+            k.k,
+            k.n,
+            k.gflops,
+            k.ns_per_call,
+            allocs,
+            if i + 1 < r.results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Plain-text table for terminal output.
+pub fn render_table(r: &KernelReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "kernel bench ({} mode, {} thread{})\n",
+        r.mode,
+        r.threads,
+        if r.threads == 1 { "" } else { "s" }
+    ));
+    s.push_str(&format!(
+        "{:<18} {:>8} {:>7} {:>6} {:>6} {:>10} {:>8}\n",
+        "kernel", "variant", "m", "k", "n", "GFLOP/s", "allocs"
+    ));
+    for k in &r.results {
+        let allocs = match k.allocs_per_call {
+            Some(a) => a.to_string(),
+            None => "-".to_string(),
+        };
+        s.push_str(&format!(
+            "{:<18} {:>8} {:>7} {:>6} {:>6} {:>10.3} {:>8}\n",
+            k.kernel, k.variant, k.m, k.k, k.n, k.gflops, allocs
+        ));
+    }
+    s.push_str(&format!(
+        "matmul blocked vs naive at {0}x{0}x{0}: {1:.2}x\n",
+        r.anchor_dim, r.matmul_speedup_vs_naive
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_produces_full_grid_and_valid_json() {
+        let r = run(true, None);
+        // 1 row x 1 feat x 5 kernels + 2 anchor rows.
+        assert_eq!(r.results.len(), 7);
+        assert!(r.results.iter().all(|k| k.gflops > 0.0));
+        let json = to_json(&r);
+        assert!(json.contains("\"matmul_speedup_vs_naive\""));
+        assert!(json.contains("\"variant\": \"naive\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn alloc_counter_reports_zero_for_into_kernels() {
+        // With a fake counter that never moves, every cell reports 0.
+        fn frozen() -> u64 {
+            0
+        }
+        let r = run(true, Some(frozen));
+        for k in r.results.iter().filter(|k| k.variant == "blocked") {
+            assert_eq!(k.allocs_per_call, Some(0), "{} allocated", k.kernel);
+        }
+    }
+}

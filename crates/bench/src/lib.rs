@@ -6,7 +6,9 @@
 //! `R` rounds over `runs` seeds, and reports `mean ± std` best test
 //! accuracy — the exact protocol behind the paper's tables.
 
+pub mod alloc;
 pub mod format;
+pub mod kernels;
 pub mod plot;
 pub mod runner;
 

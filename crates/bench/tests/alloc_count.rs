@@ -1,0 +1,130 @@
+//! Allocation-budget test: one MLP training epoch through a warm
+//! [`Workspace`] performs O(1) heap allocations — a small constant that
+//! does not grow with batch size, layer width, or epoch count — and the
+//! `_into` kernels themselves perform exactly zero.
+//!
+//! Lives in `fedgta-bench` (not `fedgta-nn`) because the counting
+//! allocator building blocks are here and `nn` cannot depend back on
+//! `bench`. Kept to a single `#[test]` fn: `#[global_allocator]` is
+//! per-binary and the test pins `FEDGTA_THREADS=1` (process-global env)
+//! so the parallel helpers run inline instead of spawning scoped worker
+//! threads, whose stacks would otherwise count against the budget.
+
+use fedgta_bench::alloc::{alloc_count, CountingAlloc};
+use fedgta_graph::par::refresh_thread_env;
+use fedgta_nn::loss::softmax_ce;
+use fedgta_nn::ops::{matmul_bias_relu_into, matmul_into, matmul_nt_into, matmul_tn_into};
+use fedgta_nn::optim::Optimizer;
+use fedgta_nn::{Adam, Matrix, Mlp, Workspace};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn gen(r: usize, c: usize, seed: u64) -> Matrix {
+    Matrix::from_vec(
+        r,
+        c,
+        (0..r * c)
+            .map(|i| {
+                (((i as u64).wrapping_mul(2654435761).wrapping_add(seed * 7919) % 97) as f32
+                    / 48.5)
+                    - 1.0
+            })
+            .collect(),
+    )
+}
+
+/// One full supervised epoch: forward (train mode, dropout), hard-label
+/// CE, backward, Adam step, then return every buffer to the pool.
+fn epoch(
+    mlp: &mut Mlp,
+    x: &Matrix,
+    labels: &[u32],
+    rows: &[u32],
+    opt: &mut Adam,
+    ws: &mut Workspace,
+) -> f32 {
+    let (logits, cache) = mlp.forward_ws(x, true, ws);
+    let (loss, d_logits) = softmax_ce(&logits, labels, rows);
+    let (grads, dx) = mlp.backward_ws(&cache, &d_logits, None, ws);
+    opt.step(mlp.params_mut(), &grads);
+    ws.give(grads);
+    ws.give_matrix(dx);
+    ws.give_matrix(d_logits);
+    ws.give_matrix(logits);
+    cache.recycle(ws);
+    loss
+}
+
+#[test]
+fn mlp_epoch_is_o1_allocations_and_kernels_are_zero() {
+    // Inline execution: worker threads would allocate stacks/channels.
+    std::env::set_var("FEDGTA_THREADS", "1");
+    refresh_thread_env();
+
+    let n = 128;
+    let x = gen(n, 32, 1);
+    let labels: Vec<u32> = (0..n as u32).map(|i| i % 7).collect();
+    let train_rows: Vec<u32> = (0..n as u32).filter(|i| i % 3 == 0).collect();
+    let mut mlp = Mlp::new(&[32, 64, 7], 0.5, 42);
+    let mut opt = Adam::new(1e-2, 5e-4);
+    let mut ws = Workspace::new();
+
+    // Two warmup epochs: the first populates the workspace pool and
+    // Adam's moment buffers; the second settles best-fit reuse.
+    let l0 = epoch(&mut mlp, &x, &labels, &train_rows, &mut opt, &mut ws);
+    epoch(&mut mlp, &x, &labels, &train_rows, &mut opt, &mut ws);
+
+    // Steady state: each epoch pays only the loss layer's fresh gradient
+    // matrix, the softmax probability copy, and the two small pointer
+    // `Vec`s holding the forward cache — 4 allocations, a constant
+    // independent of batch size, width, and epoch count. Every f32
+    // buffer on the MLP path proper (activations, dropout masks, grads,
+    // dx) must come from the pool.
+    const EPOCH_BUDGET: u64 = 8;
+    let mut per_epoch = Vec::new();
+    for _ in 0..3 {
+        let before = alloc_count();
+        let loss = epoch(&mut mlp, &x, &labels, &train_rows, &mut opt, &mut ws);
+        per_epoch.push(alloc_count() - before);
+        assert!(loss.is_finite());
+    }
+    eprintln!("per-epoch heap allocations: {per_epoch:?}");
+    for (e, &count) in per_epoch.iter().enumerate() {
+        assert!(
+            count <= EPOCH_BUDGET,
+            "epoch {e}: {count} heap allocations (budget {EPOCH_BUDGET}); \
+             the workspace pool is leaking buffers"
+        );
+    }
+    assert_eq!(
+        per_epoch[0], per_epoch[1],
+        "per-epoch allocation count is not constant: {per_epoch:?}"
+    );
+    assert_eq!(
+        per_epoch[1], per_epoch[2],
+        "per-epoch allocation count is not constant: {per_epoch:?}"
+    );
+    assert!(l0.is_finite());
+
+    // The `_into` kernels themselves: exactly zero allocations once the
+    // output buffers exist.
+    let a = gen(33, 17, 2);
+    let b = gen(17, 9, 3);
+    let bt = gen(17, 9, 4);
+    let dy = gen(33, 9, 5);
+    let bias: Vec<f32> = (0..9).map(|i| i as f32 * 0.1).collect();
+    let mut out_mn = vec![0f32; 33 * 9];
+    let mut out_kn = vec![0f32; 17 * 9];
+    let mut out_mk = vec![0f32; 33 * 17];
+    let before = alloc_count();
+    matmul_into(a.view(), b.view(), &mut out_mn);
+    matmul_bias_relu_into(a.view(), b.view(), &bias, &mut out_mn);
+    matmul_tn_into(a.view(), dy.view(), &mut out_kn);
+    matmul_nt_into(dy.view(), bt.view(), &mut out_mk);
+    let delta = alloc_count() - before;
+    assert_eq!(delta, 0, "_into kernels allocated {delta} times");
+
+    std::env::remove_var("FEDGTA_THREADS");
+    refresh_thread_env();
+}

@@ -6,11 +6,15 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed command line: a subcommand plus `--key value` flags.
+/// Parsed command line: a command, an optional subcommand, and
+/// `--key value` flags.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
     /// The first positional argument.
     pub command: String,
+    /// An optional second positional argument (e.g. `bench kernels`).
+    /// Only allowed directly after the command, before any flags.
+    pub subcommand: Option<String>,
     flags: BTreeMap<String, String>,
 }
 
@@ -52,16 +56,25 @@ impl Args {
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ArgError> {
         let mut it = argv.into_iter();
         let command = it.next().ok_or(ArgError::MissingCommand)?;
+        let mut subcommand = None;
         let mut flags = BTreeMap::new();
+        let mut first = true;
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
                 let val = it.next().ok_or_else(|| ArgError::MissingValue(key.to_string()))?;
                 flags.insert(key.to_string(), val);
+            } else if first {
+                subcommand = Some(tok);
             } else {
                 return Err(ArgError::UnexpectedPositional(tok));
             }
+            first = false;
         }
-        Ok(Self { command, flags })
+        Ok(Self {
+            command,
+            subcommand,
+            flags,
+        })
     }
 
     /// A string flag with a default.
@@ -98,9 +111,18 @@ mod tests {
     fn parses_command_and_flags() {
         let a = parse(&["run", "--dataset", "cora", "--rounds", "30"]).unwrap();
         assert_eq!(a.command, "run");
+        assert_eq!(a.subcommand, None);
         assert_eq!(a.str_or("dataset", "x"), "cora");
         assert_eq!(a.num_or("rounds", 0usize).unwrap(), 30);
         assert_eq!(a.num_or("clients", 10usize).unwrap(), 10);
+    }
+
+    #[test]
+    fn parses_optional_subcommand() {
+        let a = parse(&["bench", "kernels", "--mode", "quick"]).unwrap();
+        assert_eq!(a.command, "bench");
+        assert_eq!(a.subcommand.as_deref(), Some("kernels"));
+        assert_eq!(a.str_or("mode", "full"), "quick");
     }
 
     #[test]
@@ -110,9 +132,14 @@ mod tests {
             parse(&["run", "--dataset"]),
             Err(ArgError::MissingValue("dataset".into()))
         );
+        // A subcommand is only allowed immediately after the command.
         assert_eq!(
-            parse(&["run", "oops"]),
-            Err(ArgError::UnexpectedPositional("oops".into()))
+            parse(&["run", "one", "two"]),
+            Err(ArgError::UnexpectedPositional("two".into()))
+        );
+        assert_eq!(
+            parse(&["run", "--rounds", "3", "late"]),
+            Err(ArgError::UnexpectedPositional("late".into()))
         );
     }
 

@@ -28,9 +28,37 @@ USAGE:
                        [--split louvain|metis] [--participation F] [--seed N]
                        [--threads N]           (0 = auto; results are
                                                 identical for any value)
-                       [--save-params <file>]  (checkpoint of client 0's model)",
+                       [--save-params <file>]  (checkpoint of client 0's model)
+  fedgta-cli bench kernels [--mode quick|full] [--out <file.json>]
+                       (GFLOP/s of the blocked compute kernels; 'quick' is
+                        the CI smoke grid, 'full' the training-shaped grid)",
         STRATEGY_NAMES.join("|")
     );
+}
+
+/// `bench kernels`: run the kernel microbenchmark suite.
+pub fn bench(a: &Args) -> CliResult {
+    match a.subcommand.as_deref() {
+        Some("kernels") => {}
+        Some(other) => return Err(format!("unknown bench suite '{other}' (try 'kernels')").into()),
+        None => return Err("bench needs a suite, e.g. 'fedgta-cli bench kernels'".into()),
+    }
+    let mode = a.str_or("mode", "full");
+    let quick = match mode.as_str() {
+        "quick" => true,
+        "full" => false,
+        other => return Err(format!("unknown --mode '{other}' (quick|full)").into()),
+    };
+    // No counting allocator in the CLI binary (it would tax every other
+    // subcommand); allocation counts come from the dedicated `kernels`
+    // bench binary and are reported as '-' here.
+    let report = fedgta_bench::kernels::run(quick, None);
+    print!("{}", fedgta_bench::kernels::render_table(&report));
+    if let Some(out) = a.str_opt("out") {
+        std::fs::write(out, fedgta_bench::kernels::to_json(&report))?;
+        println!("wrote {out}");
+    }
+    Ok(())
 }
 
 fn parse_split(s: &str) -> Result<SplitKind, String> {

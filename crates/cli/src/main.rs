@@ -8,6 +8,7 @@
 //! fedgta-cli run       --dataset cora --strategy FedGTA --model gamlp
 //!                      [--clients 10] [--rounds 30] [--epochs 3]
 //!                      [--split louvain] [--participation 1.0] [--seed 0]
+//! fedgta-cli bench kernels [--mode quick|full] [--out kernels.json]
 //! ```
 
 mod args;
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "generate" => commands::generate(&parsed),
         "partition" => commands::partition(&parsed),
         "run" => commands::run(&parsed),
+        "bench" => commands::bench(&parsed),
         "help" | "--help" | "-h" => {
             commands::print_help();
             Ok(())

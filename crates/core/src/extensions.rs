@@ -12,7 +12,7 @@
 //!    training, such as k-layer propagated features".
 
 use crate::moments::{mixed_moments, MomentKind};
-use fedgta_graph::spmm::propagate_steps;
+use fedgta_graph::spmm::propagate_steps_into;
 use fedgta_graph::Csr;
 use fedgta_nn::Matrix;
 use serde::{Deserialize, Serialize};
@@ -79,12 +79,14 @@ pub fn feature_moment_sketch(
     for i in 0..n {
         sliced.row_mut(i).copy_from_slice(&features.row(i)[..dims]);
     }
-    let steps_raw = propagate_steps(adj_norm, sliced.as_slice(), dims, k)
+    // The borrowing variant yields exactly the k propagated steps — hop 0
+    // (raw features) is excluded by construction, mirroring the
+    // label-moment convention without materializing and discarding it.
+    let mut hops: Vec<Vec<f32>> = Vec::new();
+    propagate_steps_into(adj_norm, sliced.as_slice(), dims, k, &mut hops)
         .expect("adjacency and features share node count");
-    // Drop step 0 (raw features) to mirror the label-moment convention.
-    let steps: Vec<Matrix> = steps_raw
+    let steps: Vec<Matrix> = hops
         .into_iter()
-        .skip(1)
         .map(|s| Matrix::from_vec(n, dims, s))
         .collect();
     let mut sketch = mixed_moments(&steps, order, kind);

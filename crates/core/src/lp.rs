@@ -20,16 +20,24 @@ pub fn label_propagation(adj_norm: &Csr, soft_labels: &Matrix, k: usize, alpha: 
         "adjacency and label rows must agree"
     );
     let (n, c) = soft_labels.shape();
-    let mut steps = Vec::with_capacity(k);
-    let mut cur = soft_labels.clone();
+    let y = soft_labels.as_slice();
+    let one_minus = 1.0 - alpha;
+    let mut steps: Vec<Matrix> = Vec::with_capacity(k);
     let mut prop = vec![0f32; n * c];
-    for _ in 0..k {
-        spmm_into(adj_norm, cur.as_slice(), c, &mut prop);
-        let mut next = Matrix::from_vec(n, c, prop.clone());
-        next.scale(1.0 - alpha);
-        next.axpy(alpha, soft_labels);
-        steps.push(next.clone());
-        cur = next;
+    for s in 0..k {
+        // Previous step borrowed from the output vec — no `cur` clone.
+        let cur = if s == 0 { y } else { steps[s - 1].as_slice() };
+        spmm_into(adj_norm, cur, c, &mut prop);
+        // Fused `(1−α)·prop + α·Ŷ⁰` epilogue: one allocation per retained
+        // step (it must be returned), zero intermediate copies. The
+        // per-element expression matches the seed's scale-then-axpy order
+        // bit for bit.
+        let next: Vec<f32> = prop
+            .iter()
+            .zip(y)
+            .map(|(&p, &yv)| p * one_minus + alpha * yv)
+            .collect();
+        steps.push(Matrix::from_vec(n, c, next));
     }
     steps
 }

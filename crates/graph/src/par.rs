@@ -19,6 +19,7 @@
 //! changing no results.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 thread_local! {
     /// Set while the current thread is a `par_map_indexed` worker; nested
@@ -46,18 +47,52 @@ pub fn num_threads() -> usize {
 ///
 /// `Some(0)` and `None` both mean "no explicit request" so callers can
 /// plumb a plain `usize` config field (0 = auto) straight through.
+///
+/// The environment variable and core count are read **once** and cached
+/// for the life of the process: `std::env::var` heap-allocates and this
+/// function sits on the allocation-free kernel hot path (every
+/// [`par_chunks_mut`] call resolves a thread count). Tests that mutate
+/// `FEDGTA_THREADS` must call [`refresh_thread_env`] afterwards.
 pub fn resolve_threads(explicit: Option<usize>) -> usize {
     if let Some(n) = explicit {
         if n > 0 {
             return n;
         }
     }
+    auto_threads()
+}
+
+/// Cached auto-resolved thread count (env var / core count). 0 = not yet
+/// computed; the cached value is always >= 1 so 0 is a safe sentinel.
+static AUTO_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn auto_threads() -> usize {
+    let cached = AUTO_THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = read_auto_threads();
+    AUTO_THREADS.store(n, Ordering::Relaxed);
+    n
+}
+
+/// The uncached resolution: `FEDGTA_THREADS` if set and parsable
+/// (clamped to >= 1), else available parallelism.
+fn read_auto_threads() -> usize {
     if let Ok(s) = std::env::var("FEDGTA_THREADS") {
         if let Ok(n) = s.parse::<usize>() {
             return n.max(1);
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Drops the cached thread-count resolution so the next call re-reads
+/// `FEDGTA_THREADS`. Only needed by tests (and other tooling) that change
+/// the environment variable after the first kernel call.
+#[doc(hidden)]
+pub fn refresh_thread_env() {
+    AUTO_THREADS.store(0, Ordering::Relaxed);
 }
 
 /// Maps `f(index, &mut items[index])` over every item, in parallel across
@@ -275,6 +310,7 @@ mod tests {
         let saved = std::env::var("FEDGTA_THREADS").ok();
         // Explicit non-zero request always wins.
         std::env::set_var("FEDGTA_THREADS", "7");
+        refresh_thread_env();
         assert_eq!(resolve_threads(Some(3)), 3);
         // 0 / None fall back to the environment variable.
         assert_eq!(resolve_threads(Some(0)), 7);
@@ -282,13 +318,36 @@ mod tests {
         assert_eq!(num_threads(), 7);
         // An unparsable value is ignored; a zero value clamps to 1.
         std::env::set_var("FEDGTA_THREADS", "0");
+        refresh_thread_env();
         assert_eq!(resolve_threads(None), 1);
         std::env::set_var("FEDGTA_THREADS", "not-a-number");
+        refresh_thread_env();
         assert!(resolve_threads(None) >= 1);
         match saved {
             Some(v) => std::env::set_var("FEDGTA_THREADS", v),
             None => std::env::remove_var("FEDGTA_THREADS"),
         }
+        refresh_thread_env();
+    }
+
+    #[test]
+    fn auto_resolution_is_cached_until_refreshed() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let saved = std::env::var("FEDGTA_THREADS").ok();
+        std::env::set_var("FEDGTA_THREADS", "5");
+        refresh_thread_env();
+        assert_eq!(resolve_threads(None), 5);
+        // Without a refresh the cached value survives an env change …
+        std::env::set_var("FEDGTA_THREADS", "2");
+        assert_eq!(resolve_threads(None), 5);
+        // … and a refresh picks up the new value.
+        refresh_thread_env();
+        assert_eq!(resolve_threads(None), 2);
+        match saved {
+            Some(v) => std::env::set_var("FEDGTA_THREADS", v),
+            None => std::env::remove_var("FEDGTA_THREADS"),
+        }
+        refresh_thread_env();
     }
 
     #[test]
@@ -296,6 +355,7 @@ mod tests {
         let _guard = ENV_LOCK.lock().unwrap();
         let saved = std::env::var("FEDGTA_THREADS").ok();
         std::env::set_var("FEDGTA_THREADS", "1");
+        refresh_thread_env();
         let mut items: Vec<u32> = (0..12).collect();
         let got = par_map_indexed(&mut items, None, |i, v| {
             assert!(
@@ -309,5 +369,6 @@ mod tests {
             Some(v) => std::env::set_var("FEDGTA_THREADS", v),
             None => std::env::remove_var("FEDGTA_THREADS"),
         }
+        refresh_thread_env();
     }
 }

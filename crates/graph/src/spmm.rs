@@ -6,9 +6,84 @@
 //! FedGTA's non-parametric label propagation. Rows of `Y` are independent,
 //! so the kernel parallelizes over contiguous row chunks (deterministic
 //! regardless of thread count).
+//!
+//! The inner loop is **column-blocked**: each output row is produced in
+//! blocks of [`SPMM_BLOCK`] columns held in a register accumulator while
+//! the neighbor list streams past, instead of re-reading and re-writing
+//! the output row once per neighbor. Per-element accumulation order
+//! (neighbor order) is unchanged, so results are bit-identical to the
+//! straightforward kernel — including across thread counts.
 
 use crate::par::par_chunks_mut;
 use crate::{Csr, GraphError, Result};
+
+/// Column-block width: one output sub-row of this many columns lives in a
+/// register accumulator for the whole neighbor scan. 16 f32 = one cache
+/// line = two AVX2 / one AVX-512 vector.
+const SPMM_BLOCK: usize = 16;
+
+/// Accumulates `acc[0..W] (+)= w · x[v, jb..jb+W]` over all neighbors and
+/// stores the block. `W == SPMM_BLOCK` for full blocks so the loop has a
+/// compile-time width; the ragged tail uses the runtime-width variant.
+#[inline(always)]
+fn spmm_row_block(
+    a: &Csr,
+    x: &[f32],
+    cols: usize,
+    row: u32,
+    jb: usize,
+    out: &mut [f32], // exactly SPMM_BLOCK long
+) {
+    let mut acc = [0f32; SPMM_BLOCK];
+    let neigh = a.neighbors(row);
+    match a.neighbor_weights(row) {
+        Some(ws) => {
+            for (&v, &w) in neigh.iter().zip(ws) {
+                let src = &x[v as usize * cols + jb..v as usize * cols + jb + SPMM_BLOCK];
+                for l in 0..SPMM_BLOCK {
+                    acc[l] += w * src[l];
+                }
+            }
+        }
+        None => {
+            for &v in neigh {
+                let src = &x[v as usize * cols + jb..v as usize * cols + jb + SPMM_BLOCK];
+                for l in 0..SPMM_BLOCK {
+                    acc[l] += src[l];
+                }
+            }
+        }
+    }
+    out.copy_from_slice(&acc);
+}
+
+/// Ragged-tail version of [`spmm_row_block`] for the final `< SPMM_BLOCK`
+/// columns.
+#[inline(always)]
+fn spmm_row_tail(a: &Csr, x: &[f32], cols: usize, row: u32, jb: usize, out: &mut [f32]) {
+    let w = out.len();
+    let mut acc = [0f32; SPMM_BLOCK];
+    let neigh = a.neighbors(row);
+    match a.neighbor_weights(row) {
+        Some(ws) => {
+            for (&v, &wt) in neigh.iter().zip(ws) {
+                let src = &x[v as usize * cols + jb..v as usize * cols + jb + w];
+                for l in 0..w {
+                    acc[l] += wt * src[l];
+                }
+            }
+        }
+        None => {
+            for &v in neigh {
+                let src = &x[v as usize * cols + jb..v as usize * cols + jb + w];
+                for l in 0..w {
+                    acc[l] += src[l];
+                }
+            }
+        }
+    }
+    out.copy_from_slice(&acc[..w]);
+}
 
 /// Computes `Y = A · X` into a fresh buffer.
 ///
@@ -35,29 +110,18 @@ pub fn spmm_into(a: &Csr, x: &[f32], cols: usize, y: &mut [f32]) {
     let n = a.num_nodes();
     assert_eq!(x.len(), n * cols);
     assert_eq!(y.len(), n * cols);
+    let full = cols / SPMM_BLOCK * SPMM_BLOCK;
     par_chunks_mut(y, n, cols, |_, chunk, range| {
         for (local, row) in range.enumerate() {
             let out = &mut chunk[local * cols..(local + 1) * cols];
-            out.fill(0.0);
             let u = row as u32;
-            let neigh = a.neighbors(u);
-            match a.neighbor_weights(u) {
-                Some(ws) => {
-                    for (&v, &w) in neigh.iter().zip(ws) {
-                        let src = &x[v as usize * cols..(v as usize + 1) * cols];
-                        for (o, &s) in out.iter_mut().zip(src) {
-                            *o += w * s;
-                        }
-                    }
-                }
-                None => {
-                    for &v in neigh {
-                        let src = &x[v as usize * cols..(v as usize + 1) * cols];
-                        for (o, &s) in out.iter_mut().zip(src) {
-                            *o += s;
-                        }
-                    }
-                }
+            let mut jb = 0;
+            while jb < full {
+                spmm_row_block(a, x, cols, u, jb, &mut out[jb..jb + SPMM_BLOCK]);
+                jb += SPMM_BLOCK;
+            }
+            if jb < cols {
+                spmm_row_tail(a, x, cols, u, jb, &mut out[jb..]);
             }
         }
     });
@@ -68,11 +132,26 @@ pub fn spmv(a: &Csr, x: &[f32]) -> Result<Vec<f32>> {
     spmm(a, x, 1)
 }
 
-/// Repeatedly propagates: returns `A^k · X` (overwrites nothing; uses two
-/// ping-pong buffers internally).
+/// Repeatedly propagates: returns `A^k · X` (allocating wrapper of
+/// [`propagate_k_into`]).
 pub fn propagate_k(a: &Csr, x: &[f32], cols: usize, k: usize) -> Result<Vec<f32>> {
-    let mut cur = x.to_vec();
-    let mut next = vec![0f32; x.len()];
+    let mut out = x.to_vec();
+    let mut scratch = vec![0f32; x.len()];
+    propagate_k_into(a, x, cols, k, &mut out, &mut scratch)?;
+    Ok(out)
+}
+
+/// Repeatedly propagates into caller-provided ping-pong buffers: leaves
+/// `A^k · X` in `out` (`scratch` is clobbered). Both buffers must have
+/// `x.len()` elements; no allocation is performed.
+pub fn propagate_k_into(
+    a: &Csr,
+    x: &[f32],
+    cols: usize,
+    k: usize,
+    out: &mut [f32],
+    scratch: &mut [f32],
+) -> Result<()> {
     let n = a.num_nodes();
     if x.len() != n * cols {
         return Err(GraphError::DimensionMismatch {
@@ -81,18 +160,57 @@ pub fn propagate_k(a: &Csr, x: &[f32], cols: usize, k: usize) -> Result<Vec<f32>
             context: "propagate_k dense operand",
         });
     }
-    for _ in 0..k {
-        spmm_into(a, &cur, cols, &mut next);
-        std::mem::swap(&mut cur, &mut next);
+    assert_eq!(out.len(), x.len(), "propagate_k_into out buffer size");
+    assert_eq!(scratch.len(), x.len(), "propagate_k_into scratch buffer size");
+    if k == 0 {
+        out.copy_from_slice(x);
+        return Ok(());
     }
-    Ok(cur)
+    // First step reads x directly (no copy); remaining steps ping-pong.
+    spmm_into(a, x, cols, out);
+    let mut flip = false;
+    for _ in 1..k {
+        let (src, dst) = if flip {
+            (&mut *scratch, &mut *out)
+        } else {
+            (&mut *out, &mut *scratch)
+        };
+        spmm_into(a, src, cols, dst);
+        flip = !flip;
+    }
+    if flip {
+        out.copy_from_slice(scratch);
+    }
+    Ok(())
 }
 
 /// Returns all propagation steps `[X, A·X, A²·X, …, A^k·X]` (k+1 matrices).
 ///
 /// Used by SIGN/GAMLP-style hop-feature models and by FedGTA's mixed
-/// moments, which need every intermediate step.
+/// moments, which need every intermediate step. Allocating wrapper of
+/// [`propagate_steps_into`], which borrows `X` instead of cloning it.
 pub fn propagate_steps(a: &Csr, x: &[f32], cols: usize, k: usize) -> Result<Vec<Vec<f32>>> {
+    let mut hops = Vec::with_capacity(k);
+    propagate_steps_into(a, x, cols, k, &mut hops)?;
+    let mut steps = Vec::with_capacity(k + 1);
+    steps.push(x.to_vec());
+    steps.extend(hops);
+    Ok(steps)
+}
+
+/// Borrowing/into-workspace variant of [`propagate_steps`]: fills `hops`
+/// with the `k` *propagated* steps `[A·X, …, A^k·X]`, reusing whatever
+/// buffers `hops` already holds (capacity permitting). The input `X` is
+/// only borrowed — callers that need hop 0 keep their own reference, and
+/// callers that never use it (FedGTA's feature-moment sketch) skip the
+/// copy entirely.
+pub fn propagate_steps_into(
+    a: &Csr,
+    x: &[f32],
+    cols: usize,
+    k: usize,
+    hops: &mut Vec<Vec<f32>>,
+) -> Result<()> {
     let n = a.num_nodes();
     if x.len() != n * cols {
         return Err(GraphError::DimensionMismatch {
@@ -101,14 +219,19 @@ pub fn propagate_steps(a: &Csr, x: &[f32], cols: usize, k: usize) -> Result<Vec<
             context: "propagate_steps dense operand",
         });
     }
-    let mut steps = Vec::with_capacity(k + 1);
-    steps.push(x.to_vec());
-    for i in 0..k {
-        let mut next = vec![0f32; x.len()];
-        spmm_into(a, &steps[i], cols, &mut next);
-        steps.push(next);
+    hops.truncate(k);
+    while hops.len() < k {
+        hops.push(Vec::new());
     }
-    Ok(steps)
+    for i in 0..k {
+        let (done, rest) = hops.split_at_mut(i);
+        let dst = &mut rest[0];
+        dst.clear();
+        dst.resize(x.len(), 0.0);
+        let src: &[f32] = if i == 0 { x } else { &done[i - 1] };
+        spmm_into(a, src, cols, dst);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -141,11 +264,37 @@ mod tests {
     }
 
     #[test]
+    fn column_blocking_covers_wide_and_ragged_widths() {
+        // Widths straddling the block size: below, at, above, and ragged.
+        let g = normalized_adjacency(&path3(), NormKind::Symmetric);
+        for cols in [1usize, 3, 15, 16, 17, 33, 40] {
+            let x: Vec<f32> = (0..3 * cols).map(|i| ((i * 37 % 19) as f32) * 0.25 - 2.0).collect();
+            let blocked = spmm(&g, &x, cols).unwrap();
+            // Reference: plain neighbor-outer accumulation.
+            let mut want = vec![0f32; 3 * cols];
+            for row in 0..3u32 {
+                let out = &mut want[row as usize * cols..(row as usize + 1) * cols];
+                let ws = g.neighbor_weights(row).unwrap();
+                for (&v, &w) in g.neighbors(row).iter().zip(ws) {
+                    for (o, &s) in out.iter_mut().zip(&x[v as usize * cols..(v as usize + 1) * cols]) {
+                        *o += w * s;
+                    }
+                }
+            }
+            for (a, b) in blocked.iter().zip(&want) {
+                assert_eq!(a.to_bits(), b.to_bits(), "cols={cols}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
     fn dimension_mismatch_rejected() {
         let g = path3();
         assert!(spmm(&g, &[1.0, 2.0], 1).is_err());
         assert!(propagate_k(&g, &[1.0], 1, 2).is_err());
         assert!(propagate_steps(&g, &[1.0], 1, 2).is_err());
+        let mut hops = Vec::new();
+        assert!(propagate_steps_into(&g, &[1.0], 1, 2, &mut hops).is_err());
     }
 
     #[test]
@@ -161,6 +310,26 @@ mod tests {
     }
 
     #[test]
+    fn propagate_k_zero_is_identity() {
+        let g = path3();
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(propagate_k(&g, &x, 1, 0).unwrap(), x);
+    }
+
+    #[test]
+    fn propagate_k_into_is_allocation_compatible_with_wrapper() {
+        let g = normalized_adjacency(&path3(), NormKind::RowStochastic);
+        let x = vec![0.2, 0.4, 0.6, 0.1, 0.3, 0.5];
+        for k in 0..5 {
+            let via_wrapper = propagate_k(&g, &x, 2, k).unwrap();
+            let mut out = vec![7.0; 6]; // garbage: must be fully overwritten
+            let mut scratch = vec![9.0; 6];
+            propagate_k_into(&g, &x, 2, k, &mut out, &mut scratch).unwrap();
+            assert_eq!(out, via_wrapper, "k={k}");
+        }
+    }
+
+    #[test]
     fn propagate_steps_returns_all_hops() {
         let g = normalized_adjacency(&path3(), NormKind::RowStochastic);
         let x = vec![1.0, 2.0, 3.0];
@@ -169,6 +338,22 @@ mod tests {
         assert_eq!(steps[0], x);
         let manual = spmv(&g, &steps[2]).unwrap();
         assert_eq!(steps[3], manual);
+    }
+
+    #[test]
+    fn propagate_steps_into_reuses_buffers_and_skips_hop_zero() {
+        let g = normalized_adjacency(&path3(), NormKind::Symmetric);
+        let x = vec![1.0, 0.5, 0.25];
+        let full = propagate_steps(&g, &x, 1, 3).unwrap();
+        // Pre-seed with stale oversized buffers: they must be reused.
+        let mut hops = vec![vec![9.0f32; 8], vec![8.0f32; 2]];
+        let caps: Vec<usize> = hops.iter().map(|h| h.capacity()).collect();
+        propagate_steps_into(&g, &x, 1, 3, &mut hops).unwrap();
+        assert_eq!(hops.len(), 3);
+        assert_eq!(hops[0], full[1]);
+        assert_eq!(hops[1], full[2]);
+        assert_eq!(hops[2], full[3]);
+        assert!(hops[0].capacity() >= caps[0].min(8), "buffer was reused");
     }
 
     #[test]

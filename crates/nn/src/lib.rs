@@ -27,11 +27,13 @@ pub mod models;
 pub mod ops;
 pub mod optim;
 pub mod tensor;
+pub mod workspace;
 
 pub use mlp::Mlp;
 pub use models::{GraphDataset, GraphModel, TrainHooks};
 pub use optim::{Adam, Optimizer, Sgd};
-pub use tensor::Matrix;
+pub use tensor::{MatView, Matrix};
+pub use workspace::Workspace;
 
 /// Errors produced by the NN stack.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -6,15 +6,29 @@
 //! Hidden layers apply ReLU then (inverted) dropout; the final layer is
 //! linear — pair with [`crate::loss::softmax_ce`].
 //!
-//! **Hidden-gradient injection**: [`Mlp::backward`] accepts an optional
+//! **Allocation-free hot path**: [`Mlp::forward_ws`] / [`Mlp::backward_ws`]
+//! take a [`Workspace`] and check every activation, cache matrix, and
+//! gradient buffer out of it; weights are read through [`MatView`]s
+//! straight from the flat parameter buffer (the seed code materialized a
+//! fresh `Matrix` copy of each weight block per call). Hidden layers run
+//! the fused `matmul_bias_relu_into` epilogue. After one warmup batch the
+//! workspace pool is saturated and training performs O(1) heap
+//! allocations per step. The plain [`Mlp::forward`]/[`Mlp::backward`] API
+//! is kept as a convenience wrapper over a throwaway workspace.
+//!
+//! **Hidden-gradient injection**: [`Mlp::backward_ws`] accepts an optional
 //! extra gradient on the *input of the final layer* (the model's
 //! penultimate representation). MOON's model-contrastive loss differentiates
 //! w.r.t. exactly that representation, so federated strategies can add
 //! auxiliary losses without touching the model code.
 
 use crate::init::xavier_uniform;
-use crate::ops::{add_bias, col_sums, matmul, matmul_nt, matmul_tn, relu_backward_inplace, relu_inplace};
-use crate::tensor::Matrix;
+use crate::ops::{
+    col_sums_into, matmul_bias_into, matmul_bias_relu_into, matmul_nt_into, matmul_tn_into,
+    relu_backward_inplace,
+};
+use crate::tensor::{MatView, Matrix};
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -28,11 +42,12 @@ pub struct Mlp {
 }
 
 /// Forward cache for one batch: everything backward needs.
+///
+/// `inputs[l]` is the input fed to layer `l` (`inputs.len() == L`);
+/// for `l ≥ 1` it doubles as the post-activation/post-dropout output of
+/// hidden layer `l−1` (the seed kept a redundant `hidden_out` copy).
 pub struct MlpCache {
-    /// `inputs[l]` is the input fed to layer `l`; `inputs.len() == L`.
     inputs: Vec<Matrix>,
-    /// Post-activation (and post-dropout) output of each hidden layer.
-    hidden_out: Vec<Matrix>,
     /// Inverted-dropout masks (values `0` or `1/keep`), hidden layers only.
     dropout_masks: Vec<Option<Vec<f32>>>,
 }
@@ -41,6 +56,16 @@ impl MlpCache {
     /// The representation entering the final layer (MOON's `z`).
     pub fn penultimate(&self) -> &Matrix {
         self.inputs.last().expect("at least one layer")
+    }
+
+    /// Returns every buffer to the workspace for reuse by the next batch.
+    pub fn recycle(self, ws: &mut Workspace) {
+        for m in self.inputs {
+            ws.give_matrix(m);
+        }
+        for mask in self.dropout_masks.into_iter().flatten() {
+            ws.give(mask);
+        }
     }
 }
 
@@ -113,9 +138,10 @@ impl Mlp {
         (w, b, b + self.dims[l + 1])
     }
 
-    pub(crate) fn weight(&self, l: usize) -> Matrix {
+    /// Borrowed view of layer `l`'s weight block (no copy).
+    pub(crate) fn weight_view(&self, l: usize) -> MatView<'_> {
         let (w, b, _) = self.layer_offsets(l);
-        Matrix::from_vec(self.dims[l], self.dims[l + 1], self.params[w..b].to_vec())
+        MatView::new(self.dims[l], self.dims[l + 1], &self.params[w..b])
     }
 
     pub(crate) fn bias(&self, l: usize) -> &[f32] {
@@ -123,30 +149,32 @@ impl Mlp {
         &self.params[b..e]
     }
 
-    /// Full forward pass; returns `(logits, cache)`.
+    /// Full forward pass through a workspace; returns `(logits, cache)`.
     ///
-    /// `train = true` enables dropout (consuming internal RNG state).
-    pub fn forward(&mut self, x: &Matrix, train: bool) -> (Matrix, MlpCache) {
+    /// `train = true` enables dropout (consuming internal RNG state). All
+    /// returned matrices are checked out of `ws`; recycle the cache (and
+    /// eventually the logits) to keep the pool warm.
+    pub fn forward_ws(&mut self, x: &Matrix, train: bool, ws: &mut Workspace) -> (Matrix, MlpCache) {
         let layers = self.num_layers();
+        let rows = x.rows();
         let mut inputs = Vec::with_capacity(layers);
-        let mut hidden_out = Vec::with_capacity(layers.saturating_sub(1));
         let mut dropout_masks = Vec::with_capacity(layers.saturating_sub(1));
-        let mut cur = x.clone();
+        let mut cur = ws.take_matrix(rows, x.cols());
+        cur.copy_from(x);
         for l in 0..layers {
-            inputs.push(cur.clone());
-            let mut z = matmul(&cur, &self.weight(l));
-            add_bias(&mut z, self.bias(l));
+            let mut z = ws.take_matrix(rows, self.dims[l + 1]);
             if l + 1 < layers {
-                relu_inplace(&mut z);
+                matmul_bias_relu_into(cur.view(), self.weight_view(l), self.bias(l), z.as_mut_slice());
                 let mask = if train && self.dropout > 0.0 {
                     let keep = 1.0 - self.dropout;
                     let inv = 1.0 / keep;
-                    let mut mask = vec![0f32; z.rows() * z.cols()];
+                    let mut mask = ws.take(rows * self.dims[l + 1]);
                     for (m, v) in mask.iter_mut().zip(z.as_mut_slice()) {
                         if self.rng.random::<f32>() < keep {
                             *m = inv;
                             *v *= inv;
                         } else {
+                            *m = 0.0;
                             *v = 0.0;
                         }
                     }
@@ -155,31 +183,47 @@ impl Mlp {
                     None
                 };
                 dropout_masks.push(mask);
-                hidden_out.push(z.clone());
+            } else {
+                matmul_bias_into(cur.view(), self.weight_view(l), self.bias(l), z.as_mut_slice());
             }
+            inputs.push(cur);
             cur = z;
         }
         (
             cur,
             MlpCache {
                 inputs,
-                hidden_out,
                 dropout_masks,
             },
         )
     }
 
+    /// Full forward pass (convenience wrapper over a throwaway workspace).
+    pub fn forward(&mut self, x: &Matrix, train: bool) -> (Matrix, MlpCache) {
+        let mut ws = Workspace::new();
+        self.forward_ws(x, train, &mut ws)
+    }
+
     /// Inference forward (no dropout, no RNG consumption).
     pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut ws = Workspace::new();
+        self.infer_ws(x, &mut ws)
+    }
+
+    /// Inference forward through a workspace.
+    pub fn infer_ws(&self, x: &Matrix, ws: &mut Workspace) -> Matrix {
         let layers = self.num_layers();
-        let mut cur = x.clone();
+        let rows = x.rows();
+        let mut cur = ws.take_matrix(rows, x.cols());
+        cur.copy_from(x);
         for l in 0..layers {
-            let mut z = matmul(&cur, &self.weight(l));
-            add_bias(&mut z, self.bias(l));
+            let mut z = ws.take_matrix(rows, self.dims[l + 1]);
             if l + 1 < layers {
-                relu_inplace(&mut z);
+                matmul_bias_relu_into(cur.view(), self.weight_view(l), self.bias(l), z.as_mut_slice());
+            } else {
+                matmul_bias_into(cur.view(), self.weight_view(l), self.bias(l), z.as_mut_slice());
             }
-            cur = z;
+            ws.give_matrix(std::mem::replace(&mut cur, z));
         }
         cur
     }
@@ -190,59 +234,78 @@ impl Mlp {
         if layers == 1 {
             return x.clone();
         }
-        let mut cur = x.clone();
+        let mut ws = Workspace::new();
+        let mut cur = ws.take_matrix(x.rows(), x.cols());
+        cur.copy_from(x);
         for l in 0..layers - 1 {
-            let mut z = matmul(&cur, &self.weight(l));
-            add_bias(&mut z, self.bias(l));
-            relu_inplace(&mut z);
-            cur = z;
+            let mut z = ws.take_matrix(x.rows(), self.dims[l + 1]);
+            matmul_bias_relu_into(cur.view(), self.weight_view(l), self.bias(l), z.as_mut_slice());
+            ws.give_matrix(std::mem::replace(&mut cur, z));
         }
         cur
     }
 
-    /// Exact backward pass.
+    /// Exact backward pass through a workspace.
     ///
     /// `d_logits` is the gradient at the final linear output;
     /// `hidden_grad`, if given, is added to the gradient at the input of
     /// the final layer. Returns `(flat parameter gradients, gradient
-    /// w.r.t. the batch input)`.
+    /// w.r.t. the batch input)` — both checked out of `ws`; give them back
+    /// after the optimizer step to keep the pool warm. Weight gradients are
+    /// written directly into their slots of the flat buffer (no `dW`
+    /// temporaries).
+    pub fn backward_ws(
+        &self,
+        cache: &MlpCache,
+        d_logits: &Matrix,
+        hidden_grad: Option<&Matrix>,
+        ws: &mut Workspace,
+    ) -> (Vec<f32>, Matrix) {
+        let layers = self.num_layers();
+        let rows = d_logits.rows();
+        let mut grads = ws.take(self.params.len());
+        let mut d_out = ws.take_matrix(rows, d_logits.cols());
+        d_out.copy_from(d_logits);
+        for l in (0..layers).rev() {
+            let x = &cache.inputs[l];
+            // dW = xᵀ · d_out ; db = col_sums(d_out) ; dx = d_out · Wᵀ
+            let (ws_off, bs, be) = self.layer_offsets(l);
+            matmul_tn_into(x.view(), d_out.view(), &mut grads[ws_off..bs]);
+            col_sums_into(&d_out, &mut grads[bs..be]);
+            let mut dx = ws.take_matrix(rows, self.dims[l]);
+            matmul_nt_into(d_out.view(), self.weight_view(l), dx.as_mut_slice());
+            if l == 0 {
+                ws.give_matrix(d_out);
+                return (grads, dx);
+            }
+            if l == layers - 1 {
+                if let Some(hg) = hidden_grad {
+                    dx.axpy(1.0, hg);
+                }
+            }
+            // Backward through dropout then ReLU of hidden layer l-1
+            // (cache.inputs[l] is that layer's post-dropout output).
+            if let Some(mask) = &cache.dropout_masks[l - 1] {
+                for (g, &m) in dx.as_mut_slice().iter_mut().zip(mask) {
+                    *g *= m;
+                }
+            }
+            relu_backward_inplace(&mut dx, &cache.inputs[l]);
+            ws.give_matrix(std::mem::replace(&mut d_out, dx));
+        }
+        unreachable!("loop always returns at l == 0");
+    }
+
+    /// Exact backward pass (convenience wrapper over a throwaway
+    /// workspace).
     pub fn backward(
         &self,
         cache: &MlpCache,
         d_logits: &Matrix,
         hidden_grad: Option<&Matrix>,
     ) -> (Vec<f32>, Matrix) {
-        let layers = self.num_layers();
-        let mut grads = vec![0f32; self.params.len()];
-        let mut d_out = d_logits.clone();
-        for l in (0..layers).rev() {
-            let x = &cache.inputs[l];
-            // dW = xᵀ · d_out ; db = col_sums(d_out) ; dx = d_out · Wᵀ
-            let dw = matmul_tn(x, &d_out);
-            let db = col_sums(&d_out);
-            let (ws, bs, be) = self.layer_offsets(l);
-            grads[ws..bs].copy_from_slice(dw.as_slice());
-            grads[bs..be].copy_from_slice(&db);
-            if l == 0 {
-                let dx = matmul_nt(&d_out, &self.weight(l));
-                return (grads, dx);
-            }
-            let mut dx = matmul_nt(&d_out, &self.weight(l));
-            if l == layers - 1 {
-                if let Some(hg) = hidden_grad {
-                    dx.axpy(1.0, hg);
-                }
-            }
-            // Backward through dropout then ReLU of hidden layer l-1.
-            if let Some(mask) = &cache.dropout_masks[l - 1] {
-                for (g, &m) in dx.as_mut_slice().iter_mut().zip(mask) {
-                    *g *= m;
-                }
-            }
-            relu_backward_inplace(&mut dx, &cache.hidden_out[l - 1]);
-            d_out = dx;
-        }
-        unreachable!("loop always returns at l == 0");
+        let mut ws = Workspace::new();
+        self.backward_ws(cache, d_logits, hidden_grad, &mut ws)
     }
 }
 
@@ -267,6 +330,22 @@ mod tests {
         let p: Vec<f32> = (0..mlp.num_params()).map(|i| i as f32).collect();
         mlp.set_params(&p);
         assert_eq!(mlp.params(), &p[..]);
+    }
+
+    #[test]
+    fn workspace_roundtrip_matches_throwaway_path() {
+        let mut mlp = Mlp::new(&[3, 6, 4], 0.0, 9);
+        let x = Matrix::from_vec(5, 3, (0..15).map(|i| (i as f32 * 0.31).sin()).collect());
+        let (a, cache_a) = mlp.forward(&x, false);
+        let mut ws = Workspace::new();
+        for _ in 0..3 {
+            let (b, cache_b) = mlp.forward_ws(&x, false, &mut ws);
+            assert_eq!(a.as_slice(), b.as_slice());
+            assert_eq!(mlp.infer_ws(&x, &mut ws).as_slice(), a.as_slice());
+            cache_b.recycle(&mut ws);
+            ws.give_matrix(b);
+        }
+        drop(cache_a);
     }
 
     #[test]

@@ -94,18 +94,23 @@ pub struct PseudoLabels {
     pub weight: f32,
 }
 
+/// Gradient-modification hook: `f(current_params, &mut grads)`.
+pub type GradHook<'a> = &'a mut dyn FnMut(&[f32], &mut [f32]);
+
+/// Penultimate-representation hook: `f(batch_node_ids,
+/// penultimate_batch) -> extra_gradient` (same shape as the batch).
+pub type HiddenHook<'a> = &'a mut dyn FnMut(&[u32], &Matrix) -> Matrix;
+
 /// Auxiliary-objective hooks a federated strategy can inject into local
 /// training. All fields default to `None` ([`TrainHooks::none`]).
 #[derive(Default)]
 pub struct TrainHooks<'a> {
-    /// Applied to the flat gradient before each optimizer step:
-    /// `f(current_params, &mut grads)`. FedProx/Scaffold/FedDC plug in
-    /// here.
-    pub grad_hook: Option<&'a mut dyn FnMut(&[f32], &mut [f32])>,
-    /// Given `(batch_node_ids, penultimate_batch)`, returns an extra
-    /// gradient on the penultimate representation (same shape). MOON's
-    /// model-contrastive loss plugs in here.
-    pub hidden_hook: Option<&'a mut dyn FnMut(&[u32], &Matrix) -> Matrix>,
+    /// Applied to the flat gradient before each optimizer step.
+    /// FedProx/Scaffold/FedDC plug in here.
+    pub grad_hook: Option<GradHook<'a>>,
+    /// Returns an extra gradient on the penultimate representation.
+    /// MOON's model-contrastive loss plugs in here.
+    pub hidden_hook: Option<HiddenHook<'a>>,
     /// Soft pseudo-label supervision on unlabeled nodes (FedGL).
     pub pseudo: Option<&'a PseudoLabels>,
 }

@@ -14,6 +14,7 @@ use crate::models::ModelConfig;
 use crate::ops::softmax_rows;
 use crate::optim::Optimizer;
 use crate::tensor::Matrix;
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -28,6 +29,8 @@ pub struct DecoupledModel {
     /// Tiny cache of combined features keyed by dataset identity (a client
     /// alternates between at most its train view and an eval view).
     cache: Vec<(u64, Matrix)>,
+    /// Scratch arena for batches/activations (empty after `clone()`).
+    ws: Workspace,
 }
 
 impl DecoupledModel {
@@ -55,6 +58,7 @@ impl DecoupledModel {
             batch_size: cfg.batch_size,
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15),
             cache: Vec::new(),
+            ws: Workspace::new(),
         }
     }
 
@@ -66,17 +70,26 @@ impl DecoupledModel {
         m
     }
 
-    fn combined<'a>(&'a mut self, data: &GraphDataset) -> &'a Matrix {
+    /// Checks out the cached combined features for `data`, computing them
+    /// on a miss. The caller must return the entry with
+    /// [`Self::return_combined`] — checking the entry *out* (instead of
+    /// borrowing it) lets training call `&mut self` methods on the head
+    /// without cloning the full feature matrix every epoch, which is what
+    /// the seed implementation did.
+    fn take_combined(&mut self, data: &GraphDataset) -> (u64, Matrix) {
         if let Some(pos) = self.cache.iter().position(|(k, _)| *k == data.cache_key) {
-            // Borrow-checker friendly: return by index after the probe.
-            return &self.cache[pos].1;
+            return self.cache.swap_remove(pos);
         }
         let p = precompute(self.kind, &data.adj_norm, &data.features, self.k);
         if self.cache.len() >= 2 {
             self.cache.remove(0);
         }
-        self.cache.push((data.cache_key, p));
-        &self.cache.last().unwrap().1
+        (data.cache_key, p)
+    }
+
+    /// Returns a checked-out cache entry (most-recently-used last).
+    fn return_combined(&mut self, entry: (u64, Matrix)) {
+        self.cache.push(entry);
     }
 }
 
@@ -99,14 +112,10 @@ impl GraphModel for DecoupledModel {
         opt: &mut dyn Optimizer,
         hooks: &mut TrainHooks<'_>,
     ) -> f32 {
-        // Materialize (cached) combined features, then release the borrow.
-        self.combined(data);
-        let pos = self
-            .cache
-            .iter()
-            .position(|(k, _)| *k == data.cache_key)
-            .expect("just cached");
-        let features = self.cache[pos].1.clone();
+        // Check out (cached) combined features — no per-epoch clone.
+        let entry = self.take_combined(data);
+        let features = &entry.1;
+        let mut ws = std::mem::take(&mut self.ws);
 
         let batches = make_batches(&data.train_nodes, self.batch_size, &mut self.rng);
         let mut total_loss = 0f64;
@@ -115,8 +124,9 @@ impl GraphModel for DecoupledModel {
             if batch.is_empty() {
                 continue;
             }
-            let xb = features.gather_rows(batch);
-            let (logits, cache) = self.head.forward(&xb, true);
+            let mut xb = ws.take_matrix(batch.len(), features.cols());
+            features.gather_rows_into(batch, &mut xb);
+            let (logits, cache) = self.head.forward_ws(&xb, true, &mut ws);
             // Supervised CE over the whole batch (rows are local to batch).
             let labels_b: Vec<u32> = batch.iter().map(|&i| data.labels[i as usize]).collect();
             let rows_b: Vec<u32> = (0..batch.len() as u32).collect();
@@ -139,14 +149,28 @@ impl GraphModel for DecoupledModel {
                 .hidden_hook
                 .as_mut()
                 .map(|h| h(batch, cache.penultimate()));
-            let (mut grads, _) = self.head.backward(&cache, &d_logits, hidden_grad.as_ref());
+            let (mut grads, d_x) =
+                self.head
+                    .backward_ws(&cache, &d_logits, hidden_grad.as_ref(), &mut ws);
             if let Some(gh) = hooks.grad_hook.as_mut() {
                 gh(self.head.params(), &mut grads);
             }
             opt.step(self.head.params_mut(), &grads);
+            // Everything scratch goes back to the arena for the next batch.
+            ws.give(grads);
+            ws.give_matrix(d_x);
+            ws.give_matrix(d_logits);
+            if let Some(hg) = hidden_grad {
+                ws.give_matrix(hg);
+            }
+            cache.recycle(&mut ws);
+            ws.give_matrix(logits);
+            ws.give_matrix(xb);
             total_loss += loss as f64;
             steps += 1;
         }
+        self.ws = ws;
+        self.return_combined(entry);
         if steps == 0 {
             0.0
         } else {
@@ -155,13 +179,21 @@ impl GraphModel for DecoupledModel {
     }
 
     fn predict(&mut self, data: &GraphDataset) -> Matrix {
-        let x = self.combined(data).clone();
-        softmax_rows(&self.head.infer(&x))
+        let entry = self.take_combined(data);
+        let mut ws = std::mem::take(&mut self.ws);
+        let logits = self.head.infer_ws(&entry.1, &mut ws);
+        let out = softmax_rows(&logits);
+        ws.give_matrix(logits);
+        self.ws = ws;
+        self.return_combined(entry);
+        out
     }
 
     fn penultimate(&mut self, data: &GraphDataset) -> Matrix {
-        let x = self.combined(data).clone();
-        self.head.infer_hidden(&x)
+        let entry = self.take_combined(data);
+        let h = self.head.infer_hidden(&entry.1);
+        self.return_combined(entry);
+        h
     }
 
     fn clone_box(&self) -> Box<dyn GraphModel> {

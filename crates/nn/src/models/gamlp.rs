@@ -18,6 +18,7 @@ use crate::models::ModelConfig;
 use crate::ops::softmax_rows;
 use crate::optim::Optimizer;
 use crate::tensor::Matrix;
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -32,6 +33,8 @@ pub struct Gamlp {
     rng: StdRng,
     /// Hop-feature cache keyed by dataset identity.
     cache: Vec<(u64, Vec<Matrix>)>,
+    /// Scratch arena for gathered/combined batches (empty after `clone()`).
+    ws: Workspace,
 }
 
 impl Gamlp {
@@ -49,6 +52,7 @@ impl Gamlp {
             batch_size: cfg.batch_size,
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xc2b2_ae3d_27d4_eb4f),
             cache: Vec::new(),
+            ws: Workspace::new(),
         }
     }
 
@@ -71,15 +75,48 @@ impl Gamlp {
         &self.cache.last().unwrap().1
     }
 
-    /// Combine hop rows of `batch` with the current gate.
+    /// Combine hop rows of `batch` with the current gate (allocating
+    /// wrapper of [`Self::combine_rows_ws`]; test/reference path).
+    #[cfg(test)]
     fn combine_rows(hops: &[Matrix], gate: &[f32], batch: &[u32]) -> (Matrix, Vec<Matrix>) {
-        let gathered: Vec<Matrix> = hops.iter().map(|h| h.gather_rows(batch)).collect();
-        let mut out = gathered[0].clone();
+        let mut ws = Workspace::new();
+        Self::combine_rows_ws(hops, gate, batch, &mut ws)
+    }
+
+    /// Allocation-free [`Self::combine_rows`]: gathered rows and the
+    /// combined batch come from (and return to) the workspace.
+    fn combine_rows_ws(
+        hops: &[Matrix],
+        gate: &[f32],
+        batch: &[u32],
+        ws: &mut Workspace,
+    ) -> (Matrix, Vec<Matrix>) {
+        let gathered: Vec<Matrix> = hops
+            .iter()
+            .map(|h| {
+                let mut g = ws.take_matrix(batch.len(), h.cols());
+                h.gather_rows_into(batch, &mut g);
+                g
+            })
+            .collect();
+        let mut out = ws.take_matrix(batch.len(), hops[0].cols());
+        out.copy_from(&gathered[0]);
         out.scale(gate[0]);
         for (l, g) in gathered.iter().enumerate().skip(1) {
             out.axpy(gate[l], g);
         }
         (out, gathered)
+    }
+
+    /// Gate-combine over *all* nodes: the identity gather is skipped, so
+    /// inference never copies every hop matrix.
+    fn combine_all(hops: &[Matrix], gate: &[f32]) -> Matrix {
+        let mut out = hops[0].clone();
+        out.scale(gate[0]);
+        for (l, h) in hops.iter().enumerate().skip(1) {
+            out.axpy(gate[l], h);
+        }
+        out
     }
 
     /// Gate gradient via the softmax Jacobian.
@@ -131,7 +168,11 @@ impl GraphModel for Gamlp {
             .iter()
             .position(|(key, _)| *key == data.cache_key)
             .expect("just cached");
-        let hops = self.cache[pos].1.clone();
+        // Check the hop set out of the cache (no per-epoch clone of k+1
+        // full matrices); pushed back after the epoch.
+        let entry = self.cache.swap_remove(pos);
+        let hops = &entry.1;
+        let mut ws = std::mem::take(&mut self.ws);
 
         let batches = make_batches(&data.train_nodes, self.batch_size, &mut self.rng);
         let mut total_loss = 0f64;
@@ -141,8 +182,8 @@ impl GraphModel for Gamlp {
                 continue;
             }
             let gate = self.softmax_gate();
-            let (xb, gathered) = Self::combine_rows(&hops, &gate, batch);
-            let (logits, cache) = self.head.forward(&xb, true);
+            let (xb, gathered) = Self::combine_rows_ws(hops, &gate, batch, &mut ws);
+            let (logits, cache) = self.head.forward_ws(&xb, true, &mut ws);
             let labels_b: Vec<u32> = batch.iter().map(|&i| data.labels[i as usize]).collect();
             let rows_b: Vec<u32> = (0..batch.len() as u32).collect();
             let (loss, mut d_logits) = softmax_ce(&logits, &labels_b, &rows_b);
@@ -163,10 +204,12 @@ impl GraphModel for Gamlp {
                 .hidden_hook
                 .as_mut()
                 .map(|h| h(batch, cache.penultimate()));
-            let (head_grads, d_comb) = self.head.backward(&cache, &d_logits, hidden_grad.as_ref());
+            let (head_grads, d_comb) =
+                self.head
+                    .backward_ws(&cache, &d_logits, hidden_grad.as_ref(), &mut ws);
             let gate_grads = self.gate_grad(&gate, &d_comb, &gathered);
             let mut grads = gate_grads;
-            grads.extend(head_grads);
+            grads.extend_from_slice(&head_grads);
             if let Some(gh) = hooks.grad_hook.as_mut() {
                 let p = self.params();
                 gh(&p, &mut grads);
@@ -174,9 +217,24 @@ impl GraphModel for Gamlp {
             let mut flat = self.params();
             opt.step(&mut flat, &grads);
             self.set_params(&flat);
+            // Scratch back to the arena for the next batch.
+            ws.give(head_grads);
+            ws.give_matrix(d_comb);
+            ws.give_matrix(d_logits);
+            if let Some(hg) = hidden_grad {
+                ws.give_matrix(hg);
+            }
+            cache.recycle(&mut ws);
+            ws.give_matrix(logits);
+            ws.give_matrix(xb);
+            for g in gathered {
+                ws.give_matrix(g);
+            }
             total_loss += loss as f64;
             steps += 1;
         }
+        self.ws = ws;
+        self.cache.push(entry);
         if steps == 0 {
             0.0
         } else {
@@ -185,18 +243,26 @@ impl GraphModel for Gamlp {
     }
 
     fn predict(&mut self, data: &GraphDataset) -> Matrix {
-        let hops = self.hops(data).to_vec();
+        self.hops(data);
+        let pos = self
+            .cache
+            .iter()
+            .position(|(key, _)| *key == data.cache_key)
+            .expect("just cached");
         let gate = self.softmax_gate();
-        let all: Vec<u32> = (0..data.num_nodes() as u32).collect();
-        let (x, _) = Self::combine_rows(&hops, &gate, &all);
+        let x = Self::combine_all(&self.cache[pos].1, &gate);
         softmax_rows(&self.head.infer(&x))
     }
 
     fn penultimate(&mut self, data: &GraphDataset) -> Matrix {
-        let hops = self.hops(data).to_vec();
+        self.hops(data);
+        let pos = self
+            .cache
+            .iter()
+            .position(|(key, _)| *key == data.cache_key)
+            .expect("just cached");
         let gate = self.softmax_gate();
-        let all: Vec<u32> = (0..data.num_nodes() as u32).collect();
-        let (x, _) = Self::combine_rows(&hops, &gate, &all);
+        let x = Self::combine_all(&self.cache[pos].1, &gate);
         self.head.infer_hidden(&x)
     }
 

@@ -13,11 +13,12 @@ use crate::loss::{soft_ce, softmax_ce};
 use crate::mlp::Mlp;
 use crate::models::ModelConfig;
 use crate::ops::{
-    add_bias, col_sums, matmul, matmul_nt, matmul_tn, relu_backward_inplace, relu_inplace,
-    softmax_rows, spmm_csr,
+    col_sums_into, matmul_bias_into, matmul_bias_relu_into, matmul_nt_into, matmul_tn_into,
+    relu_backward_inplace, softmax_rows, spmm_csr_into,
 };
 use crate::optim::Optimizer;
 use crate::tensor::Matrix;
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,6 +28,8 @@ pub struct Gcn {
     lin: Mlp,
     dropout: f32,
     rng: StdRng,
+    /// Scratch arena for activations/gradients (empty after `clone()`).
+    ws: Workspace,
 }
 
 struct GcnCache {
@@ -36,6 +39,21 @@ struct GcnCache {
     hidden_out: Vec<Matrix>,
     /// Inverted-dropout masks for hidden layers.
     dropout_masks: Vec<Option<Vec<f32>>>,
+}
+
+impl GcnCache {
+    /// Returns every cached buffer to the workspace for the next epoch.
+    fn recycle(self, ws: &mut Workspace) {
+        for m in self.propagated {
+            ws.give_matrix(m);
+        }
+        for m in self.hidden_out {
+            ws.give_matrix(m);
+        }
+        for m in self.dropout_masks.into_iter().flatten() {
+            ws.give(m);
+        }
+    }
 }
 
 impl Gcn {
@@ -50,26 +68,31 @@ impl Gcn {
             lin: Mlp::new(&dims, 0.0, cfg.seed),
             dropout: cfg.dropout,
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xda94_2042_e4dd_58b5),
+            ws: Workspace::new(),
         }
     }
 
     fn forward(&mut self, data: &GraphDataset, train: bool) -> (Matrix, GcnCache) {
         let layers = self.lin.num_layers();
+        let n = data.num_nodes();
+        let mut ws = std::mem::take(&mut self.ws);
         let mut propagated = Vec::with_capacity(layers);
-        let mut hidden_out = Vec::with_capacity(layers - 1);
+        let mut hidden_out: Vec<Matrix> = Vec::with_capacity(layers - 1);
         let mut dropout_masks = Vec::with_capacity(layers - 1);
-        let mut cur = data.features.clone();
+        let mut logits = None;
         for l in 0..layers {
-            let p = spmm_csr(&data.adj_norm, &cur);
-            let mut z = matmul(&p, &self.lin.weight(l));
-            add_bias(&mut z, self.lin.bias(l));
-            propagated.push(p);
+            let src = if l == 0 { &data.features } else { &hidden_out[l - 1] };
+            let mut p = ws.take_matrix(n, src.cols());
+            spmm_csr_into(&data.adj_norm, src, &mut p);
+            let w = self.lin.weight_view(l);
+            let mut z = ws.take_matrix(n, w.cols());
             if l + 1 < layers {
-                relu_inplace(&mut z);
+                // Fused `relu(P·W + b)` epilogue; dropout rides on top.
+                matmul_bias_relu_into(p.view(), w, self.lin.bias(l), z.as_mut_slice());
                 let mask = if train && self.dropout > 0.0 {
                     let keep = 1.0 - self.dropout;
                     let inv = 1.0 / keep;
-                    let mut mask = vec![0f32; z.rows() * z.cols()];
+                    let mut mask = ws.take(z.rows() * z.cols());
                     for (m, v) in mask.iter_mut().zip(z.as_mut_slice()) {
                         if self.rng.random::<f32>() < keep {
                             *m = inv;
@@ -83,12 +106,16 @@ impl Gcn {
                     None
                 };
                 dropout_masks.push(mask);
-                hidden_out.push(z.clone());
+                hidden_out.push(z);
+            } else {
+                matmul_bias_into(p.view(), w, self.lin.bias(l), z.as_mut_slice());
+                logits = Some(z);
             }
-            cur = z;
+            propagated.push(p);
         }
+        self.ws = ws;
         (
-            cur,
+            logits.expect("≥1 layer"),
             GcnCache {
                 propagated,
                 hidden_out,
@@ -98,41 +125,49 @@ impl Gcn {
     }
 
     fn backward(
-        &self,
+        &mut self,
         data: &GraphDataset,
         cache: &GcnCache,
         d_logits: &Matrix,
         hidden_grad: Option<&Matrix>,
     ) -> Vec<f32> {
         let layers = self.lin.num_layers();
-        let mut grads = vec![0f32; self.lin.num_params()];
-        let mut d_out = d_logits.clone();
+        let mut ws = std::mem::take(&mut self.ws);
+        let mut grads = ws.take(self.lin.num_params());
+        let mut d_out = ws.take_matrix(d_logits.rows(), d_logits.cols());
+        d_out.copy_from(d_logits);
         for l in (0..layers).rev() {
             let p = &cache.propagated[l];
-            let dw = matmul_tn(p, &d_out);
-            let db = col_sums(&d_out);
-            let (ws, bs, be) = self.lin.layer_offsets(l);
-            grads[ws..bs].copy_from_slice(dw.as_slice());
-            grads[bs..be].copy_from_slice(&db);
-            let mut dp = matmul_nt(&d_out, &self.lin.weight(l));
+            let (ws_off, bs, be) = self.lin.layer_offsets(l);
+            // dW/db land directly in the flat gradient buffer.
+            matmul_tn_into(p.view(), d_out.view(), &mut grads[ws_off..bs]);
+            col_sums_into(&d_out, &mut grads[bs..be]);
+            let w = self.lin.weight_view(l);
+            let mut dp = ws.take_matrix(d_out.rows(), w.rows());
+            matmul_nt_into(d_out.view(), w, dp.as_mut_slice());
             if l == layers - 1 {
                 if let Some(hg) = hidden_grad {
                     dp.axpy(1.0, hg);
                 }
             }
             if l == 0 {
+                ws.give_matrix(dp);
                 break;
             }
             // dX_l = Âᵀ dP = Â dP (symmetric normalization).
-            let mut dx = spmm_csr(&data.adj_norm, &dp);
+            let mut dx = ws.take_matrix(dp.rows(), dp.cols());
+            spmm_csr_into(&data.adj_norm, &dp, &mut dx);
+            ws.give_matrix(dp);
             if let Some(mask) = &cache.dropout_masks[l - 1] {
                 for (g, &m) in dx.as_mut_slice().iter_mut().zip(mask) {
                     *g *= m;
                 }
             }
             relu_backward_inplace(&mut dx, &cache.hidden_out[l - 1]);
-            d_out = dx;
+            ws.give_matrix(std::mem::replace(&mut d_out, dx));
         }
+        ws.give_matrix(d_out);
+        self.ws = ws;
         grads
     }
 }
@@ -177,17 +212,27 @@ impl GraphModel for Gcn {
             gh(self.lin.params(), &mut grads);
         }
         opt.step(self.lin.params_mut(), &grads);
+        cache.recycle(&mut self.ws);
+        self.ws.give_matrix(logits);
+        self.ws.give_matrix(d_logits);
+        self.ws.give(grads);
         loss
     }
 
     fn predict(&mut self, data: &GraphDataset) -> Matrix {
-        let (logits, _) = self.forward(data, false);
-        softmax_rows(&logits)
+        let (logits, cache) = self.forward(data, false);
+        let out = softmax_rows(&logits);
+        cache.recycle(&mut self.ws);
+        self.ws.give_matrix(logits);
+        out
     }
 
     fn penultimate(&mut self, data: &GraphDataset) -> Matrix {
-        let (_, cache) = self.forward(data, false);
-        cache.propagated.last().expect("≥1 layer").clone()
+        let (logits, mut cache) = self.forward(data, false);
+        let h = cache.propagated.pop().expect("≥1 layer");
+        cache.recycle(&mut self.ws);
+        self.ws.give_matrix(logits);
+        h
     }
 
     fn clone_box(&self) -> Box<dyn GraphModel> {

@@ -10,7 +10,7 @@
 //! - **GBP**: weighted average with `wₗ = β(1−β)ˡ`.
 
 use crate::tensor::Matrix;
-use fedgta_graph::spmm::propagate_steps;
+use fedgta_graph::spmm::propagate_steps_into;
 use fedgta_graph::Csr;
 
 /// How hop features are combined into the model input.
@@ -41,13 +41,20 @@ impl PrecomputeKind {
 }
 
 /// Computes all hop features `[X⁽⁰⁾, …, X⁽ᵏ⁾]` under `adj_norm`.
+///
+/// Uses the borrowing [`propagate_steps_into`] so only the `k` propagated
+/// hops are produced by the kernel; hop 0 is a single clone of the input.
 pub fn hop_features(adj_norm: &Csr, features: &Matrix, k: usize) -> Vec<Matrix> {
-    let steps = propagate_steps(adj_norm, features.as_slice(), features.cols(), k)
+    let mut hops: Vec<Vec<f32>> = Vec::new();
+    propagate_steps_into(adj_norm, features.as_slice(), features.cols(), k, &mut hops)
         .expect("adjacency and features share the node count");
-    steps
-        .into_iter()
-        .map(|s| Matrix::from_vec(features.rows(), features.cols(), s))
-        .collect()
+    let mut out = Vec::with_capacity(k + 1);
+    out.push(features.clone());
+    out.extend(
+        hops.into_iter()
+            .map(|s| Matrix::from_vec(features.rows(), features.cols(), s)),
+    );
+    out
 }
 
 /// Combines hop features per `kind` into the model input matrix.

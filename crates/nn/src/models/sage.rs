@@ -19,11 +19,11 @@ use crate::loss::{soft_ce, softmax_ce};
 use crate::mlp::Mlp;
 use crate::models::ModelConfig;
 use crate::ops::{
-    add_bias, col_sums, matmul, matmul_nt, matmul_tn, relu_backward_inplace, relu_inplace,
-    softmax_rows, spmm_csr,
+    col_sums, matmul_bias_into, matmul_bias_relu_into, matmul_nt_into, matmul_tn,
+    relu_backward_inplace, softmax_rows, spmm_csr,
 };
 use crate::optim::Optimizer;
-use crate::tensor::Matrix;
+use crate::tensor::{MatView, Matrix};
 use fedgta_graph::{Csr, EdgeList};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -96,8 +96,8 @@ impl Sage {
         self.lins.len()
     }
 
-    fn weight(&self, l: usize) -> Matrix {
-        self.lins[l].weight(0)
+    fn weight(&self, l: usize) -> MatView<'_> {
+        self.lins[l].weight_view(0)
     }
 
     fn bias(&self, l: usize) -> &[f32] {
@@ -123,11 +123,11 @@ impl Sage {
         for l in 0..layers {
             let agg = spmm_csr(adj, &cur);
             let cat = cur.hcat(&agg);
-            let mut z = matmul(&cat, &self.weight(l));
-            add_bias(&mut z, self.bias(l));
-            concat.push(cat);
+            let w = self.weight(l);
+            let mut z = Matrix::zeros(cat.rows(), w.cols());
             if l + 1 < layers {
-                relu_inplace(&mut z);
+                matmul_bias_relu_into(cat.view(), w, self.bias(l), z.as_mut_slice());
+                concat.push(cat);
                 let mask = if train && self.dropout > 0.0 {
                     let keep = 1.0 - self.dropout;
                     let inv = 1.0 / keep;
@@ -146,6 +146,9 @@ impl Sage {
                 };
                 dropout_masks.push(mask);
                 hidden_out.push(z.clone());
+            } else {
+                matmul_bias_into(cat.view(), w, self.bias(l), z.as_mut_slice());
+                concat.push(cat);
             }
             cur = z;
         }
@@ -180,7 +183,9 @@ impl Sage {
             if l == 0 {
                 break;
             }
-            let dcat = matmul_nt(&d_out, &self.weight(l));
+            let w = self.weight(l);
+            let mut dcat = Matrix::zeros(d_out.rows(), w.rows());
+            matmul_nt_into(d_out.view(), w, dcat.as_mut_slice());
             let half = cat.cols() / 2;
             let (d_direct, d_agg) = dcat.hsplit(half);
             // dH = d_direct + Āᵀ d_agg.
@@ -209,9 +214,9 @@ impl Sage {
         for l in 0..layers - 1 {
             let agg = spmm_csr(&data.adj_mean, &cur);
             let cat = cur.hcat(&agg);
-            let mut z = matmul(&cat, &self.weight(l));
-            add_bias(&mut z, self.bias(l));
-            relu_inplace(&mut z);
+            let w = self.weight(l);
+            let mut z = Matrix::zeros(cat.rows(), w.cols());
+            matmul_bias_relu_into(cat.view(), w, self.bias(l), z.as_mut_slice());
             cur = z;
         }
         cur

@@ -1,95 +1,427 @@
-//! Dense matmul kernels, cache-friendly and parallel over row chunks.
+//! Dense compute kernels: register-blocked, allocation-free, and parallel
+//! over row chunks.
 //!
 //! All three transpose variants needed by MLP backprop are provided:
 //! `C = A·B` (forward), `C = Aᵀ·B` (weight gradients), `C = A·Bᵀ`
-//! (input gradients). The inner loops use the i-k-j ordering so the `B`
-//! operand streams row-wise through cache; parallelism reuses the
-//! deterministic chunking of [`fedgta_graph::par`].
+//! (input gradients) — each in an allocating form (`matmul*`) and an
+//! allocation-free `_into` form writing into a caller-provided buffer
+//! (typically checked out of a [`crate::workspace::Workspace`]).
+//!
+//! ## Kernel design
+//!
+//! The inner loops are register-blocked so LLVM auto-vectorizes them:
+//!
+//! - [`matmul_into`] (and the fused bias variants) run an **8-row ×
+//!   16-column register-tiled outer-product micro-kernel**
+//!   ([`gemm_rows_tile`]): the `C` tile lives in registers across the
+//!   entire `k` loop, each loaded `B` block serves eight output rows (8×
+//!   less `B` traffic than a row-at-a-time axpy), and every output element
+//!   is read and written exactly once. Row tails fall back to
+//!   [`gemm_row`], which processes
+//!   **4 k-steps per iteration**, broadcasting four `A` scalars against
+//!   four contiguous `B` rows through `chunks_exact` column blocks
+//!   ([`axpy4`]) — the same element-wise accumulation order, so the two
+//!   paths agree bit-for-bit.
+//! - [`matmul_tn_into`] reuses the same `8×16` output tiling with the
+//!   transpose folded into the tile indexing (8 consecutive `kk` rows are
+//!   a contiguous 8-wide block of each `A` row), accumulating in strict
+//!   increasing-`i` order.
+//! - [`matmul_nt_into`] computes each output element as a dot product over
+//!   **8 independent accumulator lanes** ([`dot_lanes`]), breaking the
+//!   add-latency chain that serializes a naive dot product.
+//! - [`matmul_bias_relu_into`] fuses the hidden-layer epilogue: the output
+//!   row is *initialized with the bias*, accumulated, and rectified in one
+//!   pass — no separate `add_bias`/`relu_inplace` sweeps over the matrix.
+//!
+//! The seed kernels skipped `A` zeros with a branch in the innermost loop
+//! (`if av == 0.0 { continue }`); that branch defeated vectorization and
+//! cost more than it saved even on post-ReLU activations (~50% zeros), so
+//! the blocked kernels are branch-free. Sparse operands go through the
+//! *sparse* kernel ([`spmm_csr`]) instead — that is the profiled fast path
+//! for genuinely sparse operators.
+//!
+//! ## Determinism
+//!
+//! Parallelism reuses the deterministic row chunking of
+//! [`fedgta_graph::par`]: every output element is produced by exactly one
+//! worker with a fixed accumulation order, so results are bit-identical
+//! for any thread count. The *fixed order itself* differs from the
+//! pre-blocking kernels (lane-split dot products, no zero-skip), which may
+//! shift floats against old baselines — but never across thread counts.
+//!
+//! A straightforward scalar reference implementation is retained in
+//! [`naive`] for property tests and as the "before" baseline of the kernel
+//! microbenchmarks.
 
-use crate::tensor::Matrix;
+use crate::tensor::{MatView, Matrix};
 use fedgta_graph::par::par_chunks_mut;
 
-/// `C = A · B` with `A: m×k`, `B: k×n`.
-pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+/// Column-block width shared by the register-blocked kernels. Wide enough
+/// for a full 512-bit vector per block; the per-element accumulation
+/// expression is width-independent, so this constant can be retuned
+/// without changing results bit-for-bit.
+const COL_BLOCK: usize = 16;
+/// Number of k/i-steps fused per blocked iteration.
+const K_BLOCK: usize = 4;
+/// Accumulator lanes for the dot-product kernel.
+const LANES: usize = 8;
+
+/// `out[j] += a0·b0[j] + a1·b1[j] + a2·b2[j] + a3·b3[j]` over the full row,
+/// in `COL_BLOCK`-wide chunks (`chunks_exact` elides bounds checks so LLVM
+/// vectorizes both the blocks and the remainder).
+#[inline(always)]
+fn axpy4(out: &mut [f32], a: [f32; K_BLOCK], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    let mut oc = out.chunks_exact_mut(COL_BLOCK);
+    let bc = b0
+        .chunks_exact(COL_BLOCK)
+        .zip(b1.chunks_exact(COL_BLOCK))
+        .zip(b2.chunks_exact(COL_BLOCK).zip(b3.chunks_exact(COL_BLOCK)));
+    for (o, ((x0, x1), (x2, x3))) in (&mut oc).zip(bc) {
+        for l in 0..COL_BLOCK {
+            o[l] = o[l] + a[0] * x0[l] + a[1] * x1[l] + a[2] * x2[l] + a[3] * x3[l];
+        }
+    }
+    let rem = oc.into_remainder();
+    let j0 = b0.len() - rem.len();
+    for (j, o) in rem.iter_mut().enumerate() {
+        let j = j0 + j;
+        *o = *o + a[0] * b0[j] + a[1] * b1[j] + a[2] * b2[j] + a[3] * b3[j];
+    }
+}
+
+/// Single-step tail of [`axpy4`]: `out[j] += a · b[j]`.
+#[inline(always)]
+fn axpy1(out: &mut [f32], a: f32, b: &[f32]) {
+    for (o, &bv) in out.iter_mut().zip(b) {
+        *o += a * bv;
+    }
+}
+
+/// Rows per register tile of the multi-row GEMM micro-kernel.
+const ROW_BLOCK: usize = 8;
+/// Columns per register tile of the multi-row GEMM micro-kernel: 8 rows ×
+/// 16 columns of `C` stay resident in registers across the entire `k`
+/// loop (one 512-bit vector per row on AVX-512, two 256-bit on AVX2).
+/// Like [`COL_BLOCK`], the tile shape is retunable without changing
+/// results: per-element accumulation order is width-independent.
+const TILE_COLS: usize = 16;
+
+/// A [`ROW_BLOCK`]-row band of `C = A·B` at once: an outer-product
+/// micro-kernel holding an `8×16` register tile of `C` across the whole
+/// `k` loop, so every loaded `B` block serves eight output rows (8× less
+/// `B` traffic than a row-at-a-time axpy) and each output element is read
+/// and written exactly once.
+///
+/// `out` is the band of contiguous output rows (length `ROW_BLOCK·n`),
+/// pre-initialized (zeros, or the bias for the fused epilogue).
+/// Accumulation per element is strict increasing-`k` order — the same
+/// left-to-right chain of binary adds as [`gemm_row`], so the two paths
+/// agree bit-for-bit and the `rows % ROW_BLOCK` tail can fall back to the
+/// single-row kernel.
+#[inline]
+fn gemm_rows_tile(out: &mut [f32], arows: &[&[f32]; ROW_BLOCK], bd: &[f32], n: usize) {
+    debug_assert_eq!(out.len(), ROW_BLOCK * n);
+    let k = arows[0].len();
+    let nb = n / TILE_COLS * TILE_COLS;
+    let mut j = 0;
+    while j < nb {
+        let mut acc = [[0f32; TILE_COLS]; ROW_BLOCK];
+        for (r, a) in acc.iter_mut().enumerate() {
+            a.copy_from_slice(&out[r * n + j..r * n + j + TILE_COLS]);
+        }
+        for kk in 0..k {
+            let b = &bd[kk * n + j..kk * n + j + TILE_COLS];
+            for (r, a) in acc.iter_mut().enumerate() {
+                let av = arows[r][kk];
+                for l in 0..TILE_COLS {
+                    a[l] += av * b[l];
+                }
+            }
+        }
+        for (r, a) in acc.iter().enumerate() {
+            out[r * n + j..r * n + j + TILE_COLS].copy_from_slice(a);
+        }
+        j += TILE_COLS;
+    }
+    // Column tail: scalar per column, same strict k order.
+    while j < n {
+        let mut s = [0f32; ROW_BLOCK];
+        for (r, sv) in s.iter_mut().enumerate() {
+            *sv = out[r * n + j];
+        }
+        for kk in 0..k {
+            let bv = bd[kk * n + j];
+            for (r, sv) in s.iter_mut().enumerate() {
+                *sv += arows[r][kk] * bv;
+            }
+        }
+        for (r, &sv) in s.iter().enumerate() {
+            out[r * n + j] = sv;
+        }
+        j += 1;
+    }
+}
+
+/// Runs the multi-row micro-kernel over a chunk of pre-initialized output
+/// rows (`chunk.len() == rows.len() * n`), falling back to [`gemm_row`]
+/// for the `rows % ROW_BLOCK` tail. Bit-identical to calling [`gemm_row`]
+/// on every row.
+#[inline]
+fn gemm_band(chunk: &mut [f32], rows: std::ops::Range<usize>, ad: &[f32], k: usize, bd: &[f32], n: usize) {
+    let count = rows.len();
+    let start = rows.start;
+    let rb = count / ROW_BLOCK * ROW_BLOCK;
+    let mut r = 0;
+    while r < rb {
+        let row = start + r;
+        let arows: [&[f32]; ROW_BLOCK] =
+            std::array::from_fn(|i| &ad[(row + i) * k..(row + i + 1) * k]);
+        gemm_rows_tile(&mut chunk[r * n..(r + ROW_BLOCK) * n], &arows, bd, n);
+        r += ROW_BLOCK;
+    }
+    while r < count {
+        let row = start + r;
+        gemm_row(&mut chunk[r * n..(r + 1) * n], &ad[row * k..(row + 1) * k], bd, n);
+        r += 1;
+    }
+}
+
+/// One output row of `C = A·B`: `out += arow · B`, k-blocked by 4.
+///
+/// `out` must be pre-initialized (zero, or the bias for the fused
+/// epilogue); accumulation order over `k` is fixed and chunk-independent.
+#[inline]
+fn gemm_row(out: &mut [f32], arow: &[f32], bd: &[f32], n: usize) {
+    let k = arow.len();
+    let kb = k / K_BLOCK * K_BLOCK;
+    let mut kk = 0;
+    while kk < kb {
+        let a = [arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]];
+        let b0 = &bd[kk * n..(kk + 1) * n];
+        let b1 = &bd[(kk + 1) * n..(kk + 2) * n];
+        let b2 = &bd[(kk + 2) * n..(kk + 3) * n];
+        let b3 = &bd[(kk + 3) * n..(kk + 4) * n];
+        axpy4(out, a, b0, b1, b2, b3);
+        kk += K_BLOCK;
+    }
+    while kk < k {
+        axpy1(out, arow[kk], &bd[kk * n..(kk + 1) * n]);
+        kk += 1;
+    }
+}
+
+/// Lane-split dot product: 8 independent partial sums over
+/// `chunks_exact(8)`, reduced pairwise, plus a scalar tail. The fixed
+/// reduction tree keeps results deterministic while giving the CPU eight
+/// concurrent FMA chains.
+#[inline(always)]
+fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0f32; LANES];
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for (x, y) in (&mut ac).zip(&mut bc) {
+        for l in 0..LANES {
+            lanes[l] += x[l] * y[l];
+        }
+    }
+    let mut tail = 0f32;
+    for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+        tail += x * y;
+    }
+    let front = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    let back = (lanes[4] + lanes[5]) + (lanes[6] + lanes[7]);
+    (front + back) + tail
+}
+
+/// `C = A · B` with `A: m×k`, `B: k×n`, written into `out` (`m·n`,
+/// fully overwritten). Allocation-free.
+pub fn matmul_into(a: MatView<'_>, b: MatView<'_>, out: &mut [f32]) {
     assert_eq!(a.cols(), b.rows(), "matmul inner dim mismatch");
     let (m, k) = a.shape();
     let n = b.cols();
-    let mut c = Matrix::zeros(m, n);
+    assert_eq!(out.len(), m * n, "matmul output size mismatch");
     let (ad, bd) = (a.as_slice(), b.as_slice());
-    par_chunks_mut(c.as_mut_slice(), m, n, |_, chunk, range| {
-        for (local, row) in range.enumerate() {
-            let out = &mut chunk[local * n..(local + 1) * n];
-            let arow = &ad[row * k..(row + 1) * k];
-            for (kk, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &bd[kk * n..(kk + 1) * n];
-                for (o, &bv) in out.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
+    par_chunks_mut(out, m, n, |_, chunk, range| {
+        chunk.fill(0.0);
+        gemm_band(chunk, range, ad, k, bd, n);
+    });
+}
+
+/// Fused hidden-layer epilogue: `out = relu(A·B + bias)` (`bias` is
+/// broadcast over rows). One pass: the output row is seeded with the bias,
+/// accumulated, then rectified while still hot.
+pub fn matmul_bias_relu_into(a: MatView<'_>, b: MatView<'_>, bias: &[f32], out: &mut [f32]) {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dim mismatch");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    assert_eq!(bias.len(), n, "bias length mismatch");
+    assert_eq!(out.len(), m * n, "matmul output size mismatch");
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    par_chunks_mut(out, m, n, |_, chunk, range| {
+        for orow in chunk.chunks_exact_mut(n) {
+            orow.copy_from_slice(bias);
+        }
+        gemm_band(chunk, range, ad, k, bd, n);
+        for v in chunk.iter_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
             }
         }
     });
-    c
 }
 
-/// `C = Aᵀ · B` with `A: m×k`, `B: m×n` → `C: k×n`.
+/// Linear-layer epilogue without activation: `out = A·B + bias`.
+pub fn matmul_bias_into(a: MatView<'_>, b: MatView<'_>, bias: &[f32], out: &mut [f32]) {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dim mismatch");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    assert_eq!(bias.len(), n, "bias length mismatch");
+    assert_eq!(out.len(), m * n, "matmul output size mismatch");
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    par_chunks_mut(out, m, n, |_, chunk, range| {
+        for orow in chunk.chunks_exact_mut(n) {
+            orow.copy_from_slice(bias);
+        }
+        gemm_band(chunk, range, ad, k, bd, n);
+    });
+}
+
+/// `C = Aᵀ · B` with `A: m×k`, `B: m×n`, written into `out` (`k·n`,
+/// fully overwritten). Allocation-free.
 ///
-/// This is the weight-gradient kernel (`dW = Xᵀ · dY`). The transpose is
-/// fused: each output row `kk` accumulates `Σ_i A[i,kk] · B[i,·]`, so we
-/// parallelize over output rows by having each worker scan `A` column-wise
-/// for its assigned rows.
-pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+/// This is the weight-gradient kernel (`dW = Xᵀ · dY`); `out` may alias a
+/// sub-slice of a flat gradient buffer, which is exactly how
+/// [`crate::mlp::Mlp::backward_ws`] uses it. The transpose is fused into
+/// the tile indexing: an `8×16` register tile of `C` (8 consecutive `kk`
+/// rows — a *contiguous* 8-wide block of each `A` row — times 16 `B`
+/// columns) accumulates across the entire `i` loop, so `C` is written
+/// exactly once and each loaded `B` block serves eight output rows.
+/// Accumulation per element is strict increasing-`i` order.
+pub fn matmul_tn_into(a: MatView<'_>, b: MatView<'_>, out: &mut [f32]) {
     assert_eq!(a.rows(), b.rows(), "matmul_tn outer dim mismatch");
     let (m, k) = a.shape();
     let n = b.cols();
-    let mut c = Matrix::zeros(k, n);
+    assert_eq!(out.len(), k * n, "matmul_tn output size mismatch");
     let (ad, bd) = (a.as_slice(), b.as_slice());
-    par_chunks_mut(c.as_mut_slice(), k, n, |_, chunk, range| {
+    par_chunks_mut(out, k, n, |_, chunk, range| {
+        let rows = range.len();
+        let start = range.start;
+        let rb = rows / ROW_BLOCK * ROW_BLOCK;
+        let mut r = 0;
+        while r < rb {
+            gemm_tn_band(&mut chunk[r * n..(r + ROW_BLOCK) * n], start + r, ad, m, k, bd, n);
+            r += ROW_BLOCK;
+        }
+        // Row tail (`kk` rows beyond the last full tile): one output row
+        // at a time, still strict increasing-i accumulation.
+        while r < rows {
+            let kk = start + r;
+            let orow = &mut chunk[r * n..(r + 1) * n];
+            orow.fill(0.0);
+            for i in 0..m {
+                axpy1(orow, ad[i * k + kk], &bd[i * n..(i + 1) * n]);
+            }
+            r += 1;
+        }
+    });
+}
+
+/// [`ROW_BLOCK`] output rows of `C = Aᵀ·B` starting at row `kk0`,
+/// register-tiled exactly like [`gemm_rows_tile`]: the `8×16` tile
+/// accumulates in strict increasing-`i` order across the whole outer
+/// dimension, `B` blocks are loaded once per eight output rows, and the
+/// band (`out`, length `ROW_BLOCK·n`) is written exactly once.
+#[inline]
+fn gemm_tn_band(out: &mut [f32], kk0: usize, ad: &[f32], m: usize, k: usize, bd: &[f32], n: usize) {
+    debug_assert_eq!(out.len(), ROW_BLOCK * n);
+    let nb = n / TILE_COLS * TILE_COLS;
+    let mut j = 0;
+    while j < nb {
+        // The accumulator tile is stored TRANSPOSED (`acc[l][rr]`): the
+        // contiguous 8-float `A` block makes LLVM vectorize across `rr`,
+        // and with `rr` as the contiguous axis that vectorization hits
+        // plain vector adds instead of stack gather/scatters. The
+        // transposed write-back at the end is amortized over the `i` loop.
+        let mut acc = [[0f32; ROW_BLOCK]; TILE_COLS];
         for i in 0..m {
-            let arow = &ad[i * k..(i + 1) * k];
-            let brow = &bd[i * n..(i + 1) * n];
-            for (local, kk) in range.clone().enumerate() {
-                let av = arow[kk];
-                if av == 0.0 {
-                    continue;
-                }
-                let out = &mut chunk[local * n..(local + 1) * n];
-                for (o, &bv) in out.iter_mut().zip(brow) {
-                    *o += av * bv;
+            let bblk: &[f32; TILE_COLS] =
+                bd[i * n + j..i * n + j + TILE_COLS].try_into().unwrap();
+            let ablk: &[f32; ROW_BLOCK] =
+                ad[i * k + kk0..i * k + kk0 + ROW_BLOCK].try_into().unwrap();
+            for (l, a) in acc.iter_mut().enumerate() {
+                let bv = bblk[l];
+                for rr in 0..ROW_BLOCK {
+                    a[rr] += ablk[rr] * bv;
                 }
             }
         }
-    });
-    c
+        for (l, a) in acc.iter().enumerate() {
+            for (rr, &v) in a.iter().enumerate() {
+                out[rr * n + j + l] = v;
+            }
+        }
+        j += TILE_COLS;
+    }
+    // Column tail: scalar per column, same strict i order.
+    while j < n {
+        let mut s = [0f32; ROW_BLOCK];
+        for i in 0..m {
+            let bv = bd[i * n + j];
+            let ablk = &ad[i * k + kk0..i * k + kk0 + ROW_BLOCK];
+            for (rr, sv) in s.iter_mut().enumerate() {
+                *sv += ablk[rr] * bv;
+            }
+        }
+        for (rr, &sv) in s.iter().enumerate() {
+            out[rr * n + j] = sv;
+        }
+        j += 1;
+    }
 }
 
-/// `C = A · Bᵀ` with `A: m×k`, `B: n×k` → `C: m×n`.
+/// `C = A · Bᵀ` with `A: m×k`, `B: n×k`, written into `out` (`m·n`,
+/// fully overwritten). Allocation-free.
 ///
-/// This is the input-gradient kernel (`dX = dY · Wᵀ`). Each output element
-/// is a dot product of two contiguous rows, so it is naturally
-/// cache-friendly without materializing the transpose.
-pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+/// This is the input-gradient kernel (`dX = dY · Wᵀ`): each output element
+/// is a dot product of two contiguous rows, computed with the lane-split
+/// accumulator of [`dot_lanes`].
+pub fn matmul_nt_into(a: MatView<'_>, b: MatView<'_>, out: &mut [f32]) {
     assert_eq!(a.cols(), b.cols(), "matmul_nt inner dim mismatch");
     let (m, k) = a.shape();
     let n = b.rows();
-    let mut c = Matrix::zeros(m, n);
+    assert_eq!(out.len(), m * n, "matmul_nt output size mismatch");
     let (ad, bd) = (a.as_slice(), b.as_slice());
-    par_chunks_mut(c.as_mut_slice(), m, n, |_, chunk, range| {
+    par_chunks_mut(out, m, n, |_, chunk, range| {
         for (local, row) in range.enumerate() {
             let arow = &ad[row * k..(row + 1) * k];
-            let out = &mut chunk[local * n..(local + 1) * n];
-            for (j, o) in out.iter_mut().enumerate() {
-                let brow = &bd[j * k..(j + 1) * k];
-                let mut acc = 0f32;
-                for (&x, &y) in arow.iter().zip(brow) {
-                    acc += x * y;
-                }
-                *o = acc;
+            let orow = &mut chunk[local * n..(local + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = dot_lanes(arow, &bd[j * k..(j + 1) * k]);
             }
         }
     });
+}
+
+/// `C = A · B` into a fresh matrix (allocating wrapper of [`matmul_into`]).
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    matmul_into(a.view(), b.view(), c.as_mut_slice());
+    c
+}
+
+/// `C = Aᵀ · B` into a fresh matrix (allocating wrapper of
+/// [`matmul_tn_into`]).
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.cols(), b.cols());
+    matmul_tn_into(a.view(), b.view(), c.as_mut_slice());
+    c
+}
+
+/// `C = A · Bᵀ` into a fresh matrix (allocating wrapper of
+/// [`matmul_nt_into`]).
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    matmul_nt_into(a.view(), b.view(), c.as_mut_slice());
     c
 }
 
@@ -103,14 +435,22 @@ pub fn add_bias(x: &mut Matrix, bias: &[f32]) {
     }
 }
 
-/// Column sums (the bias gradient: `db = Σ_i dY[i,·]`).
-pub fn col_sums(x: &Matrix) -> Vec<f32> {
-    let mut out = vec![0f32; x.cols()];
+/// Column sums into a caller-provided buffer (`out.len() == x.cols()`,
+/// fully overwritten). The bias gradient: `db = Σ_i dY[i,·]`.
+pub fn col_sums_into(x: &Matrix, out: &mut [f32]) {
+    assert_eq!(out.len(), x.cols(), "col_sums output size mismatch");
+    out.fill(0.0);
     for i in 0..x.rows() {
         for (o, &v) in out.iter_mut().zip(x.row(i)) {
             *o += v;
         }
     }
+}
+
+/// Column sums (allocating wrapper of [`col_sums_into`]).
+pub fn col_sums(x: &Matrix) -> Vec<f32> {
+    let mut out = vec![0f32; x.cols()];
+    col_sums_into(x, &mut out);
     out
 }
 
@@ -163,10 +503,131 @@ pub fn softmax_rows_inplace(x: &mut Matrix) {
 }
 
 /// Sparse-dense product wrapper: `Y = A · X` for a CSR adjacency.
+///
+/// The output has `a.num_nodes()` rows (not `x.rows()` — the seed version
+/// silently assumed a square product); the dense operand must have exactly
+/// one row per adjacency node.
 pub fn spmm_csr(a: &fedgta_graph::Csr, x: &Matrix) -> Matrix {
-    let y = fedgta_graph::spmm::spmm(a, x.as_slice(), x.cols())
-        .expect("CSR and dense operand row counts must agree");
-    Matrix::from_vec(x.rows(), x.cols(), y)
+    let mut y = Matrix::zeros(a.num_nodes(), x.cols());
+    spmm_csr_into(a, x, &mut y);
+    y
+}
+
+/// Allocation-free [`spmm_csr`]: `Y = A · X` into a caller-provided matrix
+/// of shape `(a.num_nodes(), x.cols())`.
+pub fn spmm_csr_into(a: &fedgta_graph::Csr, x: &Matrix, y: &mut Matrix) {
+    assert_eq!(
+        x.rows(),
+        a.num_nodes(),
+        "spmm_csr: dense operand must have one row per adjacency node"
+    );
+    assert_eq!(
+        y.shape(),
+        (a.num_nodes(), x.cols()),
+        "spmm_csr: output shape mismatch"
+    );
+    fedgta_graph::spmm::spmm_into(a, x.as_slice(), x.cols(), y.as_mut_slice());
+}
+
+/// Scalar reference kernels — the seed implementations, retained verbatim
+/// (branchy zero-skip and all) as the ground truth for property tests and
+/// the "naive" baseline of the kernel microbenchmark suite. Not used on
+/// any hot path.
+pub mod naive {
+    use crate::tensor::Matrix;
+
+    /// Reference `C = A · B` (i-k-j ordering, zero-skip branch).
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.rows(), "matmul inner dim mismatch");
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut c = Matrix::zeros(m, n);
+        let (ad, bd) = (a.as_slice(), b.as_slice());
+        for row in 0..m {
+            let arow = &ad[row * k..(row + 1) * k];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[kk * n..(kk + 1) * n];
+                let out = &mut c.as_mut_slice()[row * n..(row + 1) * n];
+                for (o, &bv) in out.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        c
+    }
+
+    /// Reference `C = Aᵀ · B`.
+    pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows(), b.rows(), "matmul_tn outer dim mismatch");
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut c = Matrix::zeros(k, n);
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a.get(i, kk);
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let v = c.get(kk, j) + av * b.get(i, j);
+                    c.set(kk, j, v);
+                }
+            }
+        }
+        c
+    }
+
+    /// Reference `C = A · Bᵀ` (sequential single-accumulator dot).
+    pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.cols(), "matmul_nt inner dim mismatch");
+        let (m, k) = a.shape();
+        let n = b.rows();
+        let mut c = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0f32;
+                for kk in 0..k {
+                    acc += a.get(i, kk) * b.get(j, kk);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    /// Reference `Y = A · X` for CSR `A` (row-major dense `x`).
+    pub fn spmm(a: &fedgta_graph::Csr, x: &[f32], cols: usize) -> Vec<f32> {
+        let n = a.num_nodes();
+        assert_eq!(x.len(), n * cols, "spmm operand size mismatch");
+        let mut y = vec![0f32; n * cols];
+        for row in 0..n {
+            let out = &mut y[row * cols..(row + 1) * cols];
+            let u = row as u32;
+            let neigh = a.neighbors(u);
+            match a.neighbor_weights(u) {
+                Some(ws) => {
+                    for (&v, &w) in neigh.iter().zip(ws) {
+                        let src = &x[v as usize * cols..(v as usize + 1) * cols];
+                        for (o, &s) in out.iter_mut().zip(src) {
+                            *o += w * s;
+                        }
+                    }
+                }
+                None => {
+                    for &v in neigh {
+                        let src = &x[v as usize * cols..(v as usize + 1) * cols];
+                        for (o, &s) in out.iter_mut().zip(src) {
+                            *o += s;
+                        }
+                    }
+                }
+            }
+        }
+        y
+    }
 }
 
 #[cfg(test)]
@@ -180,12 +641,97 @@ mod tests {
         }
     }
 
+    fn gen(r: usize, c: usize, seed: u64) -> Matrix {
+        Matrix::from_vec(
+            r,
+            c,
+            (0..r * c)
+                .map(|i| (((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 97) as f32 / 48.5) - 1.0)
+                .collect(),
+        )
+    }
+
     #[test]
     fn matmul_small_known() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
         let c = matmul(&a, &b);
         assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_at_awkward_shapes() {
+        // Shapes deliberately not multiples of the 4×4 block.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (7, 9, 5), (4, 4, 4), (5, 13, 6), (2, 17, 3)] {
+            let a = gen(m, k, 1);
+            let b = gen(k, n, 2);
+            assert_close(&matmul(&a, &b), &naive::matmul(&a, &b));
+            let a2 = gen(m, k, 3);
+            let b2 = gen(m, n, 4);
+            assert_close(&matmul_tn(&a2, &b2), &naive::matmul_tn(&a2, &b2));
+            let a3 = gen(m, k, 5);
+            let b3 = gen(n, k, 6);
+            assert_close(&matmul_nt(&a3, &b3), &naive::matmul_nt(&a3, &b3));
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_handle_zeros_without_the_skip_branch() {
+        // The seed kernels special-cased av == 0.0; the blocked kernels
+        // must produce the same values (up to zero signs) without it.
+        let mut a = gen(5, 9, 7);
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.0;
+            }
+        }
+        let b = gen(9, 6, 8);
+        assert_close(&matmul(&a, &b), &naive::matmul(&a, &b));
+        let b2 = gen(5, 6, 9);
+        assert_close(&matmul_tn(&a, &b2), &naive::matmul_tn(&a, &b2));
+    }
+
+    #[test]
+    fn into_variants_match_wrappers_and_overwrite_garbage() {
+        let a = gen(6, 10, 11);
+        let b = gen(10, 7, 12);
+        let mut out = vec![f32::NAN; 6 * 7];
+        matmul_into(a.view(), b.view(), &mut out);
+        assert_eq!(out, matmul(&a, &b).into_vec());
+
+        let bt = gen(6, 7, 13);
+        let mut out_tn = vec![f32::NAN; 10 * 7];
+        matmul_tn_into(a.view(), bt.view(), &mut out_tn);
+        assert_eq!(out_tn, matmul_tn(&a, &bt).into_vec());
+
+        let bn = gen(7, 10, 14);
+        let mut out_nt = vec![f32::NAN; 6 * 7];
+        matmul_nt_into(a.view(), bn.view(), &mut out_nt);
+        assert_eq!(out_nt, matmul_nt(&a, &bn).into_vec());
+    }
+
+    #[test]
+    fn fused_epilogue_matches_unfused_pipeline() {
+        let a = gen(5, 6, 21);
+        let b = gen(6, 9, 22);
+        let bias: Vec<f32> = (0..9).map(|i| (i as f32 - 4.0) * 0.3).collect();
+        let mut fused = vec![0f32; 5 * 9];
+        matmul_bias_relu_into(a.view(), b.view(), &bias, &mut fused);
+        let mut unfused = matmul(&a, &b);
+        add_bias(&mut unfused, &bias);
+        relu_inplace(&mut unfused);
+        for (x, y) in fused.iter().zip(unfused.as_slice()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+        assert!(fused.iter().all(|&v| v >= 0.0));
+
+        let mut linear = vec![0f32; 5 * 9];
+        matmul_bias_into(a.view(), b.view(), &bias, &mut linear);
+        let mut expect = matmul(&a, &b);
+        add_bias(&mut expect, &bias);
+        for (x, y) in linear.iter().zip(expect.as_slice()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
     }
 
     #[test]
@@ -252,6 +798,16 @@ mod tests {
         let g = el.to_csr();
         let x = Matrix::from_rows(&[&[1.0], &[2.0], &[4.0]]);
         let y = spmm_csr(&g, &x);
+        assert_eq!(y.shape(), (g.num_nodes(), 1));
         assert_eq!(y.as_slice(), &[2.0, 5.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one row per adjacency node")]
+    fn spmm_csr_rejects_row_mismatch() {
+        use fedgta_graph::EdgeList;
+        let g = EdgeList::new(3).to_csr();
+        let x = Matrix::zeros(4, 2); // 4 rows vs 3 nodes: must not be silently accepted
+        spmm_csr(&g, &x);
     }
 }

@@ -1,4 +1,4 @@
-//! Row-major `f32` dense matrices.
+//! Row-major `f32` dense matrices and borrowed views.
 
 /// A dense row-major `f32` matrix.
 ///
@@ -9,6 +9,65 @@ pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+/// A borrowed row-major matrix view (`rows × cols` over a `&[f32]`).
+///
+/// The compute kernels in [`crate::ops`] take `MatView` operands so callers
+/// can feed sub-slices of flat parameter buffers (e.g. one layer's weight
+/// block inside [`crate::mlp::Mlp`]'s packed storage) without materializing
+/// an owning [`Matrix`] — one of the allocation sources the `_into` kernel
+/// family exists to eliminate.
+#[derive(Debug, Clone, Copy)]
+pub struct MatView<'a> {
+    rows: usize,
+    cols: usize,
+    data: &'a [f32],
+}
+
+impl<'a> MatView<'a> {
+    /// Wraps a slice (`data.len()` must equal `rows * cols`).
+    #[inline]
+    pub fn new(rows: usize, cols: usize, data: &'a [f32]) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix view size mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &'a [f32] {
+        self.data
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &'a [f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+}
+
+impl<'a> From<&'a Matrix> for MatView<'a> {
+    fn from(m: &'a Matrix) -> Self {
+        m.view()
+    }
 }
 
 impl Matrix {
@@ -102,13 +161,41 @@ impl Matrix {
         self.data[i * self.cols + j] = v;
     }
 
+    /// A borrowed view of the whole matrix.
+    #[inline]
+    pub fn view(&self) -> MatView<'_> {
+        MatView {
+            rows: self.rows,
+            cols: self.cols,
+            data: &self.data,
+        }
+    }
+
+    /// Copies `other`'s contents into `self` (shapes must match).
+    pub fn copy_from(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Gathers the given rows into a new matrix (used for mini-batching).
     pub fn gather_rows(&self, idx: &[u32]) -> Matrix {
         let mut out = Matrix::zeros(idx.len(), self.cols);
+        self.gather_rows_into(idx, &mut out);
+        out
+    }
+
+    /// Gathers the given rows into a caller-provided matrix
+    /// (`out.shape() == (idx.len(), self.cols)`); the allocation-free
+    /// mini-batch path.
+    pub fn gather_rows_into(&self, idx: &[u32], out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (idx.len(), self.cols),
+            "gather_rows_into shape mismatch"
+        );
         for (o, &i) in idx.iter().enumerate() {
             out.row_mut(o).copy_from_slice(self.row(i as usize));
         }
-        out
     }
 
     /// Horizontal concatenation `[self ‖ other]` (same row count).
@@ -217,6 +304,31 @@ mod tests {
         a.scale(3.0);
         assert_eq!(a.as_slice(), &[3.0, 3.0]);
         assert!((a.norm() - (18.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn view_borrows_without_copy() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v = m.view();
+        assert_eq!(v.shape(), (2, 2));
+        assert_eq!(v.row(1), &[3.0, 4.0]);
+        assert_eq!(v.as_slice().as_ptr(), m.as_slice().as_ptr());
+        let w = MatView::new(1, 4, m.as_slice());
+        assert_eq!(w.row(0), m.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix view size mismatch")]
+    fn view_checks_size() {
+        MatView::new(2, 3, &[0.0; 5]);
+    }
+
+    #[test]
+    fn gather_rows_into_reuses_buffer() {
+        let m = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let mut out = Matrix::zeros(2, 1);
+        m.gather_rows_into(&[2, 1], &mut out);
+        assert_eq!(out.as_slice(), &[3.0, 2.0]);
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Property tests for the register-blocked kernels: agreement with the
+//! retained naive scalar kernels over random shapes, and the determinism
+//! contract (bit-identical output for any worker-thread count).
+
+use fedgta_graph::par::refresh_thread_env;
+use fedgta_graph::EdgeList;
+use fedgta_nn::ops::{
+    self, matmul, matmul_bias_into, matmul_bias_relu_into, matmul_into, matmul_nt, matmul_nt_into,
+    matmul_tn, matmul_tn_into, spmm_csr_into,
+};
+use fedgta_nn::Matrix;
+use proptest::prelude::*;
+
+fn gen(r: usize, c: usize, seed: u64) -> Matrix {
+    Matrix::from_vec(
+        r,
+        c,
+        (0..r * c)
+            .map(|i| {
+                (((i as u64).wrapping_mul(2654435761).wrapping_add(seed * 7919) % 97) as f32
+                    / 48.5)
+                    - 1.0
+            })
+            .collect(),
+    )
+}
+
+fn assert_close(got: &Matrix, want: &Matrix, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape");
+    for (i, (x, y)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert!(
+            (x - y).abs() < 1e-4,
+            "{what}: element {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+/// Explicit awkward shapes from the kernel spec: 1×1, 3×5, 7×9 — none a
+/// multiple of the register tile — plus a handful that straddle the 8-row
+/// and 16-column block boundaries.
+#[test]
+fn blocked_matches_naive_at_spec_shapes() {
+    for &(m, k, n) in &[
+        (1, 1, 1),
+        (3, 5, 7),
+        (7, 9, 5),
+        (8, 16, 16),
+        (9, 17, 15),
+        (16, 8, 33),
+        (31, 2, 1),
+    ] {
+        let a = gen(m, k, 1);
+        let b = gen(k, n, 2);
+        assert_close(&matmul(&a, &b), &ops::naive::matmul(&a, &b), "matmul");
+        let a2 = gen(m, k, 3);
+        let b2 = gen(m, n, 4);
+        assert_close(
+            &matmul_tn(&a2, &b2),
+            &ops::naive::matmul_tn(&a2, &b2),
+            "matmul_tn",
+        );
+        let a3 = gen(m, k, 5);
+        let b3 = gen(n, k, 6);
+        assert_close(
+            &matmul_nt(&a3, &b3),
+            &ops::naive::matmul_nt(&a3, &b3),
+            "matmul_nt",
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random shapes across several tile boundaries: every blocked kernel
+    /// agrees with its naive scalar reference.
+    #[test]
+    fn blocked_matches_naive_at_random_shapes(
+        (m, k, n) in (1usize..40, 1usize..40, 1usize..40),
+        seed in 0u64..1000,
+    ) {
+        let a = gen(m, k, seed);
+        let b = gen(k, n, seed + 1);
+        assert_close(&matmul(&a, &b), &ops::naive::matmul(&a, &b), "matmul");
+        let b_tn = gen(m, n, seed + 2);
+        assert_close(&matmul_tn(&a, &b_tn), &ops::naive::matmul_tn(&a, &b_tn), "matmul_tn");
+        let b_nt = gen(n, k, seed + 3);
+        assert_close(&matmul_nt(&a, &b_nt), &ops::naive::matmul_nt(&a, &b_nt), "matmul_nt");
+    }
+
+    /// SpMM against the naive per-row gather, on a ring lattice with
+    /// a non-tile-aligned feature width.
+    #[test]
+    fn spmm_matches_naive(
+        nodes in 2usize..60,
+        cols in 1usize..20,
+        seed in 0u64..100,
+    ) {
+        let mut el = EdgeList::new(nodes);
+        for i in 0..nodes as u32 {
+            let j = (i + 1) % nodes as u32;
+            if i < j {
+                el.push_undirected(i, j).unwrap();
+            }
+        }
+        let a = el.to_csr();
+        let x = gen(nodes, cols, seed);
+        let mut y = Matrix::zeros(nodes, cols);
+        spmm_csr_into(&a, &x, &mut y);
+        let want = ops::naive::spmm(&a, x.as_slice(), cols);
+        for (g, w) in y.as_slice().iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-4);
+        }
+    }
+}
+
+/// The determinism contract, end to end: every `_into` kernel produces
+/// bit-identical output under `FEDGTA_THREADS=1` and `FEDGTA_THREADS=4`.
+///
+/// A single `#[test]` (not one per kernel) because `FEDGTA_THREADS` is
+/// process-global: the test harness runs tests concurrently and parallel
+/// env mutation would race.
+#[test]
+fn into_kernels_bit_identical_across_thread_counts() {
+    // Row count well above `2 * threads` so the 4-thread run actually
+    // splits; odd sizes so chunk boundaries are ragged.
+    let (m, k, n) = (67usize, 19usize, 23usize);
+    let a = gen(m, k, 11);
+    let w = gen(k, n, 12);
+    let dy = gen(m, n, 13);
+    let bn = gen(n, k, 14);
+    let bias: Vec<f32> = (0..n).map(|i| (i as f32 - 10.0) * 0.05).collect();
+    let mut el = EdgeList::new(m);
+    for i in 0..m as u32 {
+        let j = (i + 1) % m as u32;
+        if i < j {
+            el.push_undirected(i, j).unwrap();
+        }
+    }
+    let csr = el.to_csr();
+
+    let run_all = |threads: &str| -> Vec<Vec<u32>> {
+        std::env::set_var("FEDGTA_THREADS", threads);
+        refresh_thread_env();
+        let mut outs = Vec::new();
+        let mut o = vec![0f32; m * n];
+        matmul_into(a.view(), w.view(), &mut o);
+        outs.push(o.iter().map(|v| v.to_bits()).collect());
+        let mut o = vec![0f32; m * n];
+        matmul_bias_relu_into(a.view(), w.view(), &bias, &mut o);
+        outs.push(o.iter().map(|v| v.to_bits()).collect());
+        let mut o = vec![0f32; m * n];
+        matmul_bias_into(a.view(), w.view(), &bias, &mut o);
+        outs.push(o.iter().map(|v| v.to_bits()).collect());
+        let mut o = vec![0f32; k * n];
+        matmul_tn_into(a.view(), dy.view(), &mut o);
+        outs.push(o.iter().map(|v| v.to_bits()).collect());
+        let mut o = vec![0f32; m * n];
+        matmul_nt_into(a.view(), bn.view(), &mut o);
+        outs.push(o.iter().map(|v| v.to_bits()).collect());
+        let mut y = Matrix::zeros(m, k);
+        spmm_csr_into(&csr, &a, &mut y);
+        outs.push(y.as_slice().iter().map(|v| v.to_bits()).collect());
+        outs
+    };
+
+    let one = run_all("1");
+    let four = run_all("4");
+    std::env::remove_var("FEDGTA_THREADS");
+    refresh_thread_env();
+
+    let names = [
+        "matmul_into",
+        "matmul_bias_relu_into",
+        "matmul_bias_into",
+        "matmul_tn_into",
+        "matmul_nt_into",
+        "spmm_csr_into",
+    ];
+    for ((name, a1), a4) in names.iter().zip(&one).zip(&four) {
+        assert_eq!(a1, a4, "{name} differs between 1 and 4 threads");
+    }
+}
