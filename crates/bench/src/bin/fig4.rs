@@ -45,18 +45,18 @@ fn main() {
                 cells.push(format!(
                     "{:.1}@{:.0}s",
                     100.0 * rec.test_acc.unwrap_or(0.0),
-                    rec.elapsed_s
+                    rec.cumulative_s
                 ));
             }
             let last = hist.last().unwrap();
             cells.push(format!("{:.1}", 100.0 * last.test_acc.unwrap_or(0.0)));
-            cells.push(format!("{:.1}", last.elapsed_s));
+            cells.push(format!("{:.1}", last.cumulative_s));
             t.row(cells);
             chart_series.push(Series {
                 name: strat.to_string(),
                 points: hist
                     .iter()
-                    .filter_map(|r| r.test_acc.map(|a| (r.elapsed_s, 100.0 * a)))
+                    .filter_map(|r| r.test_acc.map(|a| (r.cumulative_s, 100.0 * a)))
                     .collect(),
             });
             eprintln!("[fig4] {d} {strat} done");

@@ -36,7 +36,7 @@ fn main() {
             spec.eval_every = 0; // exclude evaluation from timing
             spec.seed = 29;
             let r = run_experiment(&spec);
-            let total = r.histories[0].last().unwrap().elapsed_s;
+            let total = r.histories[0].last().unwrap().cumulative_s;
             cells.push(format!("{:.2}", total / rounds as f64));
             eprintln!("[fig5] {strat} N={n}: {:.2}s/round", total / rounds as f64);
         }

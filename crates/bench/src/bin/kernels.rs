@@ -19,6 +19,15 @@ static ALLOC: CountingAlloc = CountingAlloc;
 fn main() {
     let quick = std::env::args().any(|a| a == "--test");
     let out = fedgta_bench::arg_value("--out").unwrap_or_else(|| "BENCH_KERNELS.json".into());
+    // Read the baseline *before* overwriting the default output path.
+    let baseline_path = fedgta_bench::arg_value("--baseline");
+    let baseline_json = baseline_path.as_ref().map(|p| match std::fs::read_to_string(p) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {p}: {e}");
+            std::process::exit(1);
+        }
+    });
     let report = kernels::run(quick, Some(alloc_count));
     print!("{}", kernels::render_table(&report));
     let json = kernels::to_json(&report);
@@ -29,7 +38,7 @@ fn main() {
             std::process::exit(1);
         }
     }
-    // In full mode the acceptance bar is part of the binary itself so a
+    // In full mode the acceptance bars are part of the binary itself so a
     // regression fails loudly, not silently in a stale JSON file.
     if !quick && report.matmul_speedup_vs_naive < 2.0 {
         eprintln!(
@@ -37,5 +46,28 @@ fn main() {
             report.matmul_speedup_vs_naive, report.anchor_dim
         );
         std::process::exit(1);
+    }
+    // The observability contract: compiled-in hooks at ObsLevel::Off must
+    // stay within the 2% budget. Enforced in full mode (quick's single
+    // iterations are too noisy for a hard gate, but the number is printed).
+    if !quick && report.obs_overhead_pct > 2.0 {
+        eprintln!(
+            "error: ObsLevel::Off hook overhead {:.2}% exceeds 2% budget",
+            report.obs_overhead_pct
+        );
+        std::process::exit(1);
+    }
+    // `--baseline BENCH_KERNELS.json`: fail if the anchor matmul lost
+    // more than 2% GFLOP/s vs the recorded run (enforced in both modes —
+    // quick mode re-times the anchor overhead pair with a real budget).
+    if let Some(base) = &baseline_json {
+        match kernels::check_against_baseline(&report, base, 2.0) {
+            Ok(Some(delta)) => println!("baseline check: anchor within budget ({delta:+.2}%)"),
+            Ok(None) => println!("baseline check: no comparable anchor cell, skipped"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -19,7 +19,7 @@ use fedgta::SimilarityKind;
 use fedgta_bench::{is_full_run, Table};
 use fedgta_data::{generate_from_spec, DatasetSpec, Task};
 use fedgta_nn::Matrix;
-use std::time::Instant;
+use fedgta_obs::timed;
 
 fn spec(n: usize, f: usize, c: usize) -> DatasetSpec {
     DatasetSpec {
@@ -54,11 +54,12 @@ fn main() {
         let bench = generate_from_spec(&spec(n, 32, 8), 0);
         let data = bench.to_dataset();
         let soft = Matrix::from_vec(n, 8, vec![1.0 / 8.0; n * 8]);
-        let t0 = Instant::now();
-        let steps = label_propagation(&data.adj_norm, &soft, cfg.k_lp, cfg.alpha);
-        let _h = local_smoothing_confidence(steps.last().unwrap(), &data.degrees_hat);
-        let _m = mixed_moments(&steps, cfg.moment_order, cfg.moment_kind);
-        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (_, ns_elapsed) = timed("table1.client_metrics", || {
+            let steps = label_propagation(&data.adj_norm, &soft, cfg.k_lp, cfg.alpha);
+            let _h = local_smoothing_confidence(steps.last().unwrap(), &data.degrees_hat);
+            let _m = mixed_moments(&steps, cfg.moment_order, cfg.moment_kind);
+        });
+        let ms = ns_elapsed as f64 / 1e6;
         let m_edges = data.adj_norm.num_edges();
         t.row(vec![
             format!("{n}"),
@@ -103,11 +104,12 @@ fn main() {
             .map(|i| (0..sketch_len).map(|j| ((i + j) % 13) as f32 / 13.0).collect())
             .collect();
         // FedAvg-style single average.
-        let t0 = Instant::now();
-        let uploads: Vec<(Vec<f32>, f64)> =
-            params_all.iter().map(|p| (p.clone(), 1.0)).collect();
-        let _avg = fedgta_fed::strategies::weighted_average(&uploads);
-        let fedavg_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (_, fedavg_ns) = timed("table1.fedavg_aggregate", || {
+            let uploads: Vec<(Vec<f32>, f64)> =
+                params_all.iter().map(|p| (p.clone(), 1.0)).collect();
+            fedgta_fed::strategies::weighted_average(&uploads)
+        });
+        let fedavg_ms = fedavg_ns as f64 / 1e6;
         // FedGTA personalized aggregation.
         let ups: Vec<ClientUpload<'_>> = (0..n)
             .map(|i| ClientUpload {
@@ -117,18 +119,19 @@ fn main() {
                 n_train: 10,
             })
             .collect();
-        let t0 = Instant::now();
-        let (_agg, _rep) = personalized_aggregate(
-            &ups,
-            &AggregateOptions {
-                epsilon: 0.5,
-                epsilon_quantile: None,
-                similarity: SimilarityKind::Cosine,
-                use_moments: true,
-                use_confidence: true,
-            },
-        );
-        let gta_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (_, gta_ns) = timed("table1.fedgta_aggregate", || {
+            personalized_aggregate(
+                &ups,
+                &AggregateOptions {
+                    epsilon: 0.5,
+                    epsilon_quantile: None,
+                    similarity: SimilarityKind::Cosine,
+                    use_moments: true,
+                    use_confidence: true,
+                },
+            )
+        });
+        let gta_ms = gta_ns as f64 / 1e6;
         t.row(vec![format!("{n}"), format!("{fedavg_ms:.2}"), format!("{gta_ms:.2}")]);
     }
     t.print();
@@ -172,17 +175,19 @@ fn inference_times(full: bool) {
             },
         );
         // Cold: includes decoupled models' one-time propagation precompute.
-        let t0 = Instant::now();
-        for c in clients.iter_mut() {
-            let _ = c.model.predict(&c.data);
-        }
-        let cold = t0.elapsed().as_secs_f64();
+        let (_, cold_ns) = fedgta_obs::timed("table1.inference_cold", || {
+            for c in clients.iter_mut() {
+                let _ = c.model.predict(&c.data);
+            }
+        });
+        let cold = cold_ns as f64 / 1e9;
         // Warm: precomputed features cached (the deployment steady state).
-        let t0 = Instant::now();
-        for c in clients.iter_mut() {
-            let _ = c.model.predict(&c.data);
-        }
-        let warm = t0.elapsed().as_secs_f64();
+        let (_, warm_ns) = fedgta_obs::timed("table1.inference_warm", || {
+            for c in clients.iter_mut() {
+                let _ = c.model.predict(&c.data);
+            }
+        });
+        let warm = warm_ns as f64 / 1e9;
         t.row(vec![
             kind.name().to_string(),
             format!("{cold:.3}"),

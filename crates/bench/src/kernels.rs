@@ -68,6 +68,36 @@ pub struct KernelReport {
     pub matmul_speedup_vs_naive: f64,
     /// Side length of the square anchor (`512` full, `96` quick).
     pub anchor_dim: usize,
+    /// Cost of the compiled-in observability hook at `ObsLevel::Off`, as
+    /// `(instrumented − raw) / raw · 100` on the anchor matmul. The
+    /// determinism/overhead contract requires this ≤ 2%; negative values
+    /// are timing noise (the hook is one relaxed atomic load).
+    pub obs_overhead_pct: f64,
+}
+
+/// Times instrumented `matmul_into` against its uninstrumented `_raw`
+/// twin at the anchor shape with observability forced to `Off`, returning
+/// the overhead percentage. Uses its own repetition budget so the number
+/// is meaningful even in quick mode.
+fn measure_obs_overhead(d: usize, rng: &mut StdRng) -> f64 {
+    let saved = fedgta_obs::level();
+    fedgta_obs::set_level(fedgta_obs::ObsLevel::Off);
+    let a = filled(d, d, rng);
+    let b = filled(d, d, rng);
+    let mut out = vec![0f32; d * d];
+    let (min_ns, max_calls) = (30_000_000u64, 400usize);
+    let (ns_hooked, _) = time_fn(
+        || matmul_into(a.view(), b.view(), &mut out),
+        min_ns,
+        max_calls,
+    );
+    let (ns_raw, _) = time_fn(
+        || ops::matmul_into_raw(a.view(), b.view(), &mut out),
+        min_ns,
+        max_calls,
+    );
+    fedgta_obs::set_level(saved);
+    100.0 * (ns_hooked - ns_raw) / ns_raw
 }
 
 fn filled(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
@@ -312,12 +342,15 @@ pub fn run(quick: bool, counter: Option<AllocCounter>) -> KernelReport {
         allocs_per_call: None,
     });
 
+    let obs_overhead_pct = measure_obs_overhead(d, &mut rng);
+
     KernelReport {
         mode: if quick { "quick" } else { "full" },
         threads: fedgta_graph::par::num_threads(),
         results,
         matmul_speedup_vs_naive: blocked_gflops / naive_gflops,
         anchor_dim: d,
+        obs_overhead_pct,
     }
 }
 
@@ -332,6 +365,10 @@ pub fn to_json(r: &KernelReport) -> String {
     s.push_str(&format!(
         "  \"matmul_speedup_vs_naive\": {:.3},\n",
         r.matmul_speedup_vs_naive
+    ));
+    s.push_str(&format!(
+        "  \"obs_overhead_pct\": {:.3},\n",
+        r.obs_overhead_pct
     ));
     s.push_str("  \"results\": [\n");
     for (i, k) in r.results.iter().enumerate() {
@@ -384,7 +421,72 @@ pub fn render_table(r: &KernelReport) -> String {
         "matmul blocked vs naive at {0}x{0}x{0}: {1:.2}x\n",
         r.anchor_dim, r.matmul_speedup_vs_naive
     ));
+    s.push_str(&format!(
+        "observability hook overhead at ObsLevel::Off: {:+.2}% (budget 2%)\n",
+        r.obs_overhead_pct
+    ));
     s
+}
+
+/// Compares a fresh report against a `BENCH_KERNELS.json` baseline:
+/// returns an error naming the anchor regression when the blocked anchor
+/// matmul lost more than `tolerance_pct` GFLOP/s, `Ok(None)` when the
+/// baseline has no comparable anchor cell.
+pub fn check_against_baseline(
+    report: &KernelReport,
+    baseline_json: &str,
+    tolerance_pct: f64,
+) -> Result<Option<f64>, String> {
+    // Each result row in our hand-rolled JSON is one flat object per line.
+    let mut baseline_anchor: Option<f64> = None;
+    for line in baseline_json.lines() {
+        let t = line.trim().trim_end_matches(',');
+        if !t.starts_with("{\"kernel\"") {
+            continue;
+        }
+        let obj = fedgta_obs::parse_flat_object(t)?;
+        let get_s = |k: &str| obj.get(k).and_then(|v| v.as_str().map(str::to_string));
+        let get_n = |k: &str| obj.get(k).and_then(|v| v.as_u64());
+        if get_s("kernel").as_deref() == Some("matmul")
+            && get_s("variant").as_deref() == Some("blocked")
+            && get_n("m") == Some(report.anchor_dim as u64)
+            && get_n("k") == Some(report.anchor_dim as u64)
+            && get_n("n") == Some(report.anchor_dim as u64)
+        {
+            // gflops is a float; the flat parser keeps numbers as f64 text
+            // fallback — re-parse from the raw line for robustness.
+            if let Some(pos) = t.find("\"gflops\":") {
+                let rest = &t[pos + 9..];
+                let end = rest.find(',').unwrap_or(rest.len());
+                if let Ok(v) = rest[..end].trim().parse::<f64>() {
+                    baseline_anchor = Some(v);
+                }
+            }
+        }
+    }
+    let Some(base) = baseline_anchor else {
+        return Ok(None);
+    };
+    let now = report
+        .results
+        .iter()
+        .find(|c| {
+            c.kernel == "matmul"
+                && c.variant == "blocked"
+                && c.m == report.anchor_dim
+                && c.k == report.anchor_dim
+                && c.n == report.anchor_dim
+        })
+        .map(|c| c.gflops)
+        .ok_or("report has no anchor matmul cell")?;
+    let regression_pct = 100.0 * (base - now) / base;
+    if regression_pct > tolerance_pct {
+        return Err(format!(
+            "anchor matmul regressed {regression_pct:.2}% vs baseline \
+             ({base:.2} → {now:.2} GFLOP/s, budget {tolerance_pct}%)"
+        ));
+    }
+    Ok(Some(regression_pct))
 }
 
 #[cfg(test)]

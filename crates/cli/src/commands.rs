@@ -29,6 +29,16 @@ USAGE:
                        [--threads N]           (0 = auto; results are
                                                 identical for any value)
                        [--save-params <file>]  (checkpoint of client 0's model)
+                       [--obs off|metrics|trace]  (observability level;
+                        defaults to 'trace' when --trace-out is given,
+                        'metrics' when --metrics-out is given, else 'off')
+                       [--trace-out <file.jsonl>]   (structured span trace,
+                        schema fedgta-trace/1 — feed to 'report')
+                       [--metrics-out <file.prom>]  (Prometheus text
+                        snapshot of the metric registry at exit)
+  fedgta-cli report <trace.jsonl>
+                       (per-round / per-client / per-strategy latency and
+                        byte tables from a --trace-out file)
   fedgta-cli bench kernels [--mode quick|full] [--out <file.json>]
                        (GFLOP/s of the blocked compute kernels; 'quick' is
                         the CI smoke grid, 'full' the training-shaped grid)",
@@ -58,6 +68,72 @@ pub fn bench(a: &Args) -> CliResult {
         std::fs::write(out, fedgta_bench::kernels::to_json(&report))?;
         println!("wrote {out}");
     }
+    Ok(())
+}
+
+/// Observability outputs resolved from `--obs`, `--trace-out`,
+/// `--metrics-out`.
+struct ObsSetup {
+    metrics_out: Option<String>,
+    armed: bool,
+}
+
+/// Arms the global observability level and, when requested, the JSONL
+/// trace sink. `--obs` defaults to the weakest level that satisfies the
+/// requested outputs, so `--trace-out t.jsonl` alone "just works".
+fn setup_obs(a: &Args) -> Result<ObsSetup, Box<dyn Error>> {
+    let trace_out = a.str_opt("trace-out").map(str::to_string);
+    let metrics_out = a.str_opt("metrics-out").map(str::to_string);
+    let default_level = if trace_out.is_some() {
+        "trace"
+    } else if metrics_out.is_some() {
+        "metrics"
+    } else {
+        "off"
+    };
+    let level_str = a.str_or("obs", default_level);
+    let level = fedgta_obs::ObsLevel::parse(&level_str)
+        .ok_or_else(|| format!("unknown --obs '{level_str}' (off|metrics|trace)"))?;
+    if trace_out.is_some() && level != fedgta_obs::ObsLevel::Trace {
+        return Err("--trace-out needs --obs trace".into());
+    }
+    if let Some(path) = &trace_out {
+        fedgta_obs::init_jsonl(Path::new(path))?;
+        println!("tracing to {path} (schema {})", fedgta_obs::TRACE_SCHEMA);
+    }
+    fedgta_obs::set_level(level);
+    Ok(ObsSetup {
+        metrics_out,
+        armed: level != fedgta_obs::ObsLevel::Off,
+    })
+}
+
+/// Flushes and disarms observability: writes the Prometheus snapshot if
+/// requested, closes the trace sink (appending metric records + the end
+/// marker), and drops the level back to `Off`.
+fn finish_obs(setup: &ObsSetup) -> Result<(), Box<dyn Error>> {
+    if let Some(path) = &setup.metrics_out {
+        std::fs::write(path, fedgta_obs::global().render_prometheus())?;
+        println!("wrote metrics snapshot to {path}");
+    }
+    if setup.armed {
+        fedgta_obs::shutdown();
+        fedgta_obs::set_level(fedgta_obs::ObsLevel::Off);
+    }
+    Ok(())
+}
+
+/// `report`: summarize a `--trace-out` JSONL file into latency/byte tables.
+pub fn report(a: &Args) -> CliResult {
+    let path = a
+        .subcommand
+        .as_deref()
+        .or_else(|| a.str_opt("trace"))
+        .ok_or("report needs a trace file, e.g. 'fedgta-cli report trace.jsonl'")?;
+    let text = std::fs::read_to_string(path)?;
+    let events = fedgta_obs::parse_trace(&text)?;
+    let summary = fedgta_obs::summarize(&events);
+    print!("{}", fedgta_obs::render_report(&summary));
     Ok(())
 }
 
@@ -207,6 +283,7 @@ pub fn run(a: &Args) -> CliResult {
             halo: strategy_name.starts_with("FedGL"),
         },
     );
+    let obs = setup_obs(a)?;
     let strategy = make_strategy(&strategy_name);
     println!(
         "running {} on {name}: {} clients ({} split), {rounds} rounds × {epochs} epochs, participation {participation}, {} threads",
@@ -228,18 +305,33 @@ pub fn run(a: &Args) -> CliResult {
         },
     );
     let records = sim.run();
+    println!(
+        "{:>5} {:>9} {:>7} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "round", "loss", "acc", "round_s", "train_s", "agg_s", "eval_s", "up", "down"
+    );
     for r in &records {
         if let Some(acc) = r.test_acc {
             println!(
-                "round {:>4}  loss {:>7.4}  acc {:>5.1}%  {:>7.1}s",
+                "{:>5} {:>9.4} {:>6.1}% {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>10} {:>10}",
                 r.round,
                 r.mean_loss,
                 100.0 * acc,
-                r.elapsed_s
+                r.elapsed_s,
+                r.train_s,
+                r.aggregate_s,
+                r.eval_s,
+                r.bytes_uploaded,
+                r.bytes_downloaded,
             );
         }
     }
-    println!("best test accuracy: {:.2}%", 100.0 * best_accuracy(&records));
+    let total_s: f64 = records.last().map_or(0.0, |r| r.cumulative_s);
+    println!(
+        "best test accuracy: {:.2}%  ({total_s:.1}s training+aggregation over {} rounds)",
+        100.0 * best_accuracy(&records),
+        records.len()
+    );
+    finish_obs(&obs)?;
     if let Some(path) = a.str_opt("save-params") {
         let mut f = std::fs::File::create(path)?;
         fedgta_nn::io::save_params(&mut f, &sim.clients[0].model.params())?;
@@ -255,6 +347,11 @@ mod tests {
     fn args(words: &[&str]) -> Args {
         Args::parse(words.iter().map(|s| s.to_string())).unwrap()
     }
+
+    /// `run` tests share the process-global observability level and trace
+    /// sink; serialize them so an armed trace never sees another test's
+    /// spans.
+    static RUN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn parsers_accept_known_values() {
@@ -290,6 +387,7 @@ mod tests {
 
     #[test]
     fn tiny_run_completes() {
+        let _g = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let a = args(&[
             "run", "--dataset", "cora", "--strategy", "FedAvg", "--model", "sgc", "--rounds", "2",
             "--clients", "4",
@@ -298,7 +396,42 @@ mod tests {
     }
 
     #[test]
+    fn traced_run_then_report_round_trips() {
+        let _g = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let path = std::env::temp_dir().join(format!("fedgta-cli-trace-{}.jsonl", std::process::id()));
+        let p = path.to_string_lossy().to_string();
+        let a = args(&[
+            "run", "--dataset", "cora", "--strategy", "FedAvg", "--model", "sgc", "--rounds", "2",
+            "--clients", "4", "--trace-out", &p,
+        ]);
+        run(&a).unwrap();
+        // The trace parses under the fedgta-trace/1 schema and has rounds.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = fedgta_obs::parse_trace(&text).unwrap();
+        let summary = fedgta_obs::summarize(&events);
+        assert_eq!(summary.rounds.len(), 2);
+        assert!(summary.rounds.iter().all(|r| r.bytes_up > 0));
+        // And the report command renders it.
+        let r = args(&["report", &p]);
+        report(&r).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn report_requires_a_path() {
+        let a = args(&["report"]);
+        assert!(report(&a).is_err());
+    }
+
+    #[test]
+    fn obs_flag_rejects_unknown_level() {
+        let a = args(&["run", "--obs", "loud"]);
+        assert!(setup_obs(&a).is_err());
+    }
+
+    #[test]
     fn run_saves_checkpoint_when_asked() {
+        let _g = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let path = std::env::temp_dir().join(format!("fedgta-cli-ckpt-{}.fgtp", std::process::id()));
         let p = path.to_string_lossy().to_string();
         let a = args(&[

@@ -8,6 +8,9 @@
 //! fedgta-cli run       --dataset cora --strategy FedGTA --model gamlp
 //!                      [--clients 10] [--rounds 30] [--epochs 3]
 //!                      [--split louvain] [--participation 1.0] [--seed 0]
+//!                      [--obs off|metrics|trace] [--trace-out trace.jsonl]
+//!                      [--metrics-out metrics.prom]
+//! fedgta-cli report    trace.jsonl
 //! fedgta-cli bench kernels [--mode quick|full] [--out kernels.json]
 //! ```
 
@@ -33,6 +36,7 @@ fn main() -> ExitCode {
         "generate" => commands::generate(&parsed),
         "partition" => commands::partition(&parsed),
         "run" => commands::run(&parsed),
+        "report" => commands::report(&parsed),
         "bench" => commands::bench(&parsed),
         "help" | "--help" | "-h" => {
             commands::print_help();

@@ -59,16 +59,20 @@ impl FedGta {
     pub fn client_metrics(&self, client: &mut Client) -> (f64, Vec<f32>) {
         // Disjoint borrows: model (mut) vs data (imm).
         let soft = client.model.predict(&client.data);
-        let steps = label_propagation(
-            &client.data.adj_norm,
-            &soft,
-            self.config.k_lp,
-            self.config.alpha,
-        );
+        let steps = {
+            let _lp = fedgta_obs::span!("lp", k = self.config.k_lp);
+            label_propagation(
+                &client.data.adj_norm,
+                &soft,
+                self.config.k_lp,
+                self.config.alpha,
+            )
+        };
         let h = local_smoothing_confidence(
             steps.last().expect("k_lp >= 1"),
             &client.data.degrees_hat,
         );
+        let _mom = fedgta_obs::span!("moments", order = self.config.moment_order);
         let mut m = mixed_moments(&steps, self.config.moment_order, self.config.moment_kind);
         if let Some(fm) = &self.config.feature_moments {
             m.extend(feature_moment_sketch(
@@ -135,6 +139,11 @@ impl Strategy for FedGta {
             n_trains.push(n);
         }
         // Algorithm 2: personalized aggregation.
+        let _agg = fedgta_obs::span!(
+            "aggregate",
+            strategy = "FedGTA",
+            participants = participants.len()
+        );
         let uploads: Vec<ClientUpload<'_>> = (0..participants.len())
             .map(|p| ClientUpload {
                 params: &params[p],
@@ -160,9 +169,15 @@ impl Strategy for FedGta {
         let bytes_uploaded = (0..participants.len())
             .map(|p| params[p].len() * 4 + sketches[p].len() * 4 + 8)
             .sum();
+        // Download = each participant's personalized aggregate; absent
+        // clients receive nothing (they keep their old personal model).
+        let bytes_downloaded = (0..participants.len())
+            .map(|p| params[p].len() * 4 + 8)
+            .sum();
         RoundStats {
             mean_loss: loss,
             bytes_uploaded,
+            bytes_downloaded,
         }
     }
 }

@@ -25,6 +25,17 @@ use crate::client::Client;
 use crate::strategies::RoundCtx;
 use fedgta_graph::par::par_map_indexed;
 
+/// Records one participant's local-training wall time into the
+/// `round.client.train_ns` histogram (cached handle; disarmed cost is one
+/// relaxed load in the caller).
+#[inline]
+fn observe_client_train_ns(ns: u64) {
+    use std::sync::{Arc, OnceLock};
+    static H: OnceLock<Arc<fedgta_obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| fedgta_obs::global().histogram("round.client.train_ns"))
+        .observe(ns);
+}
+
 /// The outcome of one participant's local step.
 ///
 /// `payload` carries whatever the strategy needs downstream (uploaded
@@ -62,15 +73,31 @@ where
     R: Send,
     F: Fn(usize, &mut Client) -> (f32, R) + Sync,
 {
+    // The `train` span opens on the driver thread (nesting under the
+    // round's span via the thread-local stack); per-client spans run on
+    // worker threads and parent onto it explicitly via `span_under`.
+    let span = fedgta_obs::span!("train", participants = participants.len());
+    let parent = span.id();
+    let t0 = ctx.train_clock.is_some().then(std::time::Instant::now);
     let slots = disjoint_slots(clients, participants);
-    run_slots(slots, ctx.threads, |i, c| {
+    let out = run_slots(slots, ctx.threads, |i, c| {
+        let _cg = fedgta_obs::span_under("client_train", parent)
+            .with_field("client", fedgta_obs::FieldVal::from(i));
+        let ct0 = fedgta_obs::metrics_on().then(std::time::Instant::now);
         let (loss, payload) = f(i, c);
+        if let Some(ct0) = ct0 {
+            observe_client_train_ns(ct0.elapsed().as_nanos() as u64);
+        }
         LocalResult {
             client: i,
             loss,
             payload,
         }
-    })
+    });
+    if let (Some(t0), Some(clock)) = (t0, ctx.train_clock) {
+        clock.add_ns(t0.elapsed().as_nanos() as u64);
+    }
+    out
 }
 
 /// Runs `f(client_index, &mut client)` over an arbitrary subset of

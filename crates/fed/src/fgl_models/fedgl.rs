@@ -132,6 +132,7 @@ impl Strategy for FedGl {
             epochs: ctx.epochs,
             pseudo: Some(&pseudo),
             threads: ctx.threads,
+            train_clock: ctx.train_clock,
         };
         self.inner.round(clients, participants, &ctx2)
     }

@@ -50,11 +50,26 @@ pub struct RoundRecord {
     pub mean_loss: f32,
     /// Global test accuracy after this round (`None` when not evaluated).
     pub test_acc: Option<f64>,
-    /// Cumulative wall-clock seconds (training + aggregation, excluding
-    /// evaluation).
+    /// Wall-clock seconds of **this round** (training + aggregation,
+    /// excluding evaluation). The seed accumulated the running total into
+    /// this field; per-round time is the honest reading, and the running
+    /// total now lives in [`RoundRecord::cumulative_s`].
     pub elapsed_s: f64,
+    /// Running total of `elapsed_s` through this round — the x-axis of
+    /// the paper's time-to-accuracy curves (Figs. 4–5).
+    pub cumulative_s: f64,
+    /// Seconds of this round spent in client-parallel local training.
+    pub train_s: f64,
+    /// Seconds of this round spent in aggregation + distribution (the
+    /// strategy's round minus local training).
+    pub aggregate_s: f64,
+    /// Seconds spent evaluating after this round (0 when not evaluated;
+    /// *not* part of `elapsed_s` — evaluation is measurement, not cost).
+    pub eval_s: f64,
     /// Bytes uploaded by participants this round.
     pub bytes_uploaded: usize,
+    /// Bytes the server pushed back down this round.
+    pub bytes_downloaded: usize,
     /// Resolved worker-thread count local training ran with (the
     /// determinism contract says this never affects the other fields).
     pub threads: usize,
@@ -88,29 +103,64 @@ impl Simulation {
 
     /// Runs all rounds; returns per-round records. Always evaluates after
     /// the final round.
+    ///
+    /// When tracing is armed each round emits a span tree
+    /// `round > { sample, train > client_train×P, aggregate, eval }` with
+    /// byte counts and the strategy name on the round span; with metrics
+    /// armed the `comms.*` counters and `strategy.aggregate_ns` histogram
+    /// accumulate. Neither changes any numeric result.
     pub fn run(&mut self) -> Vec<RoundRecord> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut records = Vec::with_capacity(self.config.rounds);
-        let mut elapsed = 0f64;
+        let mut cumulative = 0f64;
         let threads = fedgta_graph::par::resolve_threads(Some(self.config.threads));
+        let strategy_name = self.strategy.name();
         for round in 1..=self.config.rounds {
-            let participants = self.sample_participants(&mut rng);
-            let t0 = Instant::now();
-            let stats = self.strategy.round(
-                &mut self.clients,
-                &participants,
-                &RoundCtx::with_threads(self.config.local_epochs, self.config.threads),
+            let mut round_span = fedgta_obs::span!(
+                "round",
+                round = round,
+                strategy = strategy_name.clone(),
+                threads = threads,
             );
-            elapsed += t0.elapsed().as_secs_f64();
+            let participants = {
+                let _g = fedgta_obs::span!("sample");
+                self.sample_participants(&mut rng)
+            };
+            round_span.record("participants", fedgta_obs::FieldVal::from(participants.len()));
+            let train_clock = fedgta_obs::TimeCell::new();
+            let ctx = RoundCtx::with_threads(self.config.local_epochs, self.config.threads)
+                .with_train_clock(&train_clock);
+            let t0 = Instant::now();
+            let stats = self.strategy.round(&mut self.clients, &participants, &ctx);
+            let round_ns = t0.elapsed().as_nanos() as u64;
+            let train_ns = train_clock.take_ns().min(round_ns);
+            let aggregate_ns = round_ns - train_ns;
             let eval_now = round == self.config.rounds
                 || (self.config.eval_every > 0 && round % self.config.eval_every == 0);
-            let test_acc = eval_now.then(|| global_test_accuracy(&mut self.clients));
+            let mut eval_ns = 0u64;
+            let test_acc = eval_now.then(|| {
+                let _g = fedgta_obs::span!("eval");
+                let e0 = Instant::now();
+                let acc = global_test_accuracy(&mut self.clients);
+                eval_ns = e0.elapsed().as_nanos() as u64;
+                acc
+            });
+            round_span.record("bytes_up", fedgta_obs::FieldVal::from(stats.bytes_uploaded));
+            round_span.record("bytes_down", fedgta_obs::FieldVal::from(stats.bytes_downloaded));
+            record_round_metrics(&stats, aggregate_ns);
+            let elapsed_s = round_ns as f64 / 1e9;
+            cumulative += elapsed_s;
             records.push(RoundRecord {
                 round,
                 mean_loss: stats.mean_loss,
                 test_acc,
-                elapsed_s: elapsed,
+                elapsed_s,
+                cumulative_s: cumulative,
+                train_s: train_ns as f64 / 1e9,
+                aggregate_s: aggregate_ns as f64 / 1e9,
+                eval_s: eval_ns as f64 / 1e9,
                 bytes_uploaded: stats.bytes_uploaded,
+                bytes_downloaded: stats.bytes_downloaded,
                 threads,
             });
         }
@@ -121,6 +171,26 @@ impl Simulation {
     pub fn test_accuracy(&mut self) -> f64 {
         global_test_accuracy(&mut self.clients)
     }
+}
+
+/// Accumulates the driver's per-round communication counters and the
+/// aggregation-latency histogram into the global registry (no-op below
+/// [`fedgta_obs::ObsLevel::Metrics`]).
+#[inline]
+fn record_round_metrics(stats: &crate::strategies::RoundStats, aggregate_ns: u64) {
+    use std::sync::{Arc, OnceLock};
+    if !fedgta_obs::metrics_on() {
+        return;
+    }
+    static UP: OnceLock<Arc<fedgta_obs::Counter>> = OnceLock::new();
+    static DOWN: OnceLock<Arc<fedgta_obs::Counter>> = OnceLock::new();
+    static AGG: OnceLock<Arc<fedgta_obs::Histogram>> = OnceLock::new();
+    UP.get_or_init(|| fedgta_obs::global().counter("comms.upload_bytes"))
+        .add(stats.bytes_uploaded as u64);
+    DOWN.get_or_init(|| fedgta_obs::global().counter("comms.download_bytes"))
+        .add(stats.bytes_downloaded as u64);
+    AGG.get_or_init(|| fedgta_obs::global().histogram("strategy.aggregate_ns"))
+        .observe(aggregate_ns);
 }
 
 /// Samples a round's participants from a federation of `n` clients: a
@@ -182,12 +252,28 @@ mod tests {
         assert!(records[4].test_acc.is_some());
         assert!(records[9].test_acc.is_some());
         assert!(best_accuracy(&records) > 0.5);
-        // Wall clock is monotone; FedAvg uploads every round.
+        // `elapsed_s` is *per-round* (the seed wrongly accumulated the
+        // running total into it); the running total is `cumulative_s`,
+        // which must be strictly monotone and equal the per-round sum.
+        let mut running = 0f64;
         for w in records.windows(2) {
-            assert!(w[1].elapsed_s >= w[0].elapsed_s);
+            assert!(w[1].cumulative_s > w[0].cumulative_s);
+        }
+        for r in &records {
+            running += r.elapsed_s;
+            assert!((r.cumulative_s - running).abs() < 1e-9, "round {}", r.round);
+            assert!(r.elapsed_s > 0.0);
+            // Phase breakdown partitions the round: train + aggregate is
+            // the whole round by construction; eval is extra.
+            assert!(r.train_s >= 0.0 && r.aggregate_s >= 0.0);
+            assert!((r.train_s + r.aggregate_s - r.elapsed_s).abs() < 1e-9);
+            // eval_s only on evaluated rounds.
+            assert_eq!(r.eval_s > 0.0, r.test_acc.is_some(), "round {}", r.round);
+            assert!(r.threads >= 1);
         }
         assert!(total_bytes(&records) > 0);
         assert!(records.iter().all(|r| r.bytes_uploaded > 0));
+        assert!(records.iter().all(|r| r.bytes_downloaded > 0));
     }
 
     #[test]

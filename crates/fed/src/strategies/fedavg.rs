@@ -53,9 +53,12 @@ impl Strategy for FedAvg {
             (loss, (c.model.params(), c.n_train() as f64))
         });
         let loss = mean_loss(&results);
+        let _agg = fedgta_obs::span!("aggregate", strategy = "FedAvg");
         let uploads: Vec<(Vec<f32>, f64)> = results.into_iter().map(|r| r.payload).collect();
         let bytes_uploaded = uploads.iter().map(|(p, _)| p.len() * 4 + 8).sum();
         let new_global = weighted_average(&uploads);
+        // Every client (participant or not) receives the averaged model.
+        let bytes_downloaded = clients.len() * (new_global.len() * 4 + 8);
         for c in clients.iter_mut() {
             c.model.set_params(&new_global);
         }
@@ -63,6 +66,7 @@ impl Strategy for FedAvg {
         RoundStats {
             mean_loss: loss,
             bytes_uploaded,
+            bytes_downloaded,
         }
     }
 }
@@ -100,6 +104,7 @@ impl Strategy for LocalOnly {
         RoundStats {
             mean_loss: mean_loss(&results),
             bytes_uploaded: 0, // no communication at all
+            bytes_downloaded: 0,
         }
     }
 }

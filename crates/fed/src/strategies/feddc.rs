@@ -77,6 +77,7 @@ impl Strategy for FedDc {
             (loss, (c.model.params(), c.n_train() as f64))
         });
         let loss = mean_loss(&results);
+        let _agg = fedgta_obs::span!("aggregate", strategy = "FedDC");
         let mut uploads = Vec::with_capacity(results.len());
         for r in &results {
             let i = r.client;
@@ -91,6 +92,7 @@ impl Strategy for FedDc {
         }
         let bytes_uploaded = uploads.iter().map(|(p, _)| p.len() * 4 + 8).sum();
         let new_global = weighted_average(&uploads);
+        let bytes_downloaded = clients.len() * (new_global.len() * 4 + 8);
         for c in clients.iter_mut() {
             c.model.set_params(&new_global);
         }
@@ -98,6 +100,7 @@ impl Strategy for FedDc {
         RoundStats {
             mean_loss: loss,
             bytes_uploaded,
+            bytes_downloaded,
         }
     }
 }

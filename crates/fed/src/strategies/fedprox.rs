@@ -58,9 +58,11 @@ impl Strategy for FedProx {
             (loss, (c.model.params(), c.n_train() as f64))
         });
         let loss = mean_loss(&results);
+        let _agg = fedgta_obs::span!("aggregate", strategy = "FedProx");
         let uploads: Vec<(Vec<f32>, f64)> = results.into_iter().map(|r| r.payload).collect();
         let bytes_uploaded = uploads.iter().map(|(p, _)| p.len() * 4 + 8).sum();
         let new_global = weighted_average(&uploads);
+        let bytes_downloaded = clients.len() * (new_global.len() * 4 + 8);
         for c in clients.iter_mut() {
             c.model.set_params(&new_global);
         }
@@ -68,6 +70,7 @@ impl Strategy for FedProx {
         RoundStats {
             mean_loss: loss,
             bytes_uploaded,
+            bytes_downloaded,
         }
     }
 }

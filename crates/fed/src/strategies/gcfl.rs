@@ -123,6 +123,7 @@ impl Strategy for GcflPlus {
         self.ensure_state(clients);
         self.rounds_seen += 1;
         let mut loss = 0f32;
+        let mut bytes_downloaded = 0usize;
         let mut deltas: Vec<Option<Vec<f32>>> = vec![None; clients.len()];
         // Per cluster: train members, aggregate.
         for k in 0..self.clusters.len() {
@@ -151,6 +152,8 @@ impl Strategy for GcflPlus {
                 let delta = sub(&w, &start);
                 (loss, (w, delta, c.n_train() as f64))
             });
+            // Per-cluster aggregation (GCFL+ interleaves train/aggregate).
+            let _agg = fedgta_obs::span!("aggregate", strategy = "GCFL+", cluster = k);
             let mut uploads = Vec::with_capacity(members.len());
             for r in results {
                 loss += r.loss;
@@ -159,6 +162,7 @@ impl Strategy for GcflPlus {
                 uploads.push((w, n));
             }
             let agg = weighted_average(&uploads);
+            bytes_downloaded += self.clusters[k].len() * (agg.len() * 4 + 8);
             for &i in &self.clusters[k] {
                 clients[i].model.set_params(&agg);
             }
@@ -241,6 +245,7 @@ impl Strategy for GcflPlus {
         RoundStats {
             mean_loss: loss / participants.len().max(1) as f32,
             bytes_uploaded: participants.len() * (plen * 4 + 8),
+            bytes_downloaded,
         }
     }
 }

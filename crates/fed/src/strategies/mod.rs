@@ -39,6 +39,11 @@ pub struct RoundCtx<'a> {
     /// executor's determinism contract the value never changes results —
     /// only wall clock.
     pub threads: usize,
+    /// Optional accumulator the executor adds local-training wall time
+    /// into, so the driver can split a round into train/aggregate phases
+    /// without threading timing through every strategy's return value.
+    /// Observability only — never read by any strategy.
+    pub train_clock: Option<&'a fedgta_obs::TimeCell>,
 }
 
 impl<'a> RoundCtx<'a> {
@@ -55,7 +60,15 @@ impl<'a> RoundCtx<'a> {
             epochs,
             pseudo: None,
             threads,
+            train_clock: None,
         }
+    }
+
+    /// Attaches a train-phase wall-clock accumulator (builder style).
+    #[must_use]
+    pub fn with_train_clock(mut self, clock: &'a fedgta_obs::TimeCell) -> Self {
+        self.train_clock = Some(clock);
+        self
     }
 
     /// The pseudo-labels for client `i`, if any.
@@ -72,6 +85,9 @@ pub struct RoundStats {
     /// Bytes the participants uploaded this round (model weights plus any
     /// strategy-specific extras like control variates or FedGTA sketches).
     pub bytes_uploaded: usize,
+    /// Bytes the server pushed back down this round (aggregated weights
+    /// broadcast to clients, plus strategy extras like control variates).
+    pub bytes_downloaded: usize,
 }
 
 /// A federated optimization strategy.

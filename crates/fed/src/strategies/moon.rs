@@ -157,6 +157,7 @@ impl Strategy for Moon {
             (loss, (c.model.params(), c.n_train() as f64))
         });
         let loss = mean_loss(&results);
+        let _agg = fedgta_obs::span!("aggregate", strategy = "MOON");
         let mut uploads = Vec::with_capacity(results.len());
         for r in results {
             self.prev[r.client] = Some(r.payload.0.clone());
@@ -164,6 +165,7 @@ impl Strategy for Moon {
         }
         let bytes_uploaded = uploads.iter().map(|(p, _)| p.len() * 4 + 8).sum();
         let new_global = weighted_average(&uploads);
+        let bytes_downloaded = clients.len() * (new_global.len() * 4 + 8);
         for c in clients.iter_mut() {
             c.model.set_params(&new_global);
         }
@@ -171,6 +173,7 @@ impl Strategy for Moon {
         RoundStats {
             mean_loss: loss,
             bytes_uploaded,
+            bytes_downloaded,
         }
     }
 }

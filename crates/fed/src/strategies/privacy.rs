@@ -107,6 +107,7 @@ impl Strategy for DpUpload {
         // clipped+noised relative to its reference. This matches local-DP
         // deployments where the client's entire exposed model is noised.
         let stats = self.inner.round(clients, participants, ctx);
+        let _g = fedgta_obs::span!("privatize", participants = participants.len());
         for &i in participants {
             let reference = self.reference[i].take().expect("snapshotted");
             let current = clients[i].model.params();

@@ -99,6 +99,7 @@ impl Strategy for Scaffold {
             (loss, (c.model.params(), steps.get().max(1), lr))
         });
         let loss = mean_loss(&results);
+        let _agg = fedgta_obs::span!("aggregate", strategy = "Scaffold");
         let mut sum_dw = vec![0f64; global.len()];
         let mut sum_dc = vec![0f64; global.len()];
         for r in &results {
@@ -134,6 +135,10 @@ impl Strategy for Scaffold {
             mean_loss: loss,
             // SCAFFOLD ships the model update and the control update.
             bytes_uploaded: participants.len() * (2 * global.len() * 4 + 8),
+            // Down: every client gets the new model; participants would
+            // additionally need the server control next round.
+            bytes_downloaded: clients.len() * (global.len() * 4 + 8)
+                + participants.len() * (global.len() * 4 + 8),
         }
     }
 }

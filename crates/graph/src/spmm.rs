@@ -102,11 +102,39 @@ pub fn spmm(a: &Csr, x: &[f32], cols: usize) -> Result<Vec<f32>> {
     Ok(y)
 }
 
+/// Cached handles to the propagation-kernel counters, registered lazily in
+/// the global [`fedgta_obs`] registry. One `OnceLock` load per kernel call
+/// when metrics are on; skipped entirely when off.
+#[inline]
+fn record_spmm(rows: usize, nnz: usize, cols: usize) {
+    use std::sync::{Arc, OnceLock};
+    if !fedgta_obs::metrics_on() {
+        return;
+    }
+    static ROWS: OnceLock<Arc<fedgta_obs::Counter>> = OnceLock::new();
+    static FLOPS: OnceLock<Arc<fedgta_obs::Counter>> = OnceLock::new();
+    ROWS.get_or_init(|| fedgta_obs::global().counter("spmm.rows"))
+        .add(rows as u64);
+    // One multiply-add per stored edge per dense column.
+    FLOPS
+        .get_or_init(|| fedgta_obs::global().counter("spmm.flops"))
+        .add(2 * nnz as u64 * cols as u64);
+}
+
 /// Computes `Y = A · X` into a caller-provided buffer (`y.len() == n*cols`).
 ///
 /// Panics on size mismatch (internal hot path; the checked entry point is
-/// [`spmm`]).
+/// [`spmm`]). Records `spmm.rows` / `spmm.flops` counters when metrics are
+/// armed, then delegates to [`spmm_into_raw`].
 pub fn spmm_into(a: &Csr, x: &[f32], cols: usize, y: &mut [f32]) {
+    record_spmm(a.num_nodes(), a.num_edges(), cols);
+    spmm_into_raw(a, x, cols, y);
+}
+
+/// The uninstrumented kernel body — public so the microbenchmark suite can
+/// measure the observability hook's overhead against it.
+#[doc(hidden)]
+pub fn spmm_into_raw(a: &Csr, x: &[f32], cols: usize, y: &mut [f32]) {
     let n = a.num_nodes();
     assert_eq!(x.len(), n * cols);
     assert_eq!(y.len(), n * cols);

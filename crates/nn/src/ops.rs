@@ -56,6 +56,23 @@
 use crate::tensor::{MatView, Matrix};
 use fedgta_graph::par::par_chunks_mut;
 
+/// Records `2·m·k·n` into the `kernel.matmul.flops` counter (all dense
+/// kernel shapes reduce to one multiply-add per `(i,kk,j)` triple). The
+/// handle is cached in a `OnceLock`, so the armed path is one lock-free
+/// load plus one relaxed `fetch_add`; the disarmed path is a single
+/// relaxed level load. Never allocates after the first armed call.
+#[inline]
+fn record_matmul_flops(m: usize, k: usize, n: usize) {
+    use std::sync::{Arc, OnceLock};
+    if !fedgta_obs::metrics_on() {
+        return;
+    }
+    static FLOPS: OnceLock<Arc<fedgta_obs::Counter>> = OnceLock::new();
+    FLOPS
+        .get_or_init(|| fedgta_obs::global().counter("kernel.matmul.flops"))
+        .add(2 * (m as u64) * (k as u64) * (n as u64));
+}
+
 /// Column-block width shared by the register-blocked kernels. Wide enough
 /// for a full 512-bit vector per block; the per-element accumulation
 /// expression is width-independent, so this constant can be retuned
@@ -234,8 +251,17 @@ fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// `C = A · B` with `A: m×k`, `B: k×n`, written into `out` (`m·n`,
-/// fully overwritten). Allocation-free.
+/// fully overwritten). Allocation-free. Counts `kernel.matmul.flops` when
+/// metrics are armed, then delegates to [`matmul_into_raw`].
 pub fn matmul_into(a: MatView<'_>, b: MatView<'_>, out: &mut [f32]) {
+    record_matmul_flops(a.rows(), a.cols(), b.cols());
+    matmul_into_raw(a, b, out);
+}
+
+/// The uninstrumented [`matmul_into`] body — public so the kernel
+/// microbenchmark can price the observability hook against it.
+#[doc(hidden)]
+pub fn matmul_into_raw(a: MatView<'_>, b: MatView<'_>, out: &mut [f32]) {
     assert_eq!(a.cols(), b.rows(), "matmul inner dim mismatch");
     let (m, k) = a.shape();
     let n = b.cols();
@@ -251,6 +277,7 @@ pub fn matmul_into(a: MatView<'_>, b: MatView<'_>, out: &mut [f32]) {
 /// broadcast over rows). One pass: the output row is seeded with the bias,
 /// accumulated, then rectified while still hot.
 pub fn matmul_bias_relu_into(a: MatView<'_>, b: MatView<'_>, bias: &[f32], out: &mut [f32]) {
+    record_matmul_flops(a.rows(), a.cols(), b.cols());
     assert_eq!(a.cols(), b.rows(), "matmul inner dim mismatch");
     let (m, k) = a.shape();
     let n = b.cols();
@@ -272,6 +299,7 @@ pub fn matmul_bias_relu_into(a: MatView<'_>, b: MatView<'_>, bias: &[f32], out: 
 
 /// Linear-layer epilogue without activation: `out = A·B + bias`.
 pub fn matmul_bias_into(a: MatView<'_>, b: MatView<'_>, bias: &[f32], out: &mut [f32]) {
+    record_matmul_flops(a.rows(), a.cols(), b.cols());
     assert_eq!(a.cols(), b.rows(), "matmul inner dim mismatch");
     let (m, k) = a.shape();
     let n = b.cols();
@@ -298,6 +326,7 @@ pub fn matmul_bias_into(a: MatView<'_>, b: MatView<'_>, bias: &[f32], out: &mut 
 /// exactly once and each loaded `B` block serves eight output rows.
 /// Accumulation per element is strict increasing-`i` order.
 pub fn matmul_tn_into(a: MatView<'_>, b: MatView<'_>, out: &mut [f32]) {
+    record_matmul_flops(a.rows(), a.cols(), b.cols());
     assert_eq!(a.rows(), b.rows(), "matmul_tn outer dim mismatch");
     let (m, k) = a.shape();
     let n = b.cols();
@@ -386,6 +415,7 @@ fn gemm_tn_band(out: &mut [f32], kk0: usize, ad: &[f32], m: usize, k: usize, bd:
 /// is a dot product of two contiguous rows, computed with the lane-split
 /// accumulator of [`dot_lanes`].
 pub fn matmul_nt_into(a: MatView<'_>, b: MatView<'_>, out: &mut [f32]) {
+    record_matmul_flops(a.rows(), a.cols(), b.rows());
     assert_eq!(a.cols(), b.cols(), "matmul_nt inner dim mismatch");
     let (m, k) = a.shape();
     let n = b.rows();

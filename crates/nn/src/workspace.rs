@@ -24,6 +24,20 @@ use crate::tensor::Matrix;
 /// Upper bound on pooled buffers; returns beyond this are dropped.
 const MAX_POOLED: usize = 64;
 
+/// Raises the `workspace.high_water_bytes` gauge to the capacity of the
+/// largest single buffer ever checked out (across all workspaces in the
+/// process). Disarmed: one relaxed load.
+#[inline]
+fn record_high_water(cap_elems: usize) {
+    use std::sync::{Arc, OnceLock};
+    if !fedgta_obs::metrics_on() {
+        return;
+    }
+    static HWM: OnceLock<Arc<fedgta_obs::Gauge>> = OnceLock::new();
+    HWM.get_or_init(|| fedgta_obs::global().gauge("workspace.high_water_bytes"))
+        .set_max((cap_elems * std::mem::size_of::<f32>()) as u64);
+}
+
 /// A pool of reusable `Vec<f32>` scratch buffers (see module docs).
 #[derive(Debug, Default)]
 pub struct Workspace {
@@ -62,6 +76,7 @@ impl Workspace {
         };
         buf.clear();
         buf.resize(len, 0.0);
+        record_high_water(buf.capacity());
         buf
     }
 

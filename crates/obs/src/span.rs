@@ -1,0 +1,234 @@
+//! Hierarchical RAII spans with monotonic-nanosecond timing.
+//!
+//! Each thread keeps its own parent stack (a `thread_local!` vec), so
+//! spans opened inside `par_map_indexed` workers nest naturally *within a
+//! thread*; cross-thread parenting (the round's `train` span owning
+//! per-client spans running on workers) is explicit via [`span_under`].
+//! Span ids come from one process-global atomic, so ids are unique across
+//! threads; the id *values* depend on scheduling and are never used for
+//! anything but tree reconstruction.
+//!
+//! A disarmed guard (tracing off at creation) is a zero-field struct
+//! whose drop does nothing — no allocation, no sink traffic.
+
+use crate::sink;
+use crate::trace_on;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One span field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldVal {
+    /// Unsigned integer (ids, counts, bytes).
+    U64(u64),
+    /// Float (ratios, seconds).
+    F64(f64),
+    /// Owned or static text (strategy names, dataset names).
+    Text(String),
+}
+
+impl From<u64> for FieldVal {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+impl From<usize> for FieldVal {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+impl From<u32> for FieldVal {
+    fn from(v: u32) -> Self {
+        Self::U64(v as u64)
+    }
+}
+impl From<f64> for FieldVal {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+impl From<&str> for FieldVal {
+    fn from(v: &str) -> Self {
+        Self::Text(v.to_string())
+    }
+}
+impl From<String> for FieldVal {
+    fn from(v: String) -> Self {
+        Self::Text(v)
+    }
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Stack of open span ids on this thread (innermost last).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Small dense id for this thread (std's ThreadId is opaque).
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Nanoseconds since an arbitrary process-wide origin (monotonic).
+pub fn now_ns() -> u64 {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    ORIGIN.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// This thread's dense id (1-based; assigned on first use).
+pub fn thread_ord() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
+/// The innermost open span id on this thread (0 = none).
+pub fn current_span_id() -> u64 {
+    SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+/// An RAII span: created open, emits one trace event when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// 0 when disarmed.
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_ns: u64,
+    t0: Option<Instant>,
+    fields: Vec<(&'static str, FieldVal)>,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing.
+    fn disarmed() -> Self {
+        Self {
+            id: 0,
+            parent: 0,
+            name: "",
+            start_ns: 0,
+            t0: None,
+            fields: Vec::new(),
+        }
+    }
+
+    fn armed(name: &'static str, parent: u64) -> Self {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        Self {
+            id,
+            parent,
+            name,
+            start_ns: now_ns(),
+            t0: Some(Instant::now()),
+            fields: Vec::new(),
+        }
+    }
+
+    /// This span's id (0 when tracing was off at creation). Pass to
+    /// [`span_under`] to parent work running on other threads.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Builder-style field attachment (no-op when disarmed).
+    #[must_use]
+    pub fn with_field(mut self, key: &'static str, val: FieldVal) -> Self {
+        self.record(key, val);
+        self
+    }
+
+    /// Attaches or overwrites a field after creation — e.g. byte counts
+    /// only known at the end of the spanned phase.
+    pub fn record(&mut self, key: &'static str, val: FieldVal) {
+        if self.id == 0 {
+            return;
+        }
+        if let Some(slot) = self.fields.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = val;
+        } else {
+            self.fields.push((key, val));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        // Pop this span off the thread's stack. Guards are dropped in
+        // reverse creation order under normal control flow; if a caller
+        // leaks or reorders guards we degrade gracefully by removing the
+        // matching id wherever it sits.
+        SPAN_STACK.with(|s| {
+            let mut st = s.borrow_mut();
+            match st.last() {
+                Some(&top) if top == self.id => {
+                    st.pop();
+                }
+                _ => st.retain(|&x| x != self.id),
+            }
+        });
+        let dur_ns = self.t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+        sink::write_span(
+            self.name,
+            self.id,
+            self.parent,
+            thread_ord(),
+            self.start_ns,
+            dur_ns,
+            &self.fields,
+        );
+    }
+}
+
+/// Opens a span under the current thread's innermost open span.
+///
+/// Returns a disarmed guard when tracing is off or no sink is installed.
+pub fn span_named(name: &'static str) -> SpanGuard {
+    if !trace_on() || !sink::trace_installed() {
+        return SpanGuard::disarmed();
+    }
+    SpanGuard::armed(name, current_span_id())
+}
+
+/// Opens a span under an explicit parent id — the cross-thread variant
+/// for worker closures (`par_map_indexed`) whose logical parent lives on
+/// the driver thread. The span still joins this thread's local stack so
+/// further nested spans chain off it.
+pub fn span_under(name: &'static str, parent: u64) -> SpanGuard {
+    if !trace_on() || !sink::trace_installed() {
+        return SpanGuard::disarmed();
+    }
+    SpanGuard::armed(name, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_guard_is_free_and_stackless() {
+        // Tracing is off by default in unit tests.
+        let g = span_named("noop");
+        assert_eq!(g.id(), 0);
+        assert_eq!(current_span_id(), 0);
+        drop(g);
+        assert_eq!(current_span_id(), 0);
+    }
+
+    #[test]
+    fn thread_ords_are_distinct() {
+        let here = thread_ord();
+        let there = std::thread::spawn(thread_ord).join().unwrap();
+        assert_ne!(here, there);
+        assert_eq!(here, thread_ord(), "stable within a thread");
+    }
+
+    #[test]
+    fn now_ns_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

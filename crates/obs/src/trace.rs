@@ -1,0 +1,824 @@
+//! Trace parsing and aggregation — the engine behind `fedgta-cli report`.
+//!
+//! Reads the JSONL stream the [`crate::sink`] writes (one flat JSON
+//! object per line), validates the schema header, reconstructs the span
+//! tree from `id`/`parent` links, and aggregates per-round, per-client,
+//! per-strategy and per-span-name tables with exact p50/p95/max (the
+//! full duration lists are kept — traces are round-granular, not
+//! per-kernel, so memory is never a concern).
+
+use crate::TRACE_SCHEMA;
+use std::collections::BTreeMap;
+
+/// A parsed flat JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonVal {
+    /// Any number (integers round-trip exactly below 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// `null`, `true`, `false` (booleans map to 1/0).
+    Null,
+}
+
+impl JsonVal {
+    /// The value as u64, if numeric.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonVal::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as &str, if textual.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// One event from the JSONL stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// The schema header (first line).
+    Meta {
+        /// Schema identifier (must equal [`TRACE_SCHEMA`]).
+        schema: String,
+    },
+    /// A closed span.
+    Span {
+        /// Span name (`round`, `train`, `client_train`, …).
+        name: String,
+        /// Unique span id.
+        id: u64,
+        /// Parent span id (0 = root).
+        parent: u64,
+        /// Dense thread ordinal the span closed on.
+        tid: u64,
+        /// Start, nanoseconds since process origin.
+        ts_ns: u64,
+        /// Duration in nanoseconds.
+        dur_ns: u64,
+        /// Remaining fields (`round`, `client`, `strategy`, byte counts…).
+        fields: BTreeMap<String, JsonVal>,
+    },
+    /// One metric at flush time.
+    Metric {
+        /// Metric name.
+        name: String,
+        /// `counter` / `gauge` / `histogram`.
+        kind: String,
+        /// Counter/gauge value; histogram sum.
+        value: u64,
+        /// Histogram count.
+        count: u64,
+        /// Histogram p50 (bucket bound).
+        p50: u64,
+        /// Histogram p95 (bucket bound).
+        p95: u64,
+        /// Histogram exact max.
+        max: u64,
+    },
+    /// End-of-trace marker.
+    End,
+}
+
+// --- minimal flat-JSON parser ---------------------------------------------
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {} in {:?}",
+                c as char,
+                self.i,
+                String::from_utf8_lossy(self.b)
+            ))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self.b.get(self.i).ok_or("dangling escape")?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .ok_or("short \\u escape")?;
+                            self.i += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                c => {
+                    // Re-assemble multi-byte UTF-8 transparently.
+                    let start = self.i - 1;
+                    let len = utf8_len(c);
+                    let end = start + len;
+                    let chunk = self.b.get(start..end).ok_or("truncated UTF-8")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.i = end;
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn value(&mut self) -> Result<JsonVal, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonVal::Str(self.string()?)),
+            Some(b'n') => {
+                self.literal(b"null")?;
+                Ok(JsonVal::Null)
+            }
+            Some(b't') => {
+                self.literal(b"true")?;
+                Ok(JsonVal::Num(1.0))
+            }
+            Some(b'f') => {
+                self.literal(b"false")?;
+                Ok(JsonVal::Num(0.0))
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.i;
+                while self.i < self.b.len()
+                    && matches!(self.b[self.i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    self.i += 1;
+                }
+                let s = std::str::from_utf8(&self.b[start..self.i]).map_err(|e| e.to_string())?;
+                s.parse::<f64>()
+                    .map(JsonVal::Num)
+                    .map_err(|_| format!("bad number '{s}'"))
+            }
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> Result<(), String> {
+        self.skip_ws();
+        if self.b.get(self.i..self.i + lit.len()) == Some(lit) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected literal {}", String::from_utf8_lossy(lit)))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Parses one flat JSON object line (string / number / null / bool
+/// values only — the trace schema never nests).
+pub fn parse_flat_object(line: &str) -> Result<BTreeMap<String, JsonVal>, String> {
+    let mut c = Cursor {
+        b: line.as_bytes(),
+        i: 0,
+    };
+    c.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    if c.peek() == Some(b'}') {
+        c.expect(b'}')?;
+        return Ok(map);
+    }
+    loop {
+        let key = c.string()?;
+        c.expect(b':')?;
+        let val = c.value()?;
+        map.insert(key, val);
+        match c.peek() {
+            Some(b',') => {
+                c.expect(b',')?;
+            }
+            Some(b'}') => {
+                c.expect(b'}')?;
+                c.skip_ws();
+                if c.i != c.b.len() {
+                    return Err("trailing garbage after object".into());
+                }
+                return Ok(map);
+            }
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+}
+
+fn req_u64(m: &BTreeMap<String, JsonVal>, k: &str) -> Result<u64, String> {
+    m.get(k)
+        .and_then(JsonVal::as_u64)
+        .ok_or_else(|| format!("missing/invalid numeric field '{k}'"))
+}
+
+fn req_str(m: &BTreeMap<String, JsonVal>, k: &str) -> Result<String, String> {
+    m.get(k)
+        .and_then(JsonVal::as_str)
+        .map(|s| s.to_string())
+        .ok_or_else(|| format!("missing/invalid string field '{k}'"))
+}
+
+/// Parses a full JSONL trace. Strict: the first line must be the schema
+/// header with a matching version, every line must be a valid event.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj =
+            parse_flat_object(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let ev = req_str(&obj, "ev").map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let parsed = match ev.as_str() {
+            "meta" => TraceEvent::Meta {
+                schema: req_str(&obj, "schema")?,
+            },
+            "span" => {
+                let mut fields = obj.clone();
+                for k in ["ev", "name", "id", "parent", "tid", "ts_ns", "dur_ns"] {
+                    fields.remove(k);
+                }
+                TraceEvent::Span {
+                    name: req_str(&obj, "name")?,
+                    id: req_u64(&obj, "id")?,
+                    parent: req_u64(&obj, "parent")?,
+                    tid: req_u64(&obj, "tid")?,
+                    ts_ns: req_u64(&obj, "ts_ns")?,
+                    dur_ns: req_u64(&obj, "dur_ns")?,
+                    fields,
+                }
+            }
+            "metric" => TraceEvent::Metric {
+                name: req_str(&obj, "name")?,
+                kind: req_str(&obj, "kind")?,
+                value: req_u64(&obj, "value")?,
+                count: req_u64(&obj, "count")?,
+                p50: req_u64(&obj, "p50")?,
+                p95: req_u64(&obj, "p95")?,
+                max: req_u64(&obj, "max")?,
+            },
+            "end" => TraceEvent::End,
+            other => return Err(format!("line {}: unknown event '{other}'", lineno + 1)),
+        };
+        if events.is_empty() {
+            match &parsed {
+                TraceEvent::Meta { schema } if schema == TRACE_SCHEMA => {}
+                TraceEvent::Meta { schema } => {
+                    return Err(format!(
+                        "unsupported trace schema '{schema}' (expected '{TRACE_SCHEMA}')"
+                    ))
+                }
+                _ => return Err("trace does not start with a schema header".into()),
+            }
+        }
+        events.push(parsed);
+    }
+    if events.is_empty() {
+        return Err("empty trace".into());
+    }
+    Ok(events)
+}
+
+// --- aggregation -----------------------------------------------------------
+
+/// Exact order statistics over a duration sample.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DurStats {
+    /// Sample count.
+    pub count: usize,
+    /// Total nanoseconds.
+    pub total_ns: u64,
+    /// Median (exact, nearest-rank).
+    pub p50_ns: u64,
+    /// 95th percentile (exact, nearest-rank).
+    pub p95_ns: u64,
+    /// Maximum.
+    pub max_ns: u64,
+}
+
+impl DurStats {
+    /// Computes stats from raw samples.
+    pub fn from_samples(mut xs: Vec<u64>) -> Self {
+        if xs.is_empty() {
+            return Self::default();
+        }
+        xs.sort_unstable();
+        let n = xs.len();
+        let rank = |q: f64| xs[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        Self {
+            count: n,
+            total_ns: xs.iter().sum(),
+            p50_ns: rank(0.50),
+            p95_ns: rank(0.95),
+            max_ns: xs[n - 1],
+        }
+    }
+}
+
+/// Per-span-name aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// Span name.
+    pub name: String,
+    /// Duration statistics over all occurrences.
+    pub stats: DurStats,
+}
+
+/// One reconstructed round.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RoundRow {
+    /// Round index (1-based, from the span's `round` field).
+    pub round: u64,
+    /// Strategy name, when recorded on the round span.
+    pub strategy: String,
+    /// Total round duration.
+    pub total_ns: u64,
+    /// Summed `train` child span durations.
+    pub train_ns: u64,
+    /// Summed `aggregate` child span durations.
+    pub aggregate_ns: u64,
+    /// Summed `eval` child span durations.
+    pub eval_ns: u64,
+    /// Bytes uploaded (from the round span's `bytes_up` field).
+    pub bytes_up: u64,
+    /// Bytes downloaded (from `bytes_down`).
+    pub bytes_down: u64,
+    /// Participants (from `participants`).
+    pub participants: u64,
+}
+
+/// Per-client `client_train` aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientStat {
+    /// Client id (from the span's `client` field).
+    pub client: u64,
+    /// Duration statistics over that client's training spans.
+    pub stats: DurStats,
+}
+
+/// Per-strategy aggregate over its rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyStat {
+    /// Strategy name.
+    pub strategy: String,
+    /// Round-duration statistics.
+    pub stats: DurStats,
+    /// Total bytes uploaded across its rounds.
+    pub bytes_up: u64,
+    /// Total bytes downloaded across its rounds.
+    pub bytes_down: u64,
+}
+
+/// A flushed metric row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRow {
+    /// Metric name.
+    pub name: String,
+    /// Kind (`counter`/`gauge`/`histogram`).
+    pub kind: String,
+    /// Value (sum for histograms).
+    pub value: u64,
+    /// Histogram count.
+    pub count: u64,
+    /// Histogram p50 bound.
+    pub p50: u64,
+    /// Histogram p95 bound.
+    pub p95: u64,
+    /// Histogram max.
+    pub max: u64,
+}
+
+/// The aggregated view of one trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceSummary {
+    /// Total span events.
+    pub span_events: usize,
+    /// Per-name span stats, name-sorted.
+    pub span_stats: Vec<SpanStat>,
+    /// Reconstructed rounds, round-sorted.
+    pub rounds: Vec<RoundRow>,
+    /// Per-client training stats, client-sorted.
+    pub clients: Vec<ClientStat>,
+    /// Per-strategy stats, name-sorted.
+    pub strategies: Vec<StrategyStat>,
+    /// Metric flush rows.
+    pub metrics: Vec<MetricRow>,
+}
+
+/// Walks up the parent chain to find the enclosing `round` span id.
+fn enclosing_round(
+    mut parent: u64,
+    parents: &BTreeMap<u64, u64>,
+    round_of_span: &BTreeMap<u64, usize>,
+) -> Option<usize> {
+    while parent != 0 {
+        if let Some(&ri) = round_of_span.get(&parent) {
+            return Some(ri);
+        }
+        parent = parents.get(&parent).copied().unwrap_or(0);
+    }
+    None
+}
+
+/// Aggregates parsed events into tables.
+pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
+    let mut by_name: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    let mut by_client: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut parents: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut rounds: Vec<RoundRow> = Vec::new();
+    let mut round_of_span: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut metrics = Vec::new();
+    let mut span_events = 0usize;
+
+    // First pass: parent links + round rows (so phase spans that close
+    // *before* their round span still resolve — we match by ancestry in a
+    // second pass).
+    for ev in events {
+        if let TraceEvent::Span {
+            name,
+            id,
+            parent,
+            fields,
+            dur_ns,
+            ..
+        } = ev
+        {
+            parents.insert(*id, *parent);
+            if name == "round" {
+                let idx = rounds.len();
+                round_of_span.insert(*id, idx);
+                rounds.push(RoundRow {
+                    round: fields.get("round").and_then(JsonVal::as_u64).unwrap_or(0),
+                    strategy: fields
+                        .get("strategy")
+                        .and_then(JsonVal::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    total_ns: *dur_ns,
+                    bytes_up: fields.get("bytes_up").and_then(JsonVal::as_u64).unwrap_or(0),
+                    bytes_down: fields
+                        .get("bytes_down")
+                        .and_then(JsonVal::as_u64)
+                        .unwrap_or(0),
+                    participants: fields
+                        .get("participants")
+                        .and_then(JsonVal::as_u64)
+                        .unwrap_or(0),
+                    ..RoundRow::default()
+                });
+            }
+        }
+    }
+
+    for ev in events {
+        match ev {
+            TraceEvent::Span {
+                name,
+                parent,
+                dur_ns,
+                fields,
+                ..
+            } => {
+                span_events += 1;
+                by_name.entry(name.clone()).or_default().push(*dur_ns);
+                if name == "client_train" {
+                    if let Some(c) = fields.get("client").and_then(JsonVal::as_u64) {
+                        by_client.entry(c).or_default().push(*dur_ns);
+                    }
+                }
+                if let Some(ri) = enclosing_round(*parent, &parents, &round_of_span) {
+                    match name.as_str() {
+                        "train" => rounds[ri].train_ns += dur_ns,
+                        "aggregate" => rounds[ri].aggregate_ns += dur_ns,
+                        "eval" => rounds[ri].eval_ns += dur_ns,
+                        _ => {}
+                    }
+                }
+            }
+            TraceEvent::Metric {
+                name,
+                kind,
+                value,
+                count,
+                p50,
+                p95,
+                max,
+            } => metrics.push(MetricRow {
+                name: name.clone(),
+                kind: kind.clone(),
+                value: *value,
+                count: *count,
+                p50: *p50,
+                p95: *p95,
+                max: *max,
+            }),
+            _ => {}
+        }
+    }
+
+    rounds.sort_by_key(|r| r.round);
+    let mut by_strategy: BTreeMap<String, (Vec<u64>, u64, u64)> = BTreeMap::new();
+    for r in &rounds {
+        let e = by_strategy.entry(r.strategy.clone()).or_default();
+        e.0.push(r.total_ns);
+        e.1 += r.bytes_up;
+        e.2 += r.bytes_down;
+    }
+
+    TraceSummary {
+        span_events,
+        span_stats: by_name
+            .into_iter()
+            .map(|(name, xs)| SpanStat {
+                name,
+                stats: DurStats::from_samples(xs),
+            })
+            .collect(),
+        rounds,
+        clients: by_client
+            .into_iter()
+            .map(|(client, xs)| ClientStat {
+                client,
+                stats: DurStats::from_samples(xs),
+            })
+            .collect(),
+        strategies: by_strategy
+            .into_iter()
+            .map(|(strategy, (xs, up, down))| StrategyStat {
+                strategy,
+                stats: DurStats::from_samples(xs),
+                bytes_up: up,
+                bytes_down: down,
+            })
+            .collect(),
+        metrics,
+    }
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 10 * 1024 * 1024 {
+        format!("{:.1}MiB", b as f64 / (1024.0 * 1024.0))
+    } else if b >= 10 * 1024 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Renders the summary as the `fedgta-cli report` terminal tables.
+pub fn render_report(s: &TraceSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace: {} span events, {} rounds, {} clients, {} metrics\n",
+        s.span_events,
+        s.rounds.len(),
+        s.clients.len(),
+        s.metrics.len()
+    ));
+
+    if !s.rounds.is_empty() {
+        out.push_str("\nper-round breakdown (ms):\n");
+        out.push_str(&format!(
+            "{:<6} {:<14} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "round", "strategy", "parts", "total", "train", "aggregate", "eval", "up", "down"
+        ));
+        for r in &s.rounds {
+            out.push_str(&format!(
+                "{:<6} {:<14} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                r.round,
+                if r.strategy.is_empty() { "-" } else { &r.strategy },
+                r.participants,
+                fmt_ms(r.total_ns),
+                fmt_ms(r.train_ns),
+                fmt_ms(r.aggregate_ns),
+                fmt_ms(r.eval_ns),
+                fmt_bytes(r.bytes_up),
+                fmt_bytes(r.bytes_down),
+            ));
+        }
+    }
+
+    if !s.clients.is_empty() {
+        out.push_str("\nper-client local training (ms):\n");
+        out.push_str(&format!(
+            "{:<8} {:>7} {:>10} {:>10} {:>10}\n",
+            "client", "rounds", "p50", "p95", "max"
+        ));
+        for c in &s.clients {
+            out.push_str(&format!(
+                "{:<8} {:>7} {:>10} {:>10} {:>10}\n",
+                c.client,
+                c.stats.count,
+                fmt_ms(c.stats.p50_ns),
+                fmt_ms(c.stats.p95_ns),
+                fmt_ms(c.stats.max_ns),
+            ));
+        }
+    }
+
+    if !s.strategies.is_empty() {
+        out.push_str("\nper-strategy rounds:\n");
+        out.push_str(&format!(
+            "{:<16} {:>7} {:>10} {:>10} {:>10} {:>10} {:>12}\n",
+            "strategy", "rounds", "p50 ms", "p95 ms", "max ms", "upload", "throughput"
+        ));
+        for st in &s.strategies {
+            let thr = if st.stats.total_ns > 0 {
+                format!(
+                    "{}/s",
+                    fmt_bytes(
+                        ((st.bytes_up + st.bytes_down) as f64
+                            / (st.stats.total_ns as f64 / 1e9))
+                            .round() as u64
+                    )
+                )
+            } else {
+                "-".into()
+            };
+            out.push_str(&format!(
+                "{:<16} {:>7} {:>10} {:>10} {:>10} {:>10} {:>12}\n",
+                if st.strategy.is_empty() { "-" } else { &st.strategy },
+                st.stats.count,
+                fmt_ms(st.stats.p50_ns),
+                fmt_ms(st.stats.p95_ns),
+                fmt_ms(st.stats.max_ns),
+                fmt_bytes(st.bytes_up),
+                thr,
+            ));
+        }
+    }
+
+    out.push_str("\nspan summary (ms):\n");
+    out.push_str(&format!(
+        "{:<20} {:>7} {:>10} {:>10} {:>10} {:>12}\n",
+        "span", "count", "p50", "p95", "max", "total"
+    ));
+    for sp in &s.span_stats {
+        out.push_str(&format!(
+            "{:<20} {:>7} {:>10} {:>10} {:>10} {:>12}\n",
+            sp.name,
+            sp.stats.count,
+            fmt_ms(sp.stats.p50_ns),
+            fmt_ms(sp.stats.p95_ns),
+            fmt_ms(sp.stats.max_ns),
+            fmt_ms(sp.stats.total_ns),
+        ));
+    }
+
+    if !s.metrics.is_empty() {
+        out.push_str("\nmetrics at flush:\n");
+        out.push_str(&format!(
+            "{:<32} {:<10} {:>14} {:>9} {:>10} {:>10}\n",
+            "name", "kind", "value", "count", "p50", "p95"
+        ));
+        for m in &s.metrics {
+            out.push_str(&format!(
+                "{:<32} {:<10} {:>14} {:>9} {:>10} {:>10}\n",
+                m.name, m.kind, m.value, m.count, m.p50, m.p95
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_object_parses_all_value_kinds() {
+        let m = parse_flat_object(
+            r#"{"a":1,"b":-2.5,"c":"x\"y","d":null,"e":true,"f":false,"g":1e3}"#,
+        )
+        .unwrap();
+        assert_eq!(m["a"], JsonVal::Num(1.0));
+        assert_eq!(m["b"], JsonVal::Num(-2.5));
+        assert_eq!(m["c"], JsonVal::Str("x\"y".into()));
+        assert_eq!(m["d"], JsonVal::Null);
+        assert_eq!(m["e"], JsonVal::Num(1.0));
+        assert_eq!(m["f"], JsonVal::Num(0.0));
+        assert_eq!(m["g"], JsonVal::Num(1000.0));
+    }
+
+    #[test]
+    fn flat_object_rejects_garbage() {
+        assert!(parse_flat_object("{").is_err());
+        assert!(parse_flat_object(r#"{"a":}"#).is_err());
+        assert!(parse_flat_object(r#"{"a":1} extra"#).is_err());
+        assert!(parse_flat_object("not json").is_err());
+    }
+
+    #[test]
+    fn trace_requires_schema_header() {
+        let no_header = "{\"ev\":\"span\",\"name\":\"x\",\"id\":1,\"parent\":0,\"tid\":1,\"ts_ns\":0,\"dur_ns\":1}";
+        assert!(parse_trace(no_header).unwrap_err().contains("schema header"));
+        let bad = "{\"ev\":\"meta\",\"schema\":\"fedgta-trace/99\"}";
+        assert!(parse_trace(bad).unwrap_err().contains("unsupported"));
+        assert!(parse_trace("").unwrap_err().contains("empty"));
+    }
+
+    fn sample_trace() -> String {
+        let mut t = String::from("{\"ev\":\"meta\",\"schema\":\"fedgta-trace/1\"}\n");
+        // round 1 (id 1) > train (2) > client_train (3,4); aggregate (5); eval (6)
+        t.push_str("{\"ev\":\"span\",\"name\":\"client_train\",\"id\":3,\"parent\":2,\"tid\":2,\"ts_ns\":10,\"dur_ns\":100,\"client\":0}\n");
+        t.push_str("{\"ev\":\"span\",\"name\":\"client_train\",\"id\":4,\"parent\":2,\"tid\":3,\"ts_ns\":10,\"dur_ns\":300,\"client\":1}\n");
+        t.push_str("{\"ev\":\"span\",\"name\":\"train\",\"id\":2,\"parent\":1,\"tid\":1,\"ts_ns\":5,\"dur_ns\":400}\n");
+        t.push_str("{\"ev\":\"span\",\"name\":\"aggregate\",\"id\":5,\"parent\":1,\"tid\":1,\"ts_ns\":500,\"dur_ns\":50}\n");
+        t.push_str("{\"ev\":\"span\",\"name\":\"eval\",\"id\":6,\"parent\":1,\"tid\":1,\"ts_ns\":600,\"dur_ns\":25}\n");
+        t.push_str("{\"ev\":\"span\",\"name\":\"round\",\"id\":1,\"parent\":0,\"tid\":1,\"ts_ns\":0,\"dur_ns\":700,\"round\":1,\"strategy\":\"FedAvg\",\"bytes_up\":1000,\"bytes_down\":2000,\"participants\":2}\n");
+        t.push_str("{\"ev\":\"metric\",\"name\":\"comms.upload_bytes\",\"kind\":\"counter\",\"value\":1000,\"count\":0,\"p50\":0,\"p95\":0,\"max\":0}\n");
+        t.push_str("{\"ev\":\"end\"}\n");
+        t
+    }
+
+    #[test]
+    fn summarize_reconstructs_rounds_clients_strategies() {
+        let events = parse_trace(&sample_trace()).unwrap();
+        assert_eq!(events.len(), 9);
+        let s = summarize(&events);
+        assert_eq!(s.rounds.len(), 1);
+        let r = &s.rounds[0];
+        assert_eq!(r.round, 1);
+        assert_eq!(r.strategy, "FedAvg");
+        assert_eq!(r.total_ns, 700);
+        assert_eq!(r.train_ns, 400);
+        assert_eq!(r.aggregate_ns, 50);
+        assert_eq!(r.eval_ns, 25);
+        assert_eq!(r.bytes_up, 1000);
+        assert_eq!(r.bytes_down, 2000);
+        assert_eq!(r.participants, 2);
+        assert_eq!(s.clients.len(), 2);
+        assert_eq!(s.clients[0].client, 0);
+        assert_eq!(s.clients[0].stats.max_ns, 100);
+        assert_eq!(s.clients[1].stats.p50_ns, 300);
+        assert_eq!(s.strategies.len(), 1);
+        assert_eq!(s.strategies[0].bytes_up, 1000);
+        assert_eq!(s.metrics.len(), 1);
+        let rendered = render_report(&s);
+        assert!(rendered.contains("per-round breakdown"));
+        assert!(rendered.contains("FedAvg"));
+        assert!(rendered.contains("comms.upload_bytes"));
+    }
+
+    #[test]
+    fn durstats_nearest_rank() {
+        let s = DurStats::from_samples(vec![10, 20, 30, 40, 100]);
+        assert_eq!(s.p50_ns, 30);
+        assert_eq!(s.p95_ns, 100);
+        assert_eq!(s.max_ns, 100);
+        assert_eq!(s.total_ns, 200);
+        assert_eq!(DurStats::from_samples(vec![]), DurStats::default());
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the observability layer.
+//!
+//! The interesting invariants are concurrency-shaped: counters must sum
+//! exactly under interleaved increments from many threads, histograms
+//! must conserve their sample count across buckets, and quantiles must
+//! be monotone in `q`. Each case draws a random workload (thread count,
+//! per-thread increment schedule) and checks the aggregate.
+
+use fedgta_obs::metrics::{bucket_index, bucket_upper, HIST_BUCKETS};
+use fedgta_obs::{set_level, ObsLevel, Registry};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that flip the process-global obs level.
+static LEVEL_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_metrics_on<R>(f: impl FnOnce() -> R) -> R {
+    let _g = LEVEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_level(ObsLevel::Metrics);
+    let r = f();
+    set_level(ObsLevel::Off);
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Interleaved counter increments from N threads, each adding a
+    /// random schedule of deltas through its own cloned handle, must sum
+    /// exactly — no lost updates, no double counts.
+    #[test]
+    fn registry_counters_sum_under_concurrency(
+        schedules in proptest::collection::vec(
+            proptest::collection::vec(0u64..1000, 1..50),
+            1..8,
+        ),
+    ) {
+        let expected: u64 = schedules.iter().flatten().sum();
+        let got = with_metrics_on(|| {
+            let reg = Registry::new();
+            std::thread::scope(|scope| {
+                for sched in &schedules {
+                    let handle = reg.counter("prop.concurrent");
+                    scope.spawn(move || {
+                        for &d in sched {
+                            handle.add(d);
+                        }
+                    });
+                }
+            });
+            reg.counter("prop.concurrent").get()
+        });
+        prop_assert_eq!(got, expected);
+    }
+
+    /// A high-water gauge driven from several threads ends at the global
+    /// maximum of everything ever offered to it.
+    #[test]
+    fn gauge_high_water_is_global_max(
+        offers in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, 1..30),
+            1..6,
+        ),
+    ) {
+        let expected = offers.iter().flatten().copied().max().unwrap_or(0);
+        let got = with_metrics_on(|| {
+            let reg = Registry::new();
+            std::thread::scope(|scope| {
+                for per_thread in &offers {
+                    let g = reg.gauge("prop.hwm");
+                    scope.spawn(move || {
+                        for &v in per_thread {
+                            g.set_max(v);
+                        }
+                    });
+                }
+            });
+            reg.gauge("prop.hwm").get()
+        });
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Histograms conserve mass: bucket counts sum to `count()`, the sum
+    /// and max match the samples exactly, and every sample landed in the
+    /// bucket whose bounds contain it.
+    #[test]
+    fn histogram_conserves_samples(
+        samples in proptest::collection::vec(0u64..(1u64 << 50), 1..200),
+    ) {
+        let (counts, count, sum, max) = with_metrics_on(|| {
+            let reg = Registry::new();
+            let h = reg.histogram("prop.hist");
+            for &s in &samples {
+                h.observe(s);
+            }
+            (h.bucket_counts(), h.count(), h.sum(), h.max())
+        });
+        prop_assert_eq!(counts.iter().sum::<u64>(), samples.len() as u64);
+        prop_assert_eq!(count, samples.len() as u64);
+        prop_assert_eq!(sum, samples.iter().sum::<u64>());
+        prop_assert_eq!(max, samples.iter().copied().max().unwrap());
+        for &s in &samples {
+            let i = bucket_index(s);
+            prop_assert!(i < HIST_BUCKETS);
+            prop_assert!(s < bucket_upper(i) || i == HIST_BUCKETS - 1);
+            if i > 1 {
+                // Lower bound of bucket i is its predecessor's upper bound.
+                prop_assert!(s >= bucket_upper(i - 1));
+            }
+        }
+    }
+
+    /// Quantiles are monotone in q and never exceed the exact maximum.
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..100),
+        qs in proptest::collection::vec(0.0f64..=1.0, 2..10),
+    ) {
+        let quantiles = with_metrics_on(|| {
+            let reg = Registry::new();
+            let h = reg.histogram("prop.q");
+            for &s in &samples {
+                h.observe(s);
+            }
+            let mut sorted_q = qs.clone();
+            sorted_q.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted_q.iter().map(|&q| h.quantile(q)).collect::<Vec<_>>()
+        });
+        let max = samples.iter().copied().max().unwrap();
+        prop_assert!(quantiles.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(quantiles.iter().all(|&v| v <= max));
+    }
+
+    /// Snapshot reflects exactly what was recorded, per metric kind, and
+    /// registry handles are shared: re-requesting a name hits the same
+    /// underlying atomic.
+    #[test]
+    fn snapshot_roundtrips_recorded_values(
+        c_val in 0u64..10_000,
+        g_val in 0u64..10_000,
+        h_samples in proptest::collection::vec(1u64..100_000, 1..50),
+    ) {
+        let snap = with_metrics_on(|| {
+            let reg = Registry::new();
+            reg.counter("a.counter").add(c_val);
+            reg.gauge("b.gauge").set(g_val);
+            for &s in &h_samples {
+                reg.histogram("c.hist").observe(s);
+            }
+            reg.snapshot()
+        });
+        prop_assert_eq!(snap.len(), 3);
+        prop_assert_eq!(snap[0].value, c_val);
+        prop_assert_eq!(snap[1].value, g_val);
+        prop_assert_eq!(snap[2].count, h_samples.len() as u64);
+        prop_assert_eq!(snap[2].value, h_samples.iter().sum::<u64>());
+        prop_assert_eq!(snap[2].max, h_samples.iter().copied().max().unwrap());
+    }
+}

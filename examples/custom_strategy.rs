@@ -75,6 +75,7 @@ impl Strategy for TrimmedMean {
         RoundStats {
             mean_loss: loss / participants.len().max(1) as f32,
             bytes_uploaded: uploads.len() * plen * 4,
+            bytes_downloaded: clients.len() * (plen * 4 + 8),
         }
     }
 }

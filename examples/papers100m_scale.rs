@@ -79,7 +79,7 @@ fn main() {
                 r.round,
                 r.mean_loss,
                 100.0 * acc,
-                r.elapsed_s
+                r.cumulative_s
             ),
             None => println!("round {:>3}: loss {:.3}", r.round, r.mean_loss),
         }

@@ -67,7 +67,7 @@ fn main() {
         println!(
             "{name:<8} best test accuracy: {:.1}%  ({:.1}s)",
             100.0 * best_accuracy(&records),
-            records.last().unwrap().elapsed_s
+            records.last().unwrap().cumulative_s
         );
     }
 }

@@ -1,0 +1,164 @@
+//! End-to-end observability contract: a traced simulation emits a
+//! parseable `fedgta-trace/1` span tree covering
+//! `round > { sample, train > client_train×P, aggregate, eval }`, the
+//! report aggregator reconstructs rounds/clients/strategies from it, and
+//! — the hard invariant — tracing changes **no numeric result** at any
+//! thread count.
+//!
+//! Observability state (level, trace sink, metric registry) is process
+//! global, so every test here serializes on one mutex.
+
+use fedgta::FedGta;
+use fedgta_fed::round::{RoundRecord, SimConfig, Simulation};
+use fedgta_fed::strategies::test_support::federation_with;
+use fedgta_fed::strategies::{FedAvg, Strategy};
+use fedgta_nn::models::ModelKind;
+use fedgta_obs::{MemorySink, ObsLevel};
+use std::sync::Mutex;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn run_sim(strategy: Box<dyn Strategy>, threads: usize, rounds: usize) -> Vec<RoundRecord> {
+    let clients = federation_with(ModelKind::Sgc, 901, 4, 901);
+    let mut sim = Simulation::new(
+        clients,
+        strategy,
+        SimConfig {
+            rounds,
+            local_epochs: 2,
+            participation: 1.0,
+            eval_every: 2,
+            seed: 901,
+            threads,
+        },
+    );
+    sim.run()
+}
+
+/// Runs a simulation with tracing armed into an in-memory sink; returns
+/// the records and the captured trace text.
+fn run_traced(strategy: Box<dyn Strategy>, threads: usize, rounds: usize) -> (Vec<RoundRecord>, String) {
+    let sink = MemorySink::new();
+    fedgta_obs::init_writer(Box::new(sink.clone())).expect("install sink");
+    fedgta_obs::set_level(ObsLevel::Trace);
+    let records = run_sim(strategy, threads, rounds);
+    fedgta_obs::shutdown();
+    fedgta_obs::set_level(ObsLevel::Off);
+    fedgta_obs::global().reset();
+    (records, sink.contents())
+}
+
+fn assert_same_numbers(a: &[RoundRecord], b: &[RoundRecord], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: round counts differ");
+    for (ra, rb) in a.iter().zip(b) {
+        assert_eq!(
+            ra.mean_loss.to_bits(),
+            rb.mean_loss.to_bits(),
+            "{label} round {}: loss",
+            ra.round
+        );
+        assert_eq!(
+            ra.test_acc.map(f64::to_bits),
+            rb.test_acc.map(f64::to_bits),
+            "{label} round {}: acc",
+            ra.round
+        );
+        assert_eq!(ra.bytes_uploaded, rb.bytes_uploaded, "{label} round {}: up", ra.round);
+        assert_eq!(ra.bytes_downloaded, rb.bytes_downloaded, "{label} round {}: down", ra.round);
+    }
+}
+
+#[test]
+fn traced_run_emits_complete_round_span_tree() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (records, trace) = run_traced(Box::new(FedGta::with_defaults()), 2, 4);
+    let events = fedgta_obs::parse_trace(&trace).expect("trace parses");
+    let summary = fedgta_obs::summarize(&events);
+
+    // One reconstructed round per driver round, strategy name attached.
+    assert_eq!(summary.rounds.len(), records.len());
+    for (row, rec) in summary.rounds.iter().zip(&records) {
+        assert_eq!(row.round as usize, rec.round);
+        assert_eq!(row.strategy, "FedGTA");
+        assert_eq!(row.participants, 4);
+        assert_eq!(row.bytes_up as usize, rec.bytes_uploaded);
+        assert_eq!(row.bytes_down as usize, rec.bytes_downloaded);
+        assert!(row.total_ns > 0);
+        assert!(row.train_ns > 0, "round {} missing train span", rec.round);
+        assert!(row.aggregate_ns > 0, "round {} missing aggregate span", rec.round);
+        // eval span only where the driver evaluated.
+        assert_eq!(row.eval_ns > 0, rec.test_acc.is_some(), "round {}", rec.round);
+    }
+    // Every client trained every round.
+    assert_eq!(summary.clients.len(), 4);
+    for c in &summary.clients {
+        assert_eq!(c.stats.count as usize, records.len(), "client {}", c.client);
+    }
+    // All phases appear in the span-name stats.
+    let names: Vec<&str> = summary.span_stats.iter().map(|s| s.name.as_str()).collect();
+    for expected in ["round", "sample", "train", "client_train", "aggregate", "eval", "lp", "moments"] {
+        assert!(names.contains(&expected), "missing span name '{expected}' in {names:?}");
+    }
+    // Strategy rollup and metric flush rows made it into the trace.
+    assert_eq!(summary.strategies.len(), 1);
+    assert_eq!(summary.strategies[0].strategy, "FedGTA");
+    assert!(
+        summary.metrics.iter().any(|m| m.name == "comms.upload_bytes"),
+        "metric flush missing comms.upload_bytes: {:?}",
+        summary.metrics.iter().map(|m| &m.name).collect::<Vec<_>>()
+    );
+    assert!(summary.metrics.iter().any(|m| m.name == "round.client.train_ns"));
+    assert!(summary.metrics.iter().any(|m| m.name == "strategy.aggregate_ns"));
+    assert!(summary.metrics.iter().any(|m| m.name == "kernel.matmul.flops"));
+    // The report renders without panicking and mentions the strategy.
+    let report = fedgta_obs::render_report(&summary);
+    assert!(report.contains("FedGTA"));
+}
+
+#[test]
+fn tracing_never_changes_numeric_results_at_any_thread_count() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Baseline: untraced, single-threaded.
+    let plain1 = run_sim(Box::new(FedAvg::new()), 1, 4);
+    // Traced at 1 and 4 threads: the observability layer must be invisible
+    // in every numeric field (the ISSUE's determinism contract).
+    let (traced1, _) = run_traced(Box::new(FedAvg::new()), 1, 4);
+    let (traced4, trace4) = run_traced(Box::new(FedAvg::new()), 4, 4);
+    let plain4 = run_sim(Box::new(FedAvg::new()), 4, 4);
+    assert_same_numbers(&plain1, &traced1, "plain1 vs traced1");
+    assert_same_numbers(&plain1, &traced4, "plain1 vs traced4");
+    assert_same_numbers(&plain1, &plain4, "plain1 vs plain4");
+    // The 4-thread trace still reconstructs per-client spans for everyone.
+    let events = fedgta_obs::parse_trace(&trace4).expect("trace parses");
+    let summary = fedgta_obs::summarize(&events);
+    assert_eq!(summary.clients.len(), 4);
+}
+
+#[test]
+fn metrics_level_accumulates_without_a_sink() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fedgta_obs::global().reset();
+    fedgta_obs::set_level(ObsLevel::Metrics);
+    let records = run_sim(Box::new(FedAvg::new()), 2, 2);
+    fedgta_obs::set_level(ObsLevel::Off);
+    let snaps = fedgta_obs::global().snapshot();
+    let get = |name: &str| snaps.iter().find(|s| s.name == name).map(|s| s.value);
+    let expected_up: u64 = records.iter().map(|r| r.bytes_uploaded as u64).sum();
+    let expected_down: u64 = records.iter().map(|r| r.bytes_downloaded as u64).sum();
+    assert_eq!(get("comms.upload_bytes"), Some(expected_up));
+    assert_eq!(get("comms.download_bytes"), Some(expected_down));
+    // Per-client train histogram saw participants × rounds samples.
+    let train = snaps
+        .iter()
+        .find(|s| s.name == "round.client.train_ns")
+        .expect("train histogram");
+    assert_eq!(train.count, (4 * records.len()) as u64);
+    // Kernel and workspace instrumentation fired on the hot path.
+    assert!(get("kernel.matmul.flops").unwrap_or(0) > 0);
+    assert!(get("spmm.rows").unwrap_or(0) > 0);
+    assert!(get("workspace.high_water_bytes").unwrap_or(0) > 0);
+    // And the Prometheus snapshot renders them.
+    let prom = fedgta_obs::global().render_prometheus();
+    assert!(prom.contains("fedgta_comms_upload_bytes"));
+    fedgta_obs::global().reset();
+}
