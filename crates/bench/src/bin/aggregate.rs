@@ -1,0 +1,74 @@
+//! `aggregate` — the server-round microbenchmark binary.
+//!
+//! ```text
+//! cargo run --release -p fedgta-bench --bin aggregate            # full grid
+//! cargo run --release -p fedgta-bench --bin aggregate -- --test  # CI smoke
+//! cargo run --release -p fedgta-bench --bin aggregate -- --out path.json
+//! ```
+//!
+//! Installs the counting allocator so every cell's warm-call allocation
+//! count is measured. Acceptance bars (full mode):
+//!
+//! - warm-call allocation counts are **plen-independent** at every
+//!   `(participants, threads)` — the server performs no parameter-sized
+//!   allocations once its buffers are warm;
+//! - every cell's 4-thread output is bitwise equal to its 1-thread output
+//!   (hard-asserted inside the suite);
+//! - 4 threads beat 1 thread by ≥ 2× at the headline shape — enforced
+//!   only when the host actually has ≥ 2 hardware threads (a single-core
+//!   container runs the parallel helpers inline by design).
+
+use fedgta_bench::aggregate;
+use fedgta_bench::alloc::{alloc_count, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test");
+    let out = fedgta_bench::arg_value("--out").unwrap_or_else(|| "BENCH_AGGREGATE.json".into());
+    let report = aggregate::run(quick, Some(alloc_count));
+    print!("{}", aggregate::render_table(&report));
+    let json = aggregate::to_json(&report);
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Bar 1: allocation counts must not scale with the parameter length.
+    // Compare every pair of cells that differ only in plen.
+    for a in &report.results {
+        for b in &report.results {
+            if a.participants == b.participants && a.threads == b.threads && a.plen < b.plen {
+                let (ca, cb) = (a.allocs_per_call, b.allocs_per_call);
+                if ca != cb {
+                    eprintln!(
+                        "error: warm-call allocations scale with plen at n={} threads={}: \
+                         {:?} at plen={} vs {:?} at plen={}",
+                        a.participants, a.threads, ca, a.plen, cb, b.plen
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    // Bar 2: parallel speedup at the headline shape — only meaningful on
+    // a multi-core host (the 1-core fallback runs everything inline).
+    if !quick && report.cores >= 2 && report.speedup_4v1 < 2.0 {
+        eprintln!(
+            "error: 4-thread aggregate only {:.2}x the 1-thread time at \
+             n={} plen={} on a {}-core host (need >= 2.0x)",
+            report.speedup_4v1, report.headline.0, report.headline.1, report.cores
+        );
+        std::process::exit(1);
+    }
+    if !report.bit_identical {
+        // The suite hard-asserts this; belt-and-braces for the artifact.
+        eprintln!("error: thread counts disagreed bitwise");
+        std::process::exit(1);
+    }
+}

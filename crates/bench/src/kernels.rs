@@ -122,7 +122,8 @@ fn lattice(n: usize) -> Csr {
 
 /// Times `f` (called repeatedly) and returns (ns/call, calls made).
 /// Runs one warmup call, then batches until `min_ns` elapsed or `max_calls`.
-fn time_fn(mut f: impl FnMut(), min_ns: u64, max_calls: usize) -> (f64, usize) {
+/// Shared with the [`crate::aggregate`] suite.
+pub(crate) fn time_fn(mut f: impl FnMut(), min_ns: u64, max_calls: usize) -> (f64, usize) {
     f(); // warmup (pulls operands into cache, faults pages)
     let start = Instant::now();
     let mut calls = 0usize;
@@ -137,7 +138,7 @@ fn time_fn(mut f: impl FnMut(), min_ns: u64, max_calls: usize) -> (f64, usize) {
 }
 
 /// Allocations across one call of `f` (0 expected for `_into` kernels).
-fn count_allocs(counter: Option<AllocCounter>, mut f: impl FnMut()) -> Option<u64> {
+pub(crate) fn count_allocs(counter: Option<AllocCounter>, mut f: impl FnMut()) -> Option<u64> {
     counter.map(|c| {
         let before = c();
         f();

@@ -6,6 +6,7 @@
 //! `R` rounds over `runs` seeds, and reports `mean ± std` best test
 //! accuracy — the exact protocol behind the paper's tables.
 
+pub mod aggregate;
 pub mod alloc;
 pub mod format;
 pub mod kernels;

@@ -1,0 +1,77 @@
+//! Allocation-budget test for FedGTA's Algorithm-1 upload path: once a
+//! client's persistent [`fedgta::UploadScratch`] is warm, every
+//! `FedGta::client_metrics` call — softmax prediction, k-step label
+//! propagation, smoothing confidence, mixed moments, and (when enabled)
+//! the cached feature-moment extension — performs **zero** heap
+//! allocations.
+//!
+//! Lives in `fedgta-bench` (not `fedgta`) because the counting allocator
+//! building blocks are here and `fedgta` cannot depend back on `bench`.
+//! Kept to a single `#[test]` fn: `#[global_allocator]` is per-binary and
+//! the test pins `FEDGTA_THREADS=1` (process-global env) so the parallel
+//! helpers run inline instead of spawning scoped worker threads, whose
+//! stacks would otherwise count against the budget.
+
+use fedgta::{FeatureMomentConfig, FedGta, FedGtaConfig};
+use fedgta_bench::alloc::{alloc_count, CountingAlloc};
+use fedgta_fed::strategies::test_support::small_federation;
+use fedgta_graph::par::refresh_thread_env;
+use fedgta_nn::models::ModelKind;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_client_metrics_performs_zero_heap_allocations() {
+    // Inline execution: worker threads would allocate stacks/channels.
+    std::env::set_var("FEDGTA_THREADS", "1");
+    refresh_thread_env();
+
+    let mut clients = small_federation(ModelKind::Sgc, 7);
+
+    // Paper-default config, then the feature-moment extension — the
+    // latter exercises the round-invariant sketch cache as well.
+    let configs = [
+        FedGtaConfig::default(),
+        FedGtaConfig {
+            feature_moments: Some(FeatureMomentConfig {
+                dims: 4,
+                weight: 0.5,
+            }),
+            ..FedGtaConfig::default()
+        },
+    ];
+
+    for (ci, cfg) in configs.into_iter().enumerate() {
+        let strat = FedGta::new(cfg);
+        let client = &mut clients[ci % 2];
+        // Cold call: builds the scratch (soft-label matrix, LP steps,
+        // accumulators, sketch, feature cache). Second call settles any
+        // capacity growth (the sketch's feature-extension tail).
+        let (h0, m0) = strat.client_metrics(client);
+        let (h0, m0) = (h0, m0.to_vec());
+        strat.client_metrics(client);
+
+        for call in 0..3 {
+            let before = alloc_count();
+            let (h, m) = strat.client_metrics(client);
+            let allocs = alloc_count() - before;
+            // Warm calls are deterministic replays of the cold call…
+            assert_eq!(h.to_bits(), h0.to_bits(), "config {ci}: H drifted");
+            assert_eq!(m.len(), m0.len(), "config {ci}: sketch length drifted");
+            assert!(
+                m.iter().zip(&m0).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "config {ci}: sketch drifted bitwise"
+            );
+            // …and allocation-free.
+            assert_eq!(
+                allocs, 0,
+                "config {ci} warm call {call}: {allocs} heap allocations \
+                 (budget 0); a scratch buffer is being reallocated"
+            );
+        }
+    }
+
+    std::env::remove_var("FEDGTA_THREADS");
+    refresh_thread_env();
+}

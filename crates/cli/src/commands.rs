@@ -41,18 +41,27 @@ USAGE:
                         byte tables from a --trace-out file)
   fedgta-cli bench kernels [--mode quick|full] [--out <file.json>]
                        (GFLOP/s of the blocked compute kernels; 'quick' is
-                        the CI smoke grid, 'full' the training-shaped grid)",
+                        the CI smoke grid, 'full' the training-shaped grid)
+  fedgta-cli bench aggregate [--mode quick|full] [--out <file.json>]
+                       (server-round microbench: parallel similarity +
+                        blocked personalized aggregation over participants
+                        x parameter-length, 1 vs 4 threads, bit-identity
+                        checked on every cell)",
         STRATEGY_NAMES.join("|")
     );
 }
 
-/// `bench kernels`: run the kernel microbenchmark suite.
+/// `bench kernels` / `bench aggregate`: run a microbenchmark suite.
 pub fn bench(a: &Args) -> CliResult {
-    match a.subcommand.as_deref() {
-        Some("kernels") => {}
-        Some(other) => return Err(format!("unknown bench suite '{other}' (try 'kernels')").into()),
+    let suite = match a.subcommand.as_deref() {
+        Some(s @ ("kernels" | "aggregate")) => s,
+        Some(other) => {
+            return Err(
+                format!("unknown bench suite '{other}' (try 'kernels' or 'aggregate')").into(),
+            )
+        }
         None => return Err("bench needs a suite, e.g. 'fedgta-cli bench kernels'".into()),
-    }
+    };
     let mode = a.str_or("mode", "full");
     let quick = match mode.as_str() {
         "quick" => true,
@@ -60,12 +69,27 @@ pub fn bench(a: &Args) -> CliResult {
         other => return Err(format!("unknown --mode '{other}' (quick|full)").into()),
     };
     // No counting allocator in the CLI binary (it would tax every other
-    // subcommand); allocation counts come from the dedicated `kernels`
-    // bench binary and are reported as '-' here.
-    let report = fedgta_bench::kernels::run(quick, None);
-    print!("{}", fedgta_bench::kernels::render_table(&report));
+    // subcommand); allocation counts come from the dedicated bench
+    // binaries (`kernels`, `aggregate`) and are reported as '-' here.
+    let (table, json) = match suite {
+        "kernels" => {
+            let report = fedgta_bench::kernels::run(quick, None);
+            (
+                fedgta_bench::kernels::render_table(&report),
+                fedgta_bench::kernels::to_json(&report),
+            )
+        }
+        _ => {
+            let report = fedgta_bench::aggregate::run(quick, None);
+            (
+                fedgta_bench::aggregate::render_table(&report),
+                fedgta_bench::aggregate::to_json(&report),
+            )
+        }
+    };
+    print!("{table}");
     if let Some(out) = a.str_opt("out") {
-        std::fs::write(out, fedgta_bench::kernels::to_json(&report))?;
+        std::fs::write(out, json)?;
         println!("wrote {out}");
     }
     Ok(())

@@ -7,7 +7,9 @@
 //! The returned [`AggregationReport`] carries the per-client aggregation
 //! sets and weights — the exact data the paper's Fig. 3 visualizes.
 
-use crate::similarity::{similarity_matrix, SimilarityKind};
+use crate::similarity::{similarity_matrix_threads, SimilarityKind};
+use fedgta_graph::par::par_map_indexed;
+use fedgta_nn::ops::weighted_sum_rows_into;
 use serde::Serialize;
 
 /// One client's upload as seen by the server.
@@ -61,27 +63,65 @@ pub struct AggregateOptions {
 /// Computes the personalized aggregate for every upload.
 ///
 /// Returns `(per-client aggregated parameters, report)`, both in upload
-/// order.
+/// order. Allocating wrapper of [`personalized_aggregate_into`] with the
+/// thread count resolved from the environment.
 pub fn personalized_aggregate(
     uploads: &[ClientUpload<'_>],
     opts: &AggregateOptions,
 ) -> (Vec<Vec<f32>>, AggregationReport) {
+    let mut out = Vec::new();
+    let report = personalized_aggregate_into(uploads, opts, 0, &mut out);
+    (out, report)
+}
+
+/// [`personalized_aggregate`] into reusable server-side buffers, with an
+/// explicit worker-thread request (`0` = resolve from the environment).
+///
+/// `out` is resized to one `plen`-element buffer per upload, **reusing
+/// whatever buffers it already holds** — on warm rounds the server
+/// performs no parameter-sized allocations. Both halves of the server
+/// round are client-parallel over independent output rows:
+///
+/// - Eq. 6: [`similarity_matrix_threads`] fills one similarity row per
+///   worker (bitwise-symmetric metric ⇒ identical to triangle+mirror);
+/// - Eq. 7: each client's member set, weights, and blocked
+///   [`weighted_sum_rows_into`] axpy run on that client's worker, writing
+///   only its own `out[i]`.
+///
+/// Per-element accumulation stays in member order with `f64` carries, so
+/// results are bit-identical to the serial scalar reference at any thread
+/// count.
+pub fn personalized_aggregate_into(
+    uploads: &[ClientUpload<'_>],
+    opts: &AggregateOptions,
+    threads: usize,
+    out: &mut Vec<Vec<f32>>,
+) -> AggregationReport {
     assert!(!uploads.is_empty(), "no uploads to aggregate");
     let n = uploads.len();
     let plen = uploads[0].params.len();
     for u in uploads {
         assert_eq!(u.params.len(), plen, "inconsistent parameter lengths");
     }
-    let sketches: Vec<Vec<f32>> = uploads.iter().map(|u| u.moments.to_vec()).collect();
-    let sim = similarity_matrix(&sketches, opts.similarity);
+    let sketches: Vec<&[f32]> = uploads.iter().map(|u| u.moments).collect();
+    let sim = {
+        let _g = fedgta_obs::span!("similarity", participants = n as u64);
+        similarity_matrix_threads(&sketches, opts.similarity, threads)
+    };
     let epsilon = match opts.epsilon_quantile {
         Some(q) => crate::extensions::adaptive_epsilon(&sim, q),
         None => opts.epsilon,
     };
 
-    let mut results = Vec::with_capacity(n);
-    let mut entries = Vec::with_capacity(n);
-    for i in 0..n {
+    let params: Vec<&[f32]> = uploads.iter().map(|u| u.params).collect();
+    out.truncate(n);
+    while out.len() < n {
+        out.push(Vec::new());
+    }
+    for buf in out.iter_mut() {
+        buf.resize(plen, 0.0);
+    }
+    let entries = par_map_indexed(&mut out[..], Some(threads), |i, buf| {
         let members: Vec<usize> = if opts.use_moments {
             (0..n)
                 .filter(|&j| j == i || sim[i][j] >= epsilon)
@@ -107,22 +147,13 @@ pub fn personalized_aggregate(
         } else {
             raw.iter().map(|&w| (w / total) as f32).collect()
         };
-        let mut agg = vec![0f64; plen];
-        for (&j, &w) in members.iter().zip(&weights) {
-            for (o, &p) in agg.iter_mut().zip(uploads[j].params) {
-                *o += w as f64 * p as f64;
-            }
-        }
-        results.push(agg.into_iter().map(|v| v as f32).collect());
-        entries.push(AggregationEntry { members, weights });
+        weighted_sum_rows_into(&params, &members, &weights, buf);
+        AggregationEntry { members, weights }
+    });
+    AggregationReport {
+        similarity: sim,
+        entries,
     }
-    (
-        results,
-        AggregationReport {
-            similarity: sim,
-            entries,
-        },
-    )
 }
 
 #[cfg(test)]
@@ -221,6 +252,115 @@ mod tests {
         let ups = vec![upload(&p1, 0.0, &m), upload(&p2, 0.0, &m)];
         let (agg, _) = personalized_aggregate(&ups, &opts(0.5));
         assert!((agg[0][0] - 1.0).abs() < 1e-5);
+    }
+
+    /// The serial scalar reference: the seed implementation of Eq. 7,
+    /// member-outer loop with `f64` accumulation.
+    #[allow(clippy::needless_range_loop)] // mirrors the paper's W̃ᵢ subscripts
+    fn serial_reference(
+        uploads: &[ClientUpload<'_>],
+        opts: &AggregateOptions,
+    ) -> Vec<Vec<f32>> {
+        let n = uploads.len();
+        let plen = uploads[0].params.len();
+        let sketches: Vec<&[f32]> = uploads.iter().map(|u| u.moments).collect();
+        let sim = crate::similarity::similarity_matrix_threads(&sketches, opts.similarity, 1);
+        let epsilon = match opts.epsilon_quantile {
+            Some(q) => crate::extensions::adaptive_epsilon(&sim, q),
+            None => opts.epsilon,
+        };
+        let mut results = Vec::with_capacity(n);
+        for i in 0..n {
+            let members: Vec<usize> = if opts.use_moments {
+                (0..n).filter(|&j| j == i || sim[i][j] >= epsilon).collect()
+            } else {
+                (0..n).collect()
+            };
+            let raw: Vec<f64> = members
+                .iter()
+                .map(|&j| {
+                    if opts.use_confidence {
+                        uploads[j].confidence
+                    } else {
+                        uploads[j].n_train as f64
+                    }
+                })
+                .collect();
+            let total: f64 = raw.iter().sum();
+            let weights: Vec<f32> = if total <= 0.0 {
+                vec![1.0 / members.len() as f32; members.len()]
+            } else {
+                raw.iter().map(|&w| (w / total) as f32).collect()
+            };
+            let mut agg = vec![0f64; plen];
+            for (&j, &w) in members.iter().zip(&weights) {
+                for (o, &p) in agg.iter_mut().zip(uploads[j].params) {
+                    *o += w as f64 * p as f64;
+                }
+            }
+            results.push(agg.into_iter().map(|v| v as f32).collect());
+        }
+        results
+    }
+
+    #[test]
+    fn parallel_blocked_path_matches_serial_reference_bitwise() {
+        // Deterministic pseudo-random federation, awkward plen (tail block).
+        let n = 7usize;
+        let plen = 37usize;
+        let params: Vec<Vec<f32>> = (0..n)
+            .map(|c| (0..plen).map(|i| ((c * 131 + i * 17) as f32 * 0.071).sin()).collect())
+            .collect();
+        let moments: Vec<Vec<f32>> = (0..n)
+            .map(|c| (0..12).map(|i| ((c * 7 + i) as f32 * 0.31).cos()).collect())
+            .collect();
+        let ups: Vec<ClientUpload<'_>> = (0..n)
+            .map(|c| ClientUpload {
+                params: &params[c],
+                confidence: 0.1 + c as f64 * 0.3,
+                moments: &moments[c],
+                n_train: 5 + c,
+            })
+            .collect();
+        for o in [
+            opts(0.2),
+            AggregateOptions { use_confidence: false, ..opts(0.5) },
+            AggregateOptions { use_moments: false, ..opts(0.9) },
+            AggregateOptions { epsilon_quantile: Some(0.5), ..opts(0.0) },
+        ] {
+            let want = serial_reference(&ups, &o);
+            for threads in [1usize, 2, 4] {
+                let mut got = Vec::new();
+                let report = personalized_aggregate_into(&ups, &o, threads, &mut got);
+                assert_eq!(report.entries.len(), n);
+                for (g, w) in got.iter().zip(&want) {
+                    for (a, b) in g.iter().zip(w) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn into_variant_reuses_stale_output_buffers() {
+        let p1 = [1.0f32, 3.0];
+        let p2 = [5.0f32, 7.0];
+        let m = [1.0f32, 0.0];
+        let ups = vec![upload(&p1, 1.0, &m), upload(&p2, 1.0, &m)];
+        // Stale state: wrong count, wrong sizes, garbage contents.
+        let mut out = vec![vec![9.0f32; 64], vec![8.0f32; 1], vec![7.0f32; 3]];
+        let caps: Vec<usize> = out.iter().map(|b| b.capacity()).collect();
+        let report = personalized_aggregate_into(&ups, &opts(0.5), 1, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].len(), 2);
+        assert!(out[0].capacity() >= caps[0].min(64), "buffer 0 was reused");
+        assert!((out[0][0] - 3.0).abs() < 1e-6); // mean of 1 and 5
+        assert_eq!(report.entries[0].members, vec![0, 1]);
+        // Second warm call: same buffers, same result.
+        let ptr = out[0].as_ptr();
+        personalized_aggregate_into(&ups, &opts(0.5), 1, &mut out);
+        assert_eq!(out[0].as_ptr(), ptr, "warm call must not reallocate");
     }
 
     #[test]

@@ -15,8 +15,8 @@ pub fn local_smoothing_confidence(y_k: &Matrix, degrees_hat: &[f32]) -> f64 {
     assert_eq!(y_k.rows(), degrees_hat.len(), "degree length mismatch");
     let ceiling = (-1.0f64).exp(); // e⁻¹
     let mut h = 0f64;
-    for i in 0..y_k.rows() {
-        let d = degrees_hat[i] as f64;
+    for (i, &deg) in degrees_hat.iter().enumerate() {
+        let d = deg as f64;
         let mut row_sum = 0f64;
         for &p in y_k.row(i) {
             let p = p as f64;

@@ -27,10 +27,8 @@ use serde::{Deserialize, Serialize};
 pub fn adaptive_epsilon(similarity: &[Vec<f32>], quantile: f64) -> f32 {
     let n = similarity.len();
     let mut off: Vec<f32> = Vec::with_capacity(n * n.saturating_sub(1) / 2);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            off.push(similarity[i][j]);
-        }
+    for (i, row) in similarity.iter().enumerate() {
+        off.extend_from_slice(&row[(i + 1).min(row.len())..]);
     }
     if off.is_empty() {
         return 1.0; // single client: isolation is the only option
@@ -173,6 +171,6 @@ mod tests {
             weight: 1.0,
         };
         let s = feature_moment_sketch(&adj, &x, 2, 1, MomentKind::Raw, &cfg);
-        assert_eq!(s.len(), 2 * 1 * 3); // capped at 3 feature columns
+        assert_eq!(s.len(), 2 * 3); // k=2 · K=1 · capped at 3 feature columns
     }
 }

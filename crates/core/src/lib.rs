@@ -31,14 +31,22 @@ pub mod confidence;
 pub mod extensions;
 pub mod lp;
 pub mod moments;
+pub mod scratch;
 pub mod similarity;
 pub mod strategy;
 
-pub use aggregate::{personalized_aggregate, AggregationReport};
+pub use aggregate::{
+    personalized_aggregate, personalized_aggregate_into, AggregateOptions, AggregationEntry,
+    AggregationReport, ClientUpload,
+};
 pub use config::FedGtaConfig;
 pub use extensions::{adaptive_epsilon, feature_moment_sketch, FeatureMomentConfig};
 pub use confidence::local_smoothing_confidence;
 pub use lp::label_propagation;
-pub use moments::{mixed_moments, MomentKind};
-pub use similarity::{moment_similarity, similarity_matrix, SimilarityKind};
+pub use lp::label_propagation_into;
+pub use moments::{mixed_moments, mixed_moments_into, MomentKind};
+pub use scratch::UploadScratch;
+pub use similarity::{
+    moment_similarity, similarity_matrix, similarity_matrix_threads, SimilarityKind,
+};
 pub use strategy::FedGta;

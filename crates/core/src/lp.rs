@@ -13,7 +13,32 @@ use fedgta_nn::Matrix;
 
 /// Runs `k` propagation steps; returns `[Ŷ¹, …, Ŷᵏ]` (the input `Ŷ⁰` is
 /// *not* included — moments are computed over propagated steps only).
+///
+/// Allocating wrapper of [`label_propagation_into`].
 pub fn label_propagation(adj_norm: &Csr, soft_labels: &Matrix, k: usize, alpha: f32) -> Vec<Matrix> {
+    let mut steps = Vec::new();
+    let mut prop = Vec::new();
+    label_propagation_into(adj_norm, soft_labels, k, alpha, &mut steps, &mut prop);
+    steps
+}
+
+/// [`label_propagation`] into persistent buffers: fills `steps` with the
+/// `k` propagated matrices and uses `prop` as the SpMM scratch, **reusing
+/// whatever capacity both already hold**. Once warm (same `n·c·k` shape
+/// round over round, as in FedGTA's Algorithm-1 upload path), this
+/// performs zero heap allocations.
+///
+/// The per-element epilogue expression `p·(1−α) + α·ŷ⁰` and its
+/// evaluation order are unchanged from the allocating version, so results
+/// are bit-identical.
+pub fn label_propagation_into(
+    adj_norm: &Csr,
+    soft_labels: &Matrix,
+    k: usize,
+    alpha: f32,
+    steps: &mut Vec<Matrix>,
+    prop: &mut Vec<f32>,
+) {
     assert_eq!(
         adj_norm.num_nodes(),
         soft_labels.rows(),
@@ -22,24 +47,26 @@ pub fn label_propagation(adj_norm: &Csr, soft_labels: &Matrix, k: usize, alpha: 
     let (n, c) = soft_labels.shape();
     let y = soft_labels.as_slice();
     let one_minus = 1.0 - alpha;
-    let mut steps: Vec<Matrix> = Vec::with_capacity(k);
-    let mut prop = vec![0f32; n * c];
+    steps.truncate(k);
+    while steps.len() < k {
+        steps.push(Matrix::zeros(0, 0));
+    }
+    for s in steps.iter_mut() {
+        s.resize_to(n, c);
+    }
+    prop.resize(n * c, 0.0);
     for s in 0..k {
         // Previous step borrowed from the output vec — no `cur` clone.
-        let cur = if s == 0 { y } else { steps[s - 1].as_slice() };
-        spmm_into(adj_norm, cur, c, &mut prop);
-        // Fused `(1−α)·prop + α·Ŷ⁰` epilogue: one allocation per retained
-        // step (it must be returned), zero intermediate copies. The
-        // per-element expression matches the seed's scale-then-axpy order
-        // bit for bit.
-        let next: Vec<f32> = prop
-            .iter()
-            .zip(y)
-            .map(|(&p, &yv)| p * one_minus + alpha * yv)
-            .collect();
-        steps.push(Matrix::from_vec(n, c, next));
+        let (done, rest) = steps.split_at_mut(s);
+        let dst = &mut rest[0];
+        let cur = if s == 0 { y } else { done[s - 1].as_slice() };
+        spmm_into(adj_norm, cur, c, prop);
+        // Fused `(1−α)·prop + α·Ŷ⁰` epilogue straight into the retained
+        // step buffer: zero copies, zero allocations on warm calls.
+        for (o, (&p, &yv)) in dst.as_mut_slice().iter_mut().zip(prop.iter().zip(y)) {
+            *o = p * one_minus + alpha * yv;
+        }
     }
-    steps
 }
 
 #[cfg(test)]
@@ -64,6 +91,30 @@ mod tests {
         for s in &steps {
             assert_eq!(s.shape(), (4, 2));
         }
+    }
+
+    #[test]
+    fn into_variant_matches_wrapper_bitwise_and_reuses_buffers() {
+        let a = line_graph(5);
+        let y = Matrix::from_vec(5, 2, (0..10).map(|i| (i as f32 * 0.17).sin().abs()).collect());
+        let want = label_propagation(&a, &y, 4, 0.5);
+        // Stale, wrongly-shaped buffers must be recycled.
+        let mut steps = vec![Matrix::zeros(2, 7), Matrix::zeros(9, 1)];
+        let mut prop = vec![3.0f32; 4];
+        label_propagation_into(&a, &y, 4, 0.5, &mut steps, &mut prop);
+        assert_eq!(steps.len(), 4);
+        for (s, w) in steps.iter().zip(&want) {
+            assert_eq!(s.shape(), w.shape());
+            for (g, e) in s.as_slice().iter().zip(w.as_slice()) {
+                assert_eq!(g.to_bits(), e.to_bits());
+            }
+        }
+        // Warm call: same shapes ⇒ buffers must not move (no realloc).
+        let ptr = steps[0].as_slice().as_ptr();
+        let prop_ptr = prop.as_ptr();
+        label_propagation_into(&a, &y, 4, 0.5, &mut steps, &mut prop);
+        assert_eq!(steps[0].as_slice().as_ptr(), ptr);
+        assert_eq!(prop.as_ptr(), prop_ptr);
     }
 
     #[test]

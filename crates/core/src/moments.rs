@@ -22,19 +22,40 @@ pub enum MomentKind {
 ///
 /// `steps` are `[Ŷ¹, …, Ŷᵏ]` from [`crate::lp::label_propagation`];
 /// `order` is `K ≥ 1`. Output length: `steps.len() · order · |Y|`.
+/// Allocating wrapper of [`mixed_moments_into`].
 pub fn mixed_moments(steps: &[Matrix], order: usize, kind: MomentKind) -> Vec<f32> {
+    let mut acc = Vec::new();
+    let mut out = Vec::new();
+    mixed_moments_into(steps, order, kind, &mut acc, &mut out);
+    out
+}
+
+/// [`mixed_moments`] into persistent buffers: `acc` is the flat
+/// `order × |Y|` `f64` accumulator (`acc[ord·c + j]` replaces the nested
+/// `acc[ord][j]` of the allocating version — same element, same add
+/// order, so results are bit-identical) and `out` receives the sketch.
+/// Both reuse their existing capacity; warm calls with a stable
+/// `k·K·|Y|` shape perform zero heap allocations.
+pub fn mixed_moments_into(
+    steps: &[Matrix],
+    order: usize,
+    kind: MomentKind,
+    acc: &mut Vec<f64>,
+    out: &mut Vec<f32>,
+) {
     assert!(order >= 1, "moment order must be positive");
+    out.clear();
     if steps.is_empty() {
-        return Vec::new();
+        return;
     }
     let (n, c) = steps[0].shape();
-    let mut out = Vec::with_capacity(steps.len() * order * c);
+    out.reserve(steps.len() * order * c);
     for step in steps {
         assert_eq!(step.shape(), (n, c), "inconsistent step shapes");
         // Per-node centered (or raw) values, reused across orders via
-        // running powers.
-        // acc[o][j] accumulates Σᵢ vᵢⱼ^(o+1).
-        let mut acc = vec![vec![0f64; c]; order];
+        // running powers. acc[ord·c + j] accumulates Σᵢ vᵢⱼ^(ord+1).
+        acc.clear();
+        acc.resize(order * c, 0.0);
         for i in 0..n {
             let row = step.row(i);
             let mu = match kind {
@@ -45,19 +66,16 @@ pub fn mixed_moments(steps: &[Matrix], order: usize, kind: MomentKind) -> Vec<f3
                 let v = (y - mu) as f64;
                 let mut p = v;
                 for ord in 0..order {
-                    acc[ord][j] += p;
+                    acc[ord * c + j] += p;
                     p *= v;
                 }
             }
         }
         let inv = 1.0 / n.max(1) as f64;
-        for ord in acc {
-            for j in ord {
-                out.push((j * inv) as f32);
-            }
+        for &a in acc.iter() {
+            out.push((a * inv) as f32);
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -69,6 +87,34 @@ mod tests {
         let steps = vec![Matrix::zeros(4, 3), Matrix::zeros(4, 3)];
         let m = mixed_moments(&steps, 4, MomentKind::Central);
         assert_eq!(m.len(), 2 * 4 * 3);
+    }
+
+    #[test]
+    fn into_variant_matches_wrapper_bitwise_and_reuses_buffers() {
+        let steps: Vec<Matrix> = (0..3)
+            .map(|s| {
+                Matrix::from_vec(
+                    6,
+                    4,
+                    (0..24).map(|i| ((s * 19 + i * 7) as f32 * 0.11).sin()).collect(),
+                )
+            })
+            .collect();
+        for kind in [MomentKind::Central, MomentKind::Raw] {
+            let want = mixed_moments(&steps, 3, kind);
+            let mut acc = vec![5.0f64; 2]; // stale garbage
+            let mut out = vec![1.0f32; 100]; // stale garbage, oversized
+            mixed_moments_into(&steps, 3, kind, &mut acc, &mut out);
+            assert_eq!(out.len(), want.len());
+            for (g, w) in out.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits());
+            }
+            // Warm call must not reallocate either buffer.
+            let (ap, op) = (acc.as_ptr(), out.as_ptr());
+            mixed_moments_into(&steps, 3, kind, &mut acc, &mut out);
+            assert_eq!(acc.as_ptr(), ap);
+            assert_eq!(out.as_ptr(), op);
+        }
     }
 
     #[test]

@@ -46,16 +46,38 @@ pub fn moment_similarity(a: &[f32], b: &[f32], kind: SimilarityKind) -> f32 {
 }
 
 /// Full pairwise similarity matrix (`n × n`, diagonal = self-similarity).
-pub fn similarity_matrix(sketches: &[Vec<f32>], kind: SimilarityKind) -> Vec<Vec<f32>> {
+///
+/// Takes borrowed sketch slices so callers (the server aggregation path)
+/// hand over upload buffers without a per-round copy. Thread count is
+/// resolved from the environment; see [`similarity_matrix_threads`] for
+/// the explicit-thread variant and the bit-identity argument.
+pub fn similarity_matrix(sketches: &[&[f32]], kind: SimilarityKind) -> Vec<Vec<f32>> {
+    similarity_matrix_threads(sketches, kind, 0)
+}
+
+/// [`similarity_matrix`] with an explicit worker-thread request
+/// (`0` = resolve from `FEDGTA_THREADS` / core count).
+///
+/// Rows are independent, so the matrix is computed **row-parallel** via
+/// [`fedgta_graph::par::par_map_indexed`]: worker `i` fills the full row
+/// `sim[i][..]`, including `j < i`. This is bit-identical to the serial
+/// upper-triangle-plus-mirror reference because [`moment_similarity`] is
+/// bitwise symmetric: swapping the arguments only swaps commutative `f64`
+/// products (`x·y` vs `y·x`, `√na·√nb` vs `√nb·√na`) and leaves every
+/// accumulation order unchanged — so `sim[j][i]` computed directly equals
+/// the mirrored `sim[i][j]` bit for bit, at any thread count.
+pub fn similarity_matrix_threads(
+    sketches: &[&[f32]],
+    kind: SimilarityKind,
+    threads: usize,
+) -> Vec<Vec<f32>> {
     let n = sketches.len();
     let mut sim = vec![vec![0f32; n]; n];
-    for i in 0..n {
-        for j in i..n {
-            let s = moment_similarity(&sketches[i], &sketches[j], kind);
-            sim[i][j] = s;
-            sim[j][i] = s;
+    fedgta_graph::par::par_map_indexed(&mut sim, Some(threads), |i, row| {
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = moment_similarity(sketches[i], sketches[j], kind);
         }
-    }
+    });
     sim
 }
 
@@ -101,13 +123,54 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // (i, j) indexing mirrors S(i,j)
     fn matrix_is_symmetric_with_unit_diagonal() {
-        let sk = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        let sk: Vec<&[f32]> = vec![&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]];
         let m = similarity_matrix(&sk, SimilarityKind::Cosine);
         for i in 0..3 {
             assert!((m[i][i] - 1.0).abs() < 1e-6);
             for j in 0..3 {
                 assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn moment_similarity_is_bitwise_symmetric() {
+        // The property the row-parallel matrix relies on.
+        let a: Vec<f32> = (0..37).map(|i| (i as f32 * 0.7).sin() * 3.3).collect();
+        let b: Vec<f32> = (0..37).map(|i| (i as f32 * 1.9).cos() - 0.4).collect();
+        for kind in [SimilarityKind::Cosine, SimilarityKind::InverseL2] {
+            let ab = moment_similarity(&a, &b, kind);
+            let ba = moment_similarity(&b, &a, kind);
+            assert_eq!(ab.to_bits(), ba.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_matrix_matches_serial_triangle_reference_bitwise() {
+        let sketches: Vec<Vec<f32>> = (0..9)
+            .map(|s| (0..23).map(|i| ((s * 31 + i * 7) as f32 * 0.13).sin()).collect())
+            .collect();
+        let views: Vec<&[f32]> = sketches.iter().map(|v| v.as_slice()).collect();
+        for kind in [SimilarityKind::Cosine, SimilarityKind::InverseL2] {
+            // Serial reference: upper triangle + mirror (the seed code).
+            let n = views.len();
+            let mut want = vec![vec![0f32; n]; n];
+            for i in 0..n {
+                for j in i..n {
+                    let s = moment_similarity(views[i], views[j], kind);
+                    want[i][j] = s;
+                    want[j][i] = s;
+                }
+            }
+            for threads in [1usize, 2, 4, 8] {
+                let got = similarity_matrix_threads(&views, kind, threads);
+                for (gr, wr) in got.iter().zip(&want) {
+                    for (g, w) in gr.iter().zip(wr) {
+                        assert_eq!(g.to_bits(), w.to_bits(), "threads={threads}");
+                    }
+                }
             }
         }
     }

@@ -13,12 +13,14 @@
 //! Non-participants keep their previous personalized parameters — FedGTA
 //! is robust to partial participation (paper Fig. 6).
 
-use crate::aggregate::{personalized_aggregate, AggregateOptions, AggregationReport, ClientUpload};
+use crate::aggregate::{
+    personalized_aggregate_into, AggregateOptions, AggregationReport, ClientUpload,
+};
 use crate::config::FedGtaConfig;
 use crate::confidence::local_smoothing_confidence;
-use crate::lp::label_propagation;
-use crate::extensions::feature_moment_sketch;
-use crate::moments::mixed_moments;
+use crate::lp::label_propagation_into;
+use crate::moments::mixed_moments_into;
+use crate::scratch::UploadScratch;
 use fedgta_fed::client::Client;
 use fedgta_fed::exec::{mean_loss, train_participants};
 use fedgta_fed::strategies::{RoundCtx, RoundStats, Strategy};
@@ -56,35 +58,68 @@ impl FedGta {
 
     /// Computes one client's upload metrics `(H, M)` from its current
     /// model — Algorithm 1, lines 5–10.
-    pub fn client_metrics(&self, client: &mut Client) -> (f64, Vec<f32>) {
-        // Disjoint borrows: model (mut) vs data (imm).
-        let soft = client.model.predict(&client.data);
-        let steps = {
+    ///
+    /// The returned sketch borrows the client's persistent
+    /// [`UploadScratch`]: every intermediate (soft labels, LP steps,
+    /// moment accumulators, the sketch itself) lives in per-client
+    /// buffers that survive between rounds, so **warm calls perform zero
+    /// heap allocations** (proven by the bench crate's counting-allocator
+    /// harness). Callers that need an owned copy (`round`'s cross-thread
+    /// upload payload) call `.to_vec()` on the result.
+    pub fn client_metrics<'a>(&self, client: &'a mut Client) -> (f64, &'a [f32]) {
+        // Check the scratch out of the client — created on first use,
+        // recycled (no downcast failure path in practice) afterwards.
+        let mut scratch: Box<UploadScratch> = match client.metric_scratch.take() {
+            Some(b) => b.downcast::<UploadScratch>().unwrap_or_default(),
+            None => Box::default(),
+        };
+        let s = &mut *scratch;
+        // Disjoint borrows: model (mut) vs data (imm) vs scratch.
+        client.model.predict_into(&client.data, &mut s.soft);
+        {
             let _lp = fedgta_obs::span!("lp", k = self.config.k_lp);
-            label_propagation(
+            label_propagation_into(
                 &client.data.adj_norm,
-                &soft,
+                &s.soft,
                 self.config.k_lp,
                 self.config.alpha,
-            )
-        };
+                &mut s.steps,
+                &mut s.prop,
+            );
+        }
         let h = local_smoothing_confidence(
-            steps.last().expect("k_lp >= 1"),
+            s.steps.last().expect("k_lp >= 1"),
             &client.data.degrees_hat,
         );
         let _mom = fedgta_obs::span!("moments", order = self.config.moment_order);
-        let mut m = mixed_moments(&steps, self.config.moment_order, self.config.moment_kind);
+        mixed_moments_into(
+            &s.steps,
+            self.config.moment_order,
+            self.config.moment_kind,
+            &mut s.acc,
+            &mut s.sketch,
+        );
         if let Some(fm) = &self.config.feature_moments {
-            m.extend(feature_moment_sketch(
+            // Round-invariant per client: computed once, replayed from
+            // the cache on every later round.
+            let feat = s.feat.get_or_compute(
                 &client.data.adj_norm,
                 &client.data.features,
                 self.config.k_lp,
                 self.config.moment_order,
                 self.config.moment_kind,
                 fm,
-            ));
+            );
+            s.sketch.extend_from_slice(feat);
         }
-        (h, m)
+        client.metric_scratch = Some(scratch);
+        let sketch = client
+            .metric_scratch
+            .as_deref()
+            .and_then(|a| a.downcast_ref::<UploadScratch>())
+            .map(|s| s.sketch.as_slice())
+            .expect("scratch stored above");
+        (h, sketch)
     }
 }
 
@@ -123,8 +158,13 @@ impl Strategy for FedGta {
                 ..TrainHooks::none()
             };
             let loss = c.train_local(ctx.epochs, &mut hooks);
+            // Snapshot params/n_train before the metrics call: the sketch
+            // borrows the client's scratch, so `c` stays borrowed until
+            // the upload payload is assembled.
+            let params = c.model.params();
+            let n_train = c.n_train();
             let (h, m) = this.client_metrics(c);
-            (loss, (c.model.params(), h, m, c.n_train()))
+            (loss, (params, h, m.to_vec(), n_train))
         });
         let loss = mean_loss(&results);
         let mut params: Vec<Vec<f32>> = Vec::with_capacity(participants.len());
@@ -159,20 +199,33 @@ impl Strategy for FedGta {
             use_moments: self.config.use_moments,
             use_confidence: self.config.use_confidence,
         };
-        let (aggregated, report) = personalized_aggregate(&uploads, &opts);
-        for (p, &i) in participants.iter().enumerate() {
-            clients[i].model.set_params(&aggregated[p]);
-            self.personalized[i] = Some(aggregated[p].clone());
+        // Recycle last round's personalized buffers as the aggregation
+        // outputs: on warm rounds the server allocates no parameter-sized
+        // memory. `ctx.threads` parallelizes Eq. 6 similarity rows and the
+        // per-client Eq. 7 axpy (bit-identical at any thread count).
+        let mut aggregated: Vec<Vec<f32>> = participants
+            .iter()
+            .map(|&i| self.personalized[i].take().unwrap_or_default())
+            .collect();
+        let report = personalized_aggregate_into(&uploads, &opts, ctx.threads, &mut aggregated);
+        for (&i, buf) in participants.iter().zip(aggregated) {
+            clients[i].model.set_params(&buf);
+            // Move — not clone — the aggregate into the personalized
+            // store: `set_params` already copied it into the model, so
+            // the seed's second per-round parameter memcpy is gone.
+            self.personalized[i] = Some(buf);
         }
         self.last_report = Some(report);
         // Upload = model weights + moment sketch + confidence scalar.
         let bytes_uploaded = (0..participants.len())
             .map(|p| params[p].len() * 4 + sketches[p].len() * 4 + 8)
             .sum();
-        // Download = each participant's personalized aggregate; absent
-        // clients receive nothing (they keep their old personal model).
+        // Download = each participant's personalized aggregate, and
+        // nothing else — the server sends no confidence scalar back, and
+        // absent clients receive nothing (they keep their old personal
+        // model).
         let bytes_downloaded = (0..participants.len())
-            .map(|p| params[p].len() * 4 + 8)
+            .map(|p| params[p].len() * 4)
             .sum();
         RoundStats {
             mean_loss: loss,
@@ -247,10 +300,44 @@ mod tests {
     fn metrics_have_expected_shapes() {
         let mut clients = small_federation(ModelKind::Sgc, 104);
         let s = FedGta::with_defaults();
+        let c = clients[0].data.num_classes;
         let (h, m) = s.client_metrics(&mut clients[0]);
         assert!(h >= 0.0);
-        let c = clients[0].data.num_classes;
         assert_eq!(m.len(), s.config.k_lp * s.config.moment_order * c);
+    }
+
+    #[test]
+    fn metrics_are_stable_across_warm_scratch_calls() {
+        // Second call reuses the persistent scratch; values must be
+        // bit-identical and the sketch buffer must not move.
+        let mut clients = small_federation(ModelKind::Sgc, 108);
+        let s = FedGta::with_defaults();
+        let (h1, m1) = s.client_metrics(&mut clients[0]);
+        let first: Vec<f32> = m1.to_vec();
+        let ptr1 = m1.as_ptr();
+        let (h2, m2) = s.client_metrics(&mut clients[0]);
+        assert_eq!(h1.to_bits(), h2.to_bits());
+        assert_eq!(m2, &first[..]);
+        assert_eq!(m2.as_ptr(), ptr1, "warm sketch buffer must be reused");
+        assert!(clients[0].metric_scratch.is_some(), "scratch persisted");
+    }
+
+    #[test]
+    fn download_bytes_count_exactly_the_personalized_parameters() {
+        // The server returns only each participant's personalized
+        // parameter vector — no confidence scalar rides along (that is
+        // upload-only), so download = Σ 4·|W| exactly.
+        let mut clients = small_federation(ModelKind::Sgc, 109);
+        let mut s = FedGta::with_defaults();
+        let parts = [0usize, 2];
+        let expect: usize = parts
+            .iter()
+            .map(|&i| clients[i].model.num_params() * 4)
+            .sum();
+        let stats = s.round(&mut clients, &parts, &RoundCtx::plain(1));
+        assert_eq!(stats.bytes_downloaded, expect);
+        // Upload still carries sketch + confidence on top of parameters.
+        assert!(stats.bytes_uploaded > expect);
     }
 
     #[test]
@@ -291,12 +378,12 @@ mod tests {
     fn feature_moment_extension_learns_and_extends_sketch() {
         let mut clients = small_federation(ModelKind::Sgc, 111);
         let s = FedGta::new(FedGtaConfig::with_feature_moments());
-        let (_, m) = s.client_metrics(&mut clients[0]);
         let cfg = &s.config;
         let c = clients[0].data.num_classes;
         let label_len = cfg.k_lp * cfg.moment_order * c;
         let fm = cfg.feature_moments.as_ref().unwrap();
         let feat_len = cfg.k_lp * cfg.moment_order * fm.dims.min(clients[0].data.num_features());
+        let (_, m) = s.client_metrics(&mut clients[0]);
         assert_eq!(m.len(), label_len + feat_len);
 
         let mut s = FedGta::new(FedGtaConfig::with_feature_moments());

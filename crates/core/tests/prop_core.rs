@@ -1,9 +1,15 @@
 //! Property-based tests for FedGTA's mathematical invariants.
 
-use fedgta::aggregate::{personalized_aggregate, AggregateOptions, ClientUpload};
+// Index-style loops mirror the paper's subscript notation (`agg[i][j]`,
+// `params[m][j]`); iterator rewrites would obscure the math being checked.
+#![allow(clippy::needless_range_loop)]
+
+use fedgta::aggregate::{
+    personalized_aggregate, personalized_aggregate_into, AggregateOptions, ClientUpload,
+};
 use fedgta::{
-    label_propagation, local_smoothing_confidence, mixed_moments, moment_similarity, MomentKind,
-    SimilarityKind,
+    label_propagation, local_smoothing_confidence, mixed_moments, moment_similarity,
+    similarity_matrix_threads, MomentKind, SimilarityKind,
 };
 use fedgta_graph::{normalized_adjacency, Csr, EdgeList, NormKind};
 use fedgta_nn::ops::softmax_rows;
@@ -155,6 +161,81 @@ proptest! {
                     "coordinate {} of client {} escaped its convex hull",
                     j, i
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_matrix_bit_identical_at_any_thread_count(
+        n in 2usize..8,
+        dim in 1usize..16,
+        vals in proptest::collection::vec(-3.0f32..3.0, 8 * 16),
+    ) {
+        let sketches: Vec<&[f32]> = (0..n).map(|i| &vals[i * dim..(i + 1) * dim]).collect();
+        for kind in [SimilarityKind::Cosine, SimilarityKind::InverseL2] {
+            let serial = similarity_matrix_threads(&sketches, kind, 1);
+            for threads in [2usize, 4] {
+                let par = similarity_matrix_threads(&sketches, kind, threads);
+                for (rs, rp) in serial.iter().zip(&par) {
+                    for (a, b) in rs.iter().zip(rp) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_aggregate_bit_identical_to_serial(
+        n in 2usize..7,
+        plen in 1usize..40,
+        eps in -0.5f32..1.0,
+        use_conf in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        // Random member structure via pseudo-random sketches + ε, random
+        // weights via confidence/n_train — the whole Eq. 6–7 path must be
+        // bit-identical at every thread count.
+        let val = |i: usize, j: usize, salt: u64| -> f32 {
+            (((i as u64 * 31 + j as u64 * 7 + salt + seed) % 1000) as f32 / 500.0) - 1.0
+        };
+        let params: Vec<Vec<f32>> =
+            (0..n).map(|i| (0..plen).map(|j| val(i, j, 1)).collect()).collect();
+        let sketches: Vec<Vec<f32>> =
+            (0..n).map(|i| (0..6).map(|j| val(i, j, 2)).collect()).collect();
+        let ups: Vec<ClientUpload<'_>> = (0..n)
+            .map(|i| ClientUpload {
+                params: &params[i],
+                confidence: 0.25 + ((seed + i as u64) % 7) as f64,
+                moments: &sketches[i],
+                n_train: 1 + (i * 3) % 5,
+            })
+            .collect();
+        let opts = AggregateOptions {
+            epsilon: eps,
+            epsilon_quantile: None,
+            similarity: SimilarityKind::Cosine,
+            use_moments: true,
+            use_confidence: use_conf,
+        };
+        let mut serial = Vec::new();
+        let ref_report = personalized_aggregate_into(&ups, &opts, 1, &mut serial);
+        for threads in [2usize, 4] {
+            // Stale, wrongly-sized output buffers must be handled too.
+            let mut out = vec![vec![9.0f32; plen + 3]; n + 2];
+            let report = personalized_aggregate_into(&ups, &opts, threads, &mut out);
+            prop_assert_eq!(out.len(), n);
+            for (rs, rp) in serial.iter().zip(&out) {
+                prop_assert_eq!(rs.len(), rp.len());
+                for (a, b) in rs.iter().zip(rp) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            for (es, ep) in ref_report.entries.iter().zip(&report.entries) {
+                prop_assert_eq!(&es.members, &ep.members);
+                for (a, b) in es.weights.iter().zip(&ep.weights) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
             }
         }
     }

@@ -214,6 +214,7 @@ impl Benchmark {
     /// running the federation on graphs loaded via
     /// [`fedgta_graph::io::parse_edge_list_text`] instead of the synthetic
     /// generator. `blocks` default to labels (used only for reporting).
+    #[allow(clippy::too_many_arguments)]
     pub fn from_parts(
         graph: Csr,
         features: Matrix,

@@ -87,9 +87,7 @@ pub fn generate_sbm(cfg: &SbmConfig) -> SbmGraph {
     let mut block_start = vec![0usize; num_blocks + 1];
     for b in 0..num_blocks {
         block_start[b + 1] = (cfg.n * (b + 1)) / num_blocks;
-        for v in block_start[b]..block_start[b + 1] {
-            block_of[v] = b as u32;
-        }
+        block_of[block_start[b]..block_start[b + 1]].fill(b as u32);
     }
     let labels: Vec<u32> = block_of.iter().map(|&b| b % cfg.num_classes as u32).collect();
 

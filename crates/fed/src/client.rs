@@ -22,6 +22,12 @@ pub struct Client {
     pub opt: Box<dyn Optimizer>,
     /// Local-to-global node id map of the training view.
     pub global_ids: Vec<u32>,
+    /// Strategy-owned per-client scratch buffers, persisted across rounds
+    /// (e.g. FedGTA's upload-metric workspace: soft-label matrix, LP
+    /// ping-pong buffers, moment accumulators). Opaque to `fedgta-fed`;
+    /// the owning strategy downcasts it. `None` until first use — a
+    /// strategy that never needs scratch pays nothing.
+    pub metric_scratch: Option<Box<dyn std::any::Any + Send>>,
 }
 
 impl Client {
@@ -188,6 +194,7 @@ pub fn build_clients(
             model,
             opt: Box::new(Adam::new(cfg.lr, cfg.weight_decay)),
             global_ids: full_sg.global_ids,
+            metric_scratch: None,
         });
     }
     clients

@@ -183,6 +183,59 @@ where
     .expect("parallel worker panicked");
 }
 
+/// Runs `f(chunk_index, out_chunk, row_range)` over `out` split at
+/// caller-chosen row boundaries `bounds` (ascending, `bounds[0] == 0`,
+/// `bounds.last() == rows`), one spawned worker per non-empty chunk.
+///
+/// This is the load-balanced sibling of [`par_chunks_mut`]: instead of
+/// equal *row counts* per chunk, the caller picks boundaries that equalize
+/// actual *work* (e.g. nonzeros per row chunk for SpMM on power-law
+/// graphs). The determinism contract is unchanged — every row is written
+/// by exactly one worker and per-row arithmetic does not depend on the
+/// chunk it lands in, so results are bit-identical for any boundary
+/// choice or thread count.
+///
+/// Runs inline (no spawning) when there is at most one non-empty chunk or
+/// when already inside a parallel worker.
+pub fn par_chunks_mut_at<F>(out: &mut [f32], row_size: usize, bounds: &[usize], f: F)
+where
+    F: Fn(usize, &mut [f32], std::ops::Range<usize>) + Sync,
+{
+    assert!(bounds.len() >= 2, "need at least [0, rows] boundaries");
+    let rows = *bounds.last().unwrap();
+    assert_eq!(bounds[0], 0, "boundaries must start at row 0");
+    assert!(
+        bounds.windows(2).all(|w| w[0] <= w[1]),
+        "boundaries must be non-decreasing"
+    );
+    assert_eq!(out.len(), rows * row_size, "output buffer size mismatch");
+    let nonempty = bounds.windows(2).filter(|w| w[1] > w[0]).count();
+    if nonempty <= 1 || in_parallel_worker() {
+        if rows > 0 {
+            f(0, out, 0..rows);
+        }
+        return;
+    }
+    crossbeam::scope(|scope| {
+        let mut rest = out;
+        let mut idx = 0usize;
+        for w in bounds.windows(2) {
+            let (start, end) = (w[0], w[1]);
+            if end == start {
+                continue;
+            }
+            let take = (end - start) * row_size;
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let fr = &f;
+            let range = start..end;
+            scope.spawn(move |_| fr(idx, head, range));
+            idx += 1;
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +279,51 @@ mod tests {
     fn size_mismatch_panics() {
         let mut out = vec![0f32; 5];
         par_chunks_mut(&mut out, 2, 3, |_, _, _| {});
+    }
+
+    #[test]
+    fn chunks_at_cover_all_rows_once_with_uneven_bounds() {
+        let rows = 11;
+        let width = 3;
+        let mut out = vec![0f32; rows * width];
+        // Deliberately skewed boundaries, including an empty chunk.
+        par_chunks_mut_at(&mut out, width, &[0, 1, 1, 9, 11], |_, chunk, range| {
+            for (local, row) in range.enumerate() {
+                for c in 0..width {
+                    chunk[local * width + c] = (row * width + c) as f32;
+                }
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as f32);
+        }
+    }
+
+    #[test]
+    fn chunks_at_single_chunk_runs_inline() {
+        let mut out = vec![0f32; 6];
+        par_chunks_mut_at(&mut out, 3, &[0, 0, 2, 2], |idx, chunk, range| {
+            assert_eq!(idx, 0);
+            assert_eq!(range, 0..2);
+            assert!(!in_parallel_worker(), "single chunk must run inline");
+            chunk.fill(5.0);
+        });
+        assert_eq!(out, vec![5.0; 6]);
+    }
+
+    #[test]
+    fn chunks_at_zero_rows_is_a_no_op() {
+        let mut out: Vec<f32> = vec![];
+        par_chunks_mut_at(&mut out, 4, &[0, 0], |_, _, _| {
+            panic!("must not be called for zero rows");
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn chunks_at_rejects_descending_bounds() {
+        let mut out = vec![0f32; 4];
+        par_chunks_mut_at(&mut out, 1, &[0, 3, 2, 4], |_, _, _| {});
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! (neighbor order) is unchanged, so results are bit-identical to the
 //! straightforward kernel — including across thread counts.
 
-use crate::par::par_chunks_mut;
+use crate::par::{in_parallel_worker, num_threads, par_chunks_mut_at, resolve_threads};
 use crate::{Csr, GraphError, Result};
 
 /// Column-block width: one output sub-row of this many columns lives in a
@@ -132,14 +132,35 @@ pub fn spmm_into(a: &Csr, x: &[f32], cols: usize, y: &mut [f32]) {
 }
 
 /// The uninstrumented kernel body — public so the microbenchmark suite can
-/// measure the observability hook's overhead against it.
+/// measure the observability hook's overhead against it. Resolves the
+/// thread count from the environment ([`num_threads`]).
 #[doc(hidden)]
 pub fn spmm_into_raw(a: &Csr, x: &[f32], cols: usize, y: &mut [f32]) {
+    spmm_into_raw_threads(a, x, cols, y, 0);
+}
+
+/// Upper bound on worker chunks: the boundary array lives on the stack so
+/// the kernel stays allocation-free at any thread count.
+const MAX_CHUNKS: usize = 64;
+
+/// [`spmm_into_raw`] with an explicit thread request (`0` = resolve from
+/// the environment) — the property-test hook for pinning thread counts
+/// without racy env mutation.
+///
+/// Row chunks are **nonzero-balanced**: boundaries are picked from the CSR
+/// row-pointer prefix sums so each worker handles ~`nnz/threads` stored
+/// edges rather than `rows/threads` rows. On power-law graphs this stops a
+/// single hub row from serializing an equal-row-count chunk. Per-row
+/// arithmetic (neighbor order, column blocking) is untouched, so results
+/// remain bit-identical to the single-threaded kernel for any boundary
+/// placement.
+#[doc(hidden)]
+pub fn spmm_into_raw_threads(a: &Csr, x: &[f32], cols: usize, y: &mut [f32], threads: usize) {
     let n = a.num_nodes();
     assert_eq!(x.len(), n * cols);
     assert_eq!(y.len(), n * cols);
     let full = cols / SPMM_BLOCK * SPMM_BLOCK;
-    par_chunks_mut(y, n, cols, |_, chunk, range| {
+    let body = |_: usize, chunk: &mut [f32], range: std::ops::Range<usize>| {
         for (local, row) in range.enumerate() {
             let out = &mut chunk[local * cols..(local + 1) * cols];
             let u = row as u32;
@@ -152,7 +173,35 @@ pub fn spmm_into_raw(a: &Csr, x: &[f32], cols: usize, y: &mut [f32]) {
                 spmm_row_tail(a, x, cols, u, jb, &mut out[jb..]);
             }
         }
-    });
+    };
+    let threads = if threads > 0 { resolve_threads(Some(threads)) } else { num_threads() }
+        .min(MAX_CHUNKS)
+        .min(n.max(1));
+    if threads <= 1 || n < 2 * threads || in_parallel_worker() {
+        body(0, y, 0..n);
+        return;
+    }
+    // nnz-balanced boundaries from the row-pointer prefix sums: chunk t
+    // starts at the first row whose cumulative nnz reaches t·nnz/threads.
+    // A stack array keeps this allocation-free (threads ≤ MAX_CHUNKS).
+    let indptr = a.indptr();
+    let nnz = a.num_edges();
+    let mut bounds = [0usize; MAX_CHUNKS + 1];
+    bounds[threads] = n;
+    for (t, b) in bounds.iter_mut().enumerate().take(threads).skip(1) {
+        let target = (nnz as u64 * t as u64 / threads as u64) as usize;
+        // First row index whose prefix nnz is >= target (indptr[row] is
+        // the nnz before `row`). partition_point over the sorted prefix.
+        *b = indptr[..=n].partition_point(|&p| p < target).min(n);
+    }
+    // Monotonicity can break only if a single hub row spans several
+    // targets; clamp so boundaries stay non-decreasing.
+    for t in 1..threads {
+        if bounds[t] < bounds[t - 1] {
+            bounds[t] = bounds[t - 1];
+        }
+    }
+    par_chunks_mut_at(y, cols, &bounds[..=threads], body);
 }
 
 /// Sparse × vector: `y = A · x`.
@@ -312,6 +361,55 @@ mod tests {
             for (a, b) in blocked.iter().zip(&want) {
                 assert_eq!(a.to_bits(), b.to_bits(), "cols={cols}: {a} vs {b}");
             }
+        }
+    }
+
+    #[test]
+    fn nnz_balanced_threads_match_serial_on_star_graph() {
+        // A hub node adjacent to everyone: equal-row-count chunking would
+        // put all the work in the hub's chunk; nnz balancing must still
+        // produce bit-identical output.
+        let n = 65u32;
+        let mut el = EdgeList::new(n as usize);
+        for v in 1..n {
+            el.push_undirected(0, v).unwrap();
+        }
+        let g = normalized_adjacency(&el.to_csr(), NormKind::Symmetric);
+        for cols in [1usize, 7, 16, 33] {
+            let x: Vec<f32> = (0..n as usize * cols)
+                .map(|i| ((i * 29 % 23) as f32) * 0.125 - 1.0)
+                .collect();
+            let mut serial = vec![0f32; x.len()];
+            spmm_into_raw_threads(&g, &x, cols, &mut serial, 1);
+            for threads in [2usize, 3, 4, 7, 64] {
+                let mut par = vec![7f32; x.len()]; // garbage: fully overwritten
+                spmm_into_raw_threads(&g, &x, cols, &mut par, threads);
+                for (a, b) in par.iter().zip(&serial) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "threads={threads} cols={cols}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nnz_balanced_threads_match_serial_on_skewed_degrees() {
+        // Geometric-ish degree skew plus isolated vertices.
+        let n = 48u32;
+        let mut el = EdgeList::new(n as usize);
+        for u in 0..8u32 {
+            for v in (u + 1)..(u + 1 + (32 >> u)).min(n) {
+                el.push_undirected(u, v).unwrap();
+            }
+        }
+        let g = el.to_csr();
+        let cols = 5usize;
+        let x: Vec<f32> = (0..n as usize * cols).map(|i| (i as f32 * 0.31).sin()).collect();
+        let mut serial = vec![0f32; x.len()];
+        spmm_into_raw_threads(&g, &x, cols, &mut serial, 1);
+        for threads in [2usize, 4, 8, 16] {
+            let mut par = vec![0f32; x.len()];
+            spmm_into_raw_threads(&g, &x, cols, &mut par, threads);
+            assert_eq!(par, serial, "threads={threads}");
         }
     }
 

@@ -3,7 +3,7 @@
 use fedgta_graph::{
     metrics::modularity,
     norm::{normalized_adjacency, NormKind},
-    spmm::{propagate_steps, spmm},
+    spmm::{propagate_steps, spmm, spmm_into_raw_threads},
     subgraph::{halo_subgraph, induced_subgraph},
     traversal::connected_components,
     Csr, EdgeList,
@@ -91,6 +91,27 @@ proptest! {
         let axy = spmm(&g, &sum, 1).unwrap();
         for i in 0..n {
             prop_assert!((axy[i] - (ax[i] + ay[i])).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn nnz_balanced_spmm_bit_identical_on_random_graphs(
+        g in arb_graph(25, 120),
+        cols in 1usize..9,
+        threads in 2usize..8,
+    ) {
+        // The nnz-balanced chunk boundaries change only which worker owns
+        // which rows, never the per-row arithmetic — parallel output must
+        // be bitwise equal to the serial run on arbitrary (including
+        // degree-skewed and edgeless) graphs.
+        let n = g.num_nodes();
+        let x: Vec<f32> = (0..n * cols).map(|i| ((i * 37 % 113) as f32) * 0.17 - 9.0).collect();
+        let mut serial = vec![0f32; n * cols];
+        let mut par = vec![7f32; n * cols];
+        spmm_into_raw_threads(&g, &x, cols, &mut serial, 1);
+        spmm_into_raw_threads(&g, &x, cols, &mut par, threads);
+        for (a, b) in serial.iter().zip(&par) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

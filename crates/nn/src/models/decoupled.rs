@@ -189,6 +189,22 @@ impl GraphModel for DecoupledModel {
         out
     }
 
+    fn predict_into(&mut self, data: &GraphDataset, out: &mut Matrix) {
+        // Same computation as `predict`, but the softmax runs in place on
+        // the workspace-pooled logits and the result is copied into the
+        // caller's buffer: zero heap allocations once the feature cache
+        // and workspace are warm.
+        let entry = self.take_combined(data);
+        let mut ws = std::mem::take(&mut self.ws);
+        let mut logits = self.head.infer_ws(&entry.1, &mut ws);
+        crate::ops::softmax_rows_inplace(&mut logits);
+        out.resize_to(logits.rows(), logits.cols());
+        out.as_mut_slice().copy_from_slice(logits.as_slice());
+        ws.give_matrix(logits);
+        self.ws = ws;
+        self.return_combined(entry);
+    }
+
     fn penultimate(&mut self, data: &GraphDataset) -> Matrix {
         let entry = self.take_combined(data);
         let h = self.head.infer_hidden(&entry.1);

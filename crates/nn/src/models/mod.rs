@@ -53,6 +53,14 @@ pub trait GraphModel: Send {
     ) -> f32;
     /// Softmax class probabilities for every node (`n × |Y|`).
     fn predict(&mut self, data: &GraphDataset) -> Matrix;
+    /// [`Self::predict`] into a caller-provided buffer, reshaped as
+    /// needed. The default delegates to `predict` (one allocation);
+    /// decoupled backbones override it with a fully workspace-pooled
+    /// path so warm calls perform **zero heap allocations** — the
+    /// property FedGTA's per-round upload pipeline relies on.
+    fn predict_into(&mut self, data: &GraphDataset, out: &mut Matrix) {
+        *out = self.predict(data);
+    }
     /// The penultimate representation for every node (MOON's contrastive
     /// anchor).
     fn penultimate(&mut self, data: &GraphDataset) -> Matrix;

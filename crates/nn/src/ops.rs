@@ -532,6 +532,81 @@ pub fn softmax_rows_inplace(x: &mut Matrix) {
     }
 }
 
+/// Records `2·members·plen` into the `aggregate.axpy_flops` counter (one
+/// multiply-add per member per parameter). Same caching discipline as
+/// [`record_matmul_flops`]: `OnceLock` handle, relaxed adds, nothing on
+/// the disarmed path but one level load.
+#[inline]
+fn record_aggregate_axpy_flops(members: usize, plen: usize) {
+    use std::sync::{Arc, OnceLock};
+    if !fedgta_obs::metrics_on() {
+        return;
+    }
+    static FLOPS: OnceLock<Arc<fedgta_obs::Counter>> = OnceLock::new();
+    FLOPS
+        .get_or_init(|| fedgta_obs::global().counter("aggregate.axpy_flops"))
+        .add(2 * (members as u64) * (plen as u64));
+}
+
+/// Blocked weighted row sum — FedGTA's Eq. 7 personalized-aggregation
+/// kernel: `out[j] = Σ_m weights[m] · params[members[m]][j]`, accumulated
+/// in `f64` and rounded once, overwriting `out` (no zero-fill pass, no
+/// per-call `vec![0f64; plen]`).
+///
+/// The parameter axis is processed in [`COL_BLOCK`]-wide register
+/// accumulators while the member list streams past — the dense-GEMM
+/// blocking applied to the aggregation axpy. Each output element still
+/// sees its additions in **member order**, so the result is bit-identical
+/// to the scalar member-outer loop
+/// (`for m { for j { agg[j] += w·p } }` with `f64` accumulators) that it
+/// replaces, for any block width.
+///
+/// Every `params[members[m]]` row must have at least `out.len()` elements.
+/// Records the `aggregate.axpy_flops` counter when metrics are armed.
+pub fn weighted_sum_rows_into(
+    params: &[&[f32]],
+    members: &[usize],
+    weights: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(members.len(), weights.len(), "one weight per member");
+    record_aggregate_axpy_flops(members.len(), out.len());
+    let plen = out.len();
+    let full = plen / COL_BLOCK * COL_BLOCK;
+    let mut jb = 0usize;
+    while jb < full {
+        let mut acc = [0f64; COL_BLOCK];
+        for (&m, &w) in members.iter().zip(weights) {
+            let src = &params[m][jb..jb + COL_BLOCK];
+            let wd = w as f64;
+            for l in 0..COL_BLOCK {
+                acc[l] += wd * src[l] as f64;
+            }
+        }
+        for l in 0..COL_BLOCK {
+            out[jb + l] = acc[l] as f32;
+        }
+        jb += COL_BLOCK;
+    }
+    if jb < plen {
+        let w = plen - jb;
+        let mut acc = [0f64; COL_BLOCK];
+        for (&m, &wt) in members.iter().zip(weights) {
+            let src = &params[m][jb..plen];
+            let wd = wt as f64;
+            for l in 0..w {
+                acc[l] += wd * src[l] as f64;
+            }
+        }
+        for (l, a) in acc.iter().enumerate().take(w) {
+            out[jb + l] = *a as f32;
+        }
+    }
+    // Zero members leaves the register accumulators at 0.0, which the
+    // store loops above have already written — overwrite semantics hold
+    // even for an empty member set.
+}
+
 /// Sparse-dense product wrapper: `Y = A · X` for a CSR adjacency.
 ///
 /// The output has `a.num_nodes()` rows (not `x.rows()` — the seed version
@@ -679,6 +754,37 @@ mod tests {
                 .map(|i| (((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 97) as f32 / 48.5) - 1.0)
                 .collect(),
         )
+    }
+
+    #[test]
+    fn weighted_sum_rows_matches_scalar_reference_bitwise() {
+        // Reference: the member-outer scalar loop with f64 accumulation
+        // that personalized_aggregate used before the blocked kernel.
+        for &plen in &[1usize, 7, 16, 17, 33, 130] {
+            let rows: Vec<Matrix> = (0..5).map(|s| gen(1, plen, s as u64 * 11 + 1)).collect();
+            let params: Vec<&[f32]> = rows.iter().map(|m| m.as_slice()).collect();
+            let members = [3usize, 0, 4, 2];
+            let weights = [0.37f32, 0.11, 0.42, 0.10];
+            let mut agg = vec![0f64; plen];
+            for (&m, &w) in members.iter().zip(&weights) {
+                for (o, &p) in agg.iter_mut().zip(params[m]) {
+                    *o += w as f64 * p as f64;
+                }
+            }
+            let want: Vec<f32> = agg.iter().map(|&v| v as f32).collect();
+            let mut got = vec![9f32; plen]; // garbage: must be overwritten
+            weighted_sum_rows_into(&params, &members, &weights, &mut got);
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.to_bits(), b.to_bits(), "plen={plen}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_sum_rows_empty_members_zeroes_out() {
+        let mut out = vec![5f32; 20];
+        weighted_sum_rows_into(&[], &[], &[], &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
     }
 
     #[test]

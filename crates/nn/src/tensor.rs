@@ -70,6 +70,13 @@ impl<'a> From<&'a Matrix> for MatView<'a> {
     }
 }
 
+impl Default for Matrix {
+    /// The empty `0 × 0` matrix ([`Matrix::empty`]).
+    fn default() -> Self {
+        Matrix::empty()
+    }
+}
+
 impl Matrix {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -135,6 +142,25 @@ impl Matrix {
     /// Consumes self, returning the buffer.
     pub fn into_vec(self) -> Vec<f32> {
         self.data
+    }
+
+    /// The empty `0 × 0` matrix (no allocation) — the natural seed for
+    /// buffers grown later via [`Matrix::resize_to`].
+    pub fn empty() -> Self {
+        Matrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Reshapes in place to `rows × cols`, reusing the existing buffer
+    /// (no allocation once capacity suffices). Contents are unspecified
+    /// afterwards — callers overwrite every element.
+    pub fn resize_to(&mut self, rows: usize, cols: usize) {
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
     }
 
     /// Row `i` as a slice.

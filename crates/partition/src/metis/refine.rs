@@ -15,7 +15,7 @@ use rand::Rng;
 /// Refines `parts` in place for up to `config.refine_passes` sweeps.
 pub(crate) fn refine(
     wg: &WorkGraph,
-    parts: &mut Vec<u32>,
+    parts: &mut [u32],
     k: usize,
     config: &MetisConfig,
     rng: &mut StdRng,
@@ -53,7 +53,7 @@ pub(crate) fn refine(
         cut
     };
 
-    let mut best_parts = parts.clone();
+    let mut best_parts = parts.to_vec();
     let mut best_cut = cut_of(parts);
 
     for pass in 0..config.refine_passes {

@@ -78,6 +78,45 @@ fn fedgta_rounds_are_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn fedgta_final_parameters_are_bit_identical_across_thread_counts() {
+    // Stronger than the round-record check: after training + the
+    // personalized server round (parallel similarity, blocked Eq. 7
+    // axpy, recycled output buffers), every client's *parameter vector*
+    // must agree bitwise between 1 and 4 worker threads — any
+    // accumulation-order drift anywhere in the pipeline shows up here.
+    let run = |threads: usize| -> Vec<Vec<f32>> {
+        let clients = federation_with(ModelKind::Sgc, 900, 10, 900);
+        let mut sim = Simulation::new(
+            clients,
+            Box::new(FedGta::with_defaults()),
+            SimConfig {
+                rounds: 4,
+                local_epochs: 2,
+                participation: 1.0,
+                eval_every: 0,
+                seed: 900,
+                threads,
+            },
+        );
+        sim.run();
+        sim.clients.iter().map(|c| c.model.params()).collect()
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one.len(), four.len());
+    for (i, (a, b)) in one.iter().zip(&four).enumerate() {
+        assert_eq!(a.len(), b.len(), "client {i}: param lengths differ");
+        for (j, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "client {i} param {j}: {x} (1 thread) vs {y} (4 threads)"
+            );
+        }
+    }
+}
+
+#[test]
 fn fedavg_rounds_are_bit_identical_across_thread_counts() {
     let one = run_sim(Box::new(FedAvg::new()), ModelKind::Sgc, 1, 1.0);
     let four = run_sim(Box::new(FedAvg::new()), ModelKind::Sgc, 4, 1.0);
