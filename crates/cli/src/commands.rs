@@ -4,7 +4,8 @@ use crate::args::Args;
 use fedgta_bench::{make_strategy, partition_benchmark, SplitKind, STRATEGY_NAMES};
 use fedgta_data::{load_benchmark, save_benchmark, SPECS};
 use fedgta_fed::client::{build_clients, ClientBuildConfig};
-use fedgta_fed::round::{best_accuracy, SimConfig, Simulation};
+use fedgta_fed::faults::FaultConfig;
+use fedgta_fed::round::{best_accuracy, CommsConfig, SimConfig, Simulation, TransportMode};
 use fedgta_graph::metrics::{degree_stats, edge_homophily};
 use fedgta_nn::models::{ModelConfig, ModelKind};
 use std::error::Error;
@@ -36,6 +37,26 @@ USAGE:
                         schema fedgta-trace/1 — feed to 'report')
                        [--metrics-out <file.prom>]  (Prometheus text
                         snapshot of the metric registry at exit)
+                       [--transport direct|channel] (message path; 'channel'
+                        routes every round over the in-process transport with
+                        FGTM envelopes + CRC. Defaults to 'channel' when any
+                        fault/robustness flag is given, else 'direct'; with
+                        no faults both paths are bit-identical)
+                       [--faults <spec>]       (fault injection, e.g.
+                        'drop=0.1,corrupt=0.05,crash=0.02,delay=20,slow=0.25x4,
+                        retries=3,backoff=50' — all decisions derive from
+                        --fault-seed, so runs replay bit-identically)
+                       [--fault-seed N]        (chaos seed, independent of
+                        --seed; default 0)
+                       [--deadline MS]         (straggler deadline per round
+                        in simulated ms; 0 = wait forever)
+                       [--min-quorum N]        (minimum accepted uploads to
+                        aggregate a round; below it the round is re-sampled
+                        and then skipped; default 1)
+                       [--oversample F]        (invite round(k*F) clients,
+                        accept the first k arrivals; default 1.0)
+                       [--max-resamples N]     (bounded re-sampling attempts
+                        after a quorum failure; default 2)
   fedgta-cli report <trace.jsonl>
                        (per-round / per-client / per-strategy latency and
                         byte tables from a --trace-out file)
@@ -159,6 +180,42 @@ pub fn report(a: &Args) -> CliResult {
     let summary = fedgta_obs::summarize(&events);
     print!("{}", fedgta_obs::render_report(&summary));
     Ok(())
+}
+
+/// Builds the transport/robustness config from `--transport`, `--faults`,
+/// `--fault-seed`, `--deadline`, `--min-quorum`, `--oversample` and
+/// `--max-resamples`. Returns `None` for the direct (pre-transport)
+/// message path. The transport defaults to `channel` as soon as any
+/// robustness flag is present, so `--faults drop=0.1` alone "just works".
+fn parse_comms(a: &Args) -> Result<Option<CommsConfig>, Box<dyn Error>> {
+    let robust_flags = ["faults", "fault-seed", "deadline", "min-quorum", "oversample", "max-resamples"];
+    let any_robust = robust_flags.iter().any(|k| a.str_opt(k).is_some());
+    let transport = a.str_or("transport", if any_robust { "channel" } else { "direct" });
+    match transport.as_str() {
+        "direct" => {
+            if any_robust {
+                return Err("--transport direct is incompatible with fault/robustness flags".into());
+            }
+            Ok(None)
+        }
+        "channel" => {
+            let faults = match a.str_opt("faults") {
+                Some(spec) => FaultConfig::parse(spec)?,
+                None => FaultConfig::default(),
+            };
+            let defaults = CommsConfig::default();
+            Ok(Some(CommsConfig {
+                mode: TransportMode::Transport,
+                faults,
+                fault_seed: a.num_or("fault-seed", defaults.fault_seed)?,
+                deadline_ms: a.num_or("deadline", defaults.deadline_ms)?,
+                min_quorum: a.num_or("min-quorum", defaults.min_quorum)?,
+                oversample: a.num_or("oversample", defaults.oversample)?,
+                max_resamples: a.num_or("max-resamples", defaults.max_resamples)?,
+            }))
+        }
+        other => Err(format!("unknown --transport '{other}' (direct|channel)").into()),
+    }
 }
 
 fn parse_split(s: &str) -> Result<SplitKind, String> {
@@ -307,6 +364,7 @@ pub fn run(a: &Args) -> CliResult {
             halo: strategy_name.starts_with("FedGL"),
         },
     );
+    let comms = parse_comms(a)?;
     let obs = setup_obs(a)?;
     let strategy = make_strategy(&strategy_name);
     println!(
@@ -316,6 +374,19 @@ pub fn run(a: &Args) -> CliResult {
         split.name(),
         fedgta_graph::par::resolve_threads(Some(threads)),
     );
+    if let Some(cc) = &comms {
+        println!(
+            "transport: channel (fault seed {}, deadline {} ms, quorum ≥ {}, oversample {:.2}, faults: drop {} corrupt {} crash {} delay {} ms)",
+            cc.fault_seed,
+            cc.deadline_ms,
+            cc.min_quorum,
+            cc.oversample,
+            cc.faults.drop,
+            cc.faults.corrupt,
+            cc.faults.crash,
+            cc.faults.delay_ms,
+        );
+    }
     let mut sim = Simulation::new(
         clients,
         strategy,
@@ -328,18 +399,24 @@ pub fn run(a: &Args) -> CliResult {
             threads,
         },
     );
+    if let Some(cc) = comms.clone() {
+        sim = sim.with_comms(cc);
+    }
     let records = sim.run();
     println!(
-        "{:>5} {:>9} {:>7} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}",
-        "round", "loss", "acc", "round_s", "train_s", "agg_s", "eval_s", "up", "down"
+        "{:>5} {:>9} {:>7} {:>4} {:>5} {:>4} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "round", "loss", "acc", "ok", "drop", "rty", "round_s", "train_s", "agg_s", "eval_s", "up", "down"
     );
     for r in &records {
         if let Some(acc) = r.test_acc {
             println!(
-                "{:>5} {:>9.4} {:>6.1}% {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>10} {:>10}",
+                "{:>5} {:>9.4} {:>6.1}% {:>4} {:>5} {:>4} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>10} {:>10}",
                 r.round,
                 r.mean_loss,
                 100.0 * acc,
+                r.participants_completed,
+                r.participants_dropped,
+                r.retries,
                 r.elapsed_s,
                 r.train_s,
                 r.aggregate_s,
@@ -355,6 +432,29 @@ pub fn run(a: &Args) -> CliResult {
         100.0 * best_accuracy(&records),
         records.len()
     );
+    if comms.is_some() {
+        let completed: usize = records.iter().map(|r| r.participants_completed).sum();
+        let dropped: usize = records.iter().map(|r| r.participants_dropped).sum();
+        let retries: u64 = records.iter().map(|r| r.retries).sum();
+        let skipped = records.iter().filter(|r| r.participants_completed == 0).count();
+        let mut by_kind = std::collections::BTreeMap::new();
+        for e in &sim.fault_events {
+            *by_kind.entry(e.kind.name()).or_insert(0usize) += 1;
+        }
+        let breakdown = if by_kind.is_empty() {
+            "none".to_string()
+        } else {
+            by_kind
+                .iter()
+                .map(|(k, n)| format!("{k} {n}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!(
+            "comms: {completed} uploads accepted, {dropped} participants lost, {retries} retries, {skipped} rounds skipped; fault events: {} ({breakdown})",
+            sim.fault_events.len(),
+        );
+    }
     finish_obs(&obs)?;
     if let Some(path) = a.str_opt("save-params") {
         let mut f = std::fs::File::create(path)?;
@@ -439,6 +539,37 @@ mod tests {
         let r = args(&["report", &p]);
         report(&r).unwrap();
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn comms_flags_parse_and_validate() {
+        // No robustness flags → direct path, no config.
+        assert!(parse_comms(&args(&["run"])).unwrap().is_none());
+        // Any robustness flag defaults the transport to 'channel'.
+        let cc = parse_comms(&args(&["run", "--faults", "drop=0.2,delay=10", "--min-quorum", "2"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(cc.faults.drop, 0.2);
+        assert_eq!(cc.faults.delay_ms, 10);
+        assert_eq!(cc.min_quorum, 2);
+        // Explicit channel with no faults is the clean transport.
+        let clean = parse_comms(&args(&["run", "--transport", "channel"])).unwrap().unwrap();
+        assert_eq!(clean.faults.drop, 0.0);
+        // Contradictory and malformed specs are rejected.
+        assert!(parse_comms(&args(&["run", "--transport", "direct", "--faults", "drop=0.1"])).is_err());
+        assert!(parse_comms(&args(&["run", "--transport", "postal"])).is_err());
+        assert!(parse_comms(&args(&["run", "--faults", "drop=2.0"])).is_err());
+    }
+
+    #[test]
+    fn faulted_run_completes() {
+        let _g = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let a = args(&[
+            "run", "--dataset", "cora", "--strategy", "FedAvg", "--model", "sgc", "--rounds", "2",
+            "--clients", "4", "--faults", "drop=0.2,corrupt=0.1,crash=0.1,delay=20",
+            "--fault-seed", "7", "--deadline", "500",
+        ]);
+        run(&a).unwrap();
     }
 
     #[test]

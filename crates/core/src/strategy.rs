@@ -167,12 +167,17 @@ impl Strategy for FedGta {
             (loss, (params, h, m.to_vec(), n_train))
         });
         let loss = mean_loss(&results);
-        let mut params: Vec<Vec<f32>> = Vec::with_capacity(participants.len());
-        let mut confidences: Vec<f64> = Vec::with_capacity(participants.len());
-        let mut sketches: Vec<Vec<f32>> = Vec::with_capacity(participants.len());
-        let mut n_trains: Vec<usize> = Vec::with_capacity(participants.len());
+        // Under the fault-injecting transport only the accepted quorum's
+        // uploads arrive; aggregation is over whoever actually reported
+        // (identical to `participants` on the no-fault path).
+        let mut arrived: Vec<usize> = Vec::with_capacity(results.len());
+        let mut params: Vec<Vec<f32>> = Vec::with_capacity(results.len());
+        let mut confidences: Vec<f64> = Vec::with_capacity(results.len());
+        let mut sketches: Vec<Vec<f32>> = Vec::with_capacity(results.len());
+        let mut n_trains: Vec<usize> = Vec::with_capacity(results.len());
         for r in results {
             let (p, h, m, n) = r.payload;
+            arrived.push(r.client);
             params.push(p);
             confidences.push(h);
             sketches.push(m);
@@ -182,9 +187,9 @@ impl Strategy for FedGta {
         let _agg = fedgta_obs::span!(
             "aggregate",
             strategy = "FedGTA",
-            participants = participants.len()
+            participants = arrived.len()
         );
-        let uploads: Vec<ClientUpload<'_>> = (0..participants.len())
+        let uploads: Vec<ClientUpload<'_>> = (0..arrived.len())
             .map(|p| ClientUpload {
                 params: &params[p],
                 confidence: confidences[p],
@@ -203,12 +208,12 @@ impl Strategy for FedGta {
         // outputs: on warm rounds the server allocates no parameter-sized
         // memory. `ctx.threads` parallelizes Eq. 6 similarity rows and the
         // per-client Eq. 7 axpy (bit-identical at any thread count).
-        let mut aggregated: Vec<Vec<f32>> = participants
+        let mut aggregated: Vec<Vec<f32>> = arrived
             .iter()
             .map(|&i| self.personalized[i].take().unwrap_or_default())
             .collect();
         let report = personalized_aggregate_into(&uploads, &opts, ctx.threads, &mut aggregated);
-        for (&i, buf) in participants.iter().zip(aggregated) {
+        for (&i, buf) in arrived.iter().zip(aggregated) {
             clients[i].model.set_params(&buf);
             // Move — not clone — the aggregate into the personalized
             // store: `set_params` already copied it into the model, so
@@ -217,14 +222,14 @@ impl Strategy for FedGta {
         }
         self.last_report = Some(report);
         // Upload = model weights + moment sketch + confidence scalar.
-        let bytes_uploaded = (0..participants.len())
+        let bytes_uploaded = (0..arrived.len())
             .map(|p| params[p].len() * 4 + sketches[p].len() * 4 + 8)
             .sum();
         // Download = each participant's personalized aggregate, and
         // nothing else — the server sends no confidence scalar back, and
         // absent clients receive nothing (they keep their old personal
         // model).
-        let bytes_downloaded = (0..participants.len())
+        let bytes_downloaded = (0..arrived.len())
             .map(|p| params[p].len() * 4)
             .sum();
         RoundStats {

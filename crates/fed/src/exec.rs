@@ -22,8 +22,16 @@
 //!   section, on the driver, in participant order.
 
 use crate::client::Client;
+use crate::faults::AttemptFate;
 use crate::strategies::RoundCtx;
+use crate::transport::{
+    corrupt_frame, decode_upload, encode_upload, CommsRound, Endpoint, MsgKind, WirePayload,
+    SERVER_ID,
+};
+use fedgta_graph::io::Envelope;
 use fedgta_graph::par::par_map_indexed;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Records one participant's local-training wall time into the
 /// `round.client.train_ns` histogram (cached handle; disarmed cost is one
@@ -70,6 +78,25 @@ pub fn train_participants<R, F>(
     f: F,
 ) -> Vec<LocalResult<R>>
 where
+    R: Send + WirePayload,
+    F: Fn(usize, &mut Client) -> (f32, R) + Sync,
+{
+    match ctx.comms {
+        None => train_direct(clients, participants, ctx, f),
+        Some(comms) => train_over_transport(clients, participants, ctx, comms, f),
+    }
+}
+
+/// The classic in-process path: every participant trains, every result
+/// comes back. Bit-identical to the pre-transport simulator by
+/// construction (it *is* the pre-transport simulator).
+fn train_direct<R, F>(
+    clients: &mut [Client],
+    participants: &[usize],
+    ctx: &RoundCtx<'_>,
+    f: F,
+) -> Vec<LocalResult<R>>
+where
     R: Send,
     F: Fn(usize, &mut Client) -> (f32, R) + Sync,
 {
@@ -98,6 +125,220 @@ where
         clock.add_ns(t0.elapsed().as_nanos() as u64);
     }
     out
+}
+
+/// The message path: the server task sends `TrainRequest` envelopes per
+/// the round script, client tasks train on worker threads and upload
+/// their results as checksummed envelopes, and the server decodes the
+/// accepted quorum back out of its mailbox.
+///
+/// Three determinism anchors:
+///
+/// 1. *which* clients train, retry, straggle or crash is fixed by the
+///    script before any thread spawns;
+/// 2. [`WirePayload`] encoding is bit-exact, so a decoded upload equals
+///    the in-memory result the direct path would have produced;
+/// 3. uploads may land in the server mailbox in any interleaving, but
+///    results are reassembled by sender id **in participant order**.
+///
+/// With a clean script (no faults, every participant accepted) the
+/// training calls, their order, and the returned results are exactly the
+/// direct path's — contract (1) of the transport layer.
+fn train_over_transport<R, F>(
+    clients: &mut [Client],
+    participants: &[usize],
+    ctx: &RoundCtx<'_>,
+    comms: &CommsRound<'_>,
+    f: F,
+) -> Vec<LocalResult<R>>
+where
+    R: Send + WirePayload,
+    F: Fn(usize, &mut Client) -> (f32, R) + Sync,
+{
+    let script = comms.script;
+    let transport = comms.transport;
+    let round = comms.round as u32;
+    let corrupted = AtomicU64::new(0);
+    let dropped = AtomicU64::new(0);
+    // Server task, request leg: one envelope per scripted attempt.
+    // Dropped frames are never enqueued (lost in flight); corrupt frames
+    // are enqueued mangled so the client-side CRC rejection is real.
+    for &c in participants {
+        let Some(fate) = script.fate(c) else { continue };
+        for (n, a) in fate.download.iter().enumerate() {
+            let env = Envelope {
+                kind: MsgKind::TrainRequest as u8,
+                round,
+                sender: SERVER_ID,
+                seq: n as u32,
+                payload: Vec::new(),
+            };
+            match a {
+                AttemptFate::Drop => {
+                    dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                AttemptFate::Corrupt { bit_seed } => {
+                    let mut frame = env.encode();
+                    corrupt_frame(&mut frame, *bit_seed);
+                    let _ = transport.send(Endpoint::Client(c), frame);
+                }
+                AttemptFate::Deliver { .. } => {
+                    let _ = transport.send(Endpoint::Client(c), env.encode());
+                }
+            }
+        }
+    }
+    // Client tasks: exactly the clients whose scripted request leg
+    // succeeded train — including ones whose upload will be lost or
+    // arrive too late (their local model still moves, like a real
+    // deployment's would; the server just never sees the update).
+    let trainers: Vec<usize> = participants
+        .iter()
+        .copied()
+        .filter(|c| script.fate(*c).is_some_and(|fa| fa.trains))
+        .collect();
+    let span = fedgta_obs::span!("train", participants = trainers.len());
+    let parent = span.id();
+    let t0 = ctx.train_clock.is_some().then(std::time::Instant::now);
+    let slots = disjoint_slots(clients, &trainers);
+    run_slots(slots, ctx.threads, |i, c| {
+        let _cg = fedgta_obs::span_under("client_train", parent)
+            .with_field("client", fedgta_obs::FieldVal::from(i));
+        // Receive leg: drain the mailbox, CRC-verify, reject garbage.
+        let mut requested = false;
+        for frame in transport.drain(Endpoint::Client(i)) {
+            match Envelope::decode(&frame) {
+                Ok(env) if env.kind == MsgKind::TrainRequest as u8 && env.round == round => {
+                    requested = true;
+                }
+                Ok(_) => {}
+                Err(_) => {
+                    corrupted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        assert!(requested, "scripted trainer {i} received no valid request");
+        let ct0 = fedgta_obs::metrics_on().then(std::time::Instant::now);
+        let (loss, payload) = f(i, c);
+        if let Some(ct0) = ct0 {
+            observe_client_train_ns(ct0.elapsed().as_nanos() as u64);
+        }
+        // Upload leg: the real result bytes cross the wire; scripted
+        // corruption mangles the physical frame.
+        let body = encode_upload(loss, &payload);
+        let fate = script.fate(i).expect("trainer has a fate");
+        for (n, a) in fate.upload.iter().enumerate() {
+            match a {
+                AttemptFate::Drop => {
+                    dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                AttemptFate::Corrupt { bit_seed } => {
+                    let mut frame = Envelope {
+                        kind: MsgKind::Upload as u8,
+                        round,
+                        sender: i as u32,
+                        seq: n as u32,
+                        payload: body.clone(),
+                    }
+                    .encode();
+                    corrupt_frame(&mut frame, *bit_seed);
+                    let _ = transport.send(Endpoint::Server, frame);
+                }
+                AttemptFate::Deliver { .. } => {
+                    let frame = Envelope {
+                        kind: MsgKind::Upload as u8,
+                        round,
+                        sender: i as u32,
+                        seq: n as u32,
+                        payload: body.clone(),
+                    }
+                    .encode();
+                    let _ = transport.send(Endpoint::Server, frame);
+                }
+            }
+        }
+    });
+    if let (Some(t0), Some(clock)) = (t0, ctx.train_clock) {
+        clock.add_ns(t0.elapsed().as_nanos() as u64);
+    }
+    drop(span);
+    // Unreachable participants whose request leg delivered only corrupt
+    // frames never train, but their mailbox still holds the garbage —
+    // reject it now so no stale frame leaks into the next round.
+    for &c in participants {
+        let Some(fate) = script.fate(c) else { continue };
+        if fate.trains {
+            continue;
+        }
+        for frame in transport.drain(Endpoint::Client(c)) {
+            if Envelope::decode(&frame).is_err() {
+                corrupted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    // Server task, collect leg: mailbox arrival order is a thread-race
+    // artifact; decode by sender, then emit accepted results in
+    // participant order so downstream reductions are order-stable.
+    let mut by_sender: BTreeMap<u32, (f32, R)> = BTreeMap::new();
+    for frame in transport.drain(Endpoint::Server) {
+        match Envelope::decode(&frame) {
+            Err(_) => {
+                corrupted.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(env) => {
+                if env.kind != MsgKind::Upload as u8 || env.round != round {
+                    continue;
+                }
+                match decode_upload::<R>(&env.payload) {
+                    Ok(v) => {
+                        by_sender.insert(env.sender, v);
+                    }
+                    Err(_) => {
+                        corrupted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(script.accepted.len());
+    for &c in participants {
+        let Some(fate) = script.fate(c) else { continue };
+        if !fate.accepted {
+            continue;
+        }
+        let (loss, payload) = by_sender
+            .remove(&(c as u32))
+            .expect("accepted upload arrived intact");
+        out.push(LocalResult { client: c, loss, payload });
+    }
+    record_comms_metrics(
+        dropped.load(Ordering::Relaxed),
+        corrupted.load(Ordering::Relaxed),
+        script.total_retries(),
+    );
+    out
+}
+
+/// Accumulates the transport fault counters into the global registry
+/// (no-op below metrics level).
+#[inline]
+pub(crate) fn record_comms_metrics(dropped: u64, corrupted: u64, retries: u64) {
+    use std::sync::{Arc, OnceLock};
+    if !fedgta_obs::metrics_on() {
+        return;
+    }
+    static DROPPED: OnceLock<Arc<fedgta_obs::Counter>> = OnceLock::new();
+    static CORRUPTED: OnceLock<Arc<fedgta_obs::Counter>> = OnceLock::new();
+    static RETRIES: OnceLock<Arc<fedgta_obs::Counter>> = OnceLock::new();
+    DROPPED
+        .get_or_init(|| fedgta_obs::global().counter("comms.dropped"))
+        .add(dropped);
+    CORRUPTED
+        .get_or_init(|| fedgta_obs::global().counter("comms.corrupted"))
+        .add(corrupted);
+    RETRIES
+        .get_or_init(|| fedgta_obs::global().counter("comms.retries"))
+        .add(retries);
 }
 
 /// Runs `f(client_index, &mut client)` over an arbitrary subset of

@@ -1,0 +1,619 @@
+//! Deterministic fault injection for the transport round.
+//!
+//! A [`FaultPlan`] is a *pure function* from `(fault seed, round,
+//! resample, client, direction, attempt)` to a fate: deliver with some
+//! simulated latency, drop, or corrupt. Because every decision is keyed —
+//! never drawn from a shared mutable RNG — the same seed produces the
+//! same faults regardless of thread count, strategy internals, or how
+//! many times a fate is consulted. That is what makes chaos testing
+//! *reproducible*: a failing faulted run can be replayed bit-for-bit.
+//!
+//! Time here is **simulated**: latencies, backoff, compute durations and
+//! straggler deadlines are all virtual milliseconds. Worker threads never
+//! sleep; the round orchestrator evaluates the script against the
+//! deadline arithmetic instead. This keeps chaos runs as fast as clean
+//! runs while still exercising every late/lost/garbled code path.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Fault-model knobs. All rates are probabilities in `[0, 1]`; the
+/// benign default (every rate zero) produces a fault-free script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Per-message drop probability (each direction, each attempt).
+    pub drop: f64,
+    /// Per-message single-bit corruption probability.
+    pub corrupt: f64,
+    /// Per-round per-client crash probability (crashed clients neither
+    /// train nor upload for the rest of the round).
+    pub crash: f64,
+    /// Mean one-way latency in simulated ms (sampled uniform in
+    /// `[0, 2·delay_ms]`; 0 = instantaneous links).
+    pub delay_ms: u64,
+    /// Fraction of clients that are persistent stragglers (hardware
+    /// heterogeneity: stable across rounds for a given seed).
+    pub slow_frac: f64,
+    /// Simulated-compute multiplier for straggler clients (≥ 1).
+    pub slow_mult: f64,
+    /// Simulated base local-training duration (ms).
+    pub compute_ms: u64,
+    /// Maximum retries per direction after the first attempt.
+    pub retry_limit: u32,
+    /// Initial retry backoff in simulated ms (doubles per retry).
+    pub backoff_ms: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            drop: 0.0,
+            corrupt: 0.0,
+            crash: 0.0,
+            delay_ms: 0,
+            slow_frac: 0.0,
+            slow_mult: 1.0,
+            compute_ms: 10,
+            retry_limit: 3,
+            backoff_ms: 50,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// True when any failure mode can fire.
+    pub fn any_faults(&self) -> bool {
+        self.drop > 0.0
+            || self.corrupt > 0.0
+            || self.crash > 0.0
+            || self.delay_ms > 0
+            || (self.slow_frac > 0.0 && self.slow_mult > 1.0)
+    }
+
+    /// Parses a `--faults` spec: comma-separated `key=value` pairs, e.g.
+    /// `drop=0.1,corrupt=0.01,crash=0.02,delay=20,slow=0.25x4`.
+    ///
+    /// Keys: `drop`, `corrupt`, `crash` (probabilities), `delay` (mean ms),
+    /// `slow` (`frac` or `fracxmult`), `compute` (ms), `retries`,
+    /// `backoff` (ms).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut cfg = Self::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, val) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec '{part}' is not key=value"))?;
+            let rate = |v: &str| -> Result<f64, String> {
+                let x: f64 = v.parse().map_err(|_| format!("bad number '{v}' for {key}"))?;
+                if !(0.0..=1.0).contains(&x) {
+                    return Err(format!("{key}={v} outside [0, 1]"));
+                }
+                Ok(x)
+            };
+            match key {
+                "drop" => cfg.drop = rate(val)?,
+                "corrupt" => cfg.corrupt = rate(val)?,
+                "crash" => cfg.crash = rate(val)?,
+                "delay" => {
+                    cfg.delay_ms = val.parse().map_err(|_| format!("bad ms '{val}' for delay"))?
+                }
+                "slow" => match val.split_once('x') {
+                    Some((f, m)) => {
+                        cfg.slow_frac = rate(f)?;
+                        cfg.slow_mult = m
+                            .parse()
+                            .map_err(|_| format!("bad multiplier '{m}' for slow"))?;
+                        if cfg.slow_mult < 1.0 {
+                            return Err(format!("slow multiplier {m} must be ≥ 1"));
+                        }
+                    }
+                    None => {
+                        cfg.slow_frac = rate(val)?;
+                        cfg.slow_mult = 4.0;
+                    }
+                },
+                "compute" => {
+                    cfg.compute_ms =
+                        val.parse().map_err(|_| format!("bad ms '{val}' for compute"))?
+                }
+                "retries" => {
+                    cfg.retry_limit =
+                        val.parse().map_err(|_| format!("bad count '{val}' for retries"))?
+                }
+                "backoff" => {
+                    cfg.backoff_ms =
+                        val.parse().map_err(|_| format!("bad ms '{val}' for backoff"))?
+                }
+                other => return Err(format!("unknown fault key '{other}'")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// The scripted fate of one message attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptFate {
+    /// Delivered intact after `delay_ms` of simulated latency.
+    Deliver {
+        /// One-way simulated latency.
+        delay_ms: u64,
+    },
+    /// Lost in flight; the sender retries after backoff.
+    Drop,
+    /// Delivered with one bit flipped (the receiver's CRC rejects it and
+    /// the sender retries after backoff).
+    Corrupt {
+        /// Seeds which bit of the physical frame flips.
+        bit_seed: u64,
+    },
+}
+
+/// What went wrong, for the fault event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Client crashed for the round.
+    Crash,
+    /// A server→client train request was dropped.
+    DownDrop,
+    /// A server→client train request arrived corrupted.
+    DownCorrupt,
+    /// A client→server upload was dropped.
+    UpDrop,
+    /// A client→server upload arrived corrupted.
+    UpCorrupt,
+    /// Every request attempt failed; the client never trained.
+    RequestLost,
+    /// Every upload attempt failed; the trained update never arrived.
+    UploadLost,
+    /// The upload arrived after the round deadline.
+    Straggler,
+    /// The round was re-sampled because the quorum was not met.
+    Resample,
+}
+
+impl FaultKind {
+    /// Short log label.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::DownDrop => "down-drop",
+            FaultKind::DownCorrupt => "down-corrupt",
+            FaultKind::UpDrop => "up-drop",
+            FaultKind::UpCorrupt => "up-corrupt",
+            FaultKind::RequestLost => "request-lost",
+            FaultKind::UploadLost => "upload-lost",
+            FaultKind::Straggler => "straggler",
+            FaultKind::Resample => "resample",
+        }
+    }
+}
+
+/// One logged fault occurrence, in deterministic (participant, time)
+/// order within its round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Round the fault occurred in (1-based).
+    pub round: usize,
+    /// Affected client (`usize::MAX` for round-level events).
+    pub client: usize,
+    /// What happened.
+    pub kind: FaultKind,
+    /// Simulated time of the occurrence, ms from round start.
+    pub sim_ms: u64,
+}
+
+impl std::fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.client == usize::MAX {
+            write!(f, "round {} t+{}ms: {}", self.round, self.sim_ms, self.kind.name())
+        } else {
+            write!(
+                f,
+                "round {} t+{}ms: client {} {}",
+                self.round,
+                self.sim_ms,
+                self.client,
+                self.kind.name()
+            )
+        }
+    }
+}
+
+/// The full scripted fate of one sampled participant for one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientFate {
+    /// Federation index.
+    pub client: usize,
+    /// Crashed for this round (neither trains nor uploads).
+    pub crashed: bool,
+    /// Whether a train request ever reaches the client.
+    pub trains: bool,
+    /// Scripted server→client attempts; the final entry is the delivered
+    /// one iff `trains`.
+    pub download: Vec<AttemptFate>,
+    /// Scripted client→server attempts; the final entry is the delivered
+    /// one iff `arrival_ms.is_some()`.
+    pub upload: Vec<AttemptFate>,
+    /// Simulated arrival time of the successful upload, ms from round
+    /// start (`None` = the server never receives a valid upload).
+    pub arrival_ms: Option<u64>,
+    /// Total retransmissions across both directions.
+    pub retries: u32,
+    /// Accepted into the aggregate (set by [`RoundScript::build`]).
+    pub accepted: bool,
+}
+
+/// Direction tags for the keyed RNG.
+const TAG_DOWN: u64 = 0xD0;
+const TAG_UP: u64 = 0x09;
+const TAG_CRASH: u64 = 0xC4;
+const TAG_SLOW: u64 = 0x51;
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded, keyed fault oracle.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// The fault model.
+    pub cfg: FaultConfig,
+    /// Chaos seed (independent of the training/sampling seed).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan for `cfg` under `seed`.
+    pub fn new(cfg: FaultConfig, seed: u64) -> Self {
+        Self { cfg, seed }
+    }
+
+    /// A fresh RNG keyed by the decision coordinates — the determinism
+    /// backbone: no decision shares RNG state with any other.
+    fn rng(&self, tags: &[u64]) -> StdRng {
+        let mut h = splitmix(self.seed ^ 0xFED6_7A00);
+        for &t in tags {
+            h = splitmix(h ^ t);
+        }
+        StdRng::seed_from_u64(h)
+    }
+
+    /// Whether `client` is a persistent straggler (stable across rounds).
+    pub fn is_slow(&self, client: usize) -> bool {
+        self.rng(&[TAG_SLOW, client as u64]).random_bool(self.cfg.slow_frac)
+    }
+
+    /// Whether `client` crashes in `(round, resample)`.
+    fn crashes(&self, round: usize, resample: usize, client: usize) -> bool {
+        self.rng(&[TAG_CRASH, round as u64, resample as u64, client as u64])
+            .random_bool(self.cfg.crash)
+    }
+
+    /// The fate of one message attempt.
+    fn attempt(&self, dir: u64, round: usize, resample: usize, client: usize, n: u32) -> AttemptFate {
+        let mut r = self.rng(&[dir, round as u64, resample as u64, client as u64, n as u64]);
+        if r.random_bool(self.cfg.drop) {
+            return AttemptFate::Drop;
+        }
+        if r.random_bool(self.cfg.corrupt) {
+            return AttemptFate::Corrupt { bit_seed: r.random::<u64>() };
+        }
+        let delay_ms = if self.cfg.delay_ms > 0 {
+            r.random_range(0..2 * self.cfg.delay_ms + 1)
+        } else {
+            0
+        };
+        AttemptFate::Deliver { delay_ms }
+    }
+
+    /// Scripts one direction's retry loop starting at simulated time `t0`;
+    /// returns the attempts, the delivery time (if any), and the events.
+    fn run_link(
+        &self,
+        dir: u64,
+        round: usize,
+        resample: usize,
+        client: usize,
+        t0: u64,
+        events: &mut Vec<FaultEvent>,
+    ) -> (Vec<AttemptFate>, Option<u64>) {
+        let (drop_kind, corrupt_kind) = if dir == TAG_DOWN {
+            (FaultKind::DownDrop, FaultKind::DownCorrupt)
+        } else {
+            (FaultKind::UpDrop, FaultKind::UpCorrupt)
+        };
+        let mut attempts = Vec::new();
+        let mut t = t0;
+        for n in 0..=self.cfg.retry_limit {
+            let fate = self.attempt(dir, round, resample, client, n);
+            attempts.push(fate);
+            match fate {
+                AttemptFate::Deliver { delay_ms } => return (attempts, Some(t + delay_ms)),
+                AttemptFate::Drop => {
+                    events.push(FaultEvent { round, client, kind: drop_kind, sim_ms: t });
+                }
+                AttemptFate::Corrupt { .. } => {
+                    events.push(FaultEvent { round, client, kind: corrupt_kind, sim_ms: t });
+                }
+            }
+            t += self.cfg.backoff_ms << n;
+        }
+        (attempts, None)
+    }
+
+    /// Scripts the complete round timeline of one sampled participant.
+    pub fn client_fate(
+        &self,
+        round: usize,
+        resample: usize,
+        client: usize,
+        events: &mut Vec<FaultEvent>,
+    ) -> ClientFate {
+        if self.crashes(round, resample, client) {
+            events.push(FaultEvent { round, client, kind: FaultKind::Crash, sim_ms: 0 });
+            return ClientFate {
+                client,
+                crashed: true,
+                trains: false,
+                download: Vec::new(),
+                upload: Vec::new(),
+                arrival_ms: None,
+                retries: 0,
+                accepted: false,
+            };
+        }
+        let (download, request_at) = self.run_link(TAG_DOWN, round, resample, client, 0, events);
+        let Some(request_at) = request_at else {
+            events.push(FaultEvent { round, client, kind: FaultKind::RequestLost, sim_ms: 0 });
+            let retries = download.len().saturating_sub(1) as u32;
+            return ClientFate {
+                client,
+                crashed: false,
+                trains: false,
+                download,
+                upload: Vec::new(),
+                arrival_ms: None,
+                retries,
+                accepted: false,
+            };
+        };
+        let mult = if self.is_slow(client) { self.cfg.slow_mult } else { 1.0 };
+        let compute_done = request_at + (self.cfg.compute_ms as f64 * mult).round() as u64;
+        let (upload, arrival_ms) =
+            self.run_link(TAG_UP, round, resample, client, compute_done, events);
+        if arrival_ms.is_none() {
+            events.push(FaultEvent {
+                round,
+                client,
+                kind: FaultKind::UploadLost,
+                sim_ms: compute_done,
+            });
+        }
+        let retries =
+            (download.len().saturating_sub(1) + upload.len().saturating_sub(1)) as u32;
+        ClientFate {
+            client,
+            crashed: false,
+            trains: true,
+            download,
+            upload,
+            arrival_ms,
+            retries,
+            accepted: false,
+        }
+    }
+}
+
+/// The deterministic script of one transport round: every participant's
+/// fate, the accepted quorum, and the fault event log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundScript {
+    /// Round index (1-based).
+    pub round: usize,
+    /// Which re-sample produced this script (0 = first draw).
+    pub resample: usize,
+    /// Straggler deadline in simulated ms (0 = none).
+    pub deadline_ms: u64,
+    /// Per-participant fates, keyed by client index.
+    pub fates: BTreeMap<usize, ClientFate>,
+    /// Clients whose uploads the server accepts, ascending.
+    pub accepted: Vec<usize>,
+    /// Every fault occurrence, in deterministic order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl RoundScript {
+    /// Builds the script for `sampled` participants: runs every client's
+    /// scripted timeline, applies the deadline, and keeps the first
+    /// `accept_k` arrivals (ties broken by client id).
+    pub fn build(
+        plan: &FaultPlan,
+        round: usize,
+        resample: usize,
+        sampled: &[usize],
+        accept_k: usize,
+        deadline_ms: u64,
+    ) -> RoundScript {
+        let mut events = Vec::new();
+        let mut fates = BTreeMap::new();
+        let mut arrivals: Vec<(u64, usize)> = Vec::new();
+        for &c in sampled {
+            let fate = plan.client_fate(round, resample, c, &mut events);
+            if let Some(at) = fate.arrival_ms {
+                if deadline_ms > 0 && at > deadline_ms {
+                    events.push(FaultEvent {
+                        round,
+                        client: c,
+                        kind: FaultKind::Straggler,
+                        sim_ms: at,
+                    });
+                } else {
+                    arrivals.push((at, c));
+                }
+            }
+            fates.insert(c, fate);
+        }
+        arrivals.sort_unstable();
+        arrivals.truncate(accept_k);
+        let mut accepted: Vec<usize> = arrivals.into_iter().map(|(_, c)| c).collect();
+        accepted.sort_unstable();
+        for &c in &accepted {
+            fates.get_mut(&c).expect("accepted client was sampled").accepted = true;
+        }
+        RoundScript { round, resample, deadline_ms, fates, accepted, events }
+    }
+
+    /// The scripted fate of `client`, if it was sampled.
+    pub fn fate(&self, client: usize) -> Option<&ClientFate> {
+        self.fates.get(&client)
+    }
+
+    /// Total retransmissions across all participants.
+    pub fn total_retries(&self) -> u64 {
+        self.fates.values().map(|f| f.retries as u64).sum()
+    }
+
+    /// Sampled participants that are not in the accepted quorum.
+    pub fn dropped(&self) -> usize {
+        self.fates.len() - self.accepted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaotic() -> FaultConfig {
+        FaultConfig {
+            drop: 0.3,
+            corrupt: 0.2,
+            crash: 0.1,
+            delay_ms: 20,
+            slow_frac: 0.3,
+            slow_mult: 4.0,
+            ..FaultConfig::default()
+        }
+    }
+
+    #[test]
+    fn parse_roundtrips_keys() {
+        let c = FaultConfig::parse("drop=0.1, corrupt=0.05,crash=0.02,delay=20,slow=0.25x8,compute=5,retries=2,backoff=10").unwrap();
+        assert_eq!(c.drop, 0.1);
+        assert_eq!(c.corrupt, 0.05);
+        assert_eq!(c.crash, 0.02);
+        assert_eq!(c.delay_ms, 20);
+        assert_eq!(c.slow_frac, 0.25);
+        assert_eq!(c.slow_mult, 8.0);
+        assert_eq!(c.compute_ms, 5);
+        assert_eq!(c.retry_limit, 2);
+        assert_eq!(c.backoff_ms, 10);
+        assert!(c.any_faults());
+        assert!(!FaultConfig::default().any_faults());
+        assert!(FaultConfig::parse("").is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultConfig::parse("drop").is_err());
+        assert!(FaultConfig::parse("drop=2.0").is_err());
+        assert!(FaultConfig::parse("drop=-0.1").is_err());
+        assert!(FaultConfig::parse("latency=3").is_err());
+        assert!(FaultConfig::parse("slow=0.5x0.5").is_err());
+    }
+
+    #[test]
+    fn zero_rates_script_is_clean() {
+        let plan = FaultPlan::new(FaultConfig::default(), 7);
+        let sampled = [0usize, 2, 5];
+        let s = RoundScript::build(&plan, 1, 0, &sampled, 3, 0);
+        assert!(s.events.is_empty());
+        assert_eq!(s.accepted, vec![0, 2, 5]);
+        assert_eq!(s.total_retries(), 0);
+        assert_eq!(s.dropped(), 0);
+        for f in s.fates.values() {
+            assert!(f.trains && f.accepted && !f.crashed);
+            assert_eq!(f.download.len(), 1);
+            assert_eq!(f.upload.len(), 1);
+            // Instant links, base compute: everything lands at compute_ms.
+            assert_eq!(f.arrival_ms, Some(plan.cfg.compute_ms));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_script_different_seed_differs() {
+        let sampled: Vec<usize> = (0..40).collect();
+        let a = RoundScript::build(&FaultPlan::new(chaotic(), 42), 3, 0, &sampled, 40, 200);
+        let b = RoundScript::build(&FaultPlan::new(chaotic(), 42), 3, 0, &sampled, 40, 200);
+        assert_eq!(a, b);
+        let c = RoundScript::build(&FaultPlan::new(chaotic(), 43), 3, 0, &sampled, 40, 200);
+        assert_ne!(a, c);
+        // With these rates something must actually have gone wrong.
+        assert!(!a.events.is_empty());
+        assert!(a.dropped() > 0);
+    }
+
+    #[test]
+    fn deadline_rejects_stragglers_and_first_k_caps_acceptance() {
+        let cfg = FaultConfig { delay_ms: 50, slow_frac: 0.5, slow_mult: 10.0, ..FaultConfig::default() };
+        let plan = FaultPlan::new(cfg, 9);
+        let sampled: Vec<usize> = (0..20).collect();
+        let lax = RoundScript::build(&plan, 1, 0, &sampled, 20, 0);
+        assert_eq!(lax.accepted.len(), 20);
+        let strict = RoundScript::build(&plan, 1, 0, &sampled, 20, 60);
+        assert!(strict.accepted.len() < 20, "a 10× slow client cannot beat a 60ms deadline");
+        assert!(strict.events.iter().any(|e| e.kind == FaultKind::Straggler));
+        // First-K acceptance keeps the K earliest arrivals.
+        let first5 = RoundScript::build(&plan, 1, 0, &sampled, 5, 0);
+        assert_eq!(first5.accepted.len(), 5);
+        assert_eq!(first5.dropped(), 15);
+    }
+
+    #[test]
+    fn crash_removes_client_entirely() {
+        let cfg = FaultConfig { crash: 1.0, ..FaultConfig::default() };
+        let plan = FaultPlan::new(cfg, 1);
+        let s = RoundScript::build(&plan, 1, 0, &[0, 1], 2, 0);
+        assert!(s.accepted.is_empty());
+        assert_eq!(s.events.iter().filter(|e| e.kind == FaultKind::Crash).count(), 2);
+        for f in s.fates.values() {
+            assert!(f.crashed && !f.trains);
+        }
+    }
+
+    #[test]
+    fn total_drop_exhausts_retries_then_loses_request() {
+        let cfg = FaultConfig { drop: 1.0, retry_limit: 2, ..FaultConfig::default() };
+        let plan = FaultPlan::new(cfg, 5);
+        let mut events = Vec::new();
+        let f = plan.client_fate(1, 0, 3, &mut events);
+        assert!(!f.trains);
+        assert_eq!(f.download.len(), 3); // initial + 2 retries
+        assert_eq!(f.retries, 2);
+        assert!(events.iter().any(|e| e.kind == FaultKind::RequestLost));
+        assert_eq!(events.iter().filter(|e| e.kind == FaultKind::DownDrop).count(), 3);
+    }
+
+    #[test]
+    fn slow_clients_are_stable_across_rounds() {
+        let plan = FaultPlan::new(FaultConfig { slow_frac: 0.4, ..FaultConfig::default() }, 11);
+        let slow: Vec<bool> = (0..50).map(|c| plan.is_slow(c)).collect();
+        assert!(slow.iter().any(|&s| s));
+        assert!(slow.iter().any(|&s| !s));
+        // Keyed by client only — re-querying gives the same answer.
+        for (c, &was) in slow.iter().enumerate() {
+            assert_eq!(plan.is_slow(c), was);
+        }
+    }
+
+    #[test]
+    fn fault_events_render() {
+        let e = FaultEvent { round: 2, client: 7, kind: FaultKind::UpCorrupt, sim_ms: 35 };
+        assert_eq!(e.to_string(), "round 2 t+35ms: client 7 up-corrupt");
+        let r = FaultEvent { round: 2, client: usize::MAX, kind: FaultKind::Resample, sim_ms: 0 };
+        assert_eq!(r.to_string(), "round 2 t+0ms: resample");
+    }
+}

@@ -133,6 +133,7 @@ impl Strategy for FedGl {
             pseudo: Some(&pseudo),
             threads: ctx.threads,
             train_clock: ctx.train_clock,
+            comms: ctx.comms,
         };
         self.inner.round(clients, participants, &ctx2)
     }

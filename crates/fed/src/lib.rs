@@ -17,20 +17,28 @@
 //!   per-round evaluation and wall-clock accounting (Figs. 4–6);
 //! - [`exec::train_participants`]: the deterministic client-parallel
 //!   executor every strategy runs its local steps through — bit-identical
-//!   results for any worker-thread count.
+//!   results for any worker-thread count;
+//! - [`transport`] + [`faults`]: the explicit server/client message path
+//!   (CRC-checksummed envelopes over a [`transport::Transport`]) and the
+//!   seeded fault-injection layer behind the straggler-tolerant round
+//!   orchestrator ([`round::CommsConfig`]).
 
 pub mod client;
 pub mod eval;
 pub mod exec;
+pub mod faults;
 pub mod fgl_models;
 pub mod round;
 pub mod strategies;
+pub mod transport;
 
 pub use client::{build_clients, Client, ClientBuildConfig};
 pub use eval::global_test_accuracy;
 pub use exec::{mean_loss, par_clients, train_participants, LocalResult};
-pub use round::{RoundRecord, SimConfig, Simulation};
+pub use faults::{FaultConfig, FaultEvent, FaultPlan, RoundScript};
+pub use round::{CommsConfig, RoundRecord, SimConfig, Simulation, TransportMode};
 pub use strategies::{RoundCtx, RoundStats, Strategy};
+pub use transport::{ChannelTransport, CommsRound, Transport, WirePayload};
 
 /// Errors from the federated simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,9 +1,15 @@
 //! The federated round driver: participation sampling, per-round
-//! evaluation, wall-clock accounting (the machinery behind Figs. 4–6).
+//! evaluation, wall-clock accounting (the machinery behind Figs. 4–6) —
+//! and, when a [`CommsConfig`] is attached, the straggler-tolerant
+//! transport orchestrator: oversampling, per-round deadlines in simulated
+//! time, first-K acceptance, quorum checks with bounded re-sampling, and
+//! graceful round skipping.
 
 use crate::client::Client;
 use crate::eval::global_test_accuracy;
+use crate::faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan, RoundScript};
 use crate::strategies::{RoundCtx, Strategy};
+use crate::transport::{ChannelTransport, CommsRound};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -41,6 +47,57 @@ impl Default for SimConfig {
     }
 }
 
+/// How a round moves bytes between the server and its clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportMode {
+    /// The classic in-process function-call round (no envelopes, no
+    /// faults) — the pre-transport simulator.
+    Direct,
+    /// Explicit message rounds over a [`crate::transport::Transport`]
+    /// with the fault script applied.
+    #[default]
+    Transport,
+}
+
+/// Transport + robustness configuration, attached to a [`Simulation`]
+/// via [`Simulation::with_comms`]. With the default fault model (all
+/// rates zero) the transport round is bit-identical to [`TransportMode::Direct`].
+#[derive(Debug, Clone)]
+pub struct CommsConfig {
+    /// Message path selection.
+    pub mode: TransportMode,
+    /// The fault model (defaults to fault-free).
+    pub faults: FaultConfig,
+    /// Chaos seed — independent of the sampling/training seed, so the
+    /// same experiment can be replayed under different weather.
+    pub fault_seed: u64,
+    /// Straggler deadline per round in simulated ms (0 = wait forever).
+    pub deadline_ms: u64,
+    /// Minimum accepted uploads for a round to aggregate; below it the
+    /// round is re-sampled (up to `max_resamples`) and then skipped.
+    pub min_quorum: usize,
+    /// Over-sampling factor ≥ 1: the server invites
+    /// `round(k · oversample)` clients but accepts only the first `k`
+    /// arrivals (first-K acceptance).
+    pub oversample: f64,
+    /// Bounded re-sampling attempts after a quorum failure.
+    pub max_resamples: usize,
+}
+
+impl Default for CommsConfig {
+    fn default() -> Self {
+        Self {
+            mode: TransportMode::Transport,
+            faults: FaultConfig::default(),
+            fault_seed: 0,
+            deadline_ms: 0,
+            min_quorum: 1,
+            oversample: 1.0,
+            max_resamples: 2,
+        }
+    }
+}
+
 /// One round's record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoundRecord {
@@ -73,6 +130,16 @@ pub struct RoundRecord {
     /// Resolved worker-thread count local training ran with (the
     /// determinism contract says this never affects the other fields).
     pub threads: usize,
+    /// Participants whose uploads the server accepted and aggregated.
+    /// Direct mode: every participant completes.
+    pub participants_completed: usize,
+    /// Sampled participants whose updates never made it into the
+    /// aggregate — crashed, unreachable, lost uploads, stragglers past
+    /// the deadline, or oversampled arrivals beyond first-K.
+    pub participants_dropped: usize,
+    /// Total message retransmissions this round (both directions, all
+    /// sampling attempts).
+    pub retries: u64,
 }
 
 /// A federated simulation binding clients to a strategy.
@@ -83,6 +150,13 @@ pub struct Simulation {
     pub strategy: Box<dyn Strategy>,
     /// Driver configuration.
     pub config: SimConfig,
+    /// Transport + fault configuration (`None` = direct in-process
+    /// rounds, exactly the pre-transport simulator).
+    pub comms: Option<CommsConfig>,
+    /// Every fault the orchestrator observed, in deterministic order —
+    /// the chaos-reproducibility contract says two runs with the same
+    /// fault seed produce identical logs.
+    pub fault_events: Vec<FaultEvent>,
 }
 
 impl Simulation {
@@ -92,7 +166,16 @@ impl Simulation {
             clients,
             strategy,
             config,
+            comms: None,
+            fault_events: Vec::new(),
         }
+    }
+
+    /// Attaches a transport/fault configuration (builder style).
+    #[must_use]
+    pub fn with_comms(mut self, comms: CommsConfig) -> Self {
+        self.comms = Some(comms);
+        self
     }
 
     /// Samples this round's participants: a sorted, duplicate-free subset
@@ -103,6 +186,15 @@ impl Simulation {
 
     /// Runs all rounds; returns per-round records. Always evaluates after
     /// the final round.
+    ///
+    /// With a [`CommsConfig`] attached (transport mode) each round first
+    /// scripts its fate: the orchestrator invites `round(k·oversample)`
+    /// clients, precomputes every message's fate from the fault seed,
+    /// accepts the first `k` uploads inside the deadline, and — if fewer
+    /// than `min_quorum` survive — re-samples (bounded) or skips the
+    /// round entirely, aggregating nothing. The strategy then replays
+    /// the surviving script over real envelopes. With no `CommsConfig`
+    /// the loop is exactly the pre-transport simulator.
     ///
     /// When tracing is armed each round emits a span tree
     /// `round > { sample, train > client_train×P, aggregate, eval }` with
@@ -115,6 +207,17 @@ impl Simulation {
         let mut cumulative = 0f64;
         let threads = fedgta_graph::par::resolve_threads(Some(self.config.threads));
         let strategy_name = self.strategy.name();
+        let n = self.clients.len();
+        // Transport machinery lives for the whole run: one mailbox set,
+        // one fault plan (a pure function of the fault seed).
+        let comms_cfg = self
+            .comms
+            .clone()
+            .filter(|c| c.mode == TransportMode::Transport);
+        let transport = comms_cfg.as_ref().map(|_| ChannelTransport::new(n));
+        let plan = comms_cfg
+            .as_ref()
+            .map(|c| FaultPlan::new(c.faults.clone(), c.fault_seed));
         for round in 1..=self.config.rounds {
             let mut round_span = fedgta_obs::span!(
                 "round",
@@ -122,19 +225,90 @@ impl Simulation {
                 strategy = strategy_name.clone(),
                 threads = threads,
             );
-            let participants = {
+            // Sampling — and, in transport mode, fault scripting with
+            // quorum checks. Everything here is driver-side arithmetic on
+            // the seeded RNGs, so thread count cannot leak in.
+            let (participants, script, retries) = {
                 let _g = fedgta_obs::span!("sample");
-                self.sample_participants(&mut rng)
+                match (&comms_cfg, &plan) {
+                    (Some(cc), Some(plan)) => {
+                        let base_k = participation_k(n, self.config.participation);
+                        let invite_k = ((base_k as f64 * cc.oversample).round() as usize)
+                            .clamp(base_k, n.max(1));
+                        let mut retries = 0u64;
+                        let mut resample = 0usize;
+                        loop {
+                            let sampled = sample_k(n, invite_k, &mut rng);
+                            let s = RoundScript::build(
+                                plan,
+                                round,
+                                resample,
+                                &sampled,
+                                base_k,
+                                cc.deadline_ms,
+                            );
+                            retries += s.total_retries();
+                            observe_stragglers(&s);
+                            self.fault_events.extend(s.events.iter().cloned());
+                            if s.accepted.len() >= cc.min_quorum.max(1) {
+                                break (sampled, Some(s), retries);
+                            }
+                            // Quorum failure: this draw's traffic never
+                            // replays through the executor, so account its
+                            // faults here, then re-sample or give up.
+                            record_script_faults(&s);
+                            if resample >= cc.max_resamples {
+                                break (sampled, None, retries);
+                            }
+                            self.fault_events.push(FaultEvent {
+                                round,
+                                client: usize::MAX,
+                                kind: FaultKind::Resample,
+                                sim_ms: cc.deadline_ms,
+                            });
+                            resample += 1;
+                        }
+                    }
+                    _ => (self.sample_participants(&mut rng), None, 0),
+                }
             };
             round_span.record("participants", fedgta_obs::FieldVal::from(participants.len()));
+            let skipped = comms_cfg.is_some() && script.is_none();
             let train_clock = fedgta_obs::TimeCell::new();
-            let ctx = RoundCtx::with_threads(self.config.local_epochs, self.config.threads)
-                .with_train_clock(&train_clock);
             let t0 = Instant::now();
-            let stats = self.strategy.round(&mut self.clients, &participants, &ctx);
+            let stats = if skipped {
+                // Graceful degradation, last resort: nothing arrived even
+                // after re-sampling — aggregate nothing, keep all models.
+                crate::strategies::RoundStats {
+                    mean_loss: 0.0,
+                    bytes_uploaded: 0,
+                    bytes_downloaded: 0,
+                }
+            } else if let (Some(s), Some(t)) = (&script, &transport) {
+                let comms_round = CommsRound {
+                    round,
+                    transport: t,
+                    script: s,
+                };
+                let ctx =
+                    RoundCtx::with_threads(self.config.local_epochs, self.config.threads)
+                        .with_train_clock(&train_clock)
+                        .with_comms(&comms_round);
+                self.strategy.round(&mut self.clients, &participants, &ctx)
+            } else {
+                let ctx =
+                    RoundCtx::with_threads(self.config.local_epochs, self.config.threads)
+                        .with_train_clock(&train_clock);
+                self.strategy.round(&mut self.clients, &participants, &ctx)
+            };
             let round_ns = t0.elapsed().as_nanos() as u64;
             let train_ns = train_clock.take_ns().min(round_ns);
             let aggregate_ns = round_ns - train_ns;
+            let (completed, dropped) = match (&script, comms_cfg.is_some()) {
+                (Some(s), _) => (s.accepted.len(), s.fates.len() - s.accepted.len()),
+                (None, true) => (0, participants.len()),
+                (None, false) => (participants.len(), 0),
+            };
             let eval_now = round == self.config.rounds
                 || (self.config.eval_every > 0 && round % self.config.eval_every == 0);
             let mut eval_ns = 0u64;
@@ -147,6 +321,9 @@ impl Simulation {
             });
             round_span.record("bytes_up", fedgta_obs::FieldVal::from(stats.bytes_uploaded));
             round_span.record("bytes_down", fedgta_obs::FieldVal::from(stats.bytes_downloaded));
+            round_span.record("completed", fedgta_obs::FieldVal::from(completed));
+            round_span.record("dropped", fedgta_obs::FieldVal::from(dropped));
+            round_span.record("retries", fedgta_obs::FieldVal::from(retries));
             record_round_metrics(&stats, aggregate_ns);
             let elapsed_s = round_ns as f64 / 1e9;
             cumulative += elapsed_s;
@@ -162,6 +339,9 @@ impl Simulation {
                 bytes_uploaded: stats.bytes_uploaded,
                 bytes_downloaded: stats.bytes_downloaded,
                 threads,
+                participants_completed: completed,
+                participants_dropped: dropped,
+                retries,
             });
         }
         records
@@ -193,21 +373,67 @@ fn record_round_metrics(stats: &crate::strategies::RoundStats, aggregate_ns: u64
         .observe(aggregate_ns);
 }
 
-/// Samples a round's participants from a federation of `n` clients: a
-/// sorted, duplicate-free subset of `0..n` of size
-/// `clamp(round(n · participation), 1, n)`, drawn by Fisher–Yates shuffle
-/// from the given seeded RNG (so the sequence is reproducible and
-/// independent of the training thread count).
-pub fn sample_participants(n: usize, participation: f64, rng: &mut StdRng) -> Vec<usize> {
-    let k = ((n as f64 * participation).round() as usize).clamp(1, n.max(1)).min(n);
+/// The per-round participant count: `clamp(round(n · participation), 1, n)`.
+pub fn participation_k(n: usize, participation: f64) -> usize {
+    ((n as f64 * participation).round() as usize).clamp(1, n.max(1)).min(n)
+}
+
+/// Samples a sorted, duplicate-free subset of `0..n` of size `k` by
+/// Fisher–Yates shuffle from the given seeded RNG. `k >= n` returns all
+/// clients **without consuming the RNG** — the oversampling orchestrator
+/// and the direct driver therefore draw identical sequences whenever
+/// their `k`s agree.
+pub fn sample_k(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
     let mut ids: Vec<usize> = (0..n).collect();
-    if k == n {
+    if k >= n {
         return ids;
     }
     ids.shuffle(rng);
     ids.truncate(k);
     ids.sort_unstable();
     ids
+}
+
+/// Samples a round's participants from a federation of `n` clients: a
+/// sorted, duplicate-free subset of `0..n` of size
+/// [`participation_k`], drawn by Fisher–Yates shuffle from the given
+/// seeded RNG (so the sequence is reproducible and independent of the
+/// training thread count).
+pub fn sample_participants(n: usize, participation: f64, rng: &mut StdRng) -> Vec<usize> {
+    sample_k(n, participation_k(n, participation), rng)
+}
+
+/// Observes each straggler's lateness (`arrival − deadline`, simulated
+/// ms) into the `comms.straggler_ms` histogram (no-op below metrics
+/// level).
+#[inline]
+fn observe_stragglers(script: &RoundScript) {
+    use std::sync::{Arc, OnceLock};
+    if !fedgta_obs::metrics_on() {
+        return;
+    }
+    static H: OnceLock<Arc<fedgta_obs::Histogram>> = OnceLock::new();
+    let h = H.get_or_init(|| fedgta_obs::global().histogram("comms.straggler_ms"));
+    for e in &script.events {
+        if e.kind == FaultKind::Straggler {
+            h.observe(e.sim_ms.saturating_sub(script.deadline_ms));
+        }
+    }
+}
+
+/// Accounts an *abandoned* draw's faults into the `comms.*` counters —
+/// a quorum-failed script never replays through the executor, but its
+/// traffic (and its failures) still happened in simulated time.
+fn record_script_faults(script: &RoundScript) {
+    let (mut dropped, mut corrupted) = (0u64, 0u64);
+    for e in &script.events {
+        match e.kind {
+            FaultKind::DownDrop | FaultKind::UpDrop => dropped += 1,
+            FaultKind::DownCorrupt | FaultKind::UpCorrupt => corrupted += 1,
+            _ => {}
+        }
+    }
+    crate::exec::record_comms_metrics(dropped, corrupted, script.total_retries());
 }
 
 /// Total bytes uploaded across all recorded rounds (the communication

@@ -123,6 +123,7 @@ impl Strategy for GcflPlus {
         self.ensure_state(clients);
         self.rounds_seen += 1;
         let mut loss = 0f32;
+        let mut n_arrived = 0usize;
         let mut bytes_downloaded = 0usize;
         let mut deltas: Vec<Option<Vec<f32>>> = vec![None; clients.len()];
         // Per cluster: train members, aggregate.
@@ -160,6 +161,12 @@ impl Strategy for GcflPlus {
                 let (w, delta, n) = r.payload;
                 deltas[r.client] = Some(delta);
                 uploads.push((w, n));
+            }
+            n_arrived += uploads.len();
+            if uploads.is_empty() {
+                // Every member's upload was lost to faults: the cluster
+                // keeps its previous model this round.
+                continue;
             }
             let agg = weighted_average(&uploads);
             bytes_downloaded += self.clusters[k].len() * (agg.len() * 4 + 8);
@@ -243,8 +250,8 @@ impl Strategy for GcflPlus {
         }
         let plen = self.cluster_params.first().map_or(0, |p| p.len());
         RoundStats {
-            mean_loss: loss / participants.len().max(1) as f32,
-            bytes_uploaded: participants.len() * (plen * 4 + 8),
+            mean_loss: loss / n_arrived.max(1) as f32,
+            bytes_uploaded: n_arrived * (plen * 4 + 8),
             bytes_downloaded,
         }
     }

@@ -100,6 +100,10 @@ impl Strategy for Scaffold {
         });
         let loss = mean_loss(&results);
         let _agg = fedgta_obs::span!("aggregate", strategy = "Scaffold");
+        // Under the fault-injecting transport only the accepted quorum's
+        // results come back; all server math scales by what actually
+        // arrived, not by what was asked for.
+        let arrived = results.len();
         let mut sum_dw = vec![0f64; global.len()];
         let mut sum_dc = vec![0f64; global.len()];
         for r in &results {
@@ -120,11 +124,11 @@ impl Strategy for Scaffold {
                 sum_dc[j] += dc[j] as f64;
             }
         }
-        let m = participants.len().max(1) as f64;
+        let m = arrived.max(1) as f64;
         let mut new_global = global.clone();
         for j in 0..new_global.len() {
             new_global[j] += (sum_dw[j] / m) as f32;
-            self.c_server[j] += ((participants.len() as f64 / n_total as f64) * sum_dc[j] / m) as f32;
+            self.c_server[j] += ((arrived as f64 / n_total as f64) * sum_dc[j] / m) as f32;
         }
         let _ = weighted_average; // (FedAvg-style weighting unused: SCAFFOLD averages uniformly)
         for c in clients.iter_mut() {
@@ -134,11 +138,11 @@ impl Strategy for Scaffold {
         RoundStats {
             mean_loss: loss,
             // SCAFFOLD ships the model update and the control update.
-            bytes_uploaded: participants.len() * (2 * global.len() * 4 + 8),
+            bytes_uploaded: arrived * (2 * global.len() * 4 + 8),
             // Down: every client gets the new model; participants would
             // additionally need the server control next round.
             bytes_downloaded: clients.len() * (global.len() * 4 + 8)
-                + participants.len() * (global.len() * 4 + 8),
+                + arrived * (global.len() * 4 + 8),
         }
     }
 }

@@ -1,0 +1,396 @@
+//! Explicit client/server message transport.
+//!
+//! Before this module a federated "round" was a function call and
+//! `comms.upload_bytes` an accounting fiction. Here the server task and
+//! the client tasks exchange **real bytes**: every local-training request
+//! and every parameter upload crosses a [`Transport`] as a versioned,
+//! CRC-checksummed [`fedgta_graph::io::Envelope`] (`FGTM` framing, the
+//! message sibling of the `FGTA` graph codec). The server aggregates what
+//! it can *decode* — a corrupted upload is rejected by checksum exactly
+//! like a real deployment would reject it, not silently healed.
+//!
+//! The first implementation is the in-process [`ChannelTransport`]
+//! (per-endpoint mailboxes); the trait is deliberately tiny so a
+//! TCP/UDS implementation can slot in without touching the executor.
+//!
+//! ## Determinism
+//!
+//! The transport itself is a dumb byte mover. All failure modes —
+//! drops, delays, corruption, crashes, stragglers — are injected by the
+//! scripted fault layer ([`crate::faults`]), which is a pure function of
+//! the fault seed. Worker threads may deliver uploads to the server's
+//! mailbox in any order; the executor reassembles them by
+//! `(sender, seq)` against the round's script, so results are
+//! bit-identical at any thread count.
+
+use fedgta_graph::io::IoError;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A party on the transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// The aggregation server.
+    Server,
+    /// Client task `i` (the federation index).
+    Client(usize),
+}
+
+/// Sender id encoding the server in the envelope's `u32` sender field.
+pub const SERVER_ID: u32 = u32::MAX;
+
+/// Message kinds carried in [`Envelope::kind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MsgKind {
+    /// Server → client: start local training for this round.
+    TrainRequest = 1,
+    /// Client → server: trained parameters + strategy payload.
+    Upload = 2,
+}
+
+impl MsgKind {
+    /// Parses the envelope discriminant.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(MsgKind::TrainRequest),
+            2 => Some(MsgKind::Upload),
+            _ => None,
+        }
+    }
+}
+
+/// Errors from a transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The destination endpoint does not exist.
+    UnknownEndpoint,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::UnknownEndpoint => write!(f, "unknown transport endpoint"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A byte-message transport between the server and its clients.
+///
+/// Implementations move opaque frames; they do not interpret, reorder
+/// semantically, or repair them. Fault injection lives *above* the
+/// transport (the executor replays a deterministic fault script), so any
+/// implementation — in-process channels today, sockets tomorrow — sees
+/// identical traffic for identical seeds.
+pub trait Transport: Send + Sync {
+    /// Enqueues `frame` for `to`. Never blocks.
+    fn send(&self, to: Endpoint, frame: Vec<u8>) -> Result<(), TransportError>;
+    /// Drains every frame currently queued at `at`, in arrival order.
+    fn drain(&self, at: Endpoint) -> Vec<Vec<u8>>;
+    /// Number of client endpoints.
+    fn num_clients(&self) -> usize;
+}
+
+/// In-process transport: one mailbox per endpoint.
+pub struct ChannelTransport {
+    server: Mutex<VecDeque<Vec<u8>>>,
+    clients: Vec<Mutex<VecDeque<Vec<u8>>>>,
+}
+
+impl ChannelTransport {
+    /// A transport connecting one server with `n` client endpoints.
+    pub fn new(n: usize) -> Self {
+        Self {
+            server: Mutex::new(VecDeque::new()),
+            clients: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+        }
+    }
+
+    fn queue(&self, at: Endpoint) -> Option<&Mutex<VecDeque<Vec<u8>>>> {
+        match at {
+            Endpoint::Server => Some(&self.server),
+            Endpoint::Client(i) => self.clients.get(i),
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&self, to: Endpoint, frame: Vec<u8>) -> Result<(), TransportError> {
+        let q = self.queue(to).ok_or(TransportError::UnknownEndpoint)?;
+        q.lock().unwrap_or_else(|e| e.into_inner()).push_back(frame);
+        Ok(())
+    }
+
+    fn drain(&self, at: Endpoint) -> Vec<Vec<u8>> {
+        match self.queue(at) {
+            Some(q) => q.lock().unwrap_or_else(|e| e.into_inner()).drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+}
+
+/// The transport context of one orchestrated round, handed to the
+/// executor via [`crate::strategies::RoundCtx::comms`]. When present,
+/// [`crate::exec::train_participants`] routes every local-training
+/// request and upload through `transport` as checksummed envelopes,
+/// replaying the round's deterministic fault `script`.
+pub struct CommsRound<'a> {
+    /// Round index (1-based, stamped into envelopes).
+    pub round: usize,
+    /// The byte mover.
+    pub transport: &'a dyn Transport,
+    /// The precomputed fate of every sampled participant.
+    pub script: &'a crate::faults::RoundScript,
+}
+
+/// Flips one bit of `frame` (index taken modulo the frame length) — the
+/// physical corruption the fault layer applies to in-flight envelopes.
+/// [`fedgta_graph::io::Envelope::decode`]'s CRC-32 rejects every such
+/// mutation.
+pub fn corrupt_frame(frame: &mut [u8], bit_seed: u64) {
+    if frame.is_empty() {
+        return;
+    }
+    let bit = (bit_seed % (frame.len() as u64 * 8)) as usize;
+    frame[bit / 8] ^= 1 << (bit % 8);
+}
+
+// ---------------------------------------------------------------------
+// Wire payloads: strategy upload types serialized into envelope bytes.
+// ---------------------------------------------------------------------
+
+/// A value that can cross the transport inside an envelope payload.
+///
+/// Every implementation must round-trip **bit-exactly** — floats are
+/// moved as raw little-endian bit patterns — because the no-fault
+/// transport mode is contractually bit-identical to the in-process
+/// simulator. Lengths are length-prefixed so tuples concatenate safely.
+pub trait WirePayload: Sized {
+    /// Appends the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value from the front of `input`, advancing it.
+    fn decode(input: &mut &[u8]) -> Result<Self, IoError>;
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], IoError> {
+    if input.len() < n {
+        return Err(IoError::Corrupt("payload truncated"));
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+impl WirePayload for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_input: &mut &[u8]) -> Result<Self, IoError> {
+        Ok(())
+    }
+}
+
+impl WirePayload for f32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, IoError> {
+        Ok(f32::from_le_bytes(take(input, 4)?.try_into().unwrap()))
+    }
+}
+
+impl WirePayload for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, IoError> {
+        Ok(f64::from_le_bytes(take(input, 8)?.try_into().unwrap()))
+    }
+}
+
+impl WirePayload for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, IoError> {
+        Ok(u64::from_le_bytes(take(input, 8)?.try_into().unwrap()))
+    }
+}
+
+impl WirePayload for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, IoError> {
+        Ok(u64::decode(input)? as usize)
+    }
+}
+
+impl WirePayload for Vec<f32> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        for v in self {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, IoError> {
+        let n = u64::decode(input)? as usize;
+        let bytes = take(input, n.checked_mul(4).ok_or(IoError::Corrupt("length overflow"))?)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+impl WirePayload for Vec<f64> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        for v in self {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, IoError> {
+        let n = u64::decode(input)? as usize;
+        let bytes = take(input, n.checked_mul(8).ok_or(IoError::Corrupt("length overflow"))?)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+impl<T: WirePayload> WirePayload for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, IoError> {
+        match take(input, 1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(input)?)),
+            _ => Err(IoError::Corrupt("bad option tag")),
+        }
+    }
+}
+
+macro_rules! impl_wire_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: WirePayload),+> WirePayload for ($($name,)+) {
+            fn encode(&self, out: &mut Vec<u8>) {
+                $(self.$idx.encode(out);)+
+            }
+            fn decode(input: &mut &[u8]) -> Result<Self, IoError> {
+                Ok(($($name::decode(input)?,)+))
+            }
+        }
+    };
+}
+impl_wire_tuple!(A: 0, B: 1);
+impl_wire_tuple!(A: 0, B: 1, C: 2);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// Encodes one client upload — local loss plus the strategy payload —
+/// into envelope payload bytes.
+pub fn encode_upload<R: WirePayload>(loss: f32, payload: &R) -> Vec<u8> {
+    let mut out = Vec::new();
+    loss.encode(&mut out);
+    payload.encode(&mut out);
+    out
+}
+
+/// Decodes an upload produced by [`encode_upload`]. Trailing bytes are an
+/// error: a frame that decodes short is as suspect as one that truncates.
+pub fn decode_upload<R: WirePayload>(mut bytes: &[u8]) -> Result<(f32, R), IoError> {
+    let loss = f32::decode(&mut bytes)?;
+    let payload = R::decode(&mut bytes)?;
+    if !bytes.is_empty() {
+        return Err(IoError::Corrupt("trailing payload bytes"));
+    }
+    Ok((loss, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedgta_graph::io::Envelope;
+
+    #[test]
+    fn channel_transport_delivers_in_order_per_endpoint() {
+        let t = ChannelTransport::new(2);
+        t.send(Endpoint::Client(0), vec![1]).unwrap();
+        t.send(Endpoint::Client(0), vec![2]).unwrap();
+        t.send(Endpoint::Client(1), vec![3]).unwrap();
+        t.send(Endpoint::Server, vec![4]).unwrap();
+        assert_eq!(t.drain(Endpoint::Client(0)), vec![vec![1], vec![2]]);
+        assert!(t.drain(Endpoint::Client(0)).is_empty());
+        assert_eq!(t.drain(Endpoint::Client(1)), vec![vec![3]]);
+        assert_eq!(t.drain(Endpoint::Server), vec![vec![4]]);
+        assert_eq!(t.num_clients(), 2);
+    }
+
+    #[test]
+    fn unknown_endpoint_errors() {
+        let t = ChannelTransport::new(1);
+        assert_eq!(
+            t.send(Endpoint::Client(5), vec![0]),
+            Err(TransportError::UnknownEndpoint)
+        );
+        assert!(t.drain(Endpoint::Client(5)).is_empty());
+    }
+
+    #[test]
+    fn upload_roundtrip_is_bit_exact() {
+        // The FedGTA-shaped payload: params, confidence, sketch, n_train.
+        let payload = (
+            vec![1.5f32, -0.0, f32::MIN_POSITIVE, 3.25e-7],
+            0.123456789f64,
+            vec![9.75f32, 0.5],
+            42usize,
+        );
+        let bytes = encode_upload(0.625f32, &payload);
+        let (loss, back): (f32, (Vec<f32>, f64, Vec<f32>, usize)) =
+            decode_upload(&bytes).unwrap();
+        assert_eq!(loss.to_bits(), 0.625f32.to_bits());
+        assert_eq!(back.0.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                   payload.0.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+        assert_eq!(back.1.to_bits(), payload.1.to_bits());
+        assert_eq!(back.3, 42);
+    }
+
+    #[test]
+    fn short_and_trailing_payloads_rejected() {
+        let bytes = encode_upload(1.0f32, &(vec![1.0f32], 2.0f64));
+        assert!(decode_upload::<(Vec<f32>, f64)>(&bytes[..bytes.len() - 1]).is_err());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_upload::<(Vec<f32>, f64)>(&long).is_err());
+        // Decoding as the wrong shape fails rather than aliasing.
+        assert!(decode_upload::<(Vec<f32>, f64, Vec<f32>, usize)>(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupt_frame_flips_exactly_one_bit() {
+        let clean = Envelope { kind: 1, round: 1, sender: 0, seq: 0, payload: vec![0; 8] }.encode();
+        for seed in [0u64, 13, 255, u64::MAX] {
+            let mut bad = clean.clone();
+            corrupt_frame(&mut bad, seed);
+            let diff: u32 = clean
+                .iter()
+                .zip(&bad)
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            assert_eq!(diff, 1);
+            assert!(Envelope::decode(&bad).is_err());
+        }
+    }
+}

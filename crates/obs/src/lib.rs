@@ -48,6 +48,14 @@ use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Trace schema identifier written as the first JSONL line and checked by
 /// the parser. Bump on breaking event-shape changes.
+///
+/// Schema history (additive changes do not bump the version — readers
+/// must tolerate unknown fields and default missing ones to zero):
+/// - `fedgta-trace/1`: initial shape.
+/// - `fedgta-trace/1` (comms update): round spans gained optional
+///   `completed` / `dropped` / `retries` fields recording how many
+///   sampled clients finished vs. were lost to faults or straggler
+///   deadlines, and how many transport retries the round incurred.
 pub const TRACE_SCHEMA: &str = "fedgta-trace/1";
 
 /// Process-global observability level.

@@ -393,6 +393,14 @@ pub struct RoundRow {
     pub bytes_down: u64,
     /// Participants (from `participants`).
     pub participants: u64,
+    /// Participants whose uploads were accepted and aggregated (from
+    /// `completed`; equals `participants` on fault-free runs).
+    pub completed: u64,
+    /// Sampled participants whose updates never made the aggregate
+    /// (from `dropped`).
+    pub dropped: u64,
+    /// Message retransmissions this round (from `retries`).
+    pub retries: u64,
 }
 
 /// Per-client `client_train` aggregate.
@@ -512,6 +520,12 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
                         .get("participants")
                         .and_then(JsonVal::as_u64)
                         .unwrap_or(0),
+                    completed: fields
+                        .get("completed")
+                        .and_then(JsonVal::as_u64)
+                        .unwrap_or(0),
+                    dropped: fields.get("dropped").and_then(JsonVal::as_u64).unwrap_or(0),
+                    retries: fields.get("retries").and_then(JsonVal::as_u64).unwrap_or(0),
                     ..RoundRow::default()
                 });
             }
@@ -631,15 +645,19 @@ pub fn render_report(s: &TraceSummary) -> String {
     if !s.rounds.is_empty() {
         out.push_str("\nper-round breakdown (ms):\n");
         out.push_str(&format!(
-            "{:<6} {:<14} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
-            "round", "strategy", "parts", "total", "train", "aggregate", "eval", "up", "down"
+            "{:<6} {:<14} {:>6} {:>4} {:>5} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "round", "strategy", "parts", "ok", "drop", "rty", "total", "train", "aggregate",
+            "eval", "up", "down"
         ));
         for r in &s.rounds {
             out.push_str(&format!(
-                "{:<6} {:<14} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "{:<6} {:<14} {:>6} {:>4} {:>5} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
                 r.round,
                 if r.strategy.is_empty() { "-" } else { &r.strategy },
                 r.participants,
+                r.completed,
+                r.dropped,
+                r.retries,
                 fmt_ms(r.total_ns),
                 fmt_ms(r.train_ns),
                 fmt_ms(r.aggregate_ns),
