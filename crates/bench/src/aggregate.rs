@@ -231,17 +231,20 @@ pub fn run(quick: bool, counter: Option<AllocCounter>) -> AggregateReport {
 }
 
 /// Hand-rolled JSON (the vendored serde shim is a no-op, so the report
-/// serializes itself).
+/// serializes itself). Floats route through [`crate::format::json_fixed`]
+/// so a NaN cell (e.g. a timing ratio on a degenerate grid) renders as
+/// `null` instead of breaking the parser.
 pub fn to_json(r: &AggregateReport) -> String {
+    use crate::format::{json_fixed, json_str};
     let mut s = String::with_capacity(2048);
     s.push_str("{\n");
-    s.push_str(&format!("  \"mode\": \"{}\",\n", r.mode));
+    s.push_str(&format!("  \"mode\": {},\n", json_str(r.mode)));
     s.push_str(&format!("  \"cores\": {},\n", r.cores));
     s.push_str(&format!(
         "  \"headline\": {{\"participants\": {}, \"plen\": {}}},\n",
         r.headline.0, r.headline.1
     ));
-    s.push_str(&format!("  \"speedup_4v1\": {:.3},\n", r.speedup_4v1));
+    s.push_str(&format!("  \"speedup_4v1\": {},\n", json_fixed(r.speedup_4v1, 3)));
     s.push_str(&format!("  \"bit_identical\": {},\n", r.bit_identical));
     s.push_str("  \"results\": [\n");
     for (i, c) in r.results.iter().enumerate() {
@@ -251,12 +254,12 @@ pub fn to_json(r: &AggregateReport) -> String {
         };
         s.push_str(&format!(
             "    {{\"participants\": {}, \"plen\": {}, \"threads\": {}, \
-             \"ns_per_call\": {:.0}, \"gbps\": {:.4}, \"allocs_per_call\": {}}}{}\n",
+             \"ns_per_call\": {}, \"gbps\": {}, \"allocs_per_call\": {}}}{}\n",
             c.participants,
             c.plen,
             c.threads,
-            c.ns_per_call,
-            c.gbps,
+            json_fixed(c.ns_per_call, 0),
+            json_fixed(c.gbps, 4),
             allocs,
             if i + 1 < r.results.len() { "," } else { "" }
         ));

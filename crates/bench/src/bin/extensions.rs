@@ -47,6 +47,8 @@ fn run_once(dataset: &str, strategy: Box<dyn Strategy>, rounds: usize, seed: u64
     best_accuracy(&sim.run())
 }
 
+type VariantRow = (&'static str, Box<dyn Fn() -> Box<dyn Strategy>>);
+
 fn mean_std(xs: &[f64]) -> (f64, f64) {
     let n = xs.len() as f64;
     let m = xs.iter().sum::<f64>() / n;
@@ -62,7 +64,7 @@ fn main() {
         vec!["cora", "amazon-photo"]
     };
     let (rounds, runs) = if full { (60, 3) } else { (25, 2) };
-    let variants: Vec<(&str, Box<dyn Fn() -> Box<dyn Strategy>>)> = vec![
+    let variants: Vec<VariantRow> = vec![
         (
             "FedGTA (fixed ε=0.5)",
             Box::new(|| Box::new(FedGta::with_defaults()) as Box<dyn Strategy>),

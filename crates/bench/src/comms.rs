@@ -1,0 +1,372 @@
+//! Upload-codec communication benchmark: the bytes-vs-accuracy Pareto
+//! sweep behind `BENCH_COMMS.json` (`fedgta-cli bench comms`).
+//!
+//! Each cell arms one codec chain on one strategy over the cora/SGC
+//! 10-client federation and runs the full transport round (fault-free,
+//! so every upload is metered on the real wire path). Per cell the
+//! sweep records:
+//!
+//! - **wire_reduction** — `Σ bytes_raw / Σ bytes_encoded`, the honest
+//!   end-to-end upload-byte ratio. The coded frame still carries the
+//!   scalar fields (loss, confidence, `n_train`) and per-tensor codec
+//!   metadata, so pure `quant-i8` lands just under the 4.0× value ratio
+//!   (~3.98× at cora scale); chains with top-k sparsification clear it
+//!   by a wide margin.
+//! - **value_compression** — the analytic bits-per-value ratio of the
+//!   quantizer alone (32/8 = 4.0 for `quant-i8`, 32/16 = 2.0 for
+//!   `quant-f16`), `null` for chains whose ratio depends on tensor
+//!   shape (top-k).
+//! - **best_acc / acc_delta_pp** — best global test accuracy and its
+//!   delta (percentage points) against the plain-upload baseline of the
+//!   same strategy.
+//!
+//! Every cell is run at 1 and 4 worker threads and hard-asserts
+//! bit-identical records; lossless cells additionally assert their
+//! loss/accuracy trajectories are bitwise equal to the plain baseline.
+
+use crate::format::{json_f64, json_fixed, json_str, Table};
+use crate::runner::{make_strategy, partition_benchmark, SplitKind};
+use fedgta_data::load_benchmark;
+use fedgta_fed::client::{build_clients, ClientBuildConfig};
+use fedgta_fed::round::{best_accuracy, CommsConfig, RoundRecord, SimConfig, Simulation};
+use fedgta_fed::CodecSpec;
+use fedgta_nn::models::{ModelConfig, ModelKind};
+
+/// One benched cell: a `(strategy, codec)` pair.
+#[derive(Debug, Clone)]
+pub struct CommsResult {
+    /// Strategy name.
+    pub strategy: String,
+    /// Canonical codec chain name (`"none"` = plain uploads).
+    pub codec: String,
+    /// Whether the chain is lossless (plain and identity chains).
+    pub lossless: bool,
+    /// Total raw upload bytes across all rounds (plain encoding of the
+    /// same payloads, metered on the wire path).
+    pub bytes_raw: u64,
+    /// Total encoded upload bytes actually framed.
+    pub bytes_encoded: u64,
+    /// `bytes_raw / bytes_encoded`.
+    pub wire_reduction: f64,
+    /// Analytic bits-per-value ratio of the quantizer (`None` when the
+    /// chain's ratio is shape-dependent, e.g. top-k).
+    pub value_compression: Option<f64>,
+    /// Best global test accuracy over the run.
+    pub best_acc: f64,
+    /// `100·(best_acc − baseline_best_acc)` vs the same strategy's
+    /// plain-upload cell.
+    pub acc_delta_pp: f64,
+    /// 1-thread vs 4-thread records bitwise equal (hard-asserted).
+    pub bit_identical_threads: bool,
+    /// For lossless chains: trajectory bitwise equal to the plain cell
+    /// (`None` for lossy chains, where equality is not a contract).
+    pub matches_plain: Option<bool>,
+}
+
+/// The full report.
+#[derive(Debug, Clone)]
+pub struct CommsReport {
+    /// `"quick"` or `"full"`.
+    pub mode: &'static str,
+    /// Dataset the sweep ran on.
+    pub dataset: &'static str,
+    /// Communication rounds per cell.
+    pub rounds: usize,
+    /// All cells, grouped by strategy in sweep order.
+    pub results: Vec<CommsResult>,
+}
+
+/// The codec chains the sweep covers (plain baseline first).
+pub const CODECS: &[&str] = &[
+    "none",
+    "identity",
+    "quant-f16",
+    "quant-i8",
+    "topk=64",
+    "topk=64+quant-i8",
+];
+
+struct Grid {
+    strategies: Vec<&'static str>,
+    codecs: Vec<&'static str>,
+    rounds: usize,
+    epochs: usize,
+    clients: usize,
+}
+
+impl Grid {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Self {
+                strategies: vec!["FedGTA"],
+                codecs: vec!["none", "quant-i8", "topk=64+quant-i8"],
+                rounds: 3,
+                epochs: 1,
+                clients: 6,
+            }
+        } else {
+            Self {
+                strategies: vec!["FedAvg", "FedGTA"],
+                codecs: CODECS.to_vec(),
+                rounds: 20,
+                epochs: 2,
+                clients: 10,
+            }
+        }
+    }
+}
+
+/// Runs one `(strategy, codec, threads)` simulation over the transport
+/// path and returns its records. Fault-free `CommsConfig`, so every
+/// scheduled upload is delivered and metered.
+fn run_sim(grid: &Grid, strategy: &str, codec: Option<&str>, threads: usize) -> Vec<RoundRecord> {
+    let seed = 7u64;
+    let bench = load_benchmark("cora", seed).expect("known dataset");
+    let parts = partition_benchmark(&bench, SplitKind::Louvain, grid.clients, seed);
+    let clients = build_clients(
+        &bench,
+        &parts,
+        &ClientBuildConfig {
+            model: ModelConfig {
+                kind: ModelKind::Sgc,
+                hidden: 32,
+                layers: 1,
+                k: 5,
+                beta: 0.15,
+                batch_size: 256,
+                seed,
+                ..ModelConfig::default()
+            },
+            lr: 0.02,
+            weight_decay: 5e-4,
+            halo: false,
+        },
+    );
+    let codec = codec.map(|c| CodecSpec::parse(c).expect("valid codec spec"));
+    let mut sim = Simulation::new(
+        clients,
+        make_strategy(strategy),
+        SimConfig {
+            rounds: grid.rounds,
+            local_epochs: grid.epochs,
+            participation: 1.0,
+            eval_every: 1,
+            seed,
+            threads,
+        },
+    )
+    .with_comms(CommsConfig {
+        codec,
+        ..CommsConfig::default()
+    });
+    sim.run()
+}
+
+/// Bitwise equality of the fields the determinism contract covers
+/// (loss/accuracy bit patterns, participation, every byte counter).
+fn records_identical(a: &[RoundRecord], b: &[RoundRecord]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.round == y.round
+                && x.mean_loss.to_bits() == y.mean_loss.to_bits()
+                && x.test_acc.map(f64::to_bits) == y.test_acc.map(f64::to_bits)
+                && x.bytes_uploaded == y.bytes_uploaded
+                && x.bytes_uploaded_raw == y.bytes_uploaded_raw
+                && x.bytes_uploaded_encoded == y.bytes_uploaded_encoded
+                && x.participants_completed == y.participants_completed
+                && x.participants_dropped == y.participants_dropped
+        })
+}
+
+/// Learning-trajectory equality only (loss/accuracy bits) — what a
+/// lossless codec owes the plain baseline. Byte counters legitimately
+/// differ: the coded frame carries the codec header and per-tensor
+/// metadata even when the values are untouched.
+fn trajectories_identical(a: &[RoundRecord], b: &[RoundRecord]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.mean_loss.to_bits() == y.mean_loss.to_bits()
+                && x.test_acc.map(f64::to_bits) == y.test_acc.map(f64::to_bits)
+        })
+}
+
+/// Analytic bits-per-value ratio when the chain is a bare quantizer.
+fn value_compression(codec: &str) -> Option<f64> {
+    match codec {
+        "none" | "identity" => Some(1.0),
+        "quant-f16" => Some(2.0),
+        "quant-i8" => Some(4.0),
+        _ => None,
+    }
+}
+
+/// Runs the sweep. `quick` is the CI smoke grid.
+pub fn run(quick: bool) -> CommsReport {
+    let grid = Grid::new(quick);
+    let mut results = Vec::new();
+    for strategy in &grid.strategies {
+        let mut baseline: Option<(Vec<RoundRecord>, f64)> = None;
+        for codec_name in &grid.codecs {
+            let codec = (*codec_name != "none").then_some(*codec_name);
+            let spec = codec.map(|c| CodecSpec::parse(c).expect("valid codec spec"));
+            let lossless = spec.as_ref().is_none_or(CodecSpec::is_lossless);
+            let r1 = run_sim(&grid, strategy, codec, 1);
+            let r4 = run_sim(&grid, strategy, codec, 4);
+            let bit_identical_threads = records_identical(&r1, &r4);
+            assert!(
+                bit_identical_threads,
+                "{strategy} × {codec_name}: 1-thread and 4-thread records differ bitwise"
+            );
+            let best = best_accuracy(&r1);
+            let matches_plain = match (&baseline, lossless) {
+                (Some((base, _)), true) => {
+                    let same = trajectories_identical(&r1, base);
+                    assert!(
+                        same,
+                        "{strategy} × {codec_name}: lossless codec diverged from plain uploads"
+                    );
+                    Some(same)
+                }
+                _ => None,
+            };
+            let acc_delta_pp = match &baseline {
+                Some((_, base_best)) => 100.0 * (best - base_best),
+                None => 0.0,
+            };
+            let bytes_raw: u64 = r1.iter().map(|r| r.bytes_uploaded_raw as u64).sum();
+            let bytes_encoded: u64 = r1.iter().map(|r| r.bytes_uploaded_encoded as u64).sum();
+            results.push(CommsResult {
+                strategy: strategy.to_string(),
+                codec: spec.as_ref().map_or_else(|| "none".to_string(), CodecSpec::name),
+                lossless,
+                bytes_raw,
+                bytes_encoded,
+                wire_reduction: bytes_raw as f64 / bytes_encoded as f64,
+                value_compression: value_compression(codec_name),
+                best_acc: best,
+                acc_delta_pp,
+                bit_identical_threads,
+                matches_plain,
+            });
+            if baseline.is_none() {
+                baseline = Some((r1, best));
+            }
+        }
+    }
+    CommsReport {
+        mode: if quick { "quick" } else { "full" },
+        dataset: "cora",
+        rounds: grid.rounds,
+        results,
+    }
+}
+
+/// Hand-rolled JSON via the [`crate::format`] helpers (escaped strings,
+/// NaN/Inf as `null`).
+pub fn to_json(r: &CommsReport) -> String {
+    let mut s = String::with_capacity(4096);
+    s.push_str("{\n");
+    s.push_str(&format!("  \"mode\": {},\n", json_str(r.mode)));
+    s.push_str(&format!("  \"dataset\": {},\n", json_str(r.dataset)));
+    s.push_str(&format!("  \"rounds\": {},\n", r.rounds));
+    s.push_str("  \"results\": [\n");
+    for (i, c) in r.results.iter().enumerate() {
+        let vc = match c.value_compression {
+            Some(v) => json_fixed(v, 1),
+            None => "null".to_string(),
+        };
+        let mp = match c.matches_plain {
+            Some(b) => b.to_string(),
+            None => "null".to_string(),
+        };
+        s.push_str(&format!(
+            "    {{\"strategy\": {}, \"codec\": {}, \"lossless\": {}, \
+             \"bytes_raw\": {}, \"bytes_encoded\": {}, \"wire_reduction\": {}, \
+             \"value_compression\": {}, \"best_acc\": {}, \"acc_delta_pp\": {}, \
+             \"bit_identical_threads\": {}, \"matches_plain\": {}}}{}\n",
+            json_str(&c.strategy),
+            json_str(&c.codec),
+            c.lossless,
+            c.bytes_raw,
+            c.bytes_encoded,
+            json_fixed(c.wire_reduction, 3),
+            vc,
+            json_f64(c.best_acc),
+            json_fixed(c.acc_delta_pp, 2),
+            c.bit_identical_threads,
+            mp,
+            if i + 1 < r.results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Plain-text Pareto table for terminal output.
+pub fn render_table(r: &CommsReport) -> String {
+    let mut t = Table::new(&[
+        "strategy",
+        "codec",
+        "raw KiB",
+        "enc KiB",
+        "wire x",
+        "value x",
+        "best acc",
+        "Δpp",
+        "1t=4t",
+    ]);
+    for c in &r.results {
+        t.row(vec![
+            c.strategy.clone(),
+            c.codec.clone(),
+            format!("{:.1}", c.bytes_raw as f64 / 1024.0),
+            format!("{:.1}", c.bytes_encoded as f64 / 1024.0),
+            format!("{:.2}", c.wire_reduction),
+            c.value_compression
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
+            format!("{:.3}", c.best_acc),
+            format!("{:+.2}", c.acc_delta_pp),
+            if c.bit_identical_threads { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    format!(
+        "comms bench ({} mode, {} rounds on {})\n{}",
+        r.mode,
+        r.rounds,
+        r.dataset,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_meters_compression_and_stays_deterministic() {
+        let r = run(true);
+        assert_eq!(r.results.len(), 3);
+        let plain = &r.results[0];
+        assert_eq!(plain.codec, "none");
+        // Plain uploads: encoded path IS the raw path.
+        assert_eq!(plain.bytes_raw, plain.bytes_encoded);
+        let i8c = &r.results[1];
+        assert_eq!(i8c.codec, "quant-i8");
+        assert!(
+            i8c.wire_reduction > 3.5,
+            "quant-i8 wire reduction {}",
+            i8c.wire_reduction
+        );
+        let chain = &r.results[2];
+        assert!(
+            chain.wire_reduction > i8c.wire_reduction,
+            "topk chain should beat bare quant-i8"
+        );
+        assert!(r.results.iter().all(|c| c.bit_identical_threads));
+        let json = to_json(&r);
+        assert!(json.contains("\"wire_reduction\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let table = render_table(&r);
+        assert!(table.contains("quant-i8"));
+    }
+}

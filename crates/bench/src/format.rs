@@ -1,8 +1,55 @@
-//! Plain-text table rendering for the experiment binaries.
+//! Plain-text table rendering and JSON emission helpers for the
+//! experiment binaries (the vendored serde shim is a no-op, so every
+//! report serializes itself by hand — these helpers keep that output
+//! machine-parseable).
 
 /// `mean ± std` in percent, matching the paper's table cells.
 pub fn fmt_pm(mean: f64, std: f64) -> String {
     format!("{:.1}±{:.1}", 100.0 * mean, 100.0 * std)
+}
+
+/// Escapes `s` for use inside a JSON string literal (quotes/backslashes
+/// escaped, control characters as `\u00XX`; surrounding quotes not
+/// included).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A quoted, escaped JSON string literal.
+pub fn json_str(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
+/// A JSON number: finite values via `{}` (round-trip formatting),
+/// NaN/Inf as `null` — JSON has no non-finite literals, and a bare
+/// `NaN` in a report breaks every parser downstream.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A fixed-decimal JSON number; NaN/Inf render as `null`.
+pub fn json_fixed(v: f64, decimals: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.decimals$}")
+    } else {
+        "null".to_string()
+    }
 }
 
 /// A simple aligned text table.
@@ -73,6 +120,26 @@ mod tests {
     #[test]
     fn fmt_pm_is_percent() {
         assert_eq!(fmt_pm(0.823, 0.004), "82.3±0.4");
+    }
+
+    #[test]
+    fn json_strings_escape_hostile_input() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_str("x\"y"), "\"x\\\"y\"");
+    }
+
+    #[test]
+    fn json_numbers_render_nonfinite_as_null() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "null");
+        assert_eq!(json_fixed(1.23456, 3), "1.235");
+        assert_eq!(json_fixed(f64::NAN, 3), "null");
+        assert_eq!(json_fixed(f64::INFINITY, 0), "null");
     }
 
     #[test]

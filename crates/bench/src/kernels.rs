@@ -356,20 +356,23 @@ pub fn run(quick: bool, counter: Option<AllocCounter>) -> KernelReport {
 }
 
 /// Hand-rolled JSON (the vendored serde shim is a no-op, so the report
-/// serializes itself).
+/// serializes itself). Strings go through [`crate::format::json_str`] and
+/// floats through [`crate::format::json_fixed`] so hostile names and
+/// NaN/Inf cells cannot break the artifact.
 pub fn to_json(r: &KernelReport) -> String {
+    use crate::format::{json_fixed, json_str};
     let mut s = String::with_capacity(4096);
     s.push_str("{\n");
-    s.push_str(&format!("  \"mode\": \"{}\",\n", r.mode));
+    s.push_str(&format!("  \"mode\": {},\n", json_str(r.mode)));
     s.push_str(&format!("  \"threads\": {},\n", r.threads));
     s.push_str(&format!("  \"anchor_dim\": {},\n", r.anchor_dim));
     s.push_str(&format!(
-        "  \"matmul_speedup_vs_naive\": {:.3},\n",
-        r.matmul_speedup_vs_naive
+        "  \"matmul_speedup_vs_naive\": {},\n",
+        json_fixed(r.matmul_speedup_vs_naive, 3)
     ));
     s.push_str(&format!(
-        "  \"obs_overhead_pct\": {:.3},\n",
-        r.obs_overhead_pct
+        "  \"obs_overhead_pct\": {},\n",
+        json_fixed(r.obs_overhead_pct, 3)
     ));
     s.push_str("  \"results\": [\n");
     for (i, k) in r.results.iter().enumerate() {
@@ -378,15 +381,15 @@ pub fn to_json(r: &KernelReport) -> String {
             None => "null".to_string(),
         };
         s.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"variant\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
-             \"gflops\": {:.4}, \"ns_per_call\": {:.0}, \"allocs_per_call\": {}}}{}\n",
-            k.kernel,
-            k.variant,
+            "    {{\"kernel\": {}, \"variant\": {}, \"m\": {}, \"k\": {}, \"n\": {}, \
+             \"gflops\": {}, \"ns_per_call\": {}, \"allocs_per_call\": {}}}{}\n",
+            json_str(k.kernel),
+            json_str(k.variant),
             k.m,
             k.k,
             k.n,
-            k.gflops,
-            k.ns_per_call,
+            json_fixed(k.gflops, 4),
+            json_fixed(k.ns_per_call, 0),
             allocs,
             if i + 1 < r.results.len() { "," } else { "" }
         ));

@@ -8,6 +8,7 @@
 
 pub mod aggregate;
 pub mod alloc;
+pub mod comms;
 pub mod format;
 pub mod kernels;
 pub mod plot;

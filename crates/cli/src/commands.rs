@@ -6,6 +6,7 @@ use fedgta_data::{load_benchmark, save_benchmark, SPECS};
 use fedgta_fed::client::{build_clients, ClientBuildConfig};
 use fedgta_fed::faults::FaultConfig;
 use fedgta_fed::round::{best_accuracy, CommsConfig, SimConfig, Simulation, TransportMode};
+use fedgta_fed::CodecSpec;
 use fedgta_graph::metrics::{degree_stats, edge_homophily};
 use fedgta_nn::models::{ModelConfig, ModelKind};
 use std::error::Error;
@@ -57,6 +58,13 @@ USAGE:
                         accept the first k arrivals; default 1.0)
                        [--max-resamples N]     (bounded re-sampling attempts
                         after a quorum failure; default 2)
+                       [--codec <chain>]       (upload codec chain, '+'-joined:
+                        identity, quant-i8, quant-f16, topk[=N] — e.g.
+                        'topk=64+quant-i8'. 'none' (default) = plain uploads;
+                        lossless chains are bit-identical to plain. Implies
+                        --transport channel)
+                       [--codec-arg k=N]       (codec parameter overrides;
+                        'k' sets TopK's kept-entry count)
   fedgta-cli report <trace.jsonl>
                        (per-round / per-client / per-strategy latency and
                         byte tables from a --trace-out file)
@@ -67,7 +75,12 @@ USAGE:
                        (server-round microbench: parallel similarity +
                         blocked personalized aggregation over participants
                         x parameter-length, 1 vs 4 threads, bit-identity
-                        checked on every cell)",
+                        checked on every cell)
+  fedgta-cli bench comms [--mode quick|full] [--out <file.json>]
+                       (bytes-vs-accuracy Pareto sweep of upload codecs x
+                        strategies on cora; every cell checked bit-identical
+                        at 1 vs 4 threads, lossless cells checked against
+                        the plain-upload baseline)",
         STRATEGY_NAMES.join("|")
     );
 }
@@ -75,11 +88,12 @@ USAGE:
 /// `bench kernels` / `bench aggregate`: run a microbenchmark suite.
 pub fn bench(a: &Args) -> CliResult {
     let suite = match a.subcommand.as_deref() {
-        Some(s @ ("kernels" | "aggregate")) => s,
+        Some(s @ ("kernels" | "aggregate" | "comms")) => s,
         Some(other) => {
-            return Err(
-                format!("unknown bench suite '{other}' (try 'kernels' or 'aggregate')").into(),
+            return Err(format!(
+                "unknown bench suite '{other}' (try 'kernels', 'aggregate' or 'comms')"
             )
+            .into())
         }
         None => return Err("bench needs a suite, e.g. 'fedgta-cli bench kernels'".into()),
     };
@@ -98,6 +112,13 @@ pub fn bench(a: &Args) -> CliResult {
             (
                 fedgta_bench::kernels::render_table(&report),
                 fedgta_bench::kernels::to_json(&report),
+            )
+        }
+        "comms" => {
+            let report = fedgta_bench::comms::run(quick);
+            (
+                fedgta_bench::comms::render_table(&report),
+                fedgta_bench::comms::to_json(&report),
             )
         }
         _ => {
@@ -183,18 +204,33 @@ pub fn report(a: &Args) -> CliResult {
 }
 
 /// Builds the transport/robustness config from `--transport`, `--faults`,
-/// `--fault-seed`, `--deadline`, `--min-quorum`, `--oversample` and
-/// `--max-resamples`. Returns `None` for the direct (pre-transport)
-/// message path. The transport defaults to `channel` as soon as any
-/// robustness flag is present, so `--faults drop=0.1` alone "just works".
+/// `--fault-seed`, `--deadline`, `--min-quorum`, `--oversample`,
+/// `--max-resamples`, `--codec` and `--codec-arg`. Returns `None` for
+/// the direct (pre-transport) message path. The transport defaults to
+/// `channel` as soon as any robustness or codec flag is present, so
+/// `--faults drop=0.1` or `--codec quant-i8` alone "just works".
 fn parse_comms(a: &Args) -> Result<Option<CommsConfig>, Box<dyn Error>> {
-    let robust_flags = ["faults", "fault-seed", "deadline", "min-quorum", "oversample", "max-resamples"];
-    let any_robust = robust_flags.iter().any(|k| a.str_opt(k).is_some());
+    let robust_flags = [
+        "faults", "fault-seed", "deadline", "min-quorum", "oversample", "max-resamples",
+        "codec", "codec-arg",
+    ];
+    // `--codec none` is an explicit request for plain uploads, not a
+    // robustness flag — it must not flip the transport default.
+    let any_robust = robust_flags.iter().any(|k| {
+        a.str_opt(k).is_some_and(|v| !(*k == "codec" && v == "none"))
+    });
+    let codec = match a.str_opt("codec") {
+        None | Some("none") => None,
+        Some(spec) => Some(CodecSpec::parse_with(spec, &a.str_or("codec-arg", ""))?),
+    };
+    if codec.is_none() && a.str_opt("codec-arg").is_some() {
+        return Err("--codec-arg needs a --codec chain".into());
+    }
     let transport = a.str_or("transport", if any_robust { "channel" } else { "direct" });
     match transport.as_str() {
         "direct" => {
             if any_robust {
-                return Err("--transport direct is incompatible with fault/robustness flags".into());
+                return Err("--transport direct is incompatible with fault/robustness/codec flags".into());
             }
             Ok(None)
         }
@@ -212,6 +248,7 @@ fn parse_comms(a: &Args) -> Result<Option<CommsConfig>, Box<dyn Error>> {
                 min_quorum: a.num_or("min-quorum", defaults.min_quorum)?,
                 oversample: a.num_or("oversample", defaults.oversample)?,
                 max_resamples: a.num_or("max-resamples", defaults.max_resamples)?,
+                codec,
             }))
         }
         other => Err(format!("unknown --transport '{other}' (direct|channel)").into()),
@@ -386,6 +423,13 @@ pub fn run(a: &Args) -> CliResult {
             cc.faults.crash,
             cc.faults.delay_ms,
         );
+        if let Some(spec) = &cc.codec {
+            println!(
+                "codec: {} ({})",
+                spec.name(),
+                if spec.is_lossless() { "lossless — bit-identical to plain uploads" } else { "lossy" },
+            );
+        }
     }
     let mut sim = Simulation::new(
         clients,
@@ -454,6 +498,14 @@ pub fn run(a: &Args) -> CliResult {
             "comms: {completed} uploads accepted, {dropped} participants lost, {retries} retries, {skipped} rounds skipped; fault events: {} ({breakdown})",
             sim.fault_events.len(),
         );
+        if comms.as_ref().is_some_and(|cc| cc.codec.is_some()) {
+            let raw: u64 = records.iter().map(|r| r.bytes_uploaded_raw as u64).sum();
+            let enc: u64 = records.iter().map(|r| r.bytes_uploaded_encoded as u64).sum();
+            println!(
+                "codec: {raw} raw upload bytes → {enc} on the wire ({:.2}x reduction)",
+                raw as f64 / (enc.max(1)) as f64,
+            );
+        }
     }
     finish_obs(&obs)?;
     if let Some(path) = a.str_opt("save-params") {
@@ -559,6 +611,40 @@ mod tests {
         assert!(parse_comms(&args(&["run", "--transport", "direct", "--faults", "drop=0.1"])).is_err());
         assert!(parse_comms(&args(&["run", "--transport", "postal"])).is_err());
         assert!(parse_comms(&args(&["run", "--faults", "drop=2.0"])).is_err());
+    }
+
+    #[test]
+    fn codec_flags_parse_and_validate() {
+        // --codec alone flips the transport default to 'channel'.
+        let cc = parse_comms(&args(&["run", "--codec", "quant-i8"])).unwrap().unwrap();
+        assert_eq!(cc.codec.as_ref().unwrap().name(), "quant-i8");
+        // --codec-arg overrides TopK's k.
+        let cc = parse_comms(&args(&["run", "--codec", "topk+quant-i8", "--codec-arg", "k=32"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(cc.codec.as_ref().unwrap().name(), "topk=32+quant-i8");
+        // 'none' means plain uploads and leaves the transport on 'direct'.
+        assert!(parse_comms(&args(&["run", "--codec", "none"])).unwrap().is_none());
+        // Explicit channel + 'none' keeps the transport but arms no codec.
+        let cc = parse_comms(&args(&["run", "--transport", "channel", "--codec", "none"]))
+            .unwrap()
+            .unwrap();
+        assert!(cc.codec.is_none());
+        // Invalid chains and orphan --codec-arg are rejected.
+        assert!(parse_comms(&args(&["run", "--codec", "zip"])).is_err());
+        assert!(parse_comms(&args(&["run", "--codec", "quant-i8+quant-f16"])).is_err());
+        assert!(parse_comms(&args(&["run", "--codec-arg", "k=8"])).is_err());
+        assert!(parse_comms(&args(&["run", "--transport", "direct", "--codec", "quant-i8"])).is_err());
+    }
+
+    #[test]
+    fn coded_run_completes() {
+        let _g = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let a = args(&[
+            "run", "--dataset", "cora", "--strategy", "FedGTA", "--model", "sgc", "--rounds", "2",
+            "--clients", "4", "--codec", "topk=64+quant-i8",
+        ]);
+        run(&a).unwrap();
     }
 
     #[test]

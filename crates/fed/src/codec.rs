@@ -1,0 +1,874 @@
+//! Composable upload codecs: quantization + sparsification for the
+//! client→server leg.
+//!
+//! Uploads dominate federated graph learning at production scale. This
+//! module compresses them the way [`crate::strategies::privacy`] adds DP
+//! noise: as a wrapper the strategy never sees. Clients encode their
+//! [`crate::transport::WirePayload`] *before* the envelope CRC, the
+//! server decodes *after* CRC acceptance, and the fault layer's
+//! drop/corrupt semantics apply to the encoded frame — exactly what a
+//! real deployment's compression layer would look like on the wire.
+//!
+//! ## Design
+//!
+//! A codec is a chain of **stages** transforming a typed intermediate
+//! [`Repr`] — a tensor that is dense or sparse (kept indices) with
+//! values stored as f32, f16 or 8-bit quantized. Stages compose because
+//! they transform the *representation*, not bytes:
+//!
+//! - [`TopK`] turns a dense f32 tensor into a sparse one (largest-|v|
+//!   entries, deterministic tie order);
+//! - [`QuantI8`] / [`QuantF16`] re-encode the values of a dense *or*
+//!   sparse tensor (per-tensor affine scale+zero-point, resp. IEEE
+//!   binary16 with round-to-nearest-even);
+//! - [`Identity`] passes anything through (the lossless reference);
+//! - [`Chain`] runs stages forward on encode, backward on decode, so
+//!   `topk=64+quant-i8` ships 64 indices + 64 *bytes* per tensor.
+//!
+//! Only `Vec<f32>` payload fields route through the codec (they carry
+//! ~all upload bytes); scalars — losses, confidences, counts — stay
+//! bit-exact. Everything here is deterministic: same tensor, same
+//! bytes, at any thread count. Non-finite inputs degrade
+//! deterministically (quantizers map them to the zero point).
+//!
+//! ## Wire format
+//!
+//! Coded uploads travel under their own envelope kind
+//! ([`crate::transport::MsgKind::UploadCoded`]) with a self-describing
+//! header — `u8` stage count, then `(u8 id, u32 param)` per stage — so
+//! the addition is versioned and additive: plain uploads are untouched,
+//! and a server decodes only what matches its armed codec.
+
+use fedgta_graph::io::IoError;
+
+/// Wire id of the [`Identity`] stage.
+pub const STAGE_IDENTITY: u8 = 0;
+/// Wire id of the [`QuantI8`] stage.
+pub const STAGE_QUANT_I8: u8 = 1;
+/// Wire id of the [`QuantF16`] stage.
+pub const STAGE_QUANT_F16: u8 = 2;
+/// Wire id of the [`TopK`] stage.
+pub const STAGE_TOPK: u8 = 3;
+
+/// Maximum stages a chain (and its wire header) may carry.
+pub const MAX_STAGES: usize = 8;
+
+/// Hostile-input guard: a decoded tensor may not claim more elements
+/// than this (16Mi ≈ 64 MB of f32 — far above any model here), so a
+/// forged length field cannot force a giant allocation.
+pub const MAX_TENSOR_ELEMS: u32 = 1 << 24;
+
+/// One codec stage as advertised in the upload header: `(id, param)`.
+/// `param` is stage-specific (TopK's `k`; 0 elsewhere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stage {
+    /// Stage discriminant (`STAGE_*`).
+    pub id: u8,
+    /// Stage parameter.
+    pub param: u32,
+}
+
+/// How a [`Repr`]'s values are stored in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Values {
+    /// Raw little-endian f32 bits (lossless).
+    F32(Vec<f32>),
+    /// IEEE binary16 bit patterns.
+    F16(Vec<u16>),
+    /// Per-tensor affine quantization: `v ≈ zero + q · scale`.
+    I8 {
+        /// Quantization step `(max − min) / 255` (0 ⇒ constant tensor).
+        scale: f32,
+        /// Zero point (the tensor's finite minimum).
+        zero: f32,
+        /// One quantized level `q ∈ 0..=255` per kept value.
+        data: Vec<u8>,
+    },
+}
+
+impl Values {
+    fn count(&self) -> usize {
+        match self {
+            Values::F32(v) => v.len(),
+            Values::F16(v) => v.len(),
+            Values::I8 { data, .. } => data.len(),
+        }
+    }
+}
+
+/// The typed intermediate a codec chain transforms: one tensor, dense
+/// or sparse, with values in one of the [`Values`] storages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repr {
+    /// Dense length of the original tensor.
+    pub len: u32,
+    /// Kept indices (strictly ascending) when sparse; `None` = dense.
+    pub idx: Option<Vec<u32>>,
+    /// Stored values: one per kept index, or `len` when dense.
+    pub vals: Values,
+}
+
+impl Repr {
+    /// Wraps a dense f32 tensor.
+    pub fn dense(vals: Vec<f32>) -> Self {
+        let len = vals.len() as u32;
+        Repr { len, idx: None, vals: Values::F32(vals) }
+    }
+
+    /// Reconstructs the dense f32 tensor a fully decoded repr holds.
+    /// Errors if any lossy/sparse stage was left undecoded (a
+    /// codec/header mismatch).
+    pub fn into_dense(self) -> Result<Vec<f32>, IoError> {
+        match (self.idx, self.vals) {
+            (None, Values::F32(v)) => Ok(v),
+            _ => Err(IoError::Corrupt("codec chain left tensor undecoded")),
+        }
+    }
+
+    /// Serializes the repr (self-describing, validated on decode).
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        debug_assert_eq!(
+            self.vals.count(),
+            self.idx.as_ref().map_or(self.len as usize, Vec::len),
+        );
+        out.extend_from_slice(&self.len.to_le_bytes());
+        let kind: u8 = match &self.vals {
+            Values::F32(_) => 0,
+            Values::F16(_) => 1,
+            Values::I8 { .. } => 2,
+        };
+        out.push(kind | if self.idx.is_some() { 4 } else { 0 });
+        if let Some(idx) = &self.idx {
+            out.extend_from_slice(&(idx.len() as u32).to_le_bytes());
+            for i in idx {
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+        }
+        match &self.vals {
+            Values::F32(v) => {
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Values::F16(v) => {
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Values::I8 { scale, zero, data } => {
+                out.extend_from_slice(&scale.to_le_bytes());
+                out.extend_from_slice(&zero.to_le_bytes());
+                out.extend_from_slice(data);
+            }
+        }
+    }
+
+    /// Deserializes one repr from the front of `input`, advancing it.
+    /// Every structural claim is validated before any allocation sized
+    /// by it: length caps, index monotonicity and range, byte counts.
+    pub fn deserialize(input: &mut &[u8]) -> Result<Repr, IoError> {
+        let len = u32::from_le_bytes(take(input, 4)?.try_into().unwrap());
+        if len > MAX_TENSOR_ELEMS {
+            return Err(IoError::Corrupt("tensor length exceeds cap"));
+        }
+        let flags = take(input, 1)?[0];
+        if flags & !0x07 != 0 || flags & 0x03 == 3 {
+            return Err(IoError::Corrupt("bad tensor flags"));
+        }
+        let idx = if flags & 4 != 0 {
+            let nnz = u32::from_le_bytes(take(input, 4)?.try_into().unwrap());
+            if nnz > len {
+                return Err(IoError::Corrupt("sparse tensor has nnz > len"));
+            }
+            let bytes = take(input, nnz as usize * 4)?;
+            let idx: Vec<u32> = bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            for w in idx.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(IoError::Corrupt("sparse indices not ascending"));
+                }
+            }
+            if idx.last().is_some_and(|&i| i >= len) {
+                return Err(IoError::Corrupt("sparse index out of range"));
+            }
+            Some(idx)
+        } else {
+            None
+        };
+        let count = idx.as_ref().map_or(len as usize, Vec::len);
+        let vals = match flags & 0x03 {
+            0 => Values::F32(
+                take(input, count * 4)?
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            ),
+            1 => Values::F16(
+                take(input, count * 2)?
+                    .chunks_exact(2)
+                    .map(|c| u16::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            ),
+            _ => {
+                let scale = f32::from_le_bytes(take(input, 4)?.try_into().unwrap());
+                let zero = f32::from_le_bytes(take(input, 4)?.try_into().unwrap());
+                Values::I8 { scale, zero, data: take(input, count)?.to_vec() }
+            }
+        };
+        Ok(Repr { len, idx, vals })
+    }
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], IoError> {
+    if input.len() < n {
+        return Err(IoError::Corrupt("codec payload truncated"));
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+/// A composable upload codec stage (or chain of stages).
+///
+/// `stage_encode` must be total and deterministic; `stage_decode` is
+/// its inverse over representations (exact for lossless stages, shape-
+/// preserving for lossy ones) and must reject any repr the stage could
+/// not have produced — the server treats that as corruption.
+pub trait Codec: Send + Sync {
+    /// Appends this codec's wire stages (a chain appends several).
+    fn stages(&self, out: &mut Vec<Stage>);
+    /// Transforms a repr on the client (encode direction).
+    fn stage_encode(&self, r: Repr) -> Repr;
+    /// Inverts the transform on the server (decode direction).
+    fn stage_decode(&self, r: Repr) -> Result<Repr, IoError>;
+    /// Whether decode ∘ encode is bit-exact on every tensor.
+    fn is_lossless(&self) -> bool;
+
+    /// Encodes one dense f32 tensor into `out` (stage transform +
+    /// serialized repr).
+    fn encode_tensor(&self, t: &[f32], out: &mut Vec<u8>) {
+        self.stage_encode(Repr::dense(t.to_vec())).serialize(out);
+    }
+
+    /// Decodes one tensor from the front of `input` back to dense f32.
+    fn decode_tensor(&self, input: &mut &[u8]) -> Result<Vec<f32>, IoError> {
+        self.stage_decode(Repr::deserialize(input)?)?.into_dense()
+    }
+}
+
+/// The lossless reference codec: passes any repr through unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Identity;
+
+impl Codec for Identity {
+    fn stages(&self, out: &mut Vec<Stage>) {
+        out.push(Stage { id: STAGE_IDENTITY, param: 0 });
+    }
+    fn stage_encode(&self, r: Repr) -> Repr {
+        r
+    }
+    fn stage_decode(&self, r: Repr) -> Result<Repr, IoError> {
+        Ok(r)
+    }
+    fn is_lossless(&self) -> bool {
+        true
+    }
+}
+
+/// Per-tensor affine 8-bit quantization: `q = round((v − zero)/scale)`
+/// clamped to `0..=255`, with `zero` the finite minimum and `scale`
+/// `(max − min)/255` computed in f64 (so extreme ranges stay finite).
+/// A constant (or empty, or all-non-finite) tensor gets `scale = 0` and
+/// decodes exactly to its zero point. Reconstruction error is bounded
+/// by `scale` per finite value; non-finite values decode to the zero
+/// point. 4 bytes/value → 1 byte/value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuantI8;
+
+impl QuantI8 {
+    fn quantize(vals: &[f32]) -> (f32, f32, Vec<u8>) {
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for &v in vals {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if lo > hi {
+            // No finite values at all: everything maps to 0.0.
+            return (0.0, 0.0, vec![0; vals.len()]);
+        }
+        let scale = ((hi as f64 - lo as f64) / 255.0) as f32;
+        if scale <= 0.0 {
+            return (0.0, lo, vec![0; vals.len()]);
+        }
+        let data = vals
+            .iter()
+            .map(|&v| ((v as f64 - lo as f64) / scale as f64).round().clamp(0.0, 255.0) as u8)
+            .collect();
+        (scale, lo, data)
+    }
+
+    fn dequantize(scale: f32, zero: f32, data: &[u8]) -> Vec<f32> {
+        data.iter()
+            .map(|&q| (zero as f64 + q as f64 * scale as f64) as f32)
+            .collect()
+    }
+}
+
+impl Codec for QuantI8 {
+    fn stages(&self, out: &mut Vec<Stage>) {
+        out.push(Stage { id: STAGE_QUANT_I8, param: 0 });
+    }
+    fn stage_encode(&self, r: Repr) -> Repr {
+        let Values::F32(vals) = &r.vals else {
+            panic!("quant-i8 requires f32 stage input — put quantization last in the chain");
+        };
+        let (scale, zero, data) = Self::quantize(vals);
+        Repr { len: r.len, idx: r.idx, vals: Values::I8 { scale, zero, data } }
+    }
+    fn stage_decode(&self, r: Repr) -> Result<Repr, IoError> {
+        let Values::I8 { scale, zero, data } = &r.vals else {
+            return Err(IoError::Corrupt("codec stage mismatch (expected i8 values)"));
+        };
+        if !scale.is_finite() || !zero.is_finite() || *scale < 0.0 {
+            return Err(IoError::Corrupt("bad quantization parameters"));
+        }
+        let vals = Values::F32(Self::dequantize(*scale, *zero, data));
+        Ok(Repr { len: r.len, idx: r.idx, vals })
+    }
+    fn is_lossless(&self) -> bool {
+        false
+    }
+}
+
+/// IEEE binary16 quantization with round-to-nearest-even and the
+/// standard overflow-to-infinity semantics. 4 bytes/value → 2. Relative
+/// error ≤ 2⁻¹¹ for values in the binary16 normal range.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuantF16;
+
+/// Converts an f32 to its IEEE binary16 bit pattern (round to nearest,
+/// ties to even; NaN payloads collapse to a canonical quiet NaN).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let b = x.to_bits();
+    let sign = ((b >> 16) & 0x8000) as u16;
+    let abs = b & 0x7fff_ffff;
+    if abs >= 0x7f80_0000 {
+        // Inf stays inf; every NaN becomes the canonical quiet NaN.
+        return if abs > 0x7f80_0000 { sign | 0x7e00 } else { sign | 0x7c00 };
+    }
+    let exp = (abs >> 23) as i32 - 127 + 15;
+    let mant = abs & 0x7f_ffff;
+    if exp >= 0x1f {
+        return sign | 0x7c00; // overflow → ±inf
+    }
+    if exp <= 0 {
+        // Subnormal half (or rounds to zero below 2^-24).
+        if exp < -10 {
+            return sign;
+        }
+        let full = mant | 0x80_0000;
+        let shift = (14 - exp) as u32;
+        let half = full >> shift;
+        let rem = full & ((1u32 << shift) - 1);
+        let tie = 1u32 << (shift - 1);
+        let round_up = (rem > tie) as u32 | ((rem == tie) as u32 & (half & 1));
+        return sign | (half + round_up) as u16;
+    }
+    let half = ((exp as u32) << 10) | (mant >> 13);
+    let rem = mant & 0x1fff;
+    let round_up = (rem > 0x1000) as u32 | ((rem == 0x1000) as u32 & (half & 1));
+    // Mantissa overflow carries into the exponent — correct rounding,
+    // including the 65504 → inf boundary.
+    sign | (half + round_up) as u16
+}
+
+/// Converts an IEEE binary16 bit pattern to f32 (exact: every half
+/// value is representable in f32).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let mant = (h & 0x3ff) as u32;
+    if exp == 0x1f {
+        return f32::from_bits(sign | 0x7f80_0000 | (mant << 13));
+    }
+    if exp != 0 {
+        return f32::from_bits(sign | ((exp as u32 + 112) << 23) | (mant << 13));
+    }
+    // Subnormal half: value = ±mant · 2⁻²⁴, exact in f32.
+    let v = mant as f32 * f32::from_bits(0x3380_0000);
+    if sign != 0 { -v } else { v }
+}
+
+impl Codec for QuantF16 {
+    fn stages(&self, out: &mut Vec<Stage>) {
+        out.push(Stage { id: STAGE_QUANT_F16, param: 0 });
+    }
+    fn stage_encode(&self, r: Repr) -> Repr {
+        let Values::F32(vals) = &r.vals else {
+            panic!("quant-f16 requires f32 stage input — put quantization last in the chain");
+        };
+        let vals = Values::F16(vals.iter().map(|&v| f32_to_f16_bits(v)).collect());
+        Repr { len: r.len, idx: r.idx, vals }
+    }
+    fn stage_decode(&self, r: Repr) -> Result<Repr, IoError> {
+        let Values::F16(bits) = &r.vals else {
+            return Err(IoError::Corrupt("codec stage mismatch (expected f16 values)"));
+        };
+        let vals = Values::F32(bits.iter().map(|&h| f16_bits_to_f32(h)).collect());
+        Ok(Repr { len: r.len, idx: r.idx, vals })
+    }
+    fn is_lossless(&self) -> bool {
+        false
+    }
+}
+
+/// Top-k magnitude sparsification: keeps the `k` largest-|v| entries of
+/// a dense tensor as (index, value) pairs; everything else decodes to
+/// zero. Ties break deterministically — lower index wins — and NaN
+/// magnitudes order via `total_cmp` (above +inf), so the kept set is a
+/// pure function of the tensor. Tensors with `len ≤ k` pass through
+/// dense (the sketch tensors riding alongside model parameters).
+#[derive(Debug, Clone, Copy)]
+pub struct TopK {
+    /// Entries kept per tensor (> 0).
+    pub k: u32,
+}
+
+impl TopK {
+    /// The kept index set: the `k` largest by `(|v| desc, index asc)`,
+    /// returned in ascending index order.
+    pub fn select(vals: &[f32], k: usize) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..vals.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let (ma, mb) = (vals[a as usize].abs(), vals[b as usize].abs());
+            mb.total_cmp(&ma).then(a.cmp(&b))
+        });
+        order.truncate(k);
+        order.sort_unstable();
+        order
+    }
+}
+
+impl Codec for TopK {
+    fn stages(&self, out: &mut Vec<Stage>) {
+        out.push(Stage { id: STAGE_TOPK, param: self.k });
+    }
+    fn stage_encode(&self, r: Repr) -> Repr {
+        assert!(self.k > 0, "top-k requires k > 0");
+        let Values::F32(vals) = &r.vals else {
+            panic!("top-k requires f32 stage input — sparsify before quantizing");
+        };
+        assert!(r.idx.is_none(), "top-k requires a dense stage input");
+        if self.k as usize >= vals.len() {
+            return r;
+        }
+        let idx = Self::select(vals, self.k as usize);
+        let kept: Vec<f32> = idx.iter().map(|&i| vals[i as usize]).collect();
+        Repr { len: r.len, idx: Some(idx), vals: Values::F32(kept) }
+    }
+    fn stage_decode(&self, r: Repr) -> Result<Repr, IoError> {
+        let Some(idx) = r.idx else {
+            // len ≤ k pass-through: the tensor was never sparsified.
+            return Ok(r);
+        };
+        let Values::F32(kept) = &r.vals else {
+            return Err(IoError::Corrupt("codec stage mismatch (expected f32 values)"));
+        };
+        let mut dense = vec![0f32; r.len as usize];
+        for (&i, &v) in idx.iter().zip(kept) {
+            dense[i as usize] = v;
+        }
+        Ok(Repr { len: r.len, idx: None, vals: Values::F32(dense) })
+    }
+    fn is_lossless(&self) -> bool {
+        false
+    }
+}
+
+/// Runs stages forward on encode and backward on decode, so e.g.
+/// `topk=64+quant-i8` ships 64 indices plus 64 quantized bytes.
+pub struct Chain {
+    stages: Vec<Box<dyn Codec>>,
+}
+
+impl Chain {
+    /// Chains `stages` in encode order.
+    pub fn new(stages: Vec<Box<dyn Codec>>) -> Self {
+        assert!(!stages.is_empty(), "empty codec chain");
+        Self { stages }
+    }
+}
+
+impl Codec for Chain {
+    fn stages(&self, out: &mut Vec<Stage>) {
+        for s in &self.stages {
+            s.stages(out);
+        }
+    }
+    fn stage_encode(&self, mut r: Repr) -> Repr {
+        for s in &self.stages {
+            r = s.stage_encode(r);
+        }
+        r
+    }
+    fn stage_decode(&self, mut r: Repr) -> Result<Repr, IoError> {
+        for s in self.stages.iter().rev() {
+            r = s.stage_decode(r)?;
+        }
+        Ok(r)
+    }
+    fn is_lossless(&self) -> bool {
+        self.stages.iter().all(|s| s.is_lossless())
+    }
+}
+
+/// A parsed, validated codec chain description — what [`crate::round::CommsConfig`]
+/// carries and what the wire header advertises.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CodecSpec {
+    /// The wire stages, in encode order.
+    pub stages: Vec<Stage>,
+}
+
+impl CodecSpec {
+    /// Parses a chain spec like `"identity"`, `"quant-i8"`,
+    /// `"topk=64"`, or `"topk=64+quant-f16"`. Stage aliases: `id`,
+    /// `i8`, `f16`, `topk`. A sparsifier must precede a quantizer, and
+    /// at most one of each may appear.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        Self::parse_with(spec, "")
+    }
+
+    /// Like [`CodecSpec::parse`] with `--codec-arg` style overrides:
+    /// comma-separated `key=value` pairs. Recognized key: `k` (TopK's
+    /// kept-entry count; overrides any `topk=N` in the spec).
+    pub fn parse_with(spec: &str, args: &str) -> Result<Self, String> {
+        let mut k_override: Option<u32> = None;
+        for pair in args.split(',').filter(|p| !p.is_empty()) {
+            let (key, val) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("bad codec arg '{pair}' (expected key=value)"))?;
+            match key.trim() {
+                "k" => {
+                    k_override = Some(
+                        val.trim()
+                            .parse()
+                            .map_err(|_| format!("bad codec arg value '{val}' for k"))?,
+                    )
+                }
+                other => return Err(format!("unknown codec arg '{other}' (known: k)")),
+            }
+        }
+        let mut stages = Vec::new();
+        for token in spec.split('+') {
+            let token = token.trim();
+            let (name, param) = match token.split_once('=') {
+                Some((n, p)) => (
+                    n.trim(),
+                    Some(
+                        p.trim()
+                            .parse::<u32>()
+                            .map_err(|_| format!("bad stage parameter in '{token}'"))?,
+                    ),
+                ),
+                None => (token, None),
+            };
+            let stage = match name {
+                "identity" | "id" => Stage { id: STAGE_IDENTITY, param: 0 },
+                "quant-i8" | "i8" => Stage { id: STAGE_QUANT_I8, param: 0 },
+                "quant-f16" | "f16" => Stage { id: STAGE_QUANT_F16, param: 0 },
+                "topk" => Stage {
+                    id: STAGE_TOPK,
+                    param: k_override.or(param).unwrap_or(64),
+                },
+                other => {
+                    return Err(format!(
+                        "unknown codec stage '{other}' (identity|quant-i8|quant-f16|topk[=k])"
+                    ))
+                }
+            };
+            if stage.id != STAGE_TOPK && param.is_some() {
+                return Err(format!("stage '{name}' takes no parameter"));
+            }
+            stages.push(stage);
+        }
+        let spec = CodecSpec { stages };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.stages.is_empty() {
+            return Err("empty codec spec".into());
+        }
+        if self.stages.len() > MAX_STAGES {
+            return Err(format!("codec chain longer than {MAX_STAGES} stages"));
+        }
+        let mut seen_quant = false;
+        let mut seen_topk = false;
+        for s in &self.stages {
+            match s.id {
+                STAGE_IDENTITY => {}
+                STAGE_QUANT_I8 | STAGE_QUANT_F16 => {
+                    if seen_quant {
+                        return Err("at most one quantization stage per chain".into());
+                    }
+                    seen_quant = true;
+                }
+                STAGE_TOPK => {
+                    if seen_topk {
+                        return Err("at most one top-k stage per chain".into());
+                    }
+                    if seen_quant {
+                        return Err("top-k must precede quantization in the chain".into());
+                    }
+                    if s.param == 0 {
+                        return Err("top-k requires k > 0".into());
+                    }
+                    seen_topk = true;
+                }
+                other => return Err(format!("unknown codec stage id {other}")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the runnable codec.
+    pub fn build(&self) -> Box<dyn Codec> {
+        fn one(s: &Stage) -> Box<dyn Codec> {
+            match s.id {
+                STAGE_IDENTITY => Box::new(Identity),
+                STAGE_QUANT_I8 => Box::new(QuantI8),
+                STAGE_QUANT_F16 => Box::new(QuantF16),
+                STAGE_TOPK => Box::new(TopK { k: s.param }),
+                other => unreachable!("validated spec with stage id {other}"),
+            }
+        }
+        if self.stages.len() == 1 {
+            one(&self.stages[0])
+        } else {
+            Box::new(Chain::new(self.stages.iter().map(one).collect()))
+        }
+    }
+
+    /// Canonical display name (`"topk=64+quant-i8"`).
+    pub fn name(&self) -> String {
+        self.stages
+            .iter()
+            .map(|s| match s.id {
+                STAGE_IDENTITY => "identity".to_string(),
+                STAGE_QUANT_I8 => "quant-i8".to_string(),
+                STAGE_QUANT_F16 => "quant-f16".to_string(),
+                STAGE_TOPK => format!("topk={}", s.param),
+                other => format!("stage{other}"),
+            })
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// Whether the whole chain is lossless (identity-only).
+    pub fn is_lossless(&self) -> bool {
+        self.stages.iter().all(|s| s.id == STAGE_IDENTITY)
+    }
+}
+
+/// Writes the self-describing codec header: `u8` stage count, then
+/// `(u8 id, u32 param)` per stage.
+pub fn encode_header(stages: &[Stage], out: &mut Vec<u8>) {
+    assert!(stages.len() <= MAX_STAGES);
+    out.push(stages.len() as u8);
+    for s in stages {
+        out.push(s.id);
+        out.extend_from_slice(&s.param.to_le_bytes());
+    }
+}
+
+/// Parses a codec header from the front of `input`, advancing it.
+pub fn decode_header(input: &mut &[u8]) -> Result<Vec<Stage>, IoError> {
+    let n = take(input, 1)?[0] as usize;
+    if n == 0 || n > MAX_STAGES {
+        return Err(IoError::Corrupt("bad codec stage count"));
+    }
+    let mut stages = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = take(input, 1)?[0];
+        if id > STAGE_TOPK {
+            return Err(IoError::Corrupt("unknown codec stage id"));
+        }
+        let param = u32::from_le_bytes(take(input, 4)?.try_into().unwrap());
+        stages.push(Stage { id, param });
+    }
+    Ok(stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(codec: &dyn Codec, t: &[f32]) -> Vec<f32> {
+        let mut buf = Vec::new();
+        codec.encode_tensor(t, &mut buf);
+        let mut input = buf.as_slice();
+        let out = codec.decode_tensor(&mut input).expect("clean tensor decodes");
+        assert!(input.is_empty(), "decode left trailing bytes");
+        out
+    }
+
+    #[test]
+    fn identity_is_bit_exact() {
+        let t = vec![1.5f32, -0.0, f32::MIN_POSITIVE, f32::NAN, 3.25e-7, f32::INFINITY];
+        let back = roundtrip(&Identity, &t);
+        assert_eq!(
+            t.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn quant_i8_error_is_bounded_by_scale() {
+        let t: Vec<f32> = (0..257).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+        let back = roundtrip(&QuantI8, &t);
+        let (lo, hi) = t.iter().fold((f32::MAX, f32::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        let scale = (hi - lo) / 255.0;
+        for (a, b) in t.iter().zip(&back) {
+            assert!((a - b).abs() <= scale, "{a} vs {b} (scale {scale})");
+        }
+    }
+
+    #[test]
+    fn quant_i8_constant_and_hostile_tensors() {
+        assert_eq!(roundtrip(&QuantI8, &[2.5; 7]), vec![2.5f32; 7]);
+        assert_eq!(roundtrip(&QuantI8, &[]), Vec::<f32>::new());
+        // Non-finite values quantize deterministically to the zero point.
+        let back = roundtrip(&QuantI8, &[f32::NAN, f32::INFINITY, f32::NEG_INFINITY]);
+        assert!(back.iter().all(|v| v.is_finite()));
+        // Extreme dynamic range must not overflow the scale to inf.
+        let back = roundtrip(&QuantI8, &[f32::MAX, f32::MIN]);
+        assert!(back.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn f16_conversion_matches_known_values() {
+        for (f, bits) in [
+            (0.0f32, 0x0000u16),
+            (-0.0, 0x8000),
+            (1.0, 0x3c00),
+            (-2.0, 0xc000),
+            (65504.0, 0x7bff), // max finite half
+            (65520.0, 0x7c00), // rounds up to +inf
+            (6.1035156e-5, 0x0400), // min normal half
+            (5.9604645e-8, 0x0001), // min subnormal half
+            (f32::INFINITY, 0x7c00),
+        ] {
+            assert_eq!(f32_to_f16_bits(f), bits, "converting {f}");
+        }
+        assert_eq!(f16_bits_to_f32(0x3c00), 1.0);
+        assert_eq!(f16_bits_to_f32(0x7bff), 65504.0);
+        assert!(f16_bits_to_f32(0x7e00).is_nan());
+        // Round-to-nearest-even at a tie: 1 + 2^-11 is exactly between
+        // two halves and must round to the even mantissa (1.0).
+        assert_eq!(f32_to_f16_bits(1.0 + 2f32.powi(-11)), 0x3c00);
+        assert_eq!(f32_to_f16_bits(1.0 + 3.0 * 2f32.powi(-11)), 0x3c02);
+    }
+
+    #[test]
+    fn f16_roundtrip_is_idempotent() {
+        // Every f16-representable value survives f16→f32→f16 exactly.
+        for h in (0u16..=0xffff).step_by(7) {
+            let f = f16_bits_to_f32(h);
+            if f.is_nan() {
+                continue;
+            }
+            assert_eq!(f32_to_f16_bits(f), h, "half bits {h:#06x}");
+        }
+    }
+
+    #[test]
+    fn topk_keeps_largest_magnitudes_with_deterministic_ties() {
+        let t = vec![0.5f32, -3.0, 2.0, -2.0, 0.1, 3.0];
+        let codec = TopK { k: 3 };
+        let back = roundtrip(&codec, &t);
+        // |−3| and |3| tie at the top; then the ±2 tie breaks to the
+        // lower index (index 2).
+        assert_eq!(back, vec![0.0, -3.0, 2.0, 0.0, 0.0, 3.0]);
+        // k ≥ len passes through losslessly.
+        assert_eq!(roundtrip(&TopK { k: 100 }, &t), t);
+    }
+
+    #[test]
+    fn chain_topk_quant_ships_sparse_bytes() {
+        let t: Vec<f32> = (0..1000).map(|i| ((i * 37) % 101) as f32 - 50.0).collect();
+        let chain = Chain::new(vec![Box::new(TopK { k: 50 }), Box::new(QuantI8)]);
+        let mut buf = Vec::new();
+        chain.encode_tensor(&t, &mut buf);
+        // 4 len + 1 flags + 4 nnz + 50·4 idx + 8 scale/zero + 50 bytes.
+        assert_eq!(buf.len(), 4 + 1 + 4 + 50 * 4 + 8 + 50);
+        let mut input = buf.as_slice();
+        let back = chain.decode_tensor(&mut input).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.iter().filter(|v| **v != 0.0).count(), 50);
+        assert!(!chain.is_lossless());
+    }
+
+    #[test]
+    fn spec_parses_validates_and_names() {
+        assert_eq!(CodecSpec::parse("identity").unwrap().name(), "identity");
+        assert_eq!(CodecSpec::parse("topk=32+i8").unwrap().name(), "topk=32+quant-i8");
+        assert_eq!(
+            CodecSpec::parse_with("topk+f16", "k=128").unwrap().name(),
+            "topk=128+quant-f16"
+        );
+        assert!(CodecSpec::parse("").is_err());
+        assert!(CodecSpec::parse("gzip").is_err());
+        assert!(CodecSpec::parse("quant-i8+topk=4").is_err(), "topk after quant");
+        assert!(CodecSpec::parse("i8+f16").is_err(), "two quantizers");
+        assert!(CodecSpec::parse("topk=0").is_err());
+        assert!(CodecSpec::parse_with("i8", "j=2").is_err());
+        assert!(CodecSpec::parse("identity").unwrap().is_lossless());
+        assert!(!CodecSpec::parse("f16").unwrap().is_lossless());
+    }
+
+    #[test]
+    fn header_roundtrips_and_rejects_garbage() {
+        let spec = CodecSpec::parse("topk=64+quant-i8").unwrap();
+        let mut buf = Vec::new();
+        encode_header(&spec.stages, &mut buf);
+        let mut input = buf.as_slice();
+        assert_eq!(decode_header(&mut input).unwrap(), spec.stages);
+        assert!(input.is_empty());
+        for bad in [&[0u8][..], &[9], &[1, 7, 0, 0, 0, 0], &[2, 0, 0, 0, 0, 0]] {
+            assert!(decode_header(&mut { bad }).is_err(), "header {bad:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_reprs_are_rejected_without_allocation_bombs() {
+        // Claimed length over the cap.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_TENSOR_ELEMS + 1).to_le_bytes());
+        buf.push(0);
+        assert!(Repr::deserialize(&mut buf.as_slice()).is_err());
+        // Sparse with nnz > len, descending indices, out-of-range index.
+        for (len, idx) in [(2u32, vec![0u32, 1, 2]), (5, vec![3, 1]), (5, vec![1, 9])] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&len.to_le_bytes());
+            buf.push(4);
+            buf.extend_from_slice(&(idx.len() as u32).to_le_bytes());
+            for i in &idx {
+                buf.extend_from_slice(&i.to_le_bytes());
+            }
+            buf.extend_from_slice(&vec![0u8; idx.len() * 4]);
+            assert!(Repr::deserialize(&mut buf.as_slice()).is_err(), "{len} {idx:?}");
+        }
+        // Bad flags.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(3);
+        buf.extend_from_slice(&[0; 4]);
+        assert!(Repr::deserialize(&mut buf.as_slice()).is_err());
+    }
+}

@@ -25,8 +25,8 @@ use crate::client::Client;
 use crate::faults::AttemptFate;
 use crate::strategies::RoundCtx;
 use crate::transport::{
-    corrupt_frame, decode_upload, encode_upload, CommsRound, Endpoint, MsgKind, WirePayload,
-    SERVER_ID,
+    corrupt_frame, decode_upload, decode_upload_coded, encode_upload, encode_upload_coded,
+    CommsRound, Endpoint, MsgKind, WirePayload, SERVER_ID,
 };
 use fedgta_graph::io::Envelope;
 use fedgta_graph::par::par_map_indexed;
@@ -41,6 +41,17 @@ fn observe_client_train_ns(ns: u64) {
     use std::sync::{Arc, OnceLock};
     static H: OnceLock<Arc<fedgta_obs::Histogram>> = OnceLock::new();
     H.get_or_init(|| fedgta_obs::global().histogram("round.client.train_ns"))
+        .observe(ns);
+}
+
+/// Records one upload's codec encode time into the
+/// `comms.codec.encode_ns` histogram (cached handle; the caller gates on
+/// [`fedgta_obs::metrics_on`]).
+#[inline]
+fn observe_codec_encode_ns(ns: u64) {
+    use std::sync::{Arc, OnceLock};
+    static H: OnceLock<Arc<fedgta_obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| fedgta_obs::global().histogram("comms.codec.encode_ns"))
         .observe(ns);
 }
 
@@ -224,8 +235,33 @@ where
             observe_client_train_ns(ct0.elapsed().as_nanos() as u64);
         }
         // Upload leg: the real result bytes cross the wire; scripted
-        // corruption mangles the physical frame.
-        let body = encode_upload(loss, &payload);
+        // corruption mangles the physical frame. With a codec armed the
+        // body is the *encoded* frame — corruption and drops hit the
+        // compressed bytes, and both byte tallies are metered here (once
+        // per trainer, so the tally is script-deterministic).
+        let body = match comms.codec {
+            None => {
+                let body = encode_upload(loss, &payload);
+                comms.bytes_raw.fetch_add(body.len() as u64, Ordering::Relaxed);
+                comms.bytes_encoded.fetch_add(body.len() as u64, Ordering::Relaxed);
+                body
+            }
+            Some(codec) => {
+                let raw_len = encode_upload(loss, &payload).len() as u64;
+                let et0 = fedgta_obs::metrics_on().then(std::time::Instant::now);
+                let body = encode_upload_coded(codec, loss, &payload);
+                if let Some(et0) = et0 {
+                    observe_codec_encode_ns(et0.elapsed().as_nanos() as u64);
+                }
+                comms.bytes_raw.fetch_add(raw_len, Ordering::Relaxed);
+                comms.bytes_encoded.fetch_add(body.len() as u64, Ordering::Relaxed);
+                body
+            }
+        };
+        let upload_kind = match comms.codec {
+            None => MsgKind::Upload,
+            Some(_) => MsgKind::UploadCoded,
+        };
         let fate = script.fate(i).expect("trainer has a fate");
         for (n, a) in fate.upload.iter().enumerate() {
             match a {
@@ -234,7 +270,7 @@ where
                 }
                 AttemptFate::Corrupt { bit_seed } => {
                     let mut frame = Envelope {
-                        kind: MsgKind::Upload as u8,
+                        kind: upload_kind as u8,
                         round,
                         sender: i as u32,
                         seq: n as u32,
@@ -246,7 +282,7 @@ where
                 }
                 AttemptFate::Deliver { .. } => {
                     let frame = Envelope {
-                        kind: MsgKind::Upload as u8,
+                        kind: upload_kind as u8,
                         round,
                         sender: i as u32,
                         seq: n as u32,
@@ -279,6 +315,10 @@ where
     // Server task, collect leg: mailbox arrival order is a thread-race
     // artifact; decode by sender, then emit accepted results in
     // participant order so downstream reductions are order-stable.
+    let expected_kind = match comms.codec {
+        None => MsgKind::Upload,
+        Some(_) => MsgKind::UploadCoded,
+    } as u8;
     let mut by_sender: BTreeMap<u32, (f32, R)> = BTreeMap::new();
     for frame in transport.drain(Endpoint::Server) {
         match Envelope::decode(&frame) {
@@ -286,10 +326,14 @@ where
                 corrupted.fetch_add(1, Ordering::Relaxed);
             }
             Ok(env) => {
-                if env.kind != MsgKind::Upload as u8 || env.round != round {
+                if env.kind != expected_kind || env.round != round {
                     continue;
                 }
-                match decode_upload::<R>(&env.payload) {
+                let decoded = match comms.codec {
+                    None => decode_upload::<R>(&env.payload),
+                    Some(codec) => decode_upload_coded::<R>(codec, &env.payload),
+                };
+                match decoded {
                     Ok(v) => {
                         by_sender.insert(env.sender, v);
                     }

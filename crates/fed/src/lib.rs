@@ -21,9 +21,15 @@
 //! - [`transport`] + [`faults`]: the explicit server/client message path
 //!   (CRC-checksummed envelopes over a [`transport::Transport`]) and the
 //!   seeded fault-injection layer behind the straggler-tolerant round
-//!   orchestrator ([`round::CommsConfig`]).
+//!   orchestrator ([`round::CommsConfig`]);
+//! - [`codec`]: composable upload codecs (identity, int8/f16
+//!   quantization, top-k sparsification, chains) compressing the
+//!   client→server leg before the envelope CRC — armed via
+//!   [`round::CommsConfig::codec`], lossless chains bit-identical to the
+//!   plain path.
 
 pub mod client;
+pub mod codec;
 pub mod eval;
 pub mod exec;
 pub mod faults;
@@ -33,6 +39,7 @@ pub mod strategies;
 pub mod transport;
 
 pub use client::{build_clients, Client, ClientBuildConfig};
+pub use codec::{Chain, Codec, CodecSpec, Identity, QuantF16, QuantI8, TopK};
 pub use eval::global_test_accuracy;
 pub use exec::{mean_loss, par_clients, train_participants, LocalResult};
 pub use faults::{FaultConfig, FaultEvent, FaultPlan, RoundScript};

@@ -82,6 +82,10 @@ pub struct CommsConfig {
     pub oversample: f64,
     /// Bounded re-sampling attempts after a quorum failure.
     pub max_resamples: usize,
+    /// Upload codec chain (`None` = plain uploads). Lossless chains are
+    /// contractually bit-identical to the plain path; lossy chains stay
+    /// bit-deterministic at any thread count.
+    pub codec: Option<crate::codec::CodecSpec>,
 }
 
 impl Default for CommsConfig {
@@ -94,6 +98,7 @@ impl Default for CommsConfig {
             min_quorum: 1,
             oversample: 1.0,
             max_resamples: 2,
+            codec: None,
         }
     }
 }
@@ -127,6 +132,14 @@ pub struct RoundRecord {
     pub bytes_uploaded: usize,
     /// Bytes the server pushed back down this round.
     pub bytes_downloaded: usize,
+    /// Plain-encoding wire bytes of every upload body sent this round —
+    /// what the round would have cost with no codec. Transport mode
+    /// meters this on the actual bodies (all trainers, including lost
+    /// uploads); direct mode mirrors `bytes_uploaded`.
+    pub bytes_uploaded_raw: usize,
+    /// Upload body bytes that actually crossed the wire after the armed
+    /// codec (equals `bytes_uploaded_raw` when no codec is armed).
+    pub bytes_uploaded_encoded: usize,
     /// Resolved worker-thread count local training ran with (the
     /// determinism contract says this never affects the other fields).
     pub threads: usize,
@@ -218,6 +231,10 @@ impl Simulation {
         let plan = comms_cfg
             .as_ref()
             .map(|c| FaultPlan::new(c.faults.clone(), c.fault_seed));
+        let codec: Option<Box<dyn crate::codec::Codec>> = comms_cfg
+            .as_ref()
+            .and_then(|c| c.codec.as_ref())
+            .map(|spec| spec.build());
         for round in 1..=self.config.rounds {
             let mut round_span = fedgta_obs::span!(
                 "round",
@@ -275,6 +292,12 @@ impl Simulation {
             round_span.record("participants", fedgta_obs::FieldVal::from(participants.len()));
             let skipped = comms_cfg.is_some() && script.is_none();
             let train_clock = fedgta_obs::TimeCell::new();
+            let comms_round = match (&script, &transport) {
+                (Some(s), Some(t)) => {
+                    Some(CommsRound::new(round, t, s, codec.as_deref()))
+                }
+                _ => None,
+            };
             let t0 = Instant::now();
             let stats = if skipped {
                 // Graceful degradation, last resort: nothing arrived even
@@ -284,22 +307,27 @@ impl Simulation {
                     bytes_uploaded: 0,
                     bytes_downloaded: 0,
                 }
-            } else if let (Some(s), Some(t)) = (&script, &transport) {
-                let comms_round = CommsRound {
-                    round,
-                    transport: t,
-                    script: s,
-                };
+            } else if let Some(cr) = &comms_round {
                 let ctx =
                     RoundCtx::with_threads(self.config.local_epochs, self.config.threads)
                         .with_train_clock(&train_clock)
-                        .with_comms(&comms_round);
+                        .with_comms(cr);
                 self.strategy.round(&mut self.clients, &participants, &ctx)
             } else {
                 let ctx =
                     RoundCtx::with_threads(self.config.local_epochs, self.config.threads)
                         .with_train_clock(&train_clock);
                 self.strategy.round(&mut self.clients, &participants, &ctx)
+            };
+            // Wire-byte truth: what the upload leg actually built and
+            // sent. Direct mode has no wire; mirror the analytic count.
+            let (bytes_raw, bytes_encoded) = match &comms_round {
+                Some(cr) => (
+                    cr.bytes_raw.load(std::sync::atomic::Ordering::Relaxed) as usize,
+                    cr.bytes_encoded.load(std::sync::atomic::Ordering::Relaxed) as usize,
+                ),
+                None if comms_cfg.is_some() => (0, 0),
+                None => (stats.bytes_uploaded, stats.bytes_uploaded),
             };
             let round_ns = t0.elapsed().as_nanos() as u64;
             let train_ns = train_clock.take_ns().min(round_ns);
@@ -325,6 +353,7 @@ impl Simulation {
             round_span.record("dropped", fedgta_obs::FieldVal::from(dropped));
             round_span.record("retries", fedgta_obs::FieldVal::from(retries));
             record_round_metrics(&stats, aggregate_ns);
+            record_codec_metrics(bytes_raw, bytes_encoded);
             let elapsed_s = round_ns as f64 / 1e9;
             cumulative += elapsed_s;
             records.push(RoundRecord {
@@ -338,6 +367,8 @@ impl Simulation {
                 eval_s: eval_ns as f64 / 1e9,
                 bytes_uploaded: stats.bytes_uploaded,
                 bytes_downloaded: stats.bytes_downloaded,
+                bytes_uploaded_raw: bytes_raw,
+                bytes_uploaded_encoded: bytes_encoded,
                 threads,
                 participants_completed: completed,
                 participants_dropped: dropped,
@@ -371,6 +402,23 @@ fn record_round_metrics(stats: &crate::strategies::RoundStats, aggregate_ns: u64
         .add(stats.bytes_downloaded as u64);
     AGG.get_or_init(|| fedgta_obs::global().histogram("strategy.aggregate_ns"))
         .observe(aggregate_ns);
+}
+
+/// Accumulates the per-round raw/encoded upload-byte split into the
+/// `comms.upload_bytes_raw` / `comms.upload_bytes_encoded` counters
+/// (no-op below metrics level).
+#[inline]
+fn record_codec_metrics(bytes_raw: usize, bytes_encoded: usize) {
+    use std::sync::{Arc, OnceLock};
+    if !fedgta_obs::metrics_on() {
+        return;
+    }
+    static RAW: OnceLock<Arc<fedgta_obs::Counter>> = OnceLock::new();
+    static ENC: OnceLock<Arc<fedgta_obs::Counter>> = OnceLock::new();
+    RAW.get_or_init(|| fedgta_obs::global().counter("comms.upload_bytes_raw"))
+        .add(bytes_raw as u64);
+    ENC.get_or_init(|| fedgta_obs::global().counter("comms.upload_bytes_encoded"))
+        .add(bytes_encoded as u64);
 }
 
 /// The per-round participant count: `clamp(round(n · participation), 1, n)`.

@@ -23,8 +23,10 @@
 //! `(sender, seq)` against the round's script, so results are
 //! bit-identical at any thread count.
 
+use crate::codec::{decode_header, encode_header, Codec, Stage};
 use fedgta_graph::io::IoError;
 use std::collections::VecDeque;
+use std::sync::atomic::AtomicU64;
 use std::sync::Mutex;
 
 /// A party on the transport.
@@ -47,6 +49,12 @@ pub enum MsgKind {
     TrainRequest = 1,
     /// Client → server: trained parameters + strategy payload.
     Upload = 2,
+    /// Client → server: an upload compressed by an armed
+    /// [`crate::codec::Codec`] — a self-describing codec header followed
+    /// by the codec-transformed payload. A separate kind keeps the wire
+    /// format addition additive: plain uploads are byte-for-byte what
+    /// they were before codecs existed.
+    UploadCoded = 3,
 }
 
 impl MsgKind {
@@ -55,6 +63,7 @@ impl MsgKind {
         match v {
             1 => Some(MsgKind::TrainRequest),
             2 => Some(MsgKind::Upload),
+            3 => Some(MsgKind::UploadCoded),
             _ => None,
         }
     }
@@ -147,6 +156,35 @@ pub struct CommsRound<'a> {
     pub transport: &'a dyn Transport,
     /// The precomputed fate of every sampled participant.
     pub script: &'a crate::faults::RoundScript,
+    /// Armed upload codec (`None` = plain [`MsgKind::Upload`] frames).
+    pub codec: Option<&'a dyn Codec>,
+    /// Plain-encoding bytes of every upload body built this round — what
+    /// the round would have cost with no codec. Filled once per trainer
+    /// by the executor (trainers are scripted, so the tally is
+    /// deterministic at any thread count).
+    pub bytes_raw: AtomicU64,
+    /// Upload body bytes that actually crossed the wire (equals
+    /// `bytes_raw` when no codec is armed).
+    pub bytes_encoded: AtomicU64,
+}
+
+impl<'a> CommsRound<'a> {
+    /// A round context with zeroed byte tallies.
+    pub fn new(
+        round: usize,
+        transport: &'a dyn Transport,
+        script: &'a crate::faults::RoundScript,
+        codec: Option<&'a dyn Codec>,
+    ) -> Self {
+        Self {
+            round,
+            transport,
+            script,
+            codec,
+            bytes_raw: AtomicU64::new(0),
+            bytes_encoded: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Flips one bit of `frame` (index taken modulo the frame length) — the
@@ -176,6 +214,16 @@ pub trait WirePayload: Sized {
     fn encode(&self, out: &mut Vec<u8>);
     /// Decodes one value from the front of `input`, advancing it.
     fn decode(input: &mut &[u8]) -> Result<Self, IoError>;
+    /// Codec-aware encoding: `Vec<f32>` tensors route through `codec`,
+    /// containers recurse, and every scalar keeps its plain bit-exact
+    /// encoding (losses, confidences and counts are never quantized).
+    fn encode_coded(&self, _codec: &dyn Codec, out: &mut Vec<u8>) {
+        self.encode(out);
+    }
+    /// Inverse of [`WirePayload::encode_coded`].
+    fn decode_coded(input: &mut &[u8], _codec: &dyn Codec) -> Result<Self, IoError> {
+        Self::decode(input)
+    }
 }
 
 fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], IoError> {
@@ -245,6 +293,12 @@ impl WirePayload for Vec<f32> {
             .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
             .collect())
     }
+    fn encode_coded(&self, codec: &dyn Codec, out: &mut Vec<u8>) {
+        codec.encode_tensor(self, out);
+    }
+    fn decode_coded(input: &mut &[u8], codec: &dyn Codec) -> Result<Self, IoError> {
+        codec.decode_tensor(input)
+    }
 }
 
 impl WirePayload for Vec<f64> {
@@ -281,6 +335,22 @@ impl<T: WirePayload> WirePayload for Option<T> {
             _ => Err(IoError::Corrupt("bad option tag")),
         }
     }
+    fn encode_coded(&self, codec: &dyn Codec, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_coded(codec, out);
+            }
+        }
+    }
+    fn decode_coded(input: &mut &[u8], codec: &dyn Codec) -> Result<Self, IoError> {
+        match take(input, 1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_coded(input, codec)?)),
+            _ => Err(IoError::Corrupt("bad option tag")),
+        }
+    }
 }
 
 macro_rules! impl_wire_tuple {
@@ -291,6 +361,12 @@ macro_rules! impl_wire_tuple {
             }
             fn decode(input: &mut &[u8]) -> Result<Self, IoError> {
                 Ok(($($name::decode(input)?,)+))
+            }
+            fn encode_coded(&self, codec: &dyn Codec, out: &mut Vec<u8>) {
+                $(self.$idx.encode_coded(codec, out);)+
+            }
+            fn decode_coded(input: &mut &[u8], codec: &dyn Codec) -> Result<Self, IoError> {
+                Ok(($($name::decode_coded(input, codec)?,)+))
             }
         }
     };
@@ -313,6 +389,45 @@ pub fn encode_upload<R: WirePayload>(loss: f32, payload: &R) -> Vec<u8> {
 pub fn decode_upload<R: WirePayload>(mut bytes: &[u8]) -> Result<(f32, R), IoError> {
     let loss = f32::decode(&mut bytes)?;
     let payload = R::decode(&mut bytes)?;
+    if !bytes.is_empty() {
+        return Err(IoError::Corrupt("trailing payload bytes"));
+    }
+    Ok((loss, payload))
+}
+
+/// Encodes one client upload through an armed codec: the self-describing
+/// codec header, then the loss, then the codec-transformed payload.
+/// Travels under [`MsgKind::UploadCoded`].
+pub fn encode_upload_coded<R: WirePayload>(
+    codec: &dyn Codec,
+    loss: f32,
+    payload: &R,
+) -> Vec<u8> {
+    let mut stages: Vec<Stage> = Vec::new();
+    codec.stages(&mut stages);
+    let mut out = Vec::new();
+    encode_header(&stages, &mut out);
+    loss.encode(&mut out);
+    payload.encode_coded(codec, &mut out);
+    out
+}
+
+/// Decodes an upload produced by [`encode_upload_coded`]. The header
+/// must match the server's armed codec exactly — a mismatched or
+/// truncated header is rejected as corruption, like any other mangled
+/// frame. Trailing bytes are an error.
+pub fn decode_upload_coded<R: WirePayload>(
+    codec: &dyn Codec,
+    mut bytes: &[u8],
+) -> Result<(f32, R), IoError> {
+    let mut expected: Vec<Stage> = Vec::new();
+    codec.stages(&mut expected);
+    let got = decode_header(&mut bytes)?;
+    if got != expected {
+        return Err(IoError::Corrupt("codec header does not match armed codec"));
+    }
+    let loss = f32::decode(&mut bytes)?;
+    let payload = R::decode_coded(&mut bytes, codec)?;
     if !bytes.is_empty() {
         return Err(IoError::Corrupt("trailing payload bytes"));
     }
@@ -375,6 +490,42 @@ mod tests {
         long.push(0);
         assert!(decode_upload::<(Vec<f32>, f64)>(&long).is_err());
         // Decoding as the wrong shape fails rather than aliasing.
+        assert!(decode_upload::<(Vec<f32>, f64, Vec<f32>, usize)>(&bytes).is_err());
+    }
+
+    #[test]
+    fn coded_upload_roundtrips_and_rejects_mismatched_codec() {
+        use crate::codec::CodecSpec;
+        let payload = (
+            vec![1.5f32, -2.0, 0.25, 9.0, -0.125],
+            0.123456789f64,
+            vec![9.75f32, 0.5],
+            42usize,
+        );
+        // Lossless codec: bit-exact round-trip, scalars untouched.
+        let ident = CodecSpec::parse("identity").unwrap().build();
+        let bytes = encode_upload_coded(ident.as_ref(), 0.625, &payload);
+        let (loss, back): (f32, (Vec<f32>, f64, Vec<f32>, usize)) =
+            decode_upload_coded(ident.as_ref(), &bytes).unwrap();
+        assert_eq!(loss.to_bits(), 0.625f32.to_bits());
+        assert_eq!(back, payload);
+        // Lossy codec: shapes and scalars survive, tensors approximate.
+        let quant = CodecSpec::parse("quant-i8").unwrap().build();
+        let qbytes = encode_upload_coded(quant.as_ref(), 0.625, &payload);
+        assert!(qbytes.len() < bytes.len());
+        let (qloss, qback): (f32, (Vec<f32>, f64, Vec<f32>, usize)) =
+            decode_upload_coded(quant.as_ref(), &qbytes).unwrap();
+        assert_eq!(qloss.to_bits(), 0.625f32.to_bits());
+        assert_eq!(qback.1.to_bits(), payload.1.to_bits());
+        assert_eq!(qback.3, 42);
+        assert_eq!(qback.0.len(), payload.0.len());
+        // Decoding under a different armed codec is rejected up front.
+        assert!(decode_upload_coded::<(Vec<f32>, f64, Vec<f32>, usize)>(
+            quant.as_ref(),
+            &bytes
+        )
+        .is_err());
+        // Plain and coded bodies never alias each other.
         assert!(decode_upload::<(Vec<f32>, f64, Vec<f32>, usize)>(&bytes).is_err());
     }
 

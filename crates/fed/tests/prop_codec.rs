@@ -1,0 +1,176 @@
+//! Property-based tests for the upload codec chains — the contracts the
+//! Pareto bench and the wire format lean on:
+//!
+//! 1. lossless chains (identity, and any stack of identities) round-trip
+//!    every tensor **bitwise**, NaN payloads and signed zeros included;
+//! 2. lossy codecs have *bounded* error: `quant-i8` within the
+//!    per-tensor scale, `quant-f16` within a half-ULP-shaped envelope;
+//! 3. `topk` keeps exactly `min(k, len)` entries, every kept magnitude
+//!    dominates every dropped one, ties break deterministically toward
+//!    the lower index, and kept values survive bit-exactly;
+//! 4. a coded frame is still covered end-to-end by the envelope CRC —
+//!    any single flipped bit is rejected — and truncated or
+//!    codec-mismatched bodies never decode.
+
+use fedgta_fed::codec::{Chain, Codec, Identity, QuantF16, QuantI8, TopK};
+use fedgta_fed::transport::{
+    corrupt_frame, decode_upload_coded, encode_upload_coded,
+};
+use fedgta_graph::io::Envelope;
+use proptest::prelude::*;
+
+/// Arbitrary f32 bit patterns: covers NaNs, infinities, subnormals and
+/// signed zeros, not just the comfortable range.
+fn any_bits_tensor(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(any::<u32>().prop_map(f32::from_bits), 0..max_len)
+}
+
+fn finite_tensor(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1.0e6f32..1.0e6, 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lossless_chains_roundtrip_bitwise(t in any_bits_tensor(256)) {
+        for codec in [
+            Box::new(Identity) as Box<dyn Codec>,
+            Box::new(Chain::new(vec![Box::new(Identity), Box::new(Identity)])),
+        ] {
+            prop_assert!(codec.is_lossless());
+            let mut buf = Vec::new();
+            codec.encode_tensor(&t, &mut buf);
+            let mut input = buf.as_slice();
+            let back = codec.decode_tensor(&mut input).expect("clean tensor decodes");
+            prop_assert!(input.is_empty(), "trailing bytes after decode");
+            prop_assert_eq!(back.len(), t.len());
+            for (a, b) in t.iter().zip(&back) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn quant_i8_error_is_bounded_by_the_tensor_scale(t in finite_tensor(256)) {
+        let codec = QuantI8;
+        let mut buf = Vec::new();
+        codec.encode_tensor(&t, &mut buf);
+        let back = codec.decode_tensor(&mut buf.as_slice()).expect("decodes");
+        prop_assert_eq!(back.len(), t.len());
+        // The per-tensor scale the quantizer must have used.
+        let (lo, hi) = t.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+        let scale = if t.is_empty() { 0.0 } else { ((hi - lo) as f64 / 255.0) as f32 };
+        for (&v, &b) in t.iter().zip(&back) {
+            prop_assert!(
+                (b - v).abs() <= scale.max(f32::EPSILON),
+                "|{b} - {v}| > scale {scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn quant_f16_error_is_half_ulp_shaped(t in proptest::collection::vec(-60000.0f32..60000.0, 0..256)) {
+        let codec = QuantF16;
+        let mut buf = Vec::new();
+        codec.encode_tensor(&t, &mut buf);
+        let back = codec.decode_tensor(&mut buf.as_slice()).expect("decodes");
+        prop_assert_eq!(back.len(), t.len());
+        for (&v, &b) in t.iter().zip(&back) {
+            // Normal range: relative half-ULP (2⁻¹¹) with headroom;
+            // subnormal range: the absolute half-step 2⁻²⁵.
+            let bound = (v.abs() / 1024.0).max(3.0e-8);
+            prop_assert!((b - v).abs() <= bound, "|{b} - {v}| > {bound}");
+        }
+    }
+
+    #[test]
+    fn topk_keeps_exactly_the_dominant_entries(
+        t in finite_tensor(128),
+        k in 1u32..64,
+    ) {
+        let codec = TopK { k };
+        let mut buf = Vec::new();
+        codec.encode_tensor(&t, &mut buf);
+        let back = codec.decode_tensor(&mut buf.as_slice()).expect("decodes");
+        prop_assert_eq!(back.len(), t.len());
+        let kept = TopK::select(&t, k as usize);
+        prop_assert_eq!(kept.len(), (k as usize).min(t.len()));
+        // Kept values survive bit-exactly; everything else is zeroed.
+        let mut kept_iter = kept.iter().peekable();
+        for (i, (&v, &b)) in t.iter().zip(&back).enumerate() {
+            if kept_iter.peek() == Some(&&(i as u32)) {
+                kept_iter.next();
+                prop_assert_eq!(b.to_bits(), v.to_bits(), "kept entry {i} changed");
+            } else {
+                prop_assert_eq!(b, 0.0, "dropped entry {i} nonzero");
+            }
+        }
+        // Dominance + deterministic ties: every kept magnitude ≥ every
+        // dropped one, and a dropped equal magnitude has a higher index
+        // than every kept entry of that magnitude.
+        let dropped: Vec<u32> = (0..t.len() as u32).filter(|i| !kept.contains(i)).collect();
+        for &ki in &kept {
+            for &di in &dropped {
+                let (mk, md) = (t[ki as usize].abs(), t[di as usize].abs());
+                prop_assert!(
+                    mk > md || (mk == md && ki < di),
+                    "kept |{}|@{ki} does not dominate dropped |{}|@{di}", mk, md
+                );
+            }
+        }
+        // Determinism: a second encode produces identical bytes.
+        let mut again = Vec::new();
+        codec.encode_tensor(&t, &mut again);
+        prop_assert_eq!(&buf, &again);
+    }
+
+    #[test]
+    fn any_bit_flip_on_a_coded_frame_is_rejected(
+        loss in -10.0f32..10.0,
+        params in finite_tensor(64),
+        weight in 0.0f64..100.0,
+        bit_seed in any::<u64>(),
+    ) {
+        let codec = Chain::new(vec![Box::new(TopK { k: 16 }), Box::new(QuantI8)]);
+        let body = encode_upload_coded(&codec, loss, &(params, weight));
+        let env = Envelope { kind: 3, round: 1, sender: 4, seq: 0, payload: body };
+        let mut frame = env.encode();
+        corrupt_frame(&mut frame, bit_seed);
+        prop_assert!(
+            Envelope::decode(&frame).is_err(),
+            "flipped bit {} of a {}-byte coded frame went undetected",
+            bit_seed % (frame.len() as u64 * 8),
+            frame.len(),
+        );
+    }
+
+    #[test]
+    fn truncated_or_mismatched_coded_bodies_never_decode(
+        loss in -10.0f32..10.0,
+        params in finite_tensor(64),
+        cut in any::<u64>(),
+    ) {
+        let codec = QuantI8;
+        let body = encode_upload_coded(&codec, loss, &(params.clone(), 1.0f64));
+        // Clean body round-trips (loss bit-exact, shape preserved).
+        let (l2, (p2, w2)): (f32, (Vec<f32>, f64)) =
+            decode_upload_coded(&codec, &body).expect("clean coded body decodes");
+        prop_assert_eq!(l2.to_bits(), loss.to_bits());
+        prop_assert_eq!(p2.len(), params.len());
+        prop_assert_eq!(w2.to_bits(), 1.0f64.to_bits());
+        // Every strict prefix fails without panicking.
+        let short = &body[..(cut % body.len() as u64) as usize];
+        prop_assert!(decode_upload_coded::<(Vec<f32>, f64)>(&codec, short).is_err());
+        // Padding fails too — coded bodies are exact-length.
+        let mut long = body.clone();
+        long.push(0);
+        prop_assert!(decode_upload_coded::<(Vec<f32>, f64)>(&codec, &long).is_err());
+        // A body framed by one codec never decodes under another chain.
+        prop_assert!(decode_upload_coded::<(Vec<f32>, f64)>(&QuantF16, &body).is_err());
+        let chain = Chain::new(vec![Box::new(TopK { k: 8 }), Box::new(QuantI8)]);
+        prop_assert!(decode_upload_coded::<(Vec<f32>, f64)>(&chain, &body).is_err());
+    }
+}

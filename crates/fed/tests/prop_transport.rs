@@ -9,9 +9,11 @@
 //! 3. the fault plan is a pure function of its seed — the same seed
 //!    scripts the same round, event for event.
 
+use fedgta_fed::codec::{decode_header, Codec, QuantI8};
 use fedgta_fed::faults::{FaultConfig, FaultPlan, RoundScript};
-use fedgta_fed::transport::{corrupt_frame, decode_upload, encode_upload};
-use fedgta_graph::io::Envelope;
+use fedgta_fed::transport::{corrupt_frame, decode_upload, decode_upload_coded, encode_upload, encode_upload_coded};
+use fedgta_graph::io::{read_csr, write_csr, Envelope};
+use fedgta_graph::EdgeList;
 use proptest::prelude::*;
 
 proptest! {
@@ -82,6 +84,54 @@ proptest! {
         let mut long = bytes.clone();
         long.push(0);
         prop_assert!(decode_upload::<(Vec<f32>, f64)>(&long).is_err());
+    }
+
+    #[test]
+    fn truncated_coded_headers_are_always_rejected(
+        loss in -10.0f32..10.0,
+        params in proptest::collection::vec(-5.0f32..5.0, 1..32),
+        cut in any::<u64>(),
+    ) {
+        let codec = QuantI8;
+        let body = encode_upload_coded(&codec, loss, &(params, 1.0f64));
+        // The self-describing header is `u8 count + 5 bytes per stage`;
+        // cut inside it specifically — the decoder must fail cleanly on
+        // a frame that dies mid-header, not just mid-tensor.
+        let mut stages = Vec::new();
+        codec.stages(&mut stages);
+        let header_len = 1 + 5 * stages.len();
+        let short = &body[..(cut % header_len as u64) as usize];
+        prop_assert!(decode_upload_coded::<(Vec<f32>, f64)>(&codec, short).is_err());
+        // And the header decoder itself never panics on arbitrary bytes.
+        let mut garbage = body.clone();
+        for b in &mut garbage {
+            *b = b.wrapping_mul(31).wrapping_add((cut % 251) as u8);
+        }
+        let mut input = garbage.as_slice();
+        let _ = decode_header(&mut input);
+    }
+
+    #[test]
+    fn truncated_csr_streams_error_without_panicking(
+        n in 1usize..12,
+        edges in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..40),
+        cut in any::<u64>(),
+    ) {
+        let mut el = EdgeList::new(n);
+        for (u, v) in &edges {
+            el.push(*u as u32 % n as u32, *v as u32 % n as u32).unwrap();
+        }
+        let g = el.to_csr();
+        let mut bytes = Vec::new();
+        write_csr(&mut bytes, &g).expect("serializes");
+        // The full stream round-trips…
+        let back = read_csr(&mut bytes.as_slice()).expect("clean stream reads");
+        prop_assert_eq!(back.num_nodes(), g.num_nodes());
+        prop_assert_eq!(back.num_edges(), g.num_edges());
+        // …and every strict prefix errors instead of panicking or
+        // fabricating a graph.
+        let short = &bytes[..(cut % bytes.len() as u64) as usize];
+        prop_assert!(read_csr(&mut &short[..]).is_err(), "prefix of len {} read as a graph", short.len());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! is skipped — zero stats, no aggregation, client models untouched.
 
 use fedgta::FedGta;
+use fedgta_fed::codec::CodecSpec;
 use fedgta_fed::faults::{FaultConfig, FaultEvent};
 use fedgta_fed::round::{CommsConfig, RoundRecord, SimConfig, Simulation};
 use fedgta_fed::strategies::test_support::federation_with;
@@ -217,6 +218,172 @@ fn faulted_fedgta_stays_reproducible() {
     let (b, ev_b) = run_sim(Box::new(FedGta::with_defaults()), 4, 1.0, Some(chaos()));
     assert_bit_identical(&a, &b, "chaos FedGTA threads 1 vs 4");
     assert_eq!(ev_a, ev_b);
+}
+
+/// A fault-free channel config with the given codec chain armed.
+fn codec_comms(spec: &str) -> CommsConfig {
+    CommsConfig {
+        codec: Some(CodecSpec::parse(spec).expect("valid codec spec")),
+        ..CommsConfig::default()
+    }
+}
+
+/// The codec chains the determinism contract is checked over: every
+/// stage kind alone plus a sparsify→quantize chain.
+const CODEC_SPECS: &[&str] = &["identity", "quant-i8", "quant-f16", "topk=32", "topk=16+quant-i8"];
+
+/// A lighter federation for the codec × strategy sweep (the full grid is
+/// |codecs| × |strategies| × 2 thread counts).
+fn run_sim_light(
+    strategy: Box<dyn Strategy>,
+    threads: usize,
+    comms: CommsConfig,
+) -> (Vec<RoundRecord>, Vec<FaultEvent>) {
+    let clients = federation_with(ModelKind::Sgc, 900, 6, 600);
+    let mut sim = Simulation::new(
+        clients,
+        strategy,
+        SimConfig {
+            rounds: 2,
+            local_epochs: 1,
+            participation: 1.0,
+            eval_every: 2,
+            seed: 900,
+            threads,
+        },
+    )
+    .with_comms(comms);
+    let records = sim.run();
+    (records, sim.fault_events)
+}
+
+#[test]
+fn every_codec_is_bit_deterministic_for_every_strategy() {
+    // Contract 1 extended: with any codec armed — lossless or lossy —
+    // results remain a pure function of the seeds. 1 vs 4 worker threads
+    // must agree bitwise on every record, including the raw/encoded byte
+    // meters (the wire bodies themselves are scripted).
+    for spec in CODEC_SPECS {
+        for (label, make) in all_strategies() {
+            let (r1, ev1) = run_sim_light(make(), 1, codec_comms(spec));
+            let (r4, ev4) = run_sim_light(make(), 4, codec_comms(spec));
+            let tag = format!("{label} × {spec} threads 1 vs 4");
+            assert_bit_identical(&r1, &r4, &tag);
+            for (a, b) in r1.iter().zip(&r4) {
+                assert_eq!(
+                    (a.bytes_uploaded_raw, a.bytes_uploaded_encoded),
+                    (b.bytes_uploaded_raw, b.bytes_uploaded_encoded),
+                    "{tag} round {}: byte meters differ",
+                    a.round
+                );
+                assert!(
+                    a.bytes_uploaded_encoded > 0,
+                    "{tag} round {}: nothing metered on the wire",
+                    a.round
+                );
+            }
+            assert_eq!(ev1, ev4, "{tag}: fault event logs differ");
+            assert!(ev1.is_empty(), "{tag}: clean coded run logged faults");
+        }
+    }
+}
+
+#[test]
+fn identity_codec_matches_plain_channel_trajectories() {
+    // A lossless chain must be invisible to learning: loss/accuracy
+    // trajectories bitwise equal to the plain channel path. (Byte meters
+    // legitimately differ — the coded frame carries the codec header and
+    // per-tensor metadata.)
+    for (label, make) in all_strategies() {
+        let (plain, _) = run_sim_light(make(), 2, CommsConfig::default());
+        let (coded, _) = run_sim_light(make(), 2, codec_comms("identity"));
+        assert_eq!(plain.len(), coded.len());
+        for (a, b) in plain.iter().zip(&coded) {
+            assert_eq!(
+                a.mean_loss.to_bits(),
+                b.mean_loss.to_bits(),
+                "{label} round {}: identity codec changed the loss",
+                a.round
+            );
+            assert_eq!(
+                a.test_acc.map(f64::to_bits),
+                b.test_acc.map(f64::to_bits),
+                "{label} round {}: identity codec changed the accuracy",
+                a.round
+            );
+            // Identity framing swaps the plain tensor prefix for the repr
+            // prefix and adds the codec header, so encoded ≈ raw — but
+            // both meters must be live.
+            assert!(
+                b.bytes_uploaded_raw > 0 && b.bytes_uploaded_encoded > 0,
+                "{label} round {}: byte meters not live",
+                a.round
+            );
+        }
+    }
+}
+
+#[test]
+fn identity_codec_fedgta_final_parameters_match_plain_channel() {
+    // Stronger than record equality: client parameters after the
+    // personalized rounds agree bitwise with and without the lossless
+    // codec armed.
+    let run = |comms: CommsConfig| -> Vec<Vec<f32>> {
+        let clients = federation_with(ModelKind::Sgc, 900, 6, 600);
+        let mut sim = Simulation::new(
+            clients,
+            Box::new(FedGta::with_defaults()),
+            SimConfig {
+                rounds: 3,
+                local_epochs: 1,
+                participation: 1.0,
+                eval_every: 0,
+                seed: 900,
+                threads: 2,
+            },
+        )
+        .with_comms(comms);
+        sim.run();
+        sim.clients.iter().map(|c| c.model.params()).collect()
+    };
+    let plain = run(CommsConfig::default());
+    let coded = run(codec_comms("identity"));
+    assert_eq!(plain.len(), coded.len());
+    for (i, (a, b)) in plain.iter().zip(&coded).enumerate() {
+        assert_eq!(a.len(), b.len(), "client {i}: param lengths differ");
+        for (j, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "client {i} param {j}: {x} (plain) vs {y} (identity codec)"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_with_quantized_uploads_stays_reproducible() {
+    // Contract 2 extended: faults bite the *encoded* frames, and the
+    // whole (codec ∘ chaos) composition replays bit-identically from the
+    // fault seed at any thread count.
+    let comms = || CommsConfig {
+        codec: Some(CodecSpec::parse("quant-i8").unwrap()),
+        ..chaos()
+    };
+    let (a, ev_a) = run_sim(Box::new(FedGta::with_defaults()), 1, 0.8, Some(comms()));
+    let (b, ev_b) = run_sim(Box::new(FedGta::with_defaults()), 1, 0.8, Some(comms()));
+    let (c, ev_c) = run_sim(Box::new(FedGta::with_defaults()), 4, 0.8, Some(comms()));
+    assert_bit_identical(&a, &b, "chaos+quant-i8 run-to-run");
+    assert_bit_identical(&a, &c, "chaos+quant-i8 threads 1 vs 4");
+    assert_eq!(ev_a, ev_b, "fault logs differ run-to-run");
+    assert_eq!(ev_a, ev_c, "fault logs differ across thread counts");
+    assert!(!ev_a.is_empty(), "chaos config produced no fault events");
+    // Compression actually happened on the surviving uploads.
+    assert!(
+        a.iter().any(|r| r.bytes_uploaded_encoded > 0
+            && r.bytes_uploaded_encoded < r.bytes_uploaded_raw / 3),
+        "quant-i8 never compressed an accepted round"
+    );
 }
 
 #[test]
