@@ -13,6 +13,7 @@ pub mod format;
 pub mod kernels;
 pub mod plot;
 pub mod runner;
+pub mod scale;
 
 pub use format::{fmt_pm, Table};
 pub use plot::{render_chart, Series};

@@ -80,7 +80,19 @@ USAGE:
                        (bytes-vs-accuracy Pareto sweep of upload codecs x
                         strategies on cora; every cell checked bit-identical
                         at 1 vs 4 threads, lossless cells checked against
-                        the plain-upload baseline)",
+                        the plain-upload baseline)
+  fedgta-cli bench scale [--mode quick|full] [--out <file.json>]
+                       (out-of-core scale sweep: streamed SBM generation +
+                        normalization to the chunked v2 layout, in-memory vs
+                        file-backed SpMM at 1/4 threads with bit-identity
+                        asserted, then a federated FedGTA run whose tracked
+                        peak memory must stay under 4 GiB. 'full' is the
+                        10^7-node / ~10^8-edge configuration; scratch files
+                        go to $FEDGTA_SCALE_DIR or the system temp dir)
+  fedgta-cli convert   --in <graph.fgta> --out <graph.fgta2> [--chunk-rows N]
+                       (rewrite a v1 (or v2) CSR graph file into the chunked
+                        v2 layout readable tile-at-a-time; default chunk of
+                        65536 rows)",
         STRATEGY_NAMES.join("|")
     );
 }
@@ -88,10 +100,10 @@ USAGE:
 /// `bench kernels` / `bench aggregate`: run a microbenchmark suite.
 pub fn bench(a: &Args) -> CliResult {
     let suite = match a.subcommand.as_deref() {
-        Some(s @ ("kernels" | "aggregate" | "comms")) => s,
+        Some(s @ ("kernels" | "aggregate" | "comms" | "scale")) => s,
         Some(other) => {
             return Err(format!(
-                "unknown bench suite '{other}' (try 'kernels', 'aggregate' or 'comms')"
+                "unknown bench suite '{other}' (try 'kernels', 'aggregate', 'comms' or 'scale')"
             )
             .into())
         }
@@ -121,6 +133,13 @@ pub fn bench(a: &Args) -> CliResult {
                 fedgta_bench::comms::to_json(&report),
             )
         }
+        "scale" => {
+            let report = fedgta_bench::scale::run(quick);
+            (
+                fedgta_bench::scale::render_table(&report),
+                fedgta_bench::scale::to_json(&report),
+            )
+        }
         _ => {
             let report = fedgta_bench::aggregate::run(quick, None);
             (
@@ -134,6 +153,29 @@ pub fn bench(a: &Args) -> CliResult {
         std::fs::write(out, json)?;
         println!("wrote {out}");
     }
+    Ok(())
+}
+
+/// `convert`: rewrite a CSR graph file (v1 sequential or v2 chunked) into
+/// the chunked v2 layout, so existing v1 artifacts become readable
+/// tile-at-a-time by the out-of-core [`fedgta_graph::store`] path.
+pub fn convert(a: &Args) -> CliResult {
+    let src = a
+        .str_opt("in")
+        .ok_or("convert needs --in <graph.fgta>")?
+        .to_string();
+    let dst = a
+        .str_opt("out")
+        .ok_or("convert needs --out <graph.fgta2>")?
+        .to_string();
+    let chunk_rows = a.num_or("chunk-rows", fedgta_graph::io::DEFAULT_CHUNK_ROWS)?;
+    let mut r = std::io::BufReader::new(std::fs::File::open(&src)?);
+    let g = fedgta_graph::io::read_csr(&mut r)?;
+    let summary = fedgta_graph::io::write_csr_v2(Path::new(&dst), &g, chunk_rows)?;
+    println!(
+        "wrote {dst}: {} nodes, {} edges, {} rows/chunk, weights: {}",
+        summary.nodes, summary.edges, summary.chunk_rows, summary.has_weights
+    );
     Ok(())
 }
 
@@ -541,6 +583,49 @@ mod tests {
     #[test]
     fn datasets_listing_works() {
         datasets().unwrap();
+    }
+
+    #[test]
+    fn convert_requires_flags() {
+        assert!(convert(&args(&["convert"])).is_err());
+        assert!(convert(&args(&["convert", "--in", "x.fgta"])).is_err());
+    }
+
+    #[test]
+    fn convert_v1_to_v2_round_trips() {
+        use fedgta_graph::EdgeList;
+        let dir = std::env::temp_dir();
+        let src = dir.join(format!("fedgta-cli-conv-{}.fgta", std::process::id()));
+        let dst = dir.join(format!("fedgta-cli-conv-{}.fgta2", std::process::id()));
+        let mut el = EdgeList::new(5);
+        el.push_undirected(0, 1).unwrap();
+        el.push_undirected(1, 4).unwrap();
+        el.push_undirected(2, 3).unwrap();
+        let g = el.to_csr();
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&src).unwrap());
+        fedgta_graph::io::write_csr(&mut w, &g).unwrap();
+        drop(w);
+        let a = args(&[
+            "convert",
+            "--in",
+            src.to_str().unwrap(),
+            "--out",
+            dst.to_str().unwrap(),
+            "--chunk-rows",
+            "2",
+        ]);
+        convert(&a).unwrap();
+        let store = fedgta_graph::ChunkedCsr::open(&dst).unwrap();
+        assert_eq!(store.chunk_rows(), 2);
+        assert_eq!(store.to_csr().unwrap(), g);
+        std::fs::remove_file(&src).unwrap();
+        std::fs::remove_file(&dst).unwrap();
+    }
+
+    #[test]
+    fn bench_rejects_unknown_suite() {
+        let err = bench(&args(&["bench", "nope"])).unwrap_err().to_string();
+        assert!(err.contains("scale"), "suite hint should mention scale: {err}");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!                      [--metrics-out metrics.prom]
 //! fedgta-cli report    trace.jsonl
 //! fedgta-cli bench kernels [--mode quick|full] [--out kernels.json]
+//! fedgta-cli bench scale [--mode quick|full] [--out scale.json]
+//! fedgta-cli convert   --in graph.fgta --out graph.fgta2 [--chunk-rows N]
 //! ```
 
 mod args;
@@ -38,6 +40,7 @@ fn main() -> ExitCode {
         "run" => commands::run(&parsed),
         "report" => commands::report(&parsed),
         "bench" => commands::bench(&parsed),
+        "convert" => commands::convert(&parsed),
         "help" | "--help" | "-h" => {
             commands::print_help();
             Ok(())

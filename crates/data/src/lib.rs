@@ -25,7 +25,7 @@ pub mod splits;
 
 pub use cache::{load_benchmark_cached, read_benchmark, save_benchmark};
 pub use catalog::{generate_from_spec, load_benchmark, spec_by_name, Benchmark, SPECS};
-pub use sbm::{generate_sbm, SbmConfig, SbmGraph};
+pub use sbm::{generate_sbm, stream_sbm, SbmConfig, SbmGraph, StreamedSbm};
 pub use spec::{DatasetSpec, Task};
 
 /// Errors from dataset generation.

@@ -7,10 +7,26 @@
 //! yields homophilous graphs with strong community structure and realistic
 //! skewed degrees — the regime the paper's Louvain/Metis federated splits
 //! assume.
+//!
+//! Two entry points share one sampling core (`sbm_plan` + `draw_node_edges`
+//! consume the RNG identically), so they are bit-identical for a given
+//! config:
+//! - [`generate_sbm`] materializes an [`EdgeList`] and converts to CSR —
+//!   simple, but peaks at O(m) edge records plus the CSR itself;
+//! - [`stream_sbm`] spills directed edge records to per-row-range bucket
+//!   files, then finalizes buckets in row order straight into a
+//!   [`RowSink`] (a [`CsrV2Writer`](fedgta_graph::io::CsrV2Writer) for
+//!   out-of-core graphs, a [`CsrBuilder`](fedgta_graph::store::CsrBuilder)
+//!   for tests) — peak memory is O(n) node metadata + one bucket.
 
+use fedgta_graph::io::IoError;
+use fedgta_graph::store::RowSink;
 use fedgta_graph::{Csr, EdgeList};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
 
 /// Generator configuration.
 #[derive(Debug, Clone)]
@@ -71,16 +87,23 @@ pub struct SbmGraph {
     pub blocks: Vec<u32>,
 }
 
-/// Generates a degree-corrected SBM graph.
-///
-/// Blocks are contiguous node ranges of near-equal size; block `b` has
-/// class `b % num_classes`, so adjacent blocks carry different classes and
-/// any community-respecting partition induces label-skewed clients.
-pub fn generate_sbm(cfg: &SbmConfig) -> SbmGraph {
+/// The O(n) sampling state shared by both generators: block geometry,
+/// labels, class membership lists, and normalized degree propensities.
+struct SbmPlan {
+    block_of: Vec<u32>,
+    block_start: Vec<usize>,
+    labels: Vec<u32>,
+    class_nodes: Vec<Vec<u32>>,
+    theta: Vec<f64>,
+}
+
+/// Builds the plan, consuming exactly `n` RNG draws when `degree_spread`
+/// is positive and none otherwise. Both generators call this first with a
+/// fresh seeded RNG, so their subsequent edge draws line up draw-for-draw.
+fn sbm_plan(cfg: &SbmConfig, rng: &mut StdRng) -> SbmPlan {
     assert!(cfg.num_classes >= 1 && cfg.blocks_per_class >= 1);
     let num_blocks = cfg.num_classes * cfg.blocks_per_class;
     assert!(cfg.n >= num_blocks, "need at least one node per block");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // Contiguous blocks of near-equal size.
     let mut block_of = vec![0u32; cfg.n];
@@ -114,62 +137,247 @@ pub fn generate_sbm(cfg: &SbmConfig) -> SbmGraph {
         *t /= mean;
     }
 
+    SbmPlan {
+        block_of,
+        block_start,
+        labels,
+        class_nodes,
+        theta,
+    }
+}
+
+/// Draws node `v`'s edge stubs, calling `emit(v, target)` once per
+/// accepted *undirected* edge (self-targets are rejected; the caller adds
+/// both directions). RNG consumption depends only on `(cfg, plan, v)`, so
+/// any emitter sees the identical edge sequence.
+fn draw_node_edges(
+    cfg: &SbmConfig,
+    plan: &SbmPlan,
+    rng: &mut StdRng,
+    v: usize,
+    emit: &mut impl FnMut(u32, u32),
+) {
+    let stubs = (cfg.avg_degree * 0.5 * plan.theta[v]).round() as usize;
+    let b = plan.block_of[v] as usize;
+    let c = plan.labels[v] as usize;
+    for _ in 0..stubs.max(1) {
+        let r: f64 = rng.random();
+        let target = if r < cfg.p_block {
+            // Own block.
+            let lo = plan.block_start[b];
+            let hi = plan.block_start[b + 1];
+            rng.random_range(lo..hi) as u32
+        } else if r < cfg.p_block + cfg.p_class && cfg.blocks_per_class > 1 {
+            // Another block of the same class.
+            let mut ob = c + cfg.num_classes * rng.random_range(0..cfg.blocks_per_class);
+            if ob == b {
+                ob = c + cfg.num_classes * ((ob / cfg.num_classes + 1) % cfg.blocks_per_class);
+            }
+            let lo = plan.block_start[ob];
+            let hi = plan.block_start[ob + 1];
+            rng.random_range(lo..hi) as u32
+        } else if r < cfg.p_block + cfg.p_class {
+            // Single block per class: stay within the class (== block).
+            let nodes = &plan.class_nodes[c];
+            nodes[rng.random_range(0..nodes.len())]
+        } else {
+            // Different class, uniform over its nodes.
+            let mut oc = rng.random_range(0..cfg.num_classes);
+            if oc == c {
+                oc = (oc + 1) % cfg.num_classes;
+            }
+            if cfg.num_classes == 1 {
+                oc = c;
+            }
+            let nodes = &plan.class_nodes[oc];
+            nodes[rng.random_range(0..nodes.len())]
+        };
+        if target as usize != v {
+            emit(v as u32, target);
+        }
+    }
+}
+
+/// Generates a degree-corrected SBM graph in memory.
+///
+/// Blocks are contiguous node ranges of near-equal size; block `b` has
+/// class `b % num_classes`, so adjacent blocks carry different classes and
+/// any community-respecting partition induces label-skewed clients.
+pub fn generate_sbm(cfg: &SbmConfig) -> SbmGraph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let plan = sbm_plan(cfg, &mut rng);
     let mut el = EdgeList::with_capacity(cfg.n, (cfg.n as f64 * cfg.avg_degree) as usize);
     for v in 0..cfg.n {
-        let stubs = (cfg.avg_degree * 0.5 * theta[v]).round() as usize;
-        let b = block_of[v] as usize;
-        let c = labels[v] as usize;
-        for _ in 0..stubs.max(1) {
-            let r: f64 = rng.random();
-            let target = if r < cfg.p_block {
-                // Own block.
-                let lo = block_start[b];
-                let hi = block_start[b + 1];
-                rng.random_range(lo..hi) as u32
-            } else if r < cfg.p_block + cfg.p_class && cfg.blocks_per_class > 1 {
-                // Another block of the same class.
-                let mut ob = c + cfg.num_classes * rng.random_range(0..cfg.blocks_per_class);
-                if ob == b {
-                    ob = c + cfg.num_classes * ((ob / cfg.num_classes + 1) % cfg.blocks_per_class);
-                }
-                let lo = block_start[ob];
-                let hi = block_start[ob + 1];
-                rng.random_range(lo..hi) as u32
-            } else if r < cfg.p_block + cfg.p_class {
-                // Single block per class: stay within the class (== block).
-                let nodes = &class_nodes[c];
-                nodes[rng.random_range(0..nodes.len())]
-            } else {
-                // Different class, uniform over its nodes.
-                let mut oc = rng.random_range(0..cfg.num_classes);
-                if oc == c {
-                    oc = (oc + 1) % cfg.num_classes;
-                }
-                if cfg.num_classes == 1 {
-                    oc = c;
-                }
-                let nodes = &class_nodes[oc];
-                nodes[rng.random_range(0..nodes.len())]
-            };
-            if target as usize != v {
-                el.push_undirected(v as u32, target).expect("in range");
-            }
-        }
+        draw_node_edges(cfg, &plan, &mut rng, v, &mut |u, t| {
+            el.push_undirected(u, t).expect("in range");
+        });
     }
     SbmGraph {
         graph: el.to_csr(),
-        labels,
-        blocks: block_of,
+        labels: plan.labels,
+        blocks: plan.block_of,
     }
+}
+
+/// Streamed generator output: the sink's product plus ground truth.
+#[derive(Debug)]
+pub struct StreamedSbm<T> {
+    /// Whatever the [`RowSink`] finalized to (a v2 file summary, a CSR…).
+    pub output: T,
+    /// Class label per node.
+    pub labels: Vec<u32>,
+    /// Block (community) id per node.
+    pub blocks: Vec<u32>,
+}
+
+/// Rows per spill bucket during [`stream_sbm`]. One bucket of a
+/// `10⁷-node / avg-degree-10` graph holds ≈ 650k directed edge records
+/// (≈ 5 MiB), the unit of resident memory in the finalize pass.
+pub const STREAM_BUCKET_ROWS: usize = 1 << 16;
+
+/// Spill buffers are flushed to their bucket files whenever the total
+/// pending bytes across all buckets exceed this.
+const SPILL_PENDING_MAX: usize = 32 << 20;
+
+/// Generates the same graph as [`generate_sbm`] — bit-identical adjacency
+/// for the same config — without ever materializing the edge list.
+///
+/// Directed edge records `(row, col)` are spilled to one temp file per
+/// [`STREAM_BUCKET_ROWS`]-row range under `scratch`; each bucket is then
+/// counting-sorted by row, sorted within rows, duplicate-merged with the
+/// same multiplicity-sum rule as [`EdgeList::to_csr`], and emitted to
+/// `sink` in row order. Peak memory is the O(n) plan plus one bucket.
+///
+/// `scratch` is created if absent; bucket files are removed as they are
+/// consumed.
+pub fn stream_sbm<S: RowSink>(
+    cfg: &SbmConfig,
+    scratch: &Path,
+    mut sink: S,
+) -> Result<StreamedSbm<S::Output>, IoError> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let plan = sbm_plan(cfg, &mut rng);
+    let nb = cfg.n.div_ceil(STREAM_BUCKET_ROWS).max(1);
+    std::fs::create_dir_all(scratch)?;
+    let paths: Vec<PathBuf> = (0..nb)
+        .map(|b| scratch.join(format!("sbm-{}-bucket-{b}.tmp", cfg.seed)))
+        .collect();
+    let mut files: Vec<File> = paths
+        .iter()
+        .map(|p| File::options().write(true).create(true).truncate(true).open(p))
+        .collect::<std::io::Result<_>>()?;
+
+    // Pass 1: spill both directions of every drawn edge, bucketed by row.
+    let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); nb];
+    let mut pending = 0usize;
+    for v in 0..cfg.n {
+        draw_node_edges(cfg, &plan, &mut rng, v, &mut |u, t| {
+            for (r, c) in [(u, t), (t, u)] {
+                let buf = &mut bufs[r as usize / STREAM_BUCKET_ROWS];
+                buf.extend_from_slice(&r.to_le_bytes());
+                buf.extend_from_slice(&c.to_le_bytes());
+            }
+            pending += 16;
+        });
+        if pending >= SPILL_PENDING_MAX {
+            for (f, buf) in files.iter_mut().zip(&mut bufs) {
+                if !buf.is_empty() {
+                    f.write_all(buf)?;
+                    buf.clear();
+                }
+            }
+            pending = 0;
+        }
+    }
+    for (f, buf) in files.iter_mut().zip(&mut bufs) {
+        if !buf.is_empty() {
+            f.write_all(buf)?;
+        }
+        f.flush()?;
+    }
+    drop(files);
+    drop(bufs);
+
+    // Pass 2: finalize buckets in row order.
+    let mut bytes: Vec<u8> = Vec::new();
+    let mut row_cols: Vec<u32> = Vec::new();
+    let mut row_ws: Vec<f32> = Vec::new();
+    for (b, path) in paths.iter().enumerate() {
+        let lo = b * STREAM_BUCKET_ROWS;
+        let hi = ((b + 1) * STREAM_BUCKET_ROWS).min(cfg.n);
+        bytes.clear();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let rows = hi - lo;
+        // Counting sort by row.
+        let mut cnt = vec![0usize; rows + 1];
+        for rec in bytes.chunks_exact(8) {
+            let r = u32::from_le_bytes(rec[..4].try_into().unwrap()) as usize;
+            debug_assert!((lo..hi).contains(&r), "record outside its bucket");
+            cnt[r - lo + 1] += 1;
+        }
+        for i in 0..rows {
+            cnt[i + 1] += cnt[i];
+        }
+        let mut cols = vec![0u32; cnt[rows]];
+        let mut cur = cnt.clone();
+        for rec in bytes.chunks_exact(8) {
+            let r = u32::from_le_bytes(rec[..4].try_into().unwrap()) as usize - lo;
+            cols[cur[r]] = u32::from_le_bytes(rec[4..].try_into().unwrap());
+            cur[r] += 1;
+        }
+        // Per row: sort, merge duplicates (multiplicity becomes the
+        // weight, exactly like `EdgeList::to_csr`), emit.
+        for r in 0..rows {
+            let s = &mut cols[cnt[r]..cnt[r + 1]];
+            s.sort_unstable();
+            row_cols.clear();
+            row_ws.clear();
+            let mut any_dup = false;
+            let mut i = 0;
+            while i < s.len() {
+                let c = s[i];
+                let mut j = i + 1;
+                while j < s.len() && s[j] == c {
+                    j += 1;
+                }
+                row_cols.push(c);
+                row_ws.push((j - i) as f32);
+                any_dup |= j - i > 1;
+                i = j;
+            }
+            let ws = if any_dup { Some(row_ws.as_slice()) } else { None };
+            sink.push_row(&row_cols, ws)?;
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    let output = sink.finish()?;
+    Ok(StreamedSbm {
+        output,
+        labels: plan.labels,
+        blocks: plan.block_of,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use fedgta_graph::metrics::{degree_stats, edge_homophily, modularity};
+    use fedgta_graph::store::{ChunkedCsr, CsrBuilder};
+    use fedgta_graph::io::CsrV2Writer;
 
     fn cfg() -> SbmConfig {
         SbmConfig::with_homophily(2000, 5, 4, 8.0, 0.8, 42)
+    }
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "fedgta-sbm-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
     }
 
     #[test]
@@ -236,5 +444,37 @@ mod tests {
         // heavy tail it is far above it.
         assert!((s.max as f64) < 3.0 * s.mean, "max {} mean {}", s.max, s.mean);
         assert!((hs.max as f64) > (s.max as f64), "heavy tail not heavier");
+    }
+
+    #[test]
+    fn streamed_matches_in_memory_bitwise() {
+        // Several configs, including ones that span multiple buckets would
+        // be too slow here; small graphs with duplicate-edge pressure
+        // (tiny blocks, high degree) exercise the merge path instead.
+        for cfg in [
+            cfg(),
+            SbmConfig::with_homophily(300, 3, 2, 20.0, 0.9, 7),
+            SbmConfig::with_homophily(50, 1, 1, 12.0, 0.9, 0),
+        ] {
+            let mem = generate_sbm(&cfg);
+            let streamed =
+                stream_sbm(&cfg, &tmpdir(), CsrBuilder::new(cfg.n)).unwrap();
+            assert_eq!(streamed.output, mem.graph, "adjacency differs (seed {})", cfg.seed);
+            assert_eq!(streamed.labels, mem.labels);
+            assert_eq!(streamed.blocks, mem.blocks);
+        }
+    }
+
+    #[test]
+    fn streamed_to_v2_file_round_trips() {
+        let cfg = cfg();
+        let mem = generate_sbm(&cfg);
+        let path = tmpdir().join("sbm-stream.fgta2");
+        let writer = CsrV2Writer::create(&path, cfg.n, 256).unwrap();
+        let streamed = stream_sbm(&cfg, &tmpdir(), writer).unwrap();
+        assert_eq!(streamed.output.nodes, cfg.n as u64);
+        let store = ChunkedCsr::open(&path).unwrap();
+        assert_eq!(store.to_csr().unwrap(), mem.graph);
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -5,12 +5,44 @@
 //! offset, index, and optional weight arrays. Used by the dataset cache in
 //! `fedgta-data` and usable for shipping client subgraphs across real
 //! transports.
+//!
+//! Two on-disk layouts share the magic:
+//!
+//! - **v1** — a plain sequential stream (header, offsets, indices,
+//!   weights). Fine for subgraph-sized payloads; decoding materializes the
+//!   whole graph.
+//! - **v2** — the out-of-core layout: a fixed 64-byte header with explicit
+//!   section positions, a *row-chunk directory* (cumulative edge counts at
+//!   every `chunk_rows` row boundary), then 8-byte-aligned offset / index /
+//!   weight sections. The directory lets a reader locate any row chunk's
+//!   offsets, indices, and weights with three positioned reads, so the
+//!   graph can be consumed tile-at-a-time ([`crate::store::ChunkedCsr`])
+//!   with a resident set of O(tile) instead of O(graph). The same layout
+//!   read sequentially decodes chunk-at-a-time: allocations are committed
+//!   only as each chunk's bytes actually arrive and every chunk boundary is
+//!   cross-checked against the directory, so truncated or hostile streams
+//!   fail cheaply.
 
 use crate::Csr;
+use std::fs::File;
 use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"FGTA";
 const VERSION: u8 = 1;
+/// Version byte of the chunked out-of-core layout.
+pub const VERSION_V2: u8 = 2;
+/// Fixed v2 header size in bytes.
+pub const V2_HEADER: u64 = 64;
+/// Default rows per chunk for v2 files: 64Ki rows keeps the per-tile
+/// offset array at 512 KiB and, at the 10-edges-per-node scale the roadmap
+/// targets, tile index+weight buffers in the single-digit MiB range.
+pub const DEFAULT_CHUNK_ROWS: usize = 1 << 16;
+/// Sanity ceiling on the v2 chunk count: bounds the directory allocation
+/// for hostile headers (a real writer at `DEFAULT_CHUNK_ROWS` needs ~153
+/// chunks for 10⁷ nodes; 4Mi chunks covers `MAX_DECODE_NODES` at 1Ki rows
+/// per chunk).
+pub const MAX_DECODE_CHUNKS: u64 = 1 << 22;
 
 /// Sanity ceiling on decoded node counts (`read_csr`): a node id must fit
 /// in the `u32` column-index encoding anyway, so anything larger is a
@@ -89,6 +121,10 @@ pub fn write_csr<W: Write>(w: &mut W, g: &Csr) -> Result<(), IoError> {
 }
 
 /// Deserializes a CSR graph from a reader, validating structure.
+///
+/// Accepts both layouts: v1 decodes sequentially as before; v2 streams
+/// chunk-at-a-time against the chunk directory (see [`read_csr_v2_from`]),
+/// so memory is committed only as validated chunk bytes arrive.
 pub fn read_csr<R: Read>(r: &mut R) -> Result<Csr, IoError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -97,6 +133,9 @@ pub fn read_csr<R: Read>(r: &mut R) -> Result<Csr, IoError> {
     }
     let mut ver = [0u8; 1];
     r.read_exact(&mut ver)?;
+    if ver[0] == VERSION_V2 {
+        return read_csr_v2_from(r);
+    }
     if ver[0] != VERSION {
         return Err(IoError::BadVersion(ver[0]));
     }
@@ -140,6 +179,522 @@ pub fn read_csr<R: Read>(r: &mut R) -> Result<Csr, IoError> {
     let g = Csr::from_raw_parts(indptr, indices, weights);
     g.validate().map_err(|_| IoError::Corrupt("column index out of range"))?;
     Ok(g)
+}
+
+// ---------------------------------------------------------------------
+// v2: the chunked out-of-core layout.
+// ---------------------------------------------------------------------
+//
+// Byte layout (little-endian, all positions from file start):
+//
+//   0..4    magic "FGTA"
+//   4       version (2)
+//   5       has_weights (0/1)
+//   6..8    reserved (0)
+//   8..16   n: u64 (nodes)
+//   16..24  m: u64 (stored directed edges)
+//   24..32  chunk_rows: u64
+//   32..40  dir_pos: u64      (== 64)
+//   40..48  offsets_pos: u64
+//   48..56  indices_pos: u64
+//   56..64  weights_pos: u64  (0 when unweighted)
+//
+// Sections, each 8-byte aligned:
+//   dir      (num_chunks+1) × u64   cumulative edge counts at chunk row
+//                                   boundaries: dir[c] = offsets[c·chunk_rows]
+//   offsets  (n+1) × u64
+//   indices  m × u32
+//   weights  m × f32 (only when has_weights)
+
+/// Positioned write: `buf` at absolute offset `pos`, independent of any
+/// seek cursor (unix `pwrite`; seek-based fallback elsewhere — the fallback
+/// is only safe from one thread per `File` handle, which all callers obey
+/// by giving each worker its own handle).
+#[cfg(unix)]
+pub(crate) fn pwrite_all(f: &File, pos: u64, buf: &[u8]) -> io::Result<()> {
+    std::os::unix::fs::FileExt::write_all_at(f, buf, pos)
+}
+
+#[cfg(not(unix))]
+pub(crate) fn pwrite_all(mut f: &File, pos: u64, buf: &[u8]) -> io::Result<()> {
+    use std::io::{Seek, SeekFrom};
+    f.seek(SeekFrom::Start(pos))?;
+    f.write_all(buf)
+}
+
+/// Positioned read of exactly `buf.len()` bytes at absolute offset `pos`.
+#[cfg(unix)]
+pub(crate) fn pread_exact(f: &File, pos: u64, buf: &mut [u8]) -> io::Result<()> {
+    std::os::unix::fs::FileExt::read_exact_at(f, buf, pos)
+}
+
+#[cfg(not(unix))]
+pub(crate) fn pread_exact(mut f: &File, pos: u64, buf: &mut [u8]) -> io::Result<()> {
+    use std::io::{Seek, SeekFrom};
+    f.seek(SeekFrom::Start(pos))?;
+    f.read_exact(buf)
+}
+
+#[inline]
+fn align8(x: u64) -> u64 {
+    (x + 7) & !7
+}
+
+/// Parsed v2 header: counts plus section positions, sanity-checked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct V2Meta {
+    /// Node count.
+    pub nodes: u64,
+    /// Stored directed edge count.
+    pub edges: u64,
+    /// Rows per chunk.
+    pub chunk_rows: u64,
+    /// Whether a weights section is present.
+    pub has_weights: bool,
+    /// Absolute position of the chunk directory.
+    pub dir_pos: u64,
+    /// Absolute position of the offsets section.
+    pub offsets_pos: u64,
+    /// Absolute position of the indices section.
+    pub indices_pos: u64,
+    /// Absolute position of the weights section (0 when unweighted).
+    pub weights_pos: u64,
+}
+
+impl V2Meta {
+    /// Number of row chunks (`ceil(n / chunk_rows)`, 0 for an empty graph).
+    pub fn num_chunks(&self) -> usize {
+        (self.nodes as usize).div_ceil(self.chunk_rows as usize)
+    }
+
+    /// Section positions a conforming writer produces for these counts.
+    fn expected_positions(nodes: u64, edges: u64, chunk_rows: u64, has_weights: bool) -> (u64, u64, u64, u64) {
+        let nc = (nodes as usize).div_ceil(chunk_rows.max(1) as usize) as u64;
+        let dir_pos = V2_HEADER;
+        let offsets_pos = dir_pos + 8 * (nc + 1);
+        let indices_pos = offsets_pos + 8 * (nodes + 1);
+        let weights_pos = if has_weights { align8(indices_pos + 4 * edges) } else { 0 };
+        (dir_pos, offsets_pos, indices_pos, weights_pos)
+    }
+
+    /// Validates counts and section positions against the sanity ceilings
+    /// and the canonical layout. Hostile headers fail here, before any
+    /// count-sized allocation.
+    pub fn validate(&self) -> Result<(), IoError> {
+        if self.nodes > MAX_DECODE_NODES || self.edges > MAX_DECODE_EDGES {
+            return Err(IoError::Corrupt("node/edge count exceeds sanity limit"));
+        }
+        if self.chunk_rows == 0 {
+            return Err(IoError::Corrupt("zero chunk_rows"));
+        }
+        let nc = (self.nodes as usize).div_ceil(self.chunk_rows as usize) as u64;
+        if nc > MAX_DECODE_CHUNKS {
+            return Err(IoError::Corrupt("chunk count exceeds sanity limit"));
+        }
+        let (dir, off, idx, wts) =
+            Self::expected_positions(self.nodes, self.edges, self.chunk_rows, self.has_weights);
+        if (self.dir_pos, self.offsets_pos, self.indices_pos, self.weights_pos) != (dir, off, idx, wts) {
+            return Err(IoError::Corrupt("section positions inconsistent with counts"));
+        }
+        Ok(())
+    }
+
+    /// Parses the 59 header bytes that follow the magic + version prefix.
+    pub(crate) fn parse_tail(b: &[u8; 59]) -> Result<V2Meta, IoError> {
+        let has_weights = match b[0] {
+            0 => false,
+            1 => true,
+            _ => return Err(IoError::Corrupt("bad has_weights flag")),
+        };
+        let u64_at = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().unwrap());
+        let meta = V2Meta {
+            nodes: u64_at(3),
+            edges: u64_at(11),
+            chunk_rows: u64_at(19),
+            has_weights,
+            dir_pos: u64_at(27),
+            offsets_pos: u64_at(35),
+            indices_pos: u64_at(43),
+            weights_pos: u64_at(51),
+        };
+        meta.validate()?;
+        Ok(meta)
+    }
+
+    /// Reads and validates a v2 header from the start of `file`.
+    pub fn read_from(file: &File) -> Result<V2Meta, IoError> {
+        let mut head = [0u8; V2_HEADER as usize];
+        pread_exact(file, 0, &mut head)?;
+        if &head[0..4] != MAGIC {
+            return Err(IoError::BadMagic);
+        }
+        if head[4] != VERSION_V2 {
+            return Err(IoError::BadVersion(head[4]));
+        }
+        let mut tail = [0u8; 59];
+        tail.copy_from_slice(&head[5..64]);
+        Self::parse_tail(&tail)
+    }
+
+    fn header_bytes(&self) -> [u8; V2_HEADER as usize] {
+        let mut h = [0u8; V2_HEADER as usize];
+        h[0..4].copy_from_slice(MAGIC);
+        h[4] = VERSION_V2;
+        h[5] = u8::from(self.has_weights);
+        h[8..16].copy_from_slice(&self.nodes.to_le_bytes());
+        h[16..24].copy_from_slice(&self.edges.to_le_bytes());
+        h[24..32].copy_from_slice(&self.chunk_rows.to_le_bytes());
+        h[32..40].copy_from_slice(&self.dir_pos.to_le_bytes());
+        h[40..48].copy_from_slice(&self.offsets_pos.to_le_bytes());
+        h[48..56].copy_from_slice(&self.indices_pos.to_le_bytes());
+        h[56..64].copy_from_slice(&self.weights_pos.to_le_bytes());
+        h
+    }
+}
+
+/// Streams `count × size` bytes in bounded batches through `f`, reusing one
+/// ~1 MiB buffer: the decoder never commits memory a truncated stream
+/// hasn't actually delivered.
+fn read_batched<R: Read>(
+    r: &mut R,
+    count: u64,
+    size: usize,
+    mut f: impl FnMut(&[u8]),
+) -> Result<(), IoError> {
+    const BATCH_BYTES: u64 = 1 << 20;
+    let batch = (BATCH_BYTES / size as u64).max(1);
+    let mut buf = vec![0u8; (batch.min(count.max(1)) as usize) * size];
+    let mut left = count;
+    while left > 0 {
+        let take = left.min(batch) as usize * size;
+        r.read_exact(&mut buf[..take])?;
+        f(&buf[..take]);
+        left -= (take / size) as u64;
+    }
+    Ok(())
+}
+
+/// Sequential v2 decode body (magic + version already consumed).
+///
+/// Chunk-granular streaming: the directory is read first, then the offsets
+/// for each chunk are validated against it as they arrive (monotone within
+/// the chunk, endpoints matching the directory), then indices/weights
+/// follow. Vec growth tracks delivered bytes, so a stream lying about its
+/// counts fails at the first missing chunk without large reservations.
+fn read_csr_v2_from<R: Read>(r: &mut R) -> Result<Csr, IoError> {
+    let mut tail = [0u8; 59];
+    r.read_exact(&mut tail)?;
+    let meta = V2Meta::parse_tail(&tail)?;
+    let m = meta.edges as usize;
+    let nc = meta.num_chunks();
+    // Chunk directory.
+    let mut dir: Vec<u64> = Vec::new();
+    read_batched(r, nc as u64 + 1, 8, |bytes| {
+        for c in bytes.chunks_exact(8) {
+            dir.push(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+    })?;
+    if dir.first() != Some(&0) || dir.last() != Some(&meta.edges) {
+        return Err(IoError::Corrupt("chunk directory endpoints"));
+    }
+    if dir.windows(2).any(|w| w[0] > w[1]) {
+        return Err(IoError::Corrupt("chunk directory not monotone"));
+    }
+    // Offsets, validated against the directory at every chunk boundary.
+    let chunk_rows = meta.chunk_rows as usize;
+    let mut indptr: Vec<usize> = Vec::new();
+    let mut bad = false;
+    read_batched(r, meta.nodes + 1, 8, |bytes| {
+        for c in bytes.chunks_exact(8) {
+            let v = u64::from_le_bytes(c.try_into().unwrap());
+            let i = indptr.len();
+            if v > meta.edges
+                || (i.is_multiple_of(chunk_rows) && i / chunk_rows < dir.len() && dir[i / chunk_rows] != v)
+                || indptr.last().is_some_and(|&p| (p as u64) > v)
+            {
+                bad = true;
+            }
+            indptr.push(v as usize);
+        }
+    })?;
+    if bad || indptr.last() != Some(&m) {
+        return Err(IoError::Corrupt("offsets inconsistent with chunk directory"));
+    }
+    // Indices.
+    let mut indices: Vec<u32> = Vec::new();
+    read_batched(r, meta.edges, 4, |bytes| {
+        for c in bytes.chunks_exact(4) {
+            indices.push(u32::from_le_bytes(c.try_into().unwrap()));
+        }
+    })?;
+    // Alignment padding, then weights.
+    let weights = if meta.has_weights {
+        let pad = (meta.weights_pos - (meta.indices_pos + 4 * meta.edges)) as usize;
+        let mut skip = [0u8; 8];
+        r.read_exact(&mut skip[..pad])?;
+        let mut w: Vec<f32> = Vec::new();
+        read_batched(r, meta.edges, 4, |bytes| {
+            for c in bytes.chunks_exact(4) {
+                w.push(f32::from_le_bytes(c.try_into().unwrap()));
+            }
+        })?;
+        Some(w)
+    } else {
+        None
+    };
+    let g = Csr::from_raw_parts(indptr, indices, weights);
+    g.validate().map_err(|_| IoError::Corrupt("column index out of range"))?;
+    Ok(g)
+}
+
+/// What a finished v2 write produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrV2Summary {
+    /// Node count.
+    pub nodes: u64,
+    /// Stored directed edge count.
+    pub edges: u64,
+    /// Whether a weights section was written.
+    pub has_weights: bool,
+    /// Rows per chunk.
+    pub chunk_rows: u64,
+    /// The file the graph was written to.
+    pub path: PathBuf,
+}
+
+/// Streaming row-at-a-time writer for the v2 layout.
+///
+/// Rows must be pushed in order (`0..n`, neighbor ids sorted is the
+/// caller's contract, matching [`crate::EdgeList::to_csr`] output). The
+/// writer holds O(buffer) memory: offsets and indices stream to their
+/// (precomputable) file sections through small write buffers; weights go to
+/// a temp side file because their section position depends on the final
+/// edge count, and are spliced in at [`CsrV2Writer::finish`]. Rows pushed
+/// with `None` weights count as all-1.0; if *every* weight ends up 1.0 the
+/// weights section is dropped entirely — the same uniform rule
+/// `EdgeList::to_csr` applies — unless [`CsrV2Writer::keep_weights`] was
+/// called.
+pub struct CsrV2Writer {
+    file: File,
+    path: PathBuf,
+    wfile: File,
+    wpath: PathBuf,
+    n: usize,
+    chunk_rows: usize,
+    rows: usize,
+    edges: u64,
+    dir: Vec<u64>,
+    all_ones: bool,
+    drop_uniform: bool,
+    off_buf: Vec<u8>,
+    off_pos: u64,
+    idx_buf: Vec<u8>,
+    idx_pos: u64,
+    w_buf: Vec<u8>,
+    indices_pos: u64,
+    finished: bool,
+}
+
+/// Write-buffer flush threshold.
+const V2_FLUSH: usize = 1 << 20;
+
+impl CsrV2Writer {
+    /// Creates `path` (truncating) for a graph over `n` nodes with the
+    /// given chunk granularity.
+    pub fn create(path: &Path, n: usize, chunk_rows: usize) -> Result<Self, IoError> {
+        if chunk_rows == 0 {
+            return Err(IoError::Corrupt("zero chunk_rows"));
+        }
+        if n as u64 > MAX_DECODE_NODES || (n.div_ceil(chunk_rows) as u64) > MAX_DECODE_CHUNKS {
+            return Err(IoError::Corrupt("node/chunk count exceeds sanity limit"));
+        }
+        let nc = n.div_ceil(chunk_rows) as u64;
+        let dir_pos = V2_HEADER;
+        let offsets_pos = dir_pos + 8 * (nc + 1);
+        let indices_pos = offsets_pos + 8 * (n as u64 + 1);
+        let file = File::options().read(true).write(true).create(true).truncate(true).open(path)?;
+        let mut wpath = path.as_os_str().to_os_string();
+        wpath.push(".wtmp");
+        let wpath = PathBuf::from(wpath);
+        let wfile = File::options().write(true).create(true).truncate(true).open(&wpath)?;
+        let mut off_buf = Vec::with_capacity(V2_FLUSH + 16);
+        off_buf.extend_from_slice(&0u64.to_le_bytes());
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            wfile,
+            wpath,
+            n,
+            chunk_rows,
+            rows: 0,
+            edges: 0,
+            dir: vec![0],
+            all_ones: true,
+            drop_uniform: true,
+            off_buf,
+            off_pos: offsets_pos,
+            idx_buf: Vec::with_capacity(V2_FLUSH + 16),
+            idx_pos: indices_pos,
+            w_buf: Vec::with_capacity(V2_FLUSH + 16),
+            indices_pos,
+            finished: false,
+        })
+    }
+
+    /// Always writes a weights section, even when every weight is 1.0 —
+    /// for sources whose in-memory form is explicitly weighted (e.g.
+    /// normalized adjacencies), so round-trips preserve weighted-ness
+    /// exactly.
+    pub fn keep_weights(&mut self) {
+        self.drop_uniform = false;
+        self.all_ones = false;
+    }
+
+    /// Appends the next row's sorted neighbor ids (+ optional parallel
+    /// weights; `None` = all 1.0).
+    pub fn push_row(&mut self, cols: &[u32], weights: Option<&[f32]>) -> Result<(), IoError> {
+        if self.rows >= self.n {
+            return Err(IoError::Corrupt("more rows pushed than declared"));
+        }
+        if let Some(ws) = weights {
+            if ws.len() != cols.len() {
+                return Err(IoError::Corrupt("weight/index length mismatch"));
+            }
+        }
+        for &c in cols {
+            if c as usize >= self.n {
+                return Err(IoError::Corrupt("column index out of range"));
+            }
+            self.idx_buf.extend_from_slice(&c.to_le_bytes());
+        }
+        let one = 1.0f32.to_le_bytes();
+        match weights {
+            Some(ws) => {
+                for &w in ws {
+                    if w != 1.0 {
+                        self.all_ones = false;
+                    }
+                    self.w_buf.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            None => {
+                for _ in 0..cols.len() {
+                    self.w_buf.extend_from_slice(&one);
+                }
+            }
+        }
+        self.edges += cols.len() as u64;
+        self.rows += 1;
+        self.off_buf.extend_from_slice(&self.edges.to_le_bytes());
+        if self.rows.is_multiple_of(self.chunk_rows) {
+            self.dir.push(self.edges);
+        }
+        if self.idx_buf.len() >= V2_FLUSH || self.off_buf.len() >= V2_FLUSH || self.w_buf.len() >= V2_FLUSH {
+            self.flush_buffers()?;
+        }
+        Ok(())
+    }
+
+    fn flush_buffers(&mut self) -> Result<(), IoError> {
+        if !self.off_buf.is_empty() {
+            pwrite_all(&self.file, self.off_pos, &self.off_buf)?;
+            self.off_pos += self.off_buf.len() as u64;
+            self.off_buf.clear();
+        }
+        if !self.idx_buf.is_empty() {
+            pwrite_all(&self.file, self.idx_pos, &self.idx_buf)?;
+            self.idx_pos += self.idx_buf.len() as u64;
+            self.idx_buf.clear();
+        }
+        if !self.w_buf.is_empty() {
+            self.wfile.write_all(&self.w_buf)?;
+            self.w_buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Finalizes the file: flushes buffers, splices the weights section in
+    /// (unless uniformly 1.0), writes directory and header.
+    pub fn finish(mut self) -> Result<CsrV2Summary, IoError> {
+        if self.rows != self.n {
+            return Err(IoError::Corrupt("fewer rows pushed than declared"));
+        }
+        if self.edges > MAX_DECODE_EDGES {
+            return Err(IoError::Corrupt("node/edge count exceeds sanity limit"));
+        }
+        self.flush_buffers()?;
+        if !self.n.is_multiple_of(self.chunk_rows) {
+            self.dir.push(self.edges);
+        }
+        let has_weights = !(self.drop_uniform && self.all_ones);
+        let weights_pos = if has_weights { align8(self.indices_pos + 4 * self.edges) } else { 0 };
+        if has_weights {
+            // Splice the side file into the main file at its final home.
+            self.wfile.flush()?;
+            let mut src = File::open(&self.wpath)?;
+            let mut pos = weights_pos;
+            let mut buf = vec![0u8; 1 << 20];
+            loop {
+                let got = src.read(&mut buf)?;
+                if got == 0 {
+                    break;
+                }
+                pwrite_all(&self.file, pos, &buf[..got])?;
+                pos += got as u64;
+            }
+            if pos - weights_pos != 4 * self.edges {
+                return Err(IoError::Corrupt("weight side file length mismatch"));
+            }
+        }
+        let mut dir_bytes = Vec::with_capacity(self.dir.len() * 8);
+        for &d in &self.dir {
+            dir_bytes.extend_from_slice(&d.to_le_bytes());
+        }
+        pwrite_all(&self.file, V2_HEADER, &dir_bytes)?;
+        let meta = V2Meta {
+            nodes: self.n as u64,
+            edges: self.edges,
+            chunk_rows: self.chunk_rows as u64,
+            has_weights,
+            dir_pos: V2_HEADER,
+            offsets_pos: V2_HEADER + dir_bytes.len() as u64,
+            indices_pos: self.indices_pos,
+            weights_pos,
+        };
+        pwrite_all(&self.file, 0, &meta.header_bytes())?;
+        self.finished = true;
+        let _ = std::fs::remove_file(&self.wpath);
+        Ok(CsrV2Summary {
+            nodes: self.n as u64,
+            edges: self.edges,
+            has_weights,
+            chunk_rows: self.chunk_rows as u64,
+            path: self.path.clone(),
+        })
+    }
+}
+
+impl Drop for CsrV2Writer {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = std::fs::remove_file(&self.wpath);
+        }
+    }
+}
+
+/// Writes an in-memory CSR to `path` in the v2 layout. Weighted-ness is
+/// preserved exactly (a source with an explicit all-1.0 weight vector keeps
+/// its weights section), so `write_csr_v2` → [`read_csr`] round-trips
+/// bitwise.
+pub fn write_csr_v2(path: &Path, g: &Csr, chunk_rows: usize) -> Result<CsrV2Summary, IoError> {
+    let mut w = CsrV2Writer::create(path, g.num_nodes(), chunk_rows)?;
+    if g.weights().is_some() {
+        w.keep_weights();
+    }
+    for u in 0..g.num_nodes() as u32 {
+        w.push_row(g.neighbors(u), g.neighbor_weights(u))?;
+    }
+    w.finish()
 }
 
 // ---------------------------------------------------------------------

@@ -24,12 +24,14 @@ pub mod metrics;
 pub mod norm;
 pub mod par;
 pub mod spmm;
+pub mod store;
 pub mod subgraph;
 pub mod traversal;
 
 pub use coo::EdgeList;
 pub use csr::Csr;
 pub use norm::{normalized_adjacency, NormKind};
+pub use store::{ChunkedCsr, CsrBuilder, GraphStore, RowSink, TileBuf, TileReader};
 pub use subgraph::{halo_subgraph, induced_subgraph, Subgraph};
 
 /// Errors produced by graph construction and kernels.

@@ -23,7 +23,7 @@ pub enum NormKind {
 }
 
 impl NormKind {
-    fn r(self) -> f32 {
+    pub(crate) fn r(self) -> f32 {
         match self {
             NormKind::Symmetric => 0.5,
             NormKind::RowStochastic => 0.0,

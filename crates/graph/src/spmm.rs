@@ -22,21 +22,25 @@ use crate::{Csr, GraphError, Result};
 /// line = two AVX2 / one AVX-512 vector.
 const SPMM_BLOCK: usize = 16;
 
-/// Accumulates `acc[0..W] (+)= w · x[v, jb..jb+W]` over all neighbors and
-/// stores the block. `W == SPMM_BLOCK` for full blocks so the loop has a
-/// compile-time width; the ragged tail uses the runtime-width variant.
+/// Accumulates `acc[0..W] (+)= w · x[v, jb..jb+W]` over one neighbor list
+/// and stores the block. `W == SPMM_BLOCK` for full blocks so the loop has
+/// a compile-time width; the ragged tail uses the runtime-width variant.
+///
+/// Operates on bare slices (one row's neighbor ids + optional weights) so
+/// the in-memory [`Csr`] path and the out-of-core tile path in
+/// [`crate::store`] share the exact same inner loop — which is what makes
+/// their outputs bit-identical by construction.
 #[inline(always)]
 fn spmm_row_block(
-    a: &Csr,
+    neigh: &[u32],
+    ws: Option<&[f32]>,
     x: &[f32],
     cols: usize,
-    row: u32,
     jb: usize,
     out: &mut [f32], // exactly SPMM_BLOCK long
 ) {
     let mut acc = [0f32; SPMM_BLOCK];
-    let neigh = a.neighbors(row);
-    match a.neighbor_weights(row) {
+    match ws {
         Some(ws) => {
             for (&v, &w) in neigh.iter().zip(ws) {
                 let src = &x[v as usize * cols + jb..v as usize * cols + jb + SPMM_BLOCK];
@@ -60,11 +64,10 @@ fn spmm_row_block(
 /// Ragged-tail version of [`spmm_row_block`] for the final `< SPMM_BLOCK`
 /// columns.
 #[inline(always)]
-fn spmm_row_tail(a: &Csr, x: &[f32], cols: usize, row: u32, jb: usize, out: &mut [f32]) {
+fn spmm_row_tail(neigh: &[u32], ws: Option<&[f32]>, x: &[f32], cols: usize, jb: usize, out: &mut [f32]) {
     let w = out.len();
     let mut acc = [0f32; SPMM_BLOCK];
-    let neigh = a.neighbors(row);
-    match a.neighbor_weights(row) {
+    match ws {
         Some(ws) => {
             for (&v, &wt) in neigh.iter().zip(ws) {
                 let src = &x[v as usize * cols + jb..v as usize * cols + jb + w];
@@ -83,6 +86,22 @@ fn spmm_row_tail(a: &Csr, x: &[f32], cols: usize, row: u32, jb: usize, out: &mut
         }
     }
     out.copy_from_slice(&acc[..w]);
+}
+
+/// Multiplies one row (given as its neighbor list + optional weights)
+/// against the dense operand, writing the `cols`-wide output row. The
+/// single row kernel behind both the in-memory and the chunked-store SpMM.
+#[inline]
+pub(crate) fn spmm_one_row(neigh: &[u32], ws: Option<&[f32]>, x: &[f32], cols: usize, out: &mut [f32]) {
+    let full = cols / SPMM_BLOCK * SPMM_BLOCK;
+    let mut jb = 0;
+    while jb < full {
+        spmm_row_block(neigh, ws, x, cols, jb, &mut out[jb..jb + SPMM_BLOCK]);
+        jb += SPMM_BLOCK;
+    }
+    if jb < cols {
+        spmm_row_tail(neigh, ws, x, cols, jb, &mut out[jb..]);
+    }
 }
 
 /// Computes `Y = A · X` into a fresh buffer.
@@ -106,7 +125,7 @@ pub fn spmm(a: &Csr, x: &[f32], cols: usize) -> Result<Vec<f32>> {
 /// the global [`fedgta_obs`] registry. One `OnceLock` load per kernel call
 /// when metrics are on; skipped entirely when off.
 #[inline]
-fn record_spmm(rows: usize, nnz: usize, cols: usize) {
+pub(crate) fn record_spmm(rows: usize, nnz: usize, cols: usize) {
     use std::sync::{Arc, OnceLock};
     if !fedgta_obs::metrics_on() {
         return;
@@ -141,7 +160,7 @@ pub fn spmm_into_raw(a: &Csr, x: &[f32], cols: usize, y: &mut [f32]) {
 
 /// Upper bound on worker chunks: the boundary array lives on the stack so
 /// the kernel stays allocation-free at any thread count.
-const MAX_CHUNKS: usize = 64;
+pub(crate) const MAX_CHUNKS: usize = 64;
 
 /// [`spmm_into_raw`] with an explicit thread request (`0` = resolve from
 /// the environment) — the property-test hook for pinning thread counts
@@ -159,19 +178,11 @@ pub fn spmm_into_raw_threads(a: &Csr, x: &[f32], cols: usize, y: &mut [f32], thr
     let n = a.num_nodes();
     assert_eq!(x.len(), n * cols);
     assert_eq!(y.len(), n * cols);
-    let full = cols / SPMM_BLOCK * SPMM_BLOCK;
     let body = |_: usize, chunk: &mut [f32], range: std::ops::Range<usize>| {
         for (local, row) in range.enumerate() {
             let out = &mut chunk[local * cols..(local + 1) * cols];
             let u = row as u32;
-            let mut jb = 0;
-            while jb < full {
-                spmm_row_block(a, x, cols, u, jb, &mut out[jb..jb + SPMM_BLOCK]);
-                jb += SPMM_BLOCK;
-            }
-            if jb < cols {
-                spmm_row_tail(a, x, cols, u, jb, &mut out[jb..]);
-            }
+            spmm_one_row(a.neighbors(u), a.neighbor_weights(u), x, cols, out);
         }
     };
     let threads = if threads > 0 { resolve_threads(Some(threads)) } else { num_threads() }

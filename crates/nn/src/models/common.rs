@@ -72,6 +72,45 @@ impl GraphDataset {
         }
     }
 
+    /// Builds a dataset for decoupled backbones (SGC/SIGN/S²GC/GBP) and
+    /// label-propagation strategies only: computes `adj_norm` and
+    /// `degrees_hat` but leaves `adj_mean`/`adj_mean_t` empty.
+    ///
+    /// FedGTA itself touches only `adj_norm` (non-parametric label
+    /// propagation) and `degrees_hat` (smoothing confidence), so with a
+    /// decoupled model a client never reads the mean-aggregation
+    /// matrices — skipping them cuts per-client adjacency memory ~3×,
+    /// which is what makes the 10⁷-node scale run fit. Message-passing
+    /// models (GraphSAGE) need [`GraphDataset::new`].
+    pub fn for_decoupled(
+        graph: &Csr,
+        features: Matrix,
+        labels: Vec<u32>,
+        num_classes: usize,
+        train_nodes: Vec<u32>,
+        val_nodes: Vec<u32>,
+        test_nodes: Vec<u32>,
+    ) -> Self {
+        assert_eq!(graph.num_nodes(), features.rows(), "feature row mismatch");
+        assert_eq!(graph.num_nodes(), labels.len(), "label length mismatch");
+        let adj_norm = normalized_adjacency(graph, NormKind::Symmetric);
+        let degrees_hat = graph.with_self_loops().weighted_degrees();
+        let n = graph.num_nodes();
+        Self {
+            adj_norm,
+            adj_mean: Csr::empty(n),
+            adj_mean_t: Csr::empty(n),
+            features,
+            labels,
+            num_classes,
+            train_nodes,
+            val_nodes,
+            test_nodes,
+            degrees_hat,
+            cache_key: NEXT_DATASET_KEY.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.features.rows()
@@ -170,6 +209,29 @@ mod tests {
             let s: f32 = d.adj_mean.neighbor_weights(u).unwrap().iter().sum();
             assert!((s - 1.0).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn decoupled_dataset_matches_full_on_shared_fields() {
+        let mut el = EdgeList::new(4);
+        el.push_undirected(0, 1).unwrap();
+        el.push_undirected(2, 3).unwrap();
+        let g = el.to_csr();
+        let full = tiny();
+        let lean = GraphDataset::for_decoupled(
+            &g,
+            Matrix::zeros(4, 3),
+            vec![0, 0, 1, 1],
+            2,
+            vec![0, 2],
+            vec![1],
+            vec![3],
+        );
+        assert_eq!(lean.adj_norm, full.adj_norm);
+        assert_eq!(lean.degrees_hat, full.degrees_hat);
+        assert_eq!(lean.adj_mean.num_edges(), 0);
+        assert_eq!(lean.adj_mean_t.num_edges(), 0);
+        assert_ne!(lean.cache_key, full.cache_key);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! ```
 
 pub use fedgta as core;
+pub use fedgta_bench as bench;
 pub use fedgta_data as data;
 pub use fedgta_fed as fed;
 pub use fedgta_graph as graph;
