@@ -57,6 +57,16 @@ fn main() {
         );
         std::process::exit(1);
     }
+    // The always-on flight recorder records at span granularity, never
+    // per kernel op — arming it must not move the per-op hook off the
+    // same budget.
+    if !quick && report.recorder_overhead_pct > 2.0 {
+        eprintln!(
+            "error: hook overhead with flight recorder armed {:.2}% exceeds 2% budget",
+            report.recorder_overhead_pct
+        );
+        std::process::exit(1);
+    }
     // `--baseline BENCH_KERNELS.json`: fail if the anchor matmul lost
     // more than 2% GFLOP/s vs the recorded run (enforced in both modes —
     // quick mode re-times the anchor overhead pair with a real budget).

@@ -38,6 +38,18 @@ USAGE:
                         schema fedgta-trace/1 — feed to 'report')
                        [--metrics-out <file.prom>]  (Prometheus text
                         snapshot of the metric registry at exit)
+                       [--serve-metrics <addr:port>] (live HTTP endpoint
+                        for the duration of the run: /metrics is the
+                        Prometheus text exposition — cumulative histogram
+                        buckets included — /healthz a JSON liveness probe,
+                        /rounds the per-round summaries so far. Implies
+                        --obs metrics; port 0 picks a free port, the bound
+                        address is printed)
+                       [--postmortem-out <file.jsonl>] (black-box dump:
+                        on a terminal quorum failure or a panic, write the
+                        flight recorder's last events + the deterministic
+                        fault log + the metric registry. Same fault seed ⇒
+                        byte-identical dump; render with 'postmortem')
                        [--transport direct|channel] (message path; 'channel'
                         routes every round over the in-process transport with
                         FGTM envelopes + CRC. Defaults to 'channel' when any
@@ -65,9 +77,14 @@ USAGE:
                         --transport channel)
                        [--codec-arg k=N]       (codec parameter overrides;
                         'k' sets TopK's kept-entry count)
-  fedgta-cli report <trace.jsonl>
+  fedgta-cli report <trace.jsonl> [--profile N] [--folded <file>]
                        (per-round / per-client / per-strategy latency and
-                        byte tables from a --trace-out file)
+                        byte tables from a --trace-out file; --profile N
+                        appends the top-N spans by self-time, --folded
+                        writes flamegraph-ready folded stacks)
+  fedgta-cli postmortem <dump.jsonl>
+                       (human-readable timeline of a --postmortem-out
+                        flight-recorder dump: events, fault log, registry)
   fedgta-cli bench kernels [--mode quick|full] [--out <file.json>]
                        (GFLOP/s of the blocked compute kernels; 'quick' is
                         the CI smoke grid, 'full' the training-shaped grid)
@@ -180,21 +197,26 @@ pub fn convert(a: &Args) -> CliResult {
 }
 
 /// Observability outputs resolved from `--obs`, `--trace-out`,
-/// `--metrics-out`.
+/// `--metrics-out`, `--serve-metrics`.
 struct ObsSetup {
     metrics_out: Option<String>,
     armed: bool,
+    server: Option<fedgta_obs::serve::MetricsServer>,
 }
 
 /// Arms the global observability level and, when requested, the JSONL
-/// trace sink. `--obs` defaults to the weakest level that satisfies the
-/// requested outputs, so `--trace-out t.jsonl` alone "just works".
+/// trace sink and the live `/metrics` endpoint. `--obs` defaults to the
+/// weakest level that satisfies the requested outputs, so `--trace-out
+/// t.jsonl` alone "just works". The flight recorder is always armed for
+/// a run — its fixed ring is the black box a postmortem reads — and its
+/// spans never touch any numeric result.
 fn setup_obs(a: &Args) -> Result<ObsSetup, Box<dyn Error>> {
     let trace_out = a.str_opt("trace-out").map(str::to_string);
     let metrics_out = a.str_opt("metrics-out").map(str::to_string);
+    let serve_addr = a.str_opt("serve-metrics").map(str::to_string);
     let default_level = if trace_out.is_some() {
         "trace"
-    } else if metrics_out.is_some() {
+    } else if metrics_out.is_some() || serve_addr.is_some() {
         "metrics"
     } else {
         "off"
@@ -210,20 +232,39 @@ fn setup_obs(a: &Args) -> Result<ObsSetup, Box<dyn Error>> {
         println!("tracing to {path} (schema {})", fedgta_obs::TRACE_SCHEMA);
     }
     fedgta_obs::set_level(level);
+    // The black box: always armed for a run, emptied at takeoff so a
+    // dump holds exactly this run's tail.
+    fedgta_obs::recorder::arm_default();
+    fedgta_obs::recorder::reset();
+    let server = match &serve_addr {
+        Some(addr) => {
+            let s = fedgta_obs::serve::serve(addr)?;
+            println!("serving /metrics /healthz /rounds on http://{}", s.addr());
+            Some(s)
+        }
+        None => None,
+    };
     Ok(ObsSetup {
         metrics_out,
         armed: level != fedgta_obs::ObsLevel::Off,
+        server,
     })
 }
 
 /// Flushes and disarms observability: writes the Prometheus snapshot if
 /// requested, closes the trace sink (appending metric records + the end
-/// marker), and drops the level back to `Off`.
-fn finish_obs(setup: &ObsSetup) -> Result<(), Box<dyn Error>> {
+/// marker), stops the metrics endpoint, disarms the flight recorder, and
+/// drops the level back to `Off`.
+fn finish_obs(setup: ObsSetup) -> Result<(), Box<dyn Error>> {
     if let Some(path) = &setup.metrics_out {
         std::fs::write(path, fedgta_obs::global().render_prometheus())?;
         println!("wrote metrics snapshot to {path}");
     }
+    if let Some(server) = setup.server {
+        server.stop();
+        fedgta_obs::serve::reset_rounds();
+    }
+    fedgta_obs::recorder::disarm();
     if setup.armed {
         fedgta_obs::shutdown();
         fedgta_obs::set_level(fedgta_obs::ObsLevel::Off);
@@ -231,7 +272,9 @@ fn finish_obs(setup: &ObsSetup) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-/// `report`: summarize a `--trace-out` JSONL file into latency/byte tables.
+/// `report`: summarize a `--trace-out` JSONL file into latency/byte
+/// tables; `--profile N` appends a per-span self-time table (top N hot
+/// spans) and `--folded <file>` writes flamegraph-ready folded stacks.
 pub fn report(a: &Args) -> CliResult {
     let path = a
         .subcommand
@@ -242,7 +285,155 @@ pub fn report(a: &Args) -> CliResult {
     let events = fedgta_obs::parse_trace(&text)?;
     let summary = fedgta_obs::summarize(&events);
     print!("{}", fedgta_obs::render_report(&summary));
+    let profile_topk = match a.str_opt("profile") {
+        None => None,
+        Some(v) => Some(v.parse::<usize>().map_err(|_| format!("--profile needs a span count, got '{v}'"))?),
+    };
+    if let Some(topk) = profile_topk {
+        let p = fedgta_obs::profile(&events);
+        print!("{}", fedgta_obs::render_profile(&p, topk.max(1)));
+    }
+    if let Some(out) = a.str_opt("folded") {
+        let p = fedgta_obs::profile(&events);
+        std::fs::write(out, fedgta_obs::render_folded(&p))?;
+        println!("wrote folded stacks to {out} (feed to flamegraph.pl / inferno)");
+    }
     Ok(())
+}
+
+/// `postmortem`: render a flight-recorder dump (written on quorum
+/// failure, panic, or via `--postmortem-out`) as a human-readable
+/// timeline.
+pub fn postmortem(a: &Args) -> CliResult {
+    let path = a
+        .subcommand
+        .as_deref()
+        .or_else(|| a.str_opt("dump"))
+        .ok_or("postmortem needs a dump file, e.g. 'fedgta-cli postmortem crash.pm.jsonl'")?;
+    let text = std::fs::read_to_string(path)?;
+    print!("{}", render_postmortem(&text)?);
+    Ok(())
+}
+
+/// Formats a postmortem dump: header, flight events grouped by kind,
+/// the deterministic fault log, then the registry snapshot. Damaged
+/// lines are reported, not fatal — a postmortem reader must work on the
+/// files a dying process managed to write.
+fn render_postmortem(text: &str) -> Result<String, Box<dyn Error>> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut flights: Vec<String> = Vec::new();
+    let mut faults: Vec<String> = Vec::new();
+    let mut metrics: Vec<String> = Vec::new();
+    let mut damaged: Vec<String> = Vec::new();
+    let mut trailer = String::new();
+    let get_u64 = |m: &std::collections::BTreeMap<String, fedgta_obs::JsonVal>, k: &str| {
+        m.get(k).and_then(|v| v.as_u64())
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        let obj = match fedgta_obs::parse_flat_object(line) {
+            Ok(o) => o,
+            Err(e) => {
+                damaged.push(format!("line {}: {e}", lineno + 1));
+                continue;
+            }
+        };
+        let ev = obj.get("ev").and_then(|v| v.as_str()).unwrap_or("?");
+        match ev {
+            "postmortem" => {
+                writeln!(
+                    out,
+                    "postmortem: reason={} round={} fault_seed={} (schema {})",
+                    obj.get("reason").and_then(|v| v.as_str()).unwrap_or("?"),
+                    get_u64(&obj, "round").unwrap_or(0),
+                    get_u64(&obj, "fault_seed").unwrap_or(0),
+                    obj.get("schema").and_then(|v| v.as_str()).unwrap_or("?"),
+                )?;
+            }
+            "flight" => {
+                let kind = obj.get("kind").and_then(|v| v.as_str()).unwrap_or("?");
+                let name = obj.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+                let round = get_u64(&obj, "round").unwrap_or(0);
+                let mut s = format!("  [{kind:<6}] round {round:<4} {name}");
+                if let Some(c) = get_u64(&obj, "client") {
+                    let _ = write!(s, " client {c}");
+                }
+                if let Some(v) = get_u64(&obj, "value") {
+                    let _ = write!(s, " value {v}");
+                }
+                if let Some(ms) = get_u64(&obj, "sim_ms") {
+                    let _ = write!(s, " @{ms}ms");
+                }
+                flights.push(s);
+            }
+            "fault" => {
+                let mut s = format!(
+                    "  round {:<4} {:<14}",
+                    get_u64(&obj, "round").unwrap_or(0),
+                    obj.get("kind").and_then(|v| v.as_str()).unwrap_or("?"),
+                );
+                match get_u64(&obj, "client") {
+                    Some(c) => {
+                        let _ = write!(s, " client {c:<4}");
+                    }
+                    None => s.push_str(" (round-level)"),
+                }
+                let _ = write!(s, " @{}ms", get_u64(&obj, "sim_ms").unwrap_or(0));
+                faults.push(s);
+            }
+            "pm_metric" => {
+                let name = obj.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+                let kind = obj.get("kind").and_then(|v| v.as_str()).unwrap_or("?");
+                metrics.push(match kind {
+                    "counter" => format!(
+                        "  counter   {name} = {}",
+                        get_u64(&obj, "value").unwrap_or(0)
+                    ),
+                    "histogram" => format!(
+                        "  histogram {name} ({} samples)",
+                        get_u64(&obj, "count").unwrap_or(0)
+                    ),
+                    _ => format!("  {kind:<9} {name} (value omitted: thread-dependent)"),
+                });
+            }
+            "pm_end" => {
+                trailer = format!(
+                    "{} events in the ring, {} older events evicted",
+                    get_u64(&obj, "events").unwrap_or(0),
+                    get_u64(&obj, "dropped_events").unwrap_or(0),
+                );
+            }
+            other => damaged.push(format!("line {}: unknown event '{other}'", lineno + 1)),
+        }
+    }
+    if !flights.is_empty() {
+        writeln!(out, "\nflight recorder (canonical order):")?;
+        for l in &flights {
+            writeln!(out, "{l}")?;
+        }
+    }
+    if !faults.is_empty() {
+        writeln!(out, "\nfault log (deterministic, orchestrator order):")?;
+        for l in &faults {
+            writeln!(out, "{l}")?;
+        }
+    }
+    if !metrics.is_empty() {
+        writeln!(out, "\nmetric registry at dump time:")?;
+        for l in &metrics {
+            writeln!(out, "{l}")?;
+        }
+    }
+    if !trailer.is_empty() {
+        writeln!(out, "\n{trailer}")?;
+    }
+    if !damaged.is_empty() {
+        writeln!(out, "\ndamaged lines ({}):", damaged.len())?;
+        for l in &damaged {
+            writeln!(out, "  {l}")?;
+        }
+    }
+    Ok(out)
 }
 
 /// Builds the transport/robustness config from `--transport`, `--faults`,
@@ -488,6 +679,11 @@ pub fn run(a: &Args) -> CliResult {
     if let Some(cc) = comms.clone() {
         sim = sim.with_comms(cc);
     }
+    let pm_path = a.str_opt("postmortem-out").map(std::path::PathBuf::from);
+    if let Some(p) = &pm_path {
+        sim = sim.with_postmortem(p.clone());
+        fedgta_obs::recorder::install_panic_dump(p.clone());
+    }
     let records = sim.run();
     println!(
         "{:>5} {:>9} {:>7} {:>4} {:>5} {:>4} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}",
@@ -540,6 +736,15 @@ pub fn run(a: &Args) -> CliResult {
             "comms: {completed} uploads accepted, {dropped} participants lost, {retries} retries, {skipped} rounds skipped; fault events: {} ({breakdown})",
             sim.fault_events.len(),
         );
+        if skipped > 0 {
+            if let Some(p) = &pm_path {
+                println!(
+                    "postmortem dump written to {} (render with 'fedgta-cli postmortem {}')",
+                    p.display(),
+                    p.display()
+                );
+            }
+        }
         if comms.as_ref().is_some_and(|cc| cc.codec.is_some()) {
             let raw: u64 = records.iter().map(|r| r.bytes_uploaded_raw as u64).sum();
             let enc: u64 = records.iter().map(|r| r.bytes_uploaded_encoded as u64).sum();
@@ -549,7 +754,7 @@ pub fn run(a: &Args) -> CliResult {
             );
         }
     }
-    finish_obs(&obs)?;
+    finish_obs(obs)?;
     if let Some(path) = a.str_opt("save-params") {
         let mut f = std::fs::File::create(path)?;
         fedgta_nn::io::save_params(&mut f, &sim.clients[0].model.params())?;
@@ -672,10 +877,76 @@ mod tests {
         let summary = fedgta_obs::summarize(&events);
         assert_eq!(summary.rounds.len(), 2);
         assert!(summary.rounds.iter().all(|r| r.bytes_up > 0));
-        // And the report command renders it.
-        let r = args(&["report", &p]);
+        // And the report command renders it, with the profiler armed.
+        let folded = std::env::temp_dir()
+            .join(format!("fedgta-cli-folded-{}.txt", std::process::id()));
+        let fp = folded.to_string_lossy().to_string();
+        let r = args(&["report", &p, "--profile", "5", "--folded", &fp]);
         report(&r).unwrap();
+        let stacks = std::fs::read_to_string(&folded).unwrap();
+        assert!(
+            stacks.lines().any(|l| l.starts_with("round") && l.contains(' ')),
+            "folded stacks have round-rooted paths: {stacks}"
+        );
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&folded);
+    }
+
+    #[test]
+    fn quorum_failure_writes_deterministic_postmortem() {
+        let _g = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir();
+        let mut dumps = Vec::new();
+        // Every client crashes every round: quorum is unreachable, every
+        // round skips, and the dump must come out byte-identical across
+        // invocations (same fault seed).
+        for i in 0..2 {
+            let pm = dir.join(format!("fedgta-cli-pm-{}-{i}.jsonl", std::process::id()));
+            let p = pm.to_string_lossy().to_string();
+            let a = args(&[
+                "run", "--dataset", "cora", "--strategy", "FedAvg", "--model", "sgc",
+                "--rounds", "2", "--clients", "4", "--faults", "crash=1.0",
+                "--fault-seed", "7", "--min-quorum", "2", "--max-resamples", "1",
+                "--postmortem-out", &p,
+            ]);
+            run(&a).unwrap();
+            dumps.push(std::fs::read(&pm).unwrap());
+            // The renderer accepts it.
+            let rendered = render_postmortem(std::str::from_utf8(&dumps[i]).unwrap()).unwrap();
+            assert!(rendered.contains("reason=quorum_fail"));
+            assert!(rendered.contains("crash"));
+            let _ = std::fs::remove_file(&pm);
+        }
+        assert_eq!(dumps[0], dumps[1], "same-seed postmortem dumps must be byte-identical");
+        let text = String::from_utf8(dumps[0].clone()).unwrap();
+        assert!(text.lines().next().unwrap().contains("\"fault_seed\":7"));
+        assert!(text.contains("\"name\":\"round_skip\""));
+        assert!(text.contains("\"name\":\"quorum_fail\""));
+    }
+
+    #[test]
+    fn serve_metrics_run_binds_and_stops() {
+        let _g = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Port 0: the OS picks a free port, the run serves for its
+        // duration and must release everything on the way out.
+        let a = args(&[
+            "run", "--dataset", "cora", "--strategy", "FedAvg", "--model", "sgc", "--rounds", "1",
+            "--clients", "4", "--serve-metrics", "127.0.0.1:0",
+        ]);
+        run(&a).unwrap();
+        assert!(!fedgta_obs::serve::rounds_armed(), "endpoint disarmed after the run");
+    }
+
+    #[test]
+    fn postmortem_requires_a_path_and_survives_damage() {
+        assert!(postmortem(&args(&["postmortem"])).is_err());
+        // A damaged dump renders with the damage reported, not a panic.
+        let rendered = render_postmortem(
+            "{\"ev\":\"postmortem\",\"schema\":\"fedgta-postmortem/1\",\"reason\":\"panic\",\"round\":0,\"fault_seed\":0}\nnot json at all\n{\"ev\":\"pm_end\",\"events\":0,\"dropped_events\":0}",
+        )
+        .unwrap();
+        assert!(rendered.contains("reason=panic"));
+        assert!(rendered.contains("damaged lines (1)"));
     }
 
     #[test]

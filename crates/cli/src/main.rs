@@ -10,7 +10,10 @@
 //!                      [--split louvain] [--participation 1.0] [--seed 0]
 //!                      [--obs off|metrics|trace] [--trace-out trace.jsonl]
 //!                      [--metrics-out metrics.prom]
-//! fedgta-cli report    trace.jsonl
+//!                      [--serve-metrics 127.0.0.1:9090]
+//!                      [--postmortem-out crash.pm.jsonl]
+//! fedgta-cli report    trace.jsonl [--profile 10] [--folded out.folded]
+//! fedgta-cli postmortem crash.pm.jsonl
 //! fedgta-cli bench kernels [--mode quick|full] [--out kernels.json]
 //! fedgta-cli bench scale [--mode quick|full] [--out scale.json]
 //! fedgta-cli convert   --in graph.fgta --out graph.fgta2 [--chunk-rows N]
@@ -39,6 +42,7 @@ fn main() -> ExitCode {
         "partition" => commands::partition(&parsed),
         "run" => commands::run(&parsed),
         "report" => commands::report(&parsed),
+        "postmortem" => commands::postmortem(&parsed),
         "bench" => commands::bench(&parsed),
         "convert" => commands::convert(&parsed),
         "help" | "--help" | "-h" => {

@@ -28,7 +28,7 @@ use crate::transport::{
     corrupt_frame, decode_upload, decode_upload_coded, encode_upload, encode_upload_coded,
     CommsRound, Endpoint, MsgKind, WirePayload, SERVER_ID,
 };
-use fedgta_graph::io::Envelope;
+use fedgta_graph::io::{Envelope, TraceContext};
 use fedgta_graph::par::par_map_indexed;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -138,6 +138,16 @@ where
     out
 }
 
+/// Trace context for an outbound frame: attached only when tracing is
+/// armed *and* the local span is real, so untraced runs (including
+/// recorder-only runs) keep the version-1 wire layout byte for byte.
+fn wire_trace(parent: u64) -> Option<TraceContext> {
+    (fedgta_obs::trace_on() && parent != 0).then(|| TraceContext {
+        trace_id: fedgta_obs::run_trace_id(),
+        parent_span: parent,
+    })
+}
+
 /// The message path: the server task sends `TrainRequest` envelopes per
 /// the round script, client tasks train on worker threads and upload
 /// their results as checksummed envelopes, and the server decodes the
@@ -171,9 +181,24 @@ where
     let round = comms.round as u32;
     let corrupted = AtomicU64::new(0);
     let dropped = AtomicU64::new(0);
+    // Client tasks that will train: exactly the clients whose scripted
+    // request leg succeeded — including ones whose upload will be lost
+    // or arrive too late (their local model still moves, like a real
+    // deployment's would; the server just never sees the update).
+    let trainers: Vec<usize> = participants
+        .iter()
+        .copied()
+        .filter(|c| script.fate(*c).is_some_and(|fa| fa.trains))
+        .collect();
+    let span = fedgta_obs::span!("train", participants = trainers.len());
+    let parent = span.id();
     // Server task, request leg: one envelope per scripted attempt.
     // Dropped frames are never enqueued (lost in flight); corrupt frames
     // are enqueued mangled so the client-side CRC rejection is real.
+    // When tracing is armed each request carries the train span's id as
+    // a wire trace context, so the client side parents its spans by
+    // correlation id off the frame — not through process-local state —
+    // exactly what a real socket transport will need.
     for &c in participants {
         let Some(fate) = script.fate(c) else { continue };
         for (n, a) in fate.download.iter().enumerate() {
@@ -182,6 +207,7 @@ where
                 round,
                 sender: SERVER_ID,
                 seq: n as u32,
+                trace: wire_trace(parent),
                 payload: Vec::new(),
             };
             match a {
@@ -199,28 +225,23 @@ where
             }
         }
     }
-    // Client tasks: exactly the clients whose scripted request leg
-    // succeeded train — including ones whose upload will be lost or
-    // arrive too late (their local model still moves, like a real
-    // deployment's would; the server just never sees the update).
-    let trainers: Vec<usize> = participants
-        .iter()
-        .copied()
-        .filter(|c| script.fate(*c).is_some_and(|fa| fa.trains))
-        .collect();
-    let span = fedgta_obs::span!("train", participants = trainers.len());
-    let parent = span.id();
     let t0 = ctx.train_clock.is_some().then(std::time::Instant::now);
     let slots = disjoint_slots(clients, &trainers);
     run_slots(slots, ctx.threads, |i, c| {
-        let _cg = fedgta_obs::span_under("client_train", parent)
-            .with_field("client", fedgta_obs::FieldVal::from(i));
-        // Receive leg: drain the mailbox, CRC-verify, reject garbage.
+        // Receive leg first: drain the mailbox, CRC-verify, reject
+        // garbage, and recover the server span id from the frame's
+        // trace context (frames from another run's trace are ignored).
         let mut requested = false;
+        let mut wire_parent = parent;
         for frame in transport.drain(Endpoint::Client(i)) {
             match Envelope::decode(&frame) {
                 Ok(env) if env.kind == MsgKind::TrainRequest as u8 && env.round == round => {
                     requested = true;
+                    if let Some(tc) = env.trace {
+                        if tc.trace_id == fedgta_obs::run_trace_id() {
+                            wire_parent = tc.parent_span;
+                        }
+                    }
                 }
                 Ok(_) => {}
                 Err(_) => {
@@ -229,6 +250,9 @@ where
             }
         }
         assert!(requested, "scripted trainer {i} received no valid request");
+        let _cg = fedgta_obs::span_under("client_train", wire_parent)
+            .with_field("client", fedgta_obs::FieldVal::from(i));
+        let client_span = _cg.id();
         let ct0 = fedgta_obs::metrics_on().then(std::time::Instant::now);
         let (loss, payload) = f(i, c);
         if let Some(ct0) = ct0 {
@@ -274,6 +298,7 @@ where
                         round,
                         sender: i as u32,
                         seq: n as u32,
+                        trace: wire_trace(client_span),
                         payload: body.clone(),
                     }
                     .encode();
@@ -286,6 +311,7 @@ where
                         round,
                         sender: i as u32,
                         seq: n as u32,
+                        trace: wire_trace(client_span),
                         payload: body.clone(),
                     }
                     .encode();

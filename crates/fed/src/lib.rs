@@ -34,6 +34,7 @@ pub mod eval;
 pub mod exec;
 pub mod faults;
 pub mod fgl_models;
+pub mod postmortem;
 pub mod round;
 pub mod strategies;
 pub mod transport;

@@ -1,0 +1,112 @@
+//! Postmortem dumps: when a run dies — quorum failure past its resample
+//! budget, a panic, or an operator-requested snapshot — the orchestrator
+//! correlates the flight recorder's recent events with its own
+//! deterministic [`FaultEvent`] log and the metric registry into one
+//! JSONL file an operator can read *after* the process is gone.
+//!
+//! Determinism contract: the dump is a pure function of the fault seed
+//! and the round schedule. The recorder section is canonicalized and
+//! line-sorted (see [`fedgta_obs::recorder::dump_string`]), the fault
+//! log is already deterministic by construction, and nondeterministic
+//! values (timestamps, durations, thread-dependent gauges) never enter
+//! the file — so two same-seed invocations, at any thread count, write
+//! byte-identical dumps. CI diffs them.
+
+use crate::faults::FaultEvent;
+use std::path::Path;
+
+/// Renders one orchestrator fault as a canonical flat-JSON line. The
+/// `client` key is omitted for round-level events (resamples), matching
+/// the recorder's canonical-line discipline.
+pub fn fault_line(e: &FaultEvent) -> String {
+    if e.client == usize::MAX {
+        format!(
+            "{{\"ev\":\"fault\",\"round\":{},\"kind\":\"{}\",\"sim_ms\":{}}}",
+            e.round,
+            e.kind.name(),
+            e.sim_ms
+        )
+    } else {
+        format!(
+            "{{\"ev\":\"fault\",\"round\":{},\"client\":{},\"kind\":\"{}\",\"sim_ms\":{}}}",
+            e.round,
+            e.client,
+            e.kind.name(),
+            e.sim_ms
+        )
+    }
+}
+
+/// The full deterministic fault log as dump-ready lines, in the order
+/// the orchestrator observed them.
+pub fn fault_lines(events: &[FaultEvent]) -> Vec<String> {
+    events.iter().map(fault_line).collect()
+}
+
+/// Builds the postmortem dump text: flight-recorder events + the
+/// correlated fault log + the registry snapshot, under one header.
+pub fn dump_string(
+    reason: &str,
+    round: usize,
+    fault_seed: u64,
+    fault_events: &[FaultEvent],
+) -> String {
+    let extra = fault_lines(fault_events);
+    fedgta_obs::recorder::dump_string(reason, round, fault_seed, &extra, fedgta_obs::global())
+}
+
+/// Writes the dump to `path` (parent directories must exist). Errors are
+/// returned, not swallowed — the caller decides whether a failed dump is
+/// fatal (the orchestrator logs and continues; it is already dying).
+pub fn write_dump(
+    path: &Path,
+    reason: &str,
+    round: usize,
+    fault_seed: u64,
+    fault_events: &[FaultEvent],
+) -> std::io::Result<()> {
+    std::fs::write(path, dump_string(reason, round, fault_seed, fault_events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultKind;
+
+    #[test]
+    fn fault_lines_are_flat_json_and_omit_round_level_client() {
+        let events = vec![
+            FaultEvent { round: 3, client: 1, kind: FaultKind::UpDrop, sim_ms: 40 },
+            FaultEvent { round: 3, client: usize::MAX, kind: FaultKind::Resample, sim_ms: 100 },
+        ];
+        let lines = fault_lines(&events);
+        assert_eq!(
+            lines[0],
+            "{\"ev\":\"fault\",\"round\":3,\"client\":1,\"kind\":\"up-drop\",\"sim_ms\":40}"
+        );
+        assert!(!lines[1].contains("client"));
+        for l in &lines {
+            fedgta_obs::parse_flat_object(l).expect("fault line parses as flat JSON");
+        }
+    }
+
+    #[test]
+    fn dump_embeds_fault_log_between_flights_and_metrics() {
+        let events = vec![FaultEvent {
+            round: 1,
+            client: 0,
+            kind: FaultKind::Crash,
+            sim_ms: 0,
+        }];
+        let dump = dump_string("quorum_fail", 1, 7, &events);
+        let lines: Vec<&str> = dump.lines().collect();
+        assert!(lines[0].contains("\"ev\":\"postmortem\""));
+        assert!(lines[0].contains("\"fault_seed\":7"));
+        assert!(dump.contains("\"kind\":\"crash\""));
+        assert!(lines.last().unwrap().contains("\"ev\":\"pm_end\""));
+        // Every line of the dump is parseable flat JSON.
+        for l in &lines {
+            fedgta_obs::parse_flat_object(l).expect("dump line parses");
+        }
+    }
+}

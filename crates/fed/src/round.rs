@@ -170,6 +170,11 @@ pub struct Simulation {
     /// the chaos-reproducibility contract says two runs with the same
     /// fault seed produce identical logs.
     pub fault_events: Vec<FaultEvent>,
+    /// Where to write a postmortem dump when a round is skipped after
+    /// exhausting its resample budget (`None` = no dump). The dump is a
+    /// deterministic function of the fault seed — see
+    /// [`crate::postmortem`].
+    pub postmortem: Option<std::path::PathBuf>,
 }
 
 impl Simulation {
@@ -181,6 +186,7 @@ impl Simulation {
             config,
             comms: None,
             fault_events: Vec::new(),
+            postmortem: None,
         }
     }
 
@@ -188,6 +194,15 @@ impl Simulation {
     #[must_use]
     pub fn with_comms(mut self, comms: CommsConfig) -> Self {
         self.comms = Some(comms);
+        self
+    }
+
+    /// Arms a postmortem dump path (builder style): on a terminal quorum
+    /// failure the orchestrator writes the flight recorder + fault log +
+    /// registry snapshot there before moving on.
+    #[must_use]
+    pub fn with_postmortem(mut self, path: std::path::PathBuf) -> Self {
+        self.postmortem = Some(path);
         self
     }
 
@@ -266,6 +281,7 @@ impl Simulation {
                             );
                             retries += s.total_retries();
                             observe_stragglers(&s);
+                            record_flight_faults(&s.events);
                             self.fault_events.extend(s.events.iter().cloned());
                             if s.accepted.len() >= cc.min_quorum.max(1) {
                                 break (sampled, Some(s), retries);
@@ -274,6 +290,11 @@ impl Simulation {
                             // replays through the executor, so account its
                             // faults here, then re-sample or give up.
                             record_script_faults(&s);
+                            fedgta_obs::recorder::record_note(
+                                "quorum_fail",
+                                round as u64,
+                                s.accepted.len() as u64,
+                            );
                             if resample >= cc.max_resamples {
                                 break (sampled, None, retries);
                             }
@@ -291,6 +312,26 @@ impl Simulation {
             };
             round_span.record("participants", fedgta_obs::FieldVal::from(participants.len()));
             let skipped = comms_cfg.is_some() && script.is_none();
+            if skipped {
+                // Terminal quorum failure: note it in the flight recorder
+                // and, if armed, write the postmortem dump — the recorder
+                // ring, the deterministic fault log, and the registry
+                // correlated into one file. The run itself continues
+                // (graceful degradation); the dump is for the operator.
+                fedgta_obs::recorder::record_note("round_skip", round as u64, 0);
+                if let Some(path) = &self.postmortem {
+                    let seed = comms_cfg.as_ref().map_or(0, |c| c.fault_seed);
+                    if let Err(e) = crate::postmortem::write_dump(
+                        path,
+                        "quorum_fail",
+                        round,
+                        seed,
+                        &self.fault_events,
+                    ) {
+                        eprintln!("warning: postmortem dump failed: {e}");
+                    }
+                }
+            }
             let train_clock = fedgta_obs::TimeCell::new();
             let comms_round = match (&script, &transport) {
                 (Some(s), Some(t)) => {
@@ -354,6 +395,19 @@ impl Simulation {
             round_span.record("retries", fedgta_obs::FieldVal::from(retries));
             record_round_metrics(&stats, aggregate_ns);
             record_codec_metrics(bytes_raw, bytes_encoded);
+            // Flight-recorder breadcrumbs: deterministic per-round values
+            // only (byte tallies and acceptance counts are functions of
+            // the seeds, never of the clock or thread count), so dumps
+            // stay byte-identical across invocations.
+            if fedgta_obs::recorder::armed() {
+                fedgta_obs::recorder::record_metric("round.completed", round as u64, completed as u64);
+                fedgta_obs::recorder::record_metric("round.bytes_up_raw", round as u64, bytes_raw as u64);
+                fedgta_obs::recorder::record_metric(
+                    "round.bytes_up_encoded",
+                    round as u64,
+                    bytes_encoded as u64,
+                );
+            }
             let elapsed_s = round_ns as f64 / 1e9;
             cumulative += elapsed_s;
             records.push(RoundRecord {
@@ -374,6 +428,13 @@ impl Simulation {
                 participants_dropped: dropped,
                 retries,
             });
+            // Live export: when a metrics endpoint is serving, push this
+            // round's summary so `/rounds` reflects the run as it goes.
+            if fedgta_obs::serve::rounds_armed() {
+                fedgta_obs::serve::publish_round(round_summary_json(
+                    records.last().expect("just pushed"),
+                ));
+            }
         }
         records
     }
@@ -467,6 +528,49 @@ fn observe_stragglers(script: &RoundScript) {
             h.observe(e.sim_ms.saturating_sub(script.deadline_ms));
         }
     }
+}
+
+/// Mirrors a scripted draw's fault events into the flight recorder
+/// (no-op while disarmed). Client ids map to the recorder's `NO_CLIENT`
+/// sentinel for round-level events so canonical dump lines omit them.
+#[inline]
+fn record_flight_faults(events: &[FaultEvent]) {
+    if !fedgta_obs::recorder::armed() {
+        return;
+    }
+    for e in events {
+        let client = if e.client == usize::MAX {
+            fedgta_obs::recorder::NO_CLIENT
+        } else {
+            e.client as u64
+        };
+        fedgta_obs::recorder::record_fault(e.kind.name(), e.round as u64, client, e.sim_ms);
+    }
+}
+
+/// One round's `/rounds` summary as a flat JSON object — wall-clock
+/// figures included (the live endpoint is diagnostics, not a determinism
+/// surface).
+fn round_summary_json(r: &RoundRecord) -> String {
+    let acc = match r.test_acc {
+        Some(a) => format!("{a:.6}"),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"round\":{},\"mean_loss\":{:.6},\"test_acc\":{},\"elapsed_s\":{:.6},\
+         \"completed\":{},\"dropped\":{},\"retries\":{},\"bytes_up_raw\":{},\
+         \"bytes_up_encoded\":{},\"bytes_down\":{}}}",
+        r.round,
+        r.mean_loss,
+        acc,
+        r.elapsed_s,
+        r.participants_completed,
+        r.participants_dropped,
+        r.retries,
+        r.bytes_uploaded_raw,
+        r.bytes_uploaded_encoded,
+        r.bytes_downloaded,
+    )
 }
 
 /// Accounts an *abandoned* draw's faults into the `comms.*` counters —

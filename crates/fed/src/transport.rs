@@ -531,7 +531,7 @@ mod tests {
 
     #[test]
     fn corrupt_frame_flips_exactly_one_bit() {
-        let clean = Envelope { kind: 1, round: 1, sender: 0, seq: 0, payload: vec![0; 8] }.encode();
+        let clean = Envelope { kind: 1, round: 1, sender: 0, seq: 0, trace: None, payload: vec![0; 8] }.encode();
         for seed in [0u64, 13, 255, u64::MAX] {
             let mut bad = clean.clone();
             corrupt_frame(&mut bad, seed);

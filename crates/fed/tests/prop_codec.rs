@@ -136,7 +136,7 @@ proptest! {
     ) {
         let codec = Chain::new(vec![Box::new(TopK { k: 16 }), Box::new(QuantI8)]);
         let body = encode_upload_coded(&codec, loss, &(params, weight));
-        let env = Envelope { kind: 3, round: 1, sender: 4, seq: 0, payload: body };
+        let env = Envelope { kind: 3, round: 1, sender: 4, seq: 0, trace: None, payload: body };
         let mut frame = env.encode();
         corrupt_frame(&mut frame, bit_seed);
         prop_assert!(

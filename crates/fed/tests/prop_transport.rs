@@ -27,7 +27,7 @@ proptest! {
         sender in any::<u32>(),
         seq in any::<u32>(),
     ) {
-        let env = Envelope { kind, round, sender, seq, payload };
+        let env = Envelope { kind, round, sender, seq, trace: None, payload };
         let bytes = env.encode();
         let back = Envelope::decode(&bytes).expect("clean frame decodes");
         prop_assert_eq!(back.kind, env.kind);
@@ -43,7 +43,7 @@ proptest! {
         round in any::<u32>(),
         bit_seed in any::<u64>(),
     ) {
-        let env = Envelope { kind: 2, round, sender: 9, seq: 0, payload };
+        let env = Envelope { kind: 2, round, sender: 9, seq: 0, trace: None, payload };
         let mut bytes = env.encode();
         corrupt_frame(&mut bytes, bit_seed);
         prop_assert!(

@@ -702,16 +702,36 @@ pub fn write_csr_v2(path: &Path, g: &Csr, chunk_rows: usize) -> Result<CsrV2Summ
 // ---------------------------------------------------------------------
 
 const ENVELOPE_MAGIC: &[u8; 4] = b"FGTM";
-/// Wire-envelope codec version. Bump on breaking layout changes.
+/// Wire-envelope codec version for frames without a trace context. Bump
+/// on breaking layout changes.
 pub const ENVELOPE_VERSION: u8 = 1;
+/// Wire-envelope codec version for frames carrying a [`TraceContext`]
+/// (16 extra header bytes between `seq` and `payload_len`). An additive
+/// extension: version-1 frames remain byte-identical to before, and every
+/// decoder accepts both versions.
+pub const ENVELOPE_VERSION_TRACED: u8 = 2;
 /// Sanity ceiling on a single envelope's payload length.
 pub const MAX_ENVELOPE_PAYLOAD: u64 = 1 << 32;
+
+/// Distributed-trace correlation carried inside a version-2 envelope so a
+/// receiver can parent its spans under the sender's span *by id on the
+/// wire* rather than through shared process memory — the prerequisite for
+/// tracing across real sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Process-run correlation id (distinguishes traces when frames from
+    /// different runs mix; opaque here).
+    pub trace_id: u64,
+    /// Span id on the sender the receiver's spans should parent under.
+    pub parent_span: u64,
+}
 
 /// A versioned, CRC-checksummed message frame for client/server traffic —
 /// the `FGTM` sibling of the `FGTA` graph codec above.
 ///
 /// Layout (little-endian): magic `FGTM`, version byte, `kind` byte,
-/// `round: u32`, `sender: u32`, `seq: u32`, `payload_len: u64`, payload
+/// `round: u32`, `sender: u32`, `seq: u32`, *(version 2 only:
+/// `trace_id: u64`, `parent_span: u64`)*, `payload_len: u64`, payload
 /// bytes, then a CRC-32 (IEEE) over everything before it. Any mutation of
 /// any byte — header or payload — fails [`Envelope::decode`], so a
 /// receiver can reject corrupted traffic instead of aggregating garbage.
@@ -725,12 +745,17 @@ pub struct Envelope {
     pub sender: u32,
     /// Delivery attempt sequence number (0 = first try).
     pub seq: u32,
+    /// Optional trace correlation; `Some` selects the version-2 layout.
+    pub trace: Option<TraceContext>,
     /// Opaque payload bytes.
     pub payload: Vec<u8>,
 }
 
-/// Envelope header bytes before the payload.
+/// Envelope header bytes before the payload (version-1 layout).
 const ENVELOPE_HEADER: usize = 4 + 1 + 1 + 4 + 4 + 4 + 8;
+/// Extra header bytes the version-2 (traced) layout inserts before
+/// `payload_len`.
+const TRACE_CONTEXT_BYTES: usize = 8 + 8;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
 ///
@@ -759,14 +784,27 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 
 impl Envelope {
     /// Serializes the envelope to its wire bytes (header + payload + CRC).
+    ///
+    /// Frames without a trace context emit the version-1 layout — byte
+    /// for byte what they emitted before the traced extension existed —
+    /// so untraced runs stay bit-identical on the wire.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(ENVELOPE_HEADER + self.payload.len() + 4);
+        let extra = if self.trace.is_some() { TRACE_CONTEXT_BYTES } else { 0 };
+        let mut out = Vec::with_capacity(ENVELOPE_HEADER + extra + self.payload.len() + 4);
         out.extend_from_slice(ENVELOPE_MAGIC);
-        out.push(ENVELOPE_VERSION);
+        out.push(if self.trace.is_some() {
+            ENVELOPE_VERSION_TRACED
+        } else {
+            ENVELOPE_VERSION
+        });
         out.push(self.kind);
         out.extend_from_slice(&self.round.to_le_bytes());
         out.extend_from_slice(&self.sender.to_le_bytes());
         out.extend_from_slice(&self.seq.to_le_bytes());
+        if let Some(tc) = &self.trace {
+            out.extend_from_slice(&tc.trace_id.to_le_bytes());
+            out.extend_from_slice(&tc.parent_span.to_le_bytes());
+        }
         out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
         out.extend_from_slice(&self.payload);
         let crc = crc32(&out);
@@ -776,9 +814,10 @@ impl Envelope {
 
     /// Parses and verifies one envelope from `bytes`.
     ///
-    /// Rejects bad magic/version, truncated or over-long frames, hostile
-    /// length fields, and — via the trailing CRC-32 — any bit corruption
-    /// anywhere in the frame.
+    /// Accepts both the version-1 and the version-2 (traced) layouts.
+    /// Rejects bad magic, unknown versions, truncated or over-long
+    /// frames, hostile length fields, and — via the trailing CRC-32 —
+    /// any bit corruption anywhere in the frame.
     pub fn decode(bytes: &[u8]) -> Result<Envelope, IoError> {
         if bytes.len() < ENVELOPE_HEADER + 4 {
             return Err(IoError::Corrupt("envelope shorter than header"));
@@ -786,23 +825,35 @@ impl Envelope {
         if &bytes[0..4] != ENVELOPE_MAGIC {
             return Err(IoError::BadMagic);
         }
-        if bytes[4] != ENVELOPE_VERSION {
-            return Err(IoError::BadVersion(bytes[4]));
-        }
+        let (trace, header) = match bytes[4] {
+            ENVELOPE_VERSION => (None, ENVELOPE_HEADER),
+            ENVELOPE_VERSION_TRACED => {
+                if bytes.len() < ENVELOPE_HEADER + TRACE_CONTEXT_BYTES + 4 {
+                    return Err(IoError::Corrupt("traced envelope shorter than header"));
+                }
+                let trace_id = u64::from_le_bytes(bytes[18..26].try_into().unwrap());
+                let parent_span = u64::from_le_bytes(bytes[26..34].try_into().unwrap());
+                (
+                    Some(TraceContext { trace_id, parent_span }),
+                    ENVELOPE_HEADER + TRACE_CONTEXT_BYTES,
+                )
+            }
+            v => return Err(IoError::BadVersion(v)),
+        };
         let kind = bytes[5];
         let round = u32::from_le_bytes(bytes[6..10].try_into().unwrap());
         let sender = u32::from_le_bytes(bytes[10..14].try_into().unwrap());
         let seq = u32::from_le_bytes(bytes[14..18].try_into().unwrap());
-        let len = u64::from_le_bytes(bytes[18..26].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[header - 8..header].try_into().unwrap());
         if len > MAX_ENVELOPE_PAYLOAD {
             return Err(IoError::Corrupt("payload length exceeds sanity limit"));
         }
         let len = len as usize;
-        if bytes.len() != ENVELOPE_HEADER + len + 4 {
+        if bytes.len() != header + len + 4 {
             return Err(IoError::Corrupt("envelope length mismatch"));
         }
-        let body = &bytes[..ENVELOPE_HEADER + len];
-        let want = u32::from_le_bytes(bytes[ENVELOPE_HEADER + len..].try_into().unwrap());
+        let body = &bytes[..header + len];
+        let want = u32::from_le_bytes(bytes[header + len..].try_into().unwrap());
         if crc32(body) != want {
             return Err(IoError::Corrupt("crc mismatch"));
         }
@@ -811,7 +862,8 @@ impl Envelope {
             round,
             sender,
             seq,
-            payload: bytes[ENVELOPE_HEADER..ENVELOPE_HEADER + len].to_vec(),
+            trace,
+            payload: bytes[header..header + len].to_vec(),
         })
     }
 }
@@ -974,13 +1026,86 @@ mod tests {
             round: 7,
             sender: 3,
             seq: 1,
+            trace: None,
             payload: vec![1, 2, 3, 250, 0, 9],
         };
         let bytes = e.encode();
         assert_eq!(Envelope::decode(&bytes).unwrap(), e);
         // Empty payload too.
-        let e = Envelope { kind: 1, round: 1, sender: u32::MAX, seq: 0, payload: vec![] };
+        let e = Envelope {
+            kind: 1,
+            round: 1,
+            sender: u32::MAX,
+            seq: 0,
+            trace: None,
+            payload: vec![],
+        };
         assert_eq!(Envelope::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn traced_envelope_roundtrips_and_marks_version_2() {
+        let e = Envelope {
+            kind: 2,
+            round: 7,
+            sender: 3,
+            seq: 1,
+            trace: Some(TraceContext { trace_id: 0xDEAD_BEEF_CAFE, parent_span: 42 }),
+            payload: vec![1, 2, 3],
+        };
+        let bytes = e.encode();
+        assert_eq!(bytes[4], ENVELOPE_VERSION_TRACED);
+        assert_eq!(Envelope::decode(&bytes).unwrap(), e);
+        // The traced frame is exactly TRACE_CONTEXT_BYTES longer than its
+        // untraced sibling.
+        let untraced = Envelope { trace: None, ..e.clone() };
+        assert_eq!(bytes.len(), untraced.encode().len() + 16);
+    }
+
+    #[test]
+    fn untraced_envelope_bytes_unchanged_by_trace_extension() {
+        // The version-1 layout is a wire contract: a frame without a
+        // trace context must be byte-identical to what pre-extension
+        // encoders emitted. Reconstruct those bytes by hand.
+        let e = Envelope {
+            kind: 3,
+            round: 9,
+            sender: 2,
+            seq: 4,
+            trace: None,
+            payload: vec![0xAB; 5],
+        };
+        let mut want = Vec::new();
+        want.extend_from_slice(b"FGTM\x01\x03");
+        want.extend_from_slice(&9u32.to_le_bytes());
+        want.extend_from_slice(&2u32.to_le_bytes());
+        want.extend_from_slice(&4u32.to_le_bytes());
+        want.extend_from_slice(&5u64.to_le_bytes());
+        want.extend_from_slice(&[0xAB; 5]);
+        let crc = crc32(&want);
+        want.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(e.encode(), want);
+    }
+
+    #[test]
+    fn traced_envelope_rejects_bit_flips_and_truncation() {
+        let e = Envelope {
+            kind: 1,
+            round: 1,
+            sender: 0,
+            seq: 0,
+            trace: Some(TraceContext { trace_id: 7, parent_span: 9 }),
+            payload: vec![5; 8],
+        };
+        let clean = e.encode();
+        for bit in 0..clean.len() * 8 {
+            let mut bad = clean.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(Envelope::decode(&bad).is_err(), "bit flip at {bit} undetected");
+        }
+        assert!(Envelope::decode(&clean[..clean.len() - 1]).is_err());
+        // A traced frame truncated to shorter than its extended header.
+        assert!(Envelope::decode(&clean[..ENVELOPE_HEADER + 4]).is_err());
     }
 
     #[test]
@@ -990,6 +1115,7 @@ mod tests {
             round: 42,
             sender: 5,
             seq: 0,
+            trace: None,
             payload: (0..32u8).collect(),
         };
         let clean = e.encode();
@@ -1005,7 +1131,7 @@ mod tests {
 
     #[test]
     fn envelope_rejects_truncation_extension_and_hostile_length() {
-        let e = Envelope { kind: 1, round: 1, sender: 0, seq: 0, payload: vec![7; 16] };
+        let e = Envelope { kind: 1, round: 1, sender: 0, seq: 0, trace: None, payload: vec![7; 16] };
         let clean = e.encode();
         assert!(Envelope::decode(&clean[..clean.len() - 1]).is_err());
         let mut long = clean.clone();

@@ -23,7 +23,15 @@
 //!   schema-versioned (`fedgta-trace/1`), thread-safe behind one mutex.
 //! - [`trace`]: parses a JSONL trace back into events and aggregates it
 //!   into per-round / per-client / per-span-name tables (p50/p95/max,
-//!   bytes, throughput) — the engine behind `fedgta-cli report`.
+//!   bytes, throughput) — the engine behind `fedgta-cli report` — plus a
+//!   self-time profiler emitting hot-span tables and folded stacks.
+//! - [`recorder`]: the always-on flight recorder — a fixed-capacity ring
+//!   of recent span-close/metric/fault events with a hard memory bound,
+//!   serialized to a canonical postmortem dump on quorum failure or
+//!   panic.
+//! - [`serve`]: a zero-dependency `TcpListener` endpoint (`/metrics`,
+//!   `/healthz`, `/rounds`) for live scraping of the global registry
+//!   while a run is in flight.
 //!
 //! ## Determinism contract
 //!
@@ -35,14 +43,26 @@
 //! running the same federated round with tracing off/on × 1/4 threads.
 
 pub mod metrics;
+pub mod recorder;
+pub mod serve;
 pub mod sink;
 pub mod span;
 pub mod trace;
 
-pub use metrics::{global, Counter, Gauge, Histogram, Registry};
+pub use metrics::{global, Counter, Gauge, Histogram, MetricKind, Registry};
 pub use sink::{init_jsonl, init_writer, shutdown, trace_installed, MemorySink};
-pub use span::{current_span_id, span_named, span_under, FieldVal, SpanGuard};
-pub use trace::{parse_flat_object, parse_trace, render_report, summarize, JsonVal, TraceEvent, TraceSummary};
+pub use span::{
+    current_span_id, now_ns, run_trace_id, span_named, span_under, FieldVal, SpanGuard,
+};
+pub use trace::{
+    parse_flat_object, parse_trace, parse_trace_lossy, profile, render_folded, render_profile,
+    render_report, summarize, JsonVal, Profile, ProfileRow, TraceEvent, TraceSummary,
+};
+
+/// Serializes unit tests that touch process-global observability state
+/// (level, recorder ring) across this crate's test modules.
+#[cfg(test)]
+pub(crate) static TEST_GLOBAL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

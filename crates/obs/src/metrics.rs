@@ -214,13 +214,31 @@ enum Metric {
     Histogram(Arc<Histogram>),
 }
 
+/// The kind of a registered metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    /// `counter` / `gauge` / `histogram`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Counter => "counter",
+            Self::Gauge => "gauge",
+            Self::Histogram => "histogram",
+        }
+    }
+}
+
 /// A read-only view of one metric at snapshot time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricSnapshot {
     /// Dotted metric name (e.g. `comms.upload_bytes`).
     pub name: String,
-    /// `counter` / `gauge` / `histogram`.
-    pub kind: &'static str,
+    pub kind: MetricKind,
     /// Counter or gauge value; histogram sum.
     pub value: u64,
     /// Histogram sample count (0 for counters/gauges).
@@ -231,6 +249,9 @@ pub struct MetricSnapshot {
     pub p95: u64,
     /// Histogram exact max.
     pub max: u64,
+    /// Histogram per-bucket counts ([`HIST_BUCKETS`] entries; empty for
+    /// counters/gauges). Feeds the cumulative Prometheus exposition.
+    pub buckets: Vec<u64>,
 }
 
 /// A named collection of metrics — global by default ([`global`]) or
@@ -292,30 +313,33 @@ impl Registry {
             .map(|(name, metric)| match metric {
                 Metric::Counter(c) => MetricSnapshot {
                     name: name.clone(),
-                    kind: "counter",
+                    kind: MetricKind::Counter,
                     value: c.get(),
                     count: 0,
                     p50: 0,
                     p95: 0,
                     max: 0,
+                    buckets: Vec::new(),
                 },
                 Metric::Gauge(g) => MetricSnapshot {
                     name: name.clone(),
-                    kind: "gauge",
+                    kind: MetricKind::Gauge,
                     value: g.get(),
                     count: 0,
                     p50: 0,
                     p95: 0,
                     max: 0,
+                    buckets: Vec::new(),
                 },
                 Metric::Histogram(h) => MetricSnapshot {
                     name: name.clone(),
-                    kind: "histogram",
+                    kind: MetricKind::Histogram,
                     value: h.sum(),
                     count: h.count(),
                     p50: h.quantile(0.50),
                     p95: h.quantile(0.95),
                     max: h.max(),
+                    buckets: h.bucket_counts(),
                 },
             })
             .collect()
@@ -334,33 +358,61 @@ impl Registry {
         }
     }
 
-    /// Renders the Prometheus text exposition format (counters/gauges as
-    /// themselves; histograms as `_sum` / `_count` / `_max` gauges —
-    /// log2 buckets are an internal detail).
+    /// Renders the Prometheus text exposition format (version 0.0.4).
+    ///
+    /// Counters and gauges render as themselves. Log2 histograms render
+    /// as proper cumulative histogram series: one `_bucket{le="..."}`
+    /// line per occupied prefix of the log2 grid, then `_bucket{le="+Inf"}`,
+    /// `_sum` and `_count`. Because samples are integers and bucket `i`
+    /// covers `[2^(i-1), 2^i)`, the *inclusive* upper bound `le = 2^i - 1`
+    /// is exact, not approximate (bucket 0 holds zeros → `le="0"`). The
+    /// exact observed maximum is kept as a companion `_max` gauge.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::with_capacity(1024);
         for s in self.snapshot() {
             let base = prometheus_name(&s.name);
             match s.kind {
-                "counter" => {
+                MetricKind::Counter => {
                     out.push_str(&format!("# TYPE {base} counter\n{base} {}\n", s.value));
                 }
-                "gauge" => {
+                MetricKind::Gauge => {
                     out.push_str(&format!("# TYPE {base} gauge\n{base} {}\n", s.value));
                 }
-                _ => {
-                    out.push_str(&format!("# TYPE {base}_sum counter\n{base}_sum {}\n", s.value));
-                    out.push_str(&format!(
-                        "# TYPE {base}_count counter\n{base}_count {}\n",
-                        s.count
-                    ));
+                MetricKind::Histogram => {
+                    out.push_str(&format!("# TYPE {base} histogram\n"));
+                    let hi = s
+                        .buckets
+                        .iter()
+                        .rposition(|&c| c > 0)
+                        .map(|i| i.min(HIST_BUCKETS - 2))
+                        .unwrap_or(0);
+                    let mut cum = 0u64;
+                    for (i, &c) in s.buckets.iter().enumerate().take(hi + 1) {
+                        cum += c;
+                        out.push_str(&format!(
+                            "{base}_bucket{{le=\"{}\"}} {cum}\n",
+                            bucket_le(i)
+                        ));
+                    }
+                    out.push_str(&format!("{base}_bucket{{le=\"+Inf\"}} {}\n", s.count));
+                    out.push_str(&format!("{base}_sum {}\n", s.value));
+                    out.push_str(&format!("{base}_count {}\n", s.count));
                     out.push_str(&format!("# TYPE {base}_max gauge\n{base}_max {}\n", s.max));
-                    out.push_str(&format!("# TYPE {base}_p50 gauge\n{base}_p50 {}\n", s.p50));
-                    out.push_str(&format!("# TYPE {base}_p95 gauge\n{base}_p95 {}\n", s.p95));
                 }
             }
         }
         out
+    }
+}
+
+/// Inclusive `le` label for log2 bucket `i`: bucket 0 holds zeros, bucket
+/// `i > 0` covers `[2^(i-1), 2^i)` whose largest integer member is
+/// `2^i - 1`. The final bucket has no finite bound (callers emit `+Inf`).
+fn bucket_le(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i) - 1
     }
 }
 
@@ -484,6 +536,14 @@ mod tests {
         assert!(prom.contains("fedgta_a_count 7"));
         assert!(prom.contains("# TYPE fedgta_b_gauge gauge"));
         assert!(prom.contains("fedgta_c_hist_count 1"));
+        // Histograms expose proper cumulative buckets: 17 lands in
+        // [16, 32) → first nonzero cumulative count at le="31".
+        assert!(prom.contains("# TYPE fedgta_c_hist histogram"));
+        assert!(prom.contains("fedgta_c_hist_bucket{le=\"15\"} 0"));
+        assert!(prom.contains("fedgta_c_hist_bucket{le=\"31\"} 1"));
+        assert!(prom.contains("fedgta_c_hist_bucket{le=\"+Inf\"} 1"));
+        assert!(prom.contains("fedgta_c_hist_sum 17"));
+        assert!(!prom.contains("_p50"), "quantile gauges superseded by buckets");
         r.reset();
         assert_eq!(r.counter("a.count").get(), 0);
         set_level(ObsLevel::Off);

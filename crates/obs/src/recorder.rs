@@ -1,0 +1,429 @@
+//! Flight recorder: an always-on, fixed-capacity ring buffer of recent
+//! observability events with a hard memory bound.
+//!
+//! The JSONL trace sink ([`crate::sink`]) is post-hoc: it is only useful
+//! once a run has ended and only when the operator remembered to pass
+//! `--trace-out`. The flight recorder covers the opposite case — the run
+//! that *fails*. It records the last `capacity` span-close / metric /
+//! fault / note events into a preallocated ring, and on quorum failure,
+//! round skip, or panic the orchestrator serializes the ring into a
+//! postmortem JSONL dump (see [`dump_string`]).
+//!
+//! ## Memory bound
+//!
+//! Every event is a fixed-size [`FlightEvent`] (`Copy`, `&'static str`
+//! name, no heap payload), so an armed recorder owns exactly
+//! `capacity * size_of::<FlightEvent>()` bytes — ~56 B/event, ≈224 KiB at
+//! the default capacity of 4096 — allocated once at arm time and never
+//! grown. This is the same tracked-budget discipline the out-of-core
+//! graph store applies to tile memory: "always-on" is only safe because
+//! the bound is structural, not behavioral.
+//!
+//! ## Determinism
+//!
+//! Postmortem dumps must be byte-identical for the same fault seed at any
+//! thread count. Raw ring contents are not (wall-clock timestamps,
+//! cross-thread interleaving), so [`dump_string`] canonicalizes: it drops
+//! timestamps, durations, span ids and thread ids, serializes each event
+//! to a flat-JSON line, and sorts the lines. Event *sets* are
+//! deterministic (span counts are structural, fault events are a pure
+//! function of the seed), so the sorted dump is too — provided the run
+//! fits the ring. When the ring wraps, `events_dropped` is nonzero and
+//! eviction order may race; the dump records the drop count so a diff
+//! catches it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::metrics::{MetricKind, Registry};
+
+/// Default ring capacity (events). ~224 KiB of preallocated memory.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Sentinel for "no client" in [`FlightEvent::client`].
+pub const NO_CLIENT: u64 = u64::MAX;
+
+/// Postmortem dump schema identifier (first line of every dump).
+pub const POSTMORTEM_SCHEMA: &str = "fedgta-postmortem/1";
+
+/// What kind of event a ring slot holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlightKind {
+    /// A span closed; `value` is its duration in ns (canonicalized away
+    /// in dumps).
+    Span,
+    /// A deterministic metric observation published by the orchestrator
+    /// (e.g. per-round byte tallies); `value` is the observed value.
+    Metric,
+    /// A fault-layer event (drop/corrupt/crash/...); `value` is the
+    /// simulated-time ms at which it fired.
+    Fault,
+    /// A lifecycle annotation (round start, quorum failure, round skip);
+    /// `value` is context-dependent.
+    Note,
+}
+
+impl FlightKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            FlightKind::Span => "span",
+            FlightKind::Metric => "metric",
+            FlightKind::Fault => "fault",
+            FlightKind::Note => "note",
+        }
+    }
+}
+
+/// One fixed-size ring slot. `Copy` + `&'static str` name keep the ring
+/// allocation-free after arming.
+#[derive(Clone, Copy, Debug)]
+pub struct FlightEvent {
+    /// Monotonic sequence number (process-global, never reused).
+    pub seq: u64,
+    /// Nanoseconds since the process trace origin. Excluded from
+    /// canonical dumps.
+    pub ts_ns: u64,
+    pub kind: FlightKind,
+    pub name: &'static str,
+    /// Federated round the event belongs to, or 0 when not applicable.
+    pub round: u64,
+    /// Client id, or [`NO_CLIENT`].
+    pub client: u64,
+    /// Kind-dependent payload (duration ns / metric value / sim ms).
+    pub value: u64,
+}
+
+struct Ring {
+    buf: Vec<FlightEvent>,
+    /// Index of the oldest live event.
+    head: usize,
+    len: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, mut ev: FlightEvent) {
+        let cap = self.buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        ev.seq = self.next_seq;
+        self.next_seq += 1;
+        if self.len < cap {
+            self.buf.push(ev);
+            self.len += 1;
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % cap;
+            self.dropped += 1;
+        }
+    }
+
+    fn snapshot(&self) -> Vec<FlightEvent> {
+        let mut out = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            out.push(self.buf[(self.head + i) % self.buf.capacity().max(1)]);
+        }
+        out
+    }
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static RING: Mutex<Option<Ring>> = Mutex::new(None);
+
+/// Cheap armed check for hot-adjacent paths (span close). Relaxed: the
+/// recorder is an observer, ordering with the ring mutex is enough.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Arm the recorder with an explicit capacity, allocating the ring up
+/// front. Re-arming with the same capacity keeps existing events;
+/// changing capacity resets the ring.
+pub fn arm(capacity: usize) {
+    let mut g = RING.lock().unwrap();
+    let keep = matches!(&*g, Some(r) if r.buf.capacity() == capacity);
+    if !keep {
+        *g = Some(Ring {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            len: 0,
+            next_seq: 0,
+            dropped: 0,
+        });
+    }
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Arm with [`DEFAULT_CAPACITY`].
+pub fn arm_default() {
+    arm(DEFAULT_CAPACITY);
+}
+
+/// Disarm and free the ring.
+pub fn disarm() {
+    ARMED.store(false, Ordering::Relaxed);
+    *RING.lock().unwrap() = None;
+}
+
+/// Drop all recorded events but stay armed (test isolation).
+pub fn reset() {
+    let mut g = RING.lock().unwrap();
+    if let Some(r) = g.as_mut() {
+        r.buf.clear();
+        r.head = 0;
+        r.len = 0;
+        r.next_seq = 0;
+        r.dropped = 0;
+    }
+}
+
+fn record(kind: FlightKind, name: &'static str, round: u64, client: u64, value: u64) {
+    if !armed() {
+        return;
+    }
+    let ts_ns = crate::now_ns();
+    if let Some(r) = RING.lock().unwrap().as_mut() {
+        r.push(FlightEvent { seq: 0, ts_ns, kind, name, round, client, value });
+    }
+}
+
+/// Record a span close. Called from `SpanGuard::drop`; `round`/`client`
+/// are extracted from the span's recorded fields when present.
+#[inline]
+pub fn record_span_close(name: &'static str, round: u64, client: u64, dur_ns: u64) {
+    record(FlightKind::Span, name, round, client, dur_ns);
+}
+
+/// Record a deterministic metric observation.
+#[inline]
+pub fn record_metric(name: &'static str, round: u64, value: u64) {
+    record(FlightKind::Metric, name, round, NO_CLIENT, value);
+}
+
+/// Record a fault-layer event.
+#[inline]
+pub fn record_fault(name: &'static str, round: u64, client: u64, sim_ms: u64) {
+    record(FlightKind::Fault, name, round, client, sim_ms);
+}
+
+/// Record a lifecycle note.
+#[inline]
+pub fn record_note(name: &'static str, round: u64, value: u64) {
+    record(FlightKind::Note, name, round, NO_CLIENT, value);
+}
+
+/// Events currently held, oldest first.
+pub fn snapshot() -> Vec<FlightEvent> {
+    RING.lock().unwrap().as_ref().map(|r| r.snapshot()).unwrap_or_default()
+}
+
+/// Events evicted because the ring wrapped.
+pub fn events_dropped() -> u64 {
+    RING.lock().unwrap().as_ref().map(|r| r.dropped).unwrap_or(0)
+}
+
+/// Total events ever recorded (including evicted ones).
+pub fn events_recorded() -> u64 {
+    RING.lock().unwrap().as_ref().map(|r| r.next_seq).unwrap_or(0)
+}
+
+/// Armed ring capacity (0 when disarmed).
+pub fn capacity() -> usize {
+    RING.lock().unwrap().as_ref().map(|r| r.buf.capacity()).unwrap_or(0)
+}
+
+/// Serialize one flight event to its canonical flat-JSON line: no
+/// timestamp, no duration for spans, fields in a fixed order.
+fn canonical_line(ev: &FlightEvent) -> String {
+    let mut s = String::with_capacity(96);
+    s.push_str("{\"ev\":\"flight\",\"kind\":\"");
+    s.push_str(ev.kind.as_str());
+    s.push_str("\",\"name\":\"");
+    // Names are static identifiers; escape defensively anyway.
+    for c in ev.name.chars() {
+        match c {
+            '"' | '\\' => {
+                s.push('\\');
+                s.push(c);
+            }
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push_str("\",\"round\":");
+    s.push_str(&ev.round.to_string());
+    if ev.client != NO_CLIENT {
+        s.push_str(",\"client\":");
+        s.push_str(&ev.client.to_string());
+    }
+    match ev.kind {
+        // Span durations are wall-clock: canonicalized away.
+        FlightKind::Span => {}
+        FlightKind::Metric | FlightKind::Note => {
+            s.push_str(",\"value\":");
+            s.push_str(&ev.value.to_string());
+        }
+        FlightKind::Fault => {
+            s.push_str(",\"sim_ms\":");
+            s.push_str(&ev.value.to_string());
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Build a canonical postmortem dump.
+///
+/// Layout (one flat-JSON object per line):
+/// 1. header: `{"ev":"postmortem","schema":...,"reason":...,"round":...,"fault_seed":...}`
+/// 2. canonicalized flight events, line-sorted for thread-count
+///    independence
+/// 3. `extra_lines` verbatim (the orchestrator appends its correlated
+///    `FaultEvent` log here — already deterministic, kept in order)
+/// 4. registry snapshot: counters by value, histograms by sample count.
+///    Gauge *values* are intentionally omitted: the memory-peak gauges
+///    (`workspace.high_water_bytes`, `graph.store.resident_bytes`) are
+///    legitimately thread-count-dependent and would break dump
+///    byte-identity; they remain visible via `/metrics` and `report`.
+/// 5. trailer: `{"ev":"pm_end","events":N,"dropped_events":M}`
+pub fn dump_string(
+    reason: &str,
+    round: usize,
+    fault_seed: u64,
+    extra_lines: &[String],
+    registry: &Registry,
+) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!(
+        "{{\"ev\":\"postmortem\",\"schema\":\"{}\",\"reason\":\"{}\",\"round\":{},\"fault_seed\":{}}}\n",
+        POSTMORTEM_SCHEMA, reason, round, fault_seed
+    ));
+    let events = snapshot();
+    let mut lines: Vec<String> = events.iter().map(canonical_line).collect();
+    lines.sort_unstable();
+    for l in &lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    for l in extra_lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    for s in registry.snapshot() {
+        match s.kind {
+            MetricKind::Counter => out.push_str(&format!(
+                "{{\"ev\":\"pm_metric\",\"name\":\"{}\",\"kind\":\"counter\",\"value\":{}}}\n",
+                s.name, s.value
+            )),
+            MetricKind::Gauge => out.push_str(&format!(
+                "{{\"ev\":\"pm_metric\",\"name\":\"{}\",\"kind\":\"gauge\"}}\n",
+                s.name
+            )),
+            MetricKind::Histogram => out.push_str(&format!(
+                "{{\"ev\":\"pm_metric\",\"name\":\"{}\",\"kind\":\"histogram\",\"count\":{}}}\n",
+                s.name, s.count
+            )),
+        }
+    }
+    out.push_str(&format!(
+        "{{\"ev\":\"pm_end\",\"events\":{},\"dropped_events\":{}}}\n",
+        events.len(),
+        events_dropped()
+    ));
+    out
+}
+
+/// Install a panic hook that writes a postmortem dump to `path` before
+/// delegating to the previous hook. Idempotent per path is not enforced;
+/// callers install it once at startup.
+pub fn install_panic_dump(path: std::path::PathBuf) {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic".to_string());
+        record_note("panic", 0, msg.len() as u64);
+        let dump = dump_string("panic", 0, 0, &[], crate::global());
+        let _ = std::fs::write(&path, dump);
+        prev(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let _g = crate::TEST_GLOBAL_LOCK.lock().unwrap();
+        disarm();
+        arm(4);
+        reset();
+        for i in 0..10u64 {
+            record_note("tick", i, i);
+        }
+        let evs = snapshot();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(events_dropped(), 6);
+        assert_eq!(events_recorded(), 10);
+        // Oldest-first, last four ticks survive.
+        assert_eq!(evs[0].round, 6);
+        assert_eq!(evs[3].round, 9);
+        assert!(evs.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        disarm();
+    }
+
+    #[test]
+    fn disarmed_recorder_records_nothing() {
+        let _g = crate::TEST_GLOBAL_LOCK.lock().unwrap();
+        disarm();
+        record_note("ignored", 1, 1);
+        assert_eq!(snapshot().len(), 0);
+        assert_eq!(capacity(), 0);
+    }
+
+    #[test]
+    fn dump_is_canonical_and_order_independent() {
+        let _g = crate::TEST_GLOBAL_LOCK.lock().unwrap();
+        disarm();
+        let reg = Registry::new();
+        crate::set_level(crate::ObsLevel::Metrics);
+        reg.counter("c").add(7);
+        reg.histogram("h").observe(3);
+        crate::set_level(crate::ObsLevel::Off);
+
+        arm(16);
+        reset();
+        record_span_close("train", 2, NO_CLIENT, 12345);
+        record_fault("up_drop", 2, 1, 120);
+        record_metric("round.bytes_up", 2, 4096);
+        let a = dump_string("quorum-failure", 2, 42, &[], &reg);
+
+        // Same events in a different arrival order, different durations.
+        reset();
+        record_metric("round.bytes_up", 2, 4096);
+        record_span_close("train", 2, NO_CLIENT, 99999);
+        record_fault("up_drop", 2, 1, 120);
+        let b = dump_string("quorum-failure", 2, 42, &[], &reg);
+        assert_eq!(a, b, "canonical dump must not depend on arrival order or wall-clock");
+
+        assert!(a.starts_with("{\"ev\":\"postmortem\",\"schema\":\"fedgta-postmortem/1\""));
+        assert!(a.contains("\"kind\":\"fault\",\"name\":\"up_drop\",\"round\":2,\"client\":1,\"sim_ms\":120"));
+        assert!(a.contains("\"kind\":\"span\",\"name\":\"train\",\"round\":2}"));
+        assert!(a.contains("\"name\":\"c\",\"kind\":\"counter\",\"value\":7"));
+        assert!(a.contains("\"name\":\"h\",\"kind\":\"histogram\",\"count\":1"));
+        assert!(a.trim_end().ends_with("{\"ev\":\"pm_end\",\"events\":3,\"dropped_events\":0}"));
+        // Every dump line must be parseable by the workspace flat-JSON parser.
+        for line in a.lines() {
+            crate::parse_flat_object(line).expect("dump line is flat JSON");
+        }
+        disarm();
+    }
+}

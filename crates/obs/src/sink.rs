@@ -159,7 +159,7 @@ fn write_metric(s: &MetricSnapshot) {
         "{{\"ev\":\"metric\",\"name\":\"{}\",\"kind\":\"{}\",\"value\":{},\"count\":{},\
          \"p50\":{},\"p95\":{},\"max\":{}}}",
         json_escape(&s.name),
-        s.kind,
+        s.kind.as_str(),
         s.value,
         s.count,
         s.p50,

@@ -86,6 +86,19 @@ pub fn current_span_id() -> u64 {
     SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
 }
 
+/// Process-run trace correlation id, stamped into wire envelopes so a
+/// receiver can tell frames of this run's trace apart from stale frames
+/// of another run's. Stable for the process lifetime; no meaning beyond
+/// inequality across processes.
+pub fn run_trace_id() -> u64 {
+    static RUN_ID: OnceLock<u64> = OnceLock::new();
+    *RUN_ID.get_or_init(|| {
+        // Mix the pid so concurrent runs on one host differ; the odd
+        // multiplier spreads small pids across the id space.
+        (std::process::id() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+    })
+}
+
 /// An RAII span: created open, emits one trace event when dropped.
 #[derive(Debug)]
 pub struct SpanGuard {
@@ -179,14 +192,40 @@ impl Drop for SpanGuard {
             dur_ns,
             &self.fields,
         );
+        if crate::recorder::armed() {
+            // The flight recorder keys events by (round, client) when the
+            // span carried them as integer fields.
+            let mut round = 0u64;
+            let mut client = crate::recorder::NO_CLIENT;
+            for (k, v) in &self.fields {
+                if let FieldVal::U64(u) = v {
+                    match *k {
+                        "round" => round = *u,
+                        "client" => client = *u,
+                        _ => {}
+                    }
+                }
+            }
+            crate::recorder::record_span_close(self.name, round, client, dur_ns);
+        }
     }
+}
+
+/// True when span guards should arm: either the trace sink wants span
+/// events, or the flight recorder is capturing span closes. Spans are
+/// round/client-granularity (never per-kernel-call), so the recorder
+/// arming them costs one ring push per phase, not per op.
+#[inline]
+fn spans_armed() -> bool {
+    (trace_on() && sink::trace_installed()) || crate::recorder::armed()
 }
 
 /// Opens a span under the current thread's innermost open span.
 ///
-/// Returns a disarmed guard when tracing is off or no sink is installed.
+/// Returns a disarmed guard when neither the trace sink nor the flight
+/// recorder is armed.
 pub fn span_named(name: &'static str) -> SpanGuard {
-    if !trace_on() || !sink::trace_installed() {
+    if !spans_armed() {
         return SpanGuard::disarmed();
     }
     SpanGuard::armed(name, current_span_id())
@@ -197,7 +236,7 @@ pub fn span_named(name: &'static str) -> SpanGuard {
 /// the driver thread. The span still joins this thread's local stack so
 /// further nested spans chain off it.
 pub fn span_under(name: &'static str, parent: u64) -> SpanGuard {
-    if !trace_on() || !sink::trace_installed() {
+    if !spans_armed() {
         return SpanGuard::disarmed();
     }
     SpanGuard::armed(name, parent)
@@ -209,7 +248,10 @@ mod tests {
 
     #[test]
     fn disarmed_guard_is_free_and_stackless() {
-        // Tracing is off by default in unit tests.
+        // Tracing is off by default in unit tests; hold the global test
+        // lock so a concurrent recorder test can't arm spans under us.
+        let _g = crate::TEST_GLOBAL_LOCK.lock().unwrap();
+        crate::recorder::disarm();
         let g = span_named("noop");
         assert_eq!(g.id(), 0);
         assert_eq!(current_span_id(), 0);

@@ -190,9 +190,13 @@ impl<'a> Cursor<'a> {
                     self.i += 1;
                 }
                 let s = std::str::from_utf8(&self.b[start..self.i]).map_err(|e| e.to_string())?;
-                s.parse::<f64>()
-                    .map(JsonVal::Num)
-                    .map_err(|_| format!("bad number '{s}'"))
+                // JSON has no infinities: overlong digit strings / huge
+                // exponents that overflow f64 are malformed input, not
+                // values.
+                match s.parse::<f64>() {
+                    Ok(n) if n.is_finite() => Ok(JsonVal::Num(n)),
+                    _ => Err(format!("bad number '{s}'")),
+                }
             }
             other => Err(format!("unexpected value start {other:?}")),
         }
@@ -266,6 +270,43 @@ fn req_str(m: &BTreeMap<String, JsonVal>, k: &str) -> Result<String, String> {
         .ok_or_else(|| format!("missing/invalid string field '{k}'"))
 }
 
+/// Parses one JSONL line into an event (no schema-position checks).
+fn parse_event_line(line: &str) -> Result<TraceEvent, String> {
+    let obj = parse_flat_object(line)?;
+    let ev = req_str(&obj, "ev")?;
+    match ev.as_str() {
+        "meta" => Ok(TraceEvent::Meta {
+            schema: req_str(&obj, "schema")?,
+        }),
+        "span" => {
+            let mut fields = obj.clone();
+            for k in ["ev", "name", "id", "parent", "tid", "ts_ns", "dur_ns"] {
+                fields.remove(k);
+            }
+            Ok(TraceEvent::Span {
+                name: req_str(&obj, "name")?,
+                id: req_u64(&obj, "id")?,
+                parent: req_u64(&obj, "parent")?,
+                tid: req_u64(&obj, "tid")?,
+                ts_ns: req_u64(&obj, "ts_ns")?,
+                dur_ns: req_u64(&obj, "dur_ns")?,
+                fields,
+            })
+        }
+        "metric" => Ok(TraceEvent::Metric {
+            name: req_str(&obj, "name")?,
+            kind: req_str(&obj, "kind")?,
+            value: req_u64(&obj, "value")?,
+            count: req_u64(&obj, "count")?,
+            p50: req_u64(&obj, "p50")?,
+            p95: req_u64(&obj, "p95")?,
+            max: req_u64(&obj, "max")?,
+        }),
+        "end" => Ok(TraceEvent::End),
+        other => Err(format!("unknown event '{other}'")),
+    }
+}
+
 /// Parses a full JSONL trace. Strict: the first line must be the schema
 /// header with a matching version, every line must be a valid event.
 pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
@@ -274,40 +315,7 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
         if line.trim().is_empty() {
             continue;
         }
-        let obj =
-            parse_flat_object(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        let ev = req_str(&obj, "ev").map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        let parsed = match ev.as_str() {
-            "meta" => TraceEvent::Meta {
-                schema: req_str(&obj, "schema")?,
-            },
-            "span" => {
-                let mut fields = obj.clone();
-                for k in ["ev", "name", "id", "parent", "tid", "ts_ns", "dur_ns"] {
-                    fields.remove(k);
-                }
-                TraceEvent::Span {
-                    name: req_str(&obj, "name")?,
-                    id: req_u64(&obj, "id")?,
-                    parent: req_u64(&obj, "parent")?,
-                    tid: req_u64(&obj, "tid")?,
-                    ts_ns: req_u64(&obj, "ts_ns")?,
-                    dur_ns: req_u64(&obj, "dur_ns")?,
-                    fields,
-                }
-            }
-            "metric" => TraceEvent::Metric {
-                name: req_str(&obj, "name")?,
-                kind: req_str(&obj, "kind")?,
-                value: req_u64(&obj, "value")?,
-                count: req_u64(&obj, "count")?,
-                p50: req_u64(&obj, "p50")?,
-                p95: req_u64(&obj, "p95")?,
-                max: req_u64(&obj, "max")?,
-            },
-            "end" => TraceEvent::End,
-            other => return Err(format!("line {}: unknown event '{other}'", lineno + 1)),
-        };
+        let parsed = parse_event_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
         if events.is_empty() {
             match &parsed {
                 TraceEvent::Meta { schema } if schema == TRACE_SCHEMA => {}
@@ -325,6 +333,28 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
         return Err("empty trace".into());
     }
     Ok(events)
+}
+
+/// Lenient trace parse for damaged inputs: truncated tails, interleaved
+/// garbage, or a missing header never abort the whole read. Every valid
+/// line becomes an event; every invalid one becomes a
+/// `"line N: <reason>"` entry in the error list. Used by crash-path
+/// tooling (`fedgta-cli postmortem`, partial traces) where the strict
+/// reader's all-or-nothing contract would discard the evidence you are
+/// trying to look at.
+pub fn parse_trace_lossy(text: &str) -> (Vec<TraceEvent>, Vec<String>) {
+    let mut events = Vec::new();
+    let mut errors = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_event_line(line) {
+            Ok(ev) => events.push(ev),
+            Err(e) => errors.push(format!("line {}: {e}", lineno + 1)),
+        }
+    }
+    (events, errors)
 }
 
 // --- aggregation -----------------------------------------------------------
@@ -617,6 +647,149 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
     }
 }
 
+// --- self-time profiling ---------------------------------------------------
+
+/// Per-span-name self-time aggregate (see [`profile`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Span name.
+    pub name: String,
+    /// Occurrences.
+    pub count: usize,
+    /// Summed wall-clock durations.
+    pub total_ns: u64,
+    /// Summed self time: duration minus the summed durations of direct
+    /// children. For spans whose children run *concurrently* on workers
+    /// (`train` over `client_train`), child time can exceed the parent's
+    /// wall clock; self time saturates at zero rather than going
+    /// negative — "no time unaccounted for".
+    pub self_ns: u64,
+}
+
+/// Output of [`profile`]: hot-span rows plus folded stacks.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Profile {
+    /// Per-name rows, sorted by `self_ns` descending (name-ascending
+    /// tiebreak).
+    pub rows: Vec<ProfileRow>,
+    /// Folded call stacks: `("root;child;leaf", self_ns)` per distinct
+    /// name path, path-sorted — one `path weight` line each in
+    /// [`render_folded`], the input format of standard flamegraph
+    /// tooling.
+    pub folded: Vec<(String, u64)>,
+    /// Summed duration of root spans (parent id 0 or unknown): the
+    /// denominator for self-time percentages.
+    pub wall_ns: u64,
+}
+
+/// Computes per-span self time and folded stacks from parsed events.
+pub fn profile(events: &[TraceEvent]) -> Profile {
+    // id → (name, parent, dur)
+    let mut spans: BTreeMap<u64, (&str, u64, u64)> = BTreeMap::new();
+    for ev in events {
+        if let TraceEvent::Span {
+            name, id, parent, dur_ns, ..
+        } = ev
+        {
+            spans.insert(*id, (name.as_str(), *parent, *dur_ns));
+        }
+    }
+    let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(_, parent, dur) in spans.values() {
+        if parent != 0 {
+            *child_ns.entry(parent).or_default() += dur;
+        }
+    }
+    let mut by_name: BTreeMap<&str, (usize, u64, u64)> = BTreeMap::new();
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    let mut wall_ns = 0u64;
+    for (&id, &(name, parent, dur)) in &spans {
+        let self_ns = dur.saturating_sub(child_ns.get(&id).copied().unwrap_or(0));
+        let e = by_name.entry(name).or_default();
+        e.0 += 1;
+        e.1 += dur;
+        e.2 += self_ns;
+        if parent == 0 || !spans.contains_key(&parent) {
+            wall_ns += dur;
+        }
+        // Build the name path root→self. Parent chains are shallow
+        // (round > train > client_train), so the walk is cheap; a cycle
+        // (corrupt input) is broken by the visited guard.
+        let mut path = vec![name];
+        let mut up = parent;
+        let mut hops = 0;
+        while up != 0 && hops < 64 {
+            match spans.get(&up) {
+                Some(&(pname, pparent, _)) => {
+                    path.push(pname);
+                    up = pparent;
+                }
+                None => break,
+            }
+            hops += 1;
+        }
+        path.reverse();
+        if self_ns > 0 {
+            *folded.entry(path.join(";")).or_default() += self_ns;
+        }
+    }
+    let mut rows: Vec<ProfileRow> = by_name
+        .into_iter()
+        .map(|(name, (count, total_ns, self_ns))| ProfileRow {
+            name: name.to_string(),
+            count,
+            total_ns,
+            self_ns,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.name.cmp(&b.name)));
+    Profile {
+        rows,
+        folded: folded.into_iter().collect(),
+        wall_ns,
+    }
+}
+
+/// Renders the top-`topk` hot spans by self time as a terminal table.
+pub fn render_profile(p: &Profile, topk: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "self-time profile: {} span names, wall {} ms\n\n",
+        p.rows.len(),
+        fmt_ms(p.wall_ns)
+    ));
+    out.push_str(&format!(
+        "{:<20} {:>7} {:>12} {:>12} {:>7}\n",
+        "span", "count", "total ms", "self ms", "self%"
+    ));
+    for r in p.rows.iter().take(topk.max(1)) {
+        let pct = if p.wall_ns > 0 {
+            100.0 * r.self_ns as f64 / p.wall_ns as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<20} {:>7} {:>12} {:>12} {:>6.1}%\n",
+            r.name,
+            r.count,
+            fmt_ms(r.total_ns),
+            fmt_ms(r.self_ns),
+            pct,
+        ));
+    }
+    out
+}
+
+/// Renders folded stacks, one `path weight` line per entry — pipe into
+/// `flamegraph.pl` / `inferno-flamegraph` as-is.
+pub fn render_folded(p: &Profile) -> String {
+    let mut out = String::new();
+    for (path, w) in &p.folded {
+        out.push_str(&format!("{path} {w}\n"));
+    }
+    out
+}
+
 fn fmt_ms(ns: u64) -> String {
     format!("{:.2}", ns as f64 / 1e6)
 }
@@ -715,6 +888,43 @@ pub fn render_report(s: &TraceSummary) -> String {
                 fmt_bytes(st.bytes_up),
                 thr,
             ));
+        }
+    }
+
+    // Upload-codec effect: the raw/encoded byte counters the transport
+    // meters on every coded round (identity codec ⇒ equal, reduction 1×).
+    let metric = |name: &str| s.metrics.iter().find(|m| m.name == name).map(|m| m.value);
+    if let (Some(raw), Some(enc)) = (
+        metric("comms.upload_bytes_raw"),
+        metric("comms.upload_bytes_encoded"),
+    ) {
+        if raw > 0 {
+            out.push_str("\nupload codec (wire bytes):\n");
+            out.push_str(&format!(
+                "{:<12} {:<12} {:>9}\n",
+                "raw", "encoded", "reduction"
+            ));
+            out.push_str(&format!(
+                "{:<12} {:<12} {:>8.2}x\n",
+                fmt_bytes(raw),
+                fmt_bytes(enc),
+                raw as f64 / enc.max(1) as f64,
+            ));
+        }
+    }
+
+    // Peak-memory gauges: the budgets scale runs are graded against.
+    let peaks: Vec<(&str, u64)> = [
+        ("graph.store.resident_bytes", "graph store resident peak"),
+        ("workspace.high_water_bytes", "workspace high-water peak"),
+    ]
+    .iter()
+    .filter_map(|&(name, label)| metric(name).filter(|&v| v > 0).map(|v| (label, v)))
+    .collect();
+    if !peaks.is_empty() {
+        out.push_str("\nresource peaks:\n");
+        for (label, v) in peaks {
+            out.push_str(&format!("{label:<28} {:>10}\n", fmt_bytes(v)));
         }
     }
 
@@ -828,6 +1038,65 @@ mod tests {
         assert!(rendered.contains("per-round breakdown"));
         assert!(rendered.contains("FedAvg"));
         assert!(rendered.contains("comms.upload_bytes"));
+    }
+
+    #[test]
+    fn lossy_parse_recovers_valid_lines_around_garbage() {
+        let mut t = sample_trace();
+        t.insert_str(0, "garbage not json\n");
+        t.push_str("{\"ev\":\"span\",\"name\":\"trunc");
+        let (events, errors) = parse_trace_lossy(&t);
+        // All 9 original events survive; the two damaged lines are reported.
+        assert_eq!(events.len(), 9);
+        assert_eq!(errors.len(), 2);
+        assert!(errors[0].starts_with("line 1:"));
+        // The strict reader refuses the same input outright.
+        assert!(parse_trace(&t).is_err());
+    }
+
+    #[test]
+    fn profile_computes_self_time_and_folded_stacks() {
+        let events = parse_trace(&sample_trace()).unwrap();
+        let p = profile(&events);
+        // round dur 700, children 400+50+25 ⇒ self 225. train's children
+        // sum to exactly its duration ⇒ self 0.
+        let row = |name: &str| p.rows.iter().find(|r| r.name == name).unwrap();
+        assert_eq!(row("round").self_ns, 225);
+        assert_eq!(row("round").total_ns, 700);
+        assert_eq!(row("train").self_ns, 0);
+        assert_eq!(row("client_train").self_ns, 400);
+        assert_eq!(p.wall_ns, 700, "one root span");
+        // Rows are sorted by self time descending.
+        assert!(p.rows[0].self_ns >= p.rows[1].self_ns);
+        let folded = render_folded(&p);
+        assert!(folded.contains("round;train;client_train 400\n"));
+        assert!(folded.contains("round 225\n"));
+        assert!(!folded.contains("round;train 0"), "zero-weight paths omitted");
+        let table = render_profile(&p, 10);
+        assert!(table.contains("self%"));
+        assert!(table.contains("client_train"));
+    }
+
+    #[test]
+    fn report_renders_codec_reduction_and_resource_peaks() {
+        let mut t = sample_trace();
+        let extra = concat!(
+            "{\"ev\":\"metric\",\"name\":\"comms.upload_bytes_raw\",\"kind\":\"counter\",\"value\":40960,\"count\":0,\"p50\":0,\"p95\":0,\"max\":0}\n",
+            "{\"ev\":\"metric\",\"name\":\"comms.upload_bytes_encoded\",\"kind\":\"counter\",\"value\":10240,\"count\":0,\"p50\":0,\"p95\":0,\"max\":0}\n",
+            "{\"ev\":\"metric\",\"name\":\"graph.store.resident_bytes\",\"kind\":\"gauge\",\"value\":78643200,\"count\":0,\"p50\":0,\"p95\":0,\"max\":0}\n",
+        );
+        t = t.replace("{\"ev\":\"end\"}\n", &format!("{extra}{{\"ev\":\"end\"}}\n"));
+        let s = summarize(&parse_trace(&t).unwrap());
+        let rendered = render_report(&s);
+        assert!(rendered.contains("upload codec (wire bytes):"));
+        assert!(rendered.contains("4.00x"), "40960/10240 reduction:\n{rendered}");
+        assert!(rendered.contains("resource peaks:"));
+        assert!(rendered.contains("graph store resident peak"));
+        assert!(rendered.contains("75.0MiB"));
+        // Without the counters the sections stay absent.
+        let bare = render_report(&summarize(&parse_trace(&sample_trace()).unwrap()));
+        assert!(!bare.contains("upload codec"));
+        assert!(!bare.contains("resource peaks"));
     }
 
     #[test]

@@ -157,3 +157,124 @@ proptest! {
         prop_assert_eq!(snap[2].max, h_samples.iter().copied().max().unwrap());
     }
 }
+
+// --- fuzzing the hand-rolled JSONL trace parser ----------------------------
+//
+// The parser reads operator-supplied files (`fedgta-cli report <path>`,
+// `postmortem <path>`), so hostile or damaged input must *error*, never
+// panic or loop: truncated lines, invalid `\u` escapes, overlong numbers,
+// interleaved garbage. And the lossy reader must still recover every
+// valid line around the damage.
+
+/// One well-formed trace: header, a span, a metric, the end marker.
+fn valid_trace_lines() -> Vec<String> {
+    vec![
+        "{\"ev\":\"meta\",\"schema\":\"fedgta-trace/1\"}".to_string(),
+        "{\"ev\":\"span\",\"name\":\"round\",\"id\":1,\"parent\":0,\"tid\":1,\"ts_ns\":5,\"dur_ns\":700,\"round\":1,\"strategy\":\"FedAvg\"}".to_string(),
+        "{\"ev\":\"metric\",\"name\":\"comms.upload_bytes\",\"kind\":\"counter\",\"value\":9,\"count\":0,\"p50\":0,\"p95\":0,\"max\":0}".to_string(),
+        "{\"ev\":\"end\"}".to_string(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes through every parser entry point: any outcome but
+    /// a clean `Ok`/`Err` return (panic, hang) fails the case.
+    #[test]
+    fn parser_survives_arbitrary_bytes(bytes in proptest::collection::vec(0u8..255, 0..256)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = fedgta_obs::parse_flat_object(&text);
+        let _ = fedgta_obs::parse_trace(&text);
+        let (_events, _errors) = fedgta_obs::parse_trace_lossy(&text);
+    }
+
+    /// Every strict prefix of a valid line is an error (the closing brace
+    /// is gone), and never a panic — the truncated-tail case of a crash
+    /// mid-write.
+    #[test]
+    fn truncated_lines_error_cleanly(line_idx in 0usize..4, cut in 0usize..200) {
+        let line = &valid_trace_lines()[line_idx];
+        // Truncate on a char boundary strictly inside the line (at least
+        // one char survives so the damaged tail is a real line).
+        let mut cut = cut.clamp(1, line.len() - 1);
+        while !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let truncated = &line[..cut];
+        prop_assert!(fedgta_obs::parse_flat_object(truncated).is_err(), "accepted {truncated:?}");
+        // A trace whose last line is truncated: strict errors, lossy
+        // keeps everything before the damage.
+        let mut text = valid_trace_lines().join("\n");
+        text.push('\n');
+        text.push_str(truncated);
+        prop_assert!(fedgta_obs::parse_trace(&text).is_err());
+        let (events, errors) = fedgta_obs::parse_trace_lossy(&text);
+        prop_assert_eq!(events.len(), 4);
+        prop_assert_eq!(errors.len(), 1);
+    }
+
+    /// `\u` escapes with non-hex payloads or short payloads must error;
+    /// well-formed ones must parse. Either way: no panic, no surrogate
+    /// crash (lone surrogates decode to U+FFFD).
+    #[test]
+    fn unicode_escapes_never_panic(payload in proptest::collection::vec(0u8..128, 0..6)) {
+        let esc: String = payload.iter().map(|&b| b as char).collect();
+        let esc: String = esc.chars().filter(|c| *c != '"' && *c != '\\' && !c.is_control()).collect();
+        let line = format!("{{\"k\":\"a\\u{esc}b\"}}");
+        let parsed = fedgta_obs::parse_flat_object(&line);
+        let hex_ok = esc.len() >= 4 && esc.as_bytes()[..4].iter().all(|b| b.is_ascii_hexdigit());
+        if hex_ok {
+            prop_assert!(parsed.is_ok(), "rejected well-formed escape {line:?}");
+        } else {
+            prop_assert!(parsed.is_err(), "accepted malformed escape {line:?}");
+        }
+    }
+
+    /// Overlong numbers — huge digit strings and overflow exponents —
+    /// are malformed JSON values here (f64 would read them as inf), so
+    /// they error; ordinary large u64s still parse.
+    #[test]
+    fn overlong_numbers_error_cleanly(digits in 1usize..400, exp in 0u32..4000) {
+        let long = format!("{{\"n\":{}}}", "9".repeat(digits));
+        let parsed = fedgta_obs::parse_flat_object(&long);
+        if digits > 308 {
+            prop_assert!(parsed.is_err(), "accepted {digits}-digit number");
+        } else {
+            prop_assert!(parsed.is_ok());
+        }
+        let exp_line = format!("{{\"n\":1e{exp}}}");
+        let parsed = fedgta_obs::parse_flat_object(&exp_line);
+        if exp > 308 {
+            prop_assert!(parsed.is_err(), "accepted 1e{exp}");
+        } else {
+            prop_assert!(parsed.is_ok());
+        }
+        prop_assert!(fedgta_obs::parse_flat_object(&format!("{{\"n\":{}}}", u64::MAX)).is_ok());
+    }
+
+    /// Garbage lines interleaved at arbitrary positions: the strict
+    /// parser rejects the file, the lossy parser recovers exactly the
+    /// valid events and reports exactly the garbage lines.
+    #[test]
+    fn interleaved_garbage_is_isolated_by_lossy_parse(
+        positions in proptest::collection::vec(0usize..5, 1..4),
+        junk in proptest::collection::vec(32u8..127, 0..40),
+    ) {
+        // '}' first guarantees the line can never be a valid object.
+        let garbage: String = format!("}}{}", String::from_utf8_lossy(&junk));
+        let valid = valid_trace_lines();
+        let mut lines: Vec<&str> = valid.iter().map(String::as_str).collect();
+        let mut inserted = 0;
+        for &p in &positions {
+            lines.insert(p.min(lines.len()), &garbage);
+            inserted += 1;
+        }
+        let text = lines.join("\n");
+        prop_assert!(fedgta_obs::parse_trace(&text).is_err());
+        let (events, errors) = fedgta_obs::parse_trace_lossy(&text);
+        prop_assert_eq!(events.len(), valid.len(), "all valid lines recovered");
+        prop_assert_eq!(errors.len(), inserted, "every garbage line reported");
+        prop_assert!(events.iter().any(|e| matches!(e, fedgta_obs::TraceEvent::End)));
+    }
+}
