@@ -390,6 +390,7 @@ pub fn build_scale_clients(raw: &RawGraph, clients: usize, seed: u64) -> Vec<Cli
                 opt: Box::new(Adam::new(0.02, 5e-4)),
                 global_ids: range.map(|v| v as u32).collect(),
                 metric_scratch: None,
+                ef: None,
             }
         })
         .collect()

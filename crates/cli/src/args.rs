@@ -23,8 +23,6 @@ pub struct Args {
 pub enum ArgError {
     /// No subcommand given.
     MissingCommand,
-    /// A `--flag` had no value.
-    MissingValue(String),
     /// A positional argument appeared where a flag was expected.
     UnexpectedPositional(String),
     /// A flag's value failed to parse.
@@ -40,7 +38,6 @@ impl std::fmt::Display for ArgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ArgError::MissingCommand => write!(f, "missing subcommand (try 'help')"),
-            ArgError::MissingValue(k) => write!(f, "flag --{k} needs a value"),
             ArgError::UnexpectedPositional(v) => write!(f, "unexpected argument '{v}'"),
             ArgError::BadValue { flag, value } => {
                 write!(f, "cannot parse '{value}' for --{flag}")
@@ -59,9 +56,16 @@ impl Args {
         let mut subcommand = None;
         let mut flags = BTreeMap::new();
         let mut first = true;
+        let mut it = it.peekable();
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
-                let val = it.next().ok_or_else(|| ArgError::MissingValue(key.to_string()))?;
+                // A flag followed by another flag (or end of input) is a
+                // valueless boolean switch: `--error-feedback` stores
+                // "true". Everything else consumes the next token.
+                let val = match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
+                    _ => "true".to_string(),
+                };
                 flags.insert(key.to_string(), val);
             } else if first {
                 subcommand = Some(tok);
@@ -85,6 +89,20 @@ impl Args {
     /// An optional string flag.
     pub fn str_opt(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(|s| s.as_str())
+    }
+
+    /// A boolean switch: present with no value (or `true`/`1`) is on;
+    /// absent, `false` or `0` is off.
+    pub fn bool_flag(&self, key: &str) -> Result<bool, ArgError> {
+        match self.flags.get(key).map(|s| s.as_str()) {
+            None => Ok(false),
+            Some("true") | Some("1") => Ok(true),
+            Some("false") | Some("0") => Ok(false),
+            Some(v) => Err(ArgError::BadValue {
+                flag: key.to_string(),
+                value: v.to_string(),
+            }),
+        }
     }
 
     /// A parsed numeric flag with a default.
@@ -126,12 +144,25 @@ mod tests {
     }
 
     #[test]
+    fn valueless_flags_are_boolean_switches() {
+        // Trailing flag and flag-before-flag both read as `true`.
+        let a = parse(&["run", "--error-feedback", "--rounds", "3", "--trace"]).unwrap();
+        assert!(a.bool_flag("error-feedback").unwrap());
+        assert!(a.bool_flag("trace").unwrap());
+        assert!(!a.bool_flag("absent").unwrap());
+        assert_eq!(a.num_or("rounds", 0usize).unwrap(), 3);
+        // Explicit values still work; junk is rejected.
+        let b = parse(&["run", "--error-feedback", "false", "--x", "maybe"]).unwrap();
+        assert!(!b.bool_flag("error-feedback").unwrap());
+        assert!(matches!(b.bool_flag("x"), Err(ArgError::BadValue { .. })));
+    }
+
+    #[test]
     fn rejects_missing_command_and_values() {
         assert_eq!(parse(&[]), Err(ArgError::MissingCommand));
-        assert_eq!(
-            parse(&["run", "--dataset"]),
-            Err(ArgError::MissingValue("dataset".into()))
-        );
+        // A trailing `--flag` is a boolean switch now, not an error.
+        let a = parse(&["run", "--dataset"]).unwrap();
+        assert_eq!(a.str_opt("dataset"), Some("true"));
         // A subcommand is only allowed immediately after the command.
         assert_eq!(
             parse(&["run", "one", "two"]),

@@ -77,6 +77,19 @@ USAGE:
                         --transport channel)
                        [--codec-arg k=N]       (codec parameter overrides;
                         'k' sets TopK's kept-entry count)
+                       [--error-feedback]      (per-client residual accumulator:
+                        each round folds the previous round's coding error into
+                        the tensor before encoding, so lossy chains converge
+                        like plain uploads. Needs a lossy --codec chain)
+                       [--codec-down <chain>]  (broadcast codec for the
+                        server→client download leg, same chain syntax as
+                        --codec; 'none' (default) keeps plain broadcasts
+                        byte-identical. Implies --transport channel)
+                       [--codec-sketch <chain>] (codec for the auxiliary
+                        payload tensors — FedGTA's LP moment statistics —
+                        routed separately from the parameter tensor;
+                        'sketch[=G]' quantizes per G-sized moment group with
+                        shared scale tables. Needs --codec armed)
   fedgta-cli report <trace.jsonl> [--profile N] [--folded <file>]
                        (per-round / per-client / per-strategy latency and
                         byte tables from a --trace-out file; --profile N
@@ -94,10 +107,15 @@ USAGE:
                         x parameter-length, 1 vs 4 threads, bit-identity
                         checked on every cell)
   fedgta-cli bench comms [--mode quick|full] [--out <file.json>]
+                       [--dataset <name>] [--rounds N] [--clients N]
                        (bytes-vs-accuracy Pareto sweep of upload codecs x
-                        strategies on cora; every cell checked bit-identical
-                        at 1 vs 4 threads, lossless cells checked against
-                        the plain-upload baseline)
+                        strategies — error-feedback, download-leg and
+                        moment-sketch rows included; every cell checked
+                        bit-identical at 1 vs 4 threads, lossless cells
+                        checked against the plain-upload baseline,
+                        error-feedback cells asserted to beat their bare
+                        codec's accuracy. --dataset/--rounds/--clients
+                        override the mode's default grid)
   fedgta-cli bench scale [--mode quick|full] [--out <file.json>]
                        (out-of-core scale sweep: streamed SBM generation +
                         normalization to the chunked v2 layout, in-memory vs
@@ -144,7 +162,18 @@ pub fn bench(a: &Args) -> CliResult {
             )
         }
         "comms" => {
-            let report = fedgta_bench::comms::run(quick);
+            let over = fedgta_bench::comms::Overrides {
+                dataset: a.str_opt("dataset").map(str::to_string),
+                rounds: match a.str_opt("rounds") {
+                    Some(_) => Some(a.num_or("rounds", 0usize)?),
+                    None => None,
+                },
+                clients: match a.str_opt("clients") {
+                    Some(_) => Some(a.num_or("clients", 0usize)?),
+                    None => None,
+                },
+            };
+            let report = fedgta_bench::comms::run_with(quick, &over);
             (
                 fedgta_bench::comms::render_table(&report),
                 fedgta_bench::comms::to_json(&report),
@@ -438,26 +467,47 @@ fn render_postmortem(text: &str) -> Result<String, Box<dyn Error>> {
 
 /// Builds the transport/robustness config from `--transport`, `--faults`,
 /// `--fault-seed`, `--deadline`, `--min-quorum`, `--oversample`,
-/// `--max-resamples`, `--codec` and `--codec-arg`. Returns `None` for
+/// `--max-resamples`, `--codec`, `--codec-arg`, `--codec-down`,
+/// `--codec-sketch` and `--error-feedback`. Returns `None` for
 /// the direct (pre-transport) message path. The transport defaults to
 /// `channel` as soon as any robustness or codec flag is present, so
 /// `--faults drop=0.1` or `--codec quant-i8` alone "just works".
 fn parse_comms(a: &Args) -> Result<Option<CommsConfig>, Box<dyn Error>> {
     let robust_flags = [
         "faults", "fault-seed", "deadline", "min-quorum", "oversample", "max-resamples",
-        "codec", "codec-arg",
+        "codec", "codec-arg", "codec-down", "codec-sketch", "error-feedback",
     ];
     // `--codec none` is an explicit request for plain uploads, not a
     // robustness flag — it must not flip the transport default.
     let any_robust = robust_flags.iter().any(|k| {
-        a.str_opt(k).is_some_and(|v| !(*k == "codec" && v == "none"))
+        a.str_opt(k).is_some_and(|v| {
+            let explicit_off = (matches!(*k, "codec" | "codec-down" | "codec-sketch")
+                && v == "none")
+                || (*k == "error-feedback" && v == "false");
+            !explicit_off
+        })
     });
+    let parse_chain = |flag: &str| -> Result<Option<CodecSpec>, Box<dyn Error>> {
+        match a.str_opt(flag) {
+            None | Some("none") => Ok(None),
+            Some(spec) => Ok(Some(CodecSpec::parse(spec)?)),
+        }
+    };
     let codec = match a.str_opt("codec") {
         None | Some("none") => None,
         Some(spec) => Some(CodecSpec::parse_with(spec, &a.str_or("codec-arg", ""))?),
     };
     if codec.is_none() && a.str_opt("codec-arg").is_some() {
         return Err("--codec-arg needs a --codec chain".into());
+    }
+    let codec_down = parse_chain("codec-down")?;
+    let codec_sketch = parse_chain("codec-sketch")?;
+    let error_feedback = a.bool_flag("error-feedback")?;
+    if error_feedback && codec.as_ref().is_none_or(|c| c.is_lossless()) {
+        return Err("--error-feedback needs a lossy --codec chain (it folds coding error)".into());
+    }
+    if codec_sketch.is_some() && codec.is_none() {
+        return Err("--codec-sketch needs a --codec chain for the model tensor".into());
     }
     let transport = a.str_or("transport", if any_robust { "channel" } else { "direct" });
     match transport.as_str() {
@@ -482,6 +532,9 @@ fn parse_comms(a: &Args) -> Result<Option<CommsConfig>, Box<dyn Error>> {
                 oversample: a.num_or("oversample", defaults.oversample)?,
                 max_resamples: a.num_or("max-resamples", defaults.max_resamples)?,
                 codec,
+                codec_down,
+                codec_sketch,
+                error_feedback,
             }))
         }
         other => Err(format!("unknown --transport '{other}' (direct|channel)").into()),
@@ -748,8 +801,21 @@ pub fn run(a: &Args) -> CliResult {
         if comms.as_ref().is_some_and(|cc| cc.codec.is_some()) {
             let raw: u64 = records.iter().map(|r| r.bytes_uploaded_raw as u64).sum();
             let enc: u64 = records.iter().map(|r| r.bytes_uploaded_encoded as u64).sum();
+            let ef = if comms.as_ref().is_some_and(|cc| cc.error_feedback) {
+                " (error feedback on)"
+            } else {
+                ""
+            };
             println!(
-                "codec: {raw} raw upload bytes → {enc} on the wire ({:.2}x reduction)",
+                "codec: {raw} raw upload bytes → {enc} on the wire ({:.2}x reduction){ef}",
+                raw as f64 / (enc.max(1)) as f64,
+            );
+        }
+        if comms.as_ref().is_some_and(|cc| cc.codec_down.is_some()) {
+            let raw: u64 = records.iter().map(|r| r.bytes_downloaded_raw as u64).sum();
+            let enc: u64 = records.iter().map(|r| r.bytes_downloaded_encoded as u64).sum();
+            println!(
+                "codec-down: {raw} raw broadcast bytes → {enc} on the wire ({:.2}x reduction)",
                 raw as f64 / (enc.max(1)) as f64,
             );
         }

@@ -144,15 +144,16 @@ impl Strategy for FedGta {
             self.personalized = vec![None; clients.len()];
         }
         // Algorithm 1: local update + metric computation, client-parallel.
-        // Each worker reads only its own personalized snapshot and the
+        // Each participant's personalized snapshot is a declared per-client
+        // broadcast — the executor loads it (through the download codec
+        // when armed) before the closure runs; `None` entries (first round)
+        // train from wherever the client is. Each worker reads only the
         // shared config (through `&self`); all `self` mutation happens
         // after aggregation on the driver, in participant order.
         let this = &*self;
+        let ctx = ctx.with_broadcast(fedgta_fed::Broadcast::PerClient(&this.personalized));
+        let ctx = &ctx;
         let results = train_participants(clients, participants, ctx, |i, c| {
-            if let Some(p) = &this.personalized[i] {
-                c.model.set_params(p);
-                c.opt.reset();
-            }
             let mut hooks = TrainHooks {
                 pseudo: ctx.pseudo_for(i),
                 ..TrainHooks::none()
@@ -167,6 +168,9 @@ impl Strategy for FedGta {
             (loss, (params, h, m.to_vec(), n_train))
         });
         let loss = mean_loss(&results);
+        // Last use of the broadcast-carrying ctx: it borrows
+        // `self.personalized`, which the aggregation below mutates.
+        let threads = ctx.threads;
         // Under the fault-injecting transport only the accepted quorum's
         // uploads arrive; aggregation is over whoever actually reported
         // (identical to `participants` on the no-fault path).
@@ -212,7 +216,7 @@ impl Strategy for FedGta {
             .iter()
             .map(|&i| self.personalized[i].take().unwrap_or_default())
             .collect();
-        let report = personalized_aggregate_into(&uploads, &opts, ctx.threads, &mut aggregated);
+        let report = personalized_aggregate_into(&uploads, &opts, threads, &mut aggregated);
         for (&i, buf) in arrived.iter().zip(aggregated) {
             clients[i].model.set_params(&buf);
             // Move — not clone — the aggregate into the personalized

@@ -28,6 +28,10 @@ pub struct Client {
     /// the owning strategy downcasts it. `None` until first use — a
     /// strategy that never needs scratch pays nothing.
     pub metric_scratch: Option<Box<dyn std::any::Any + Send>>,
+    /// Error-feedback accumulators for the lossy upload codec
+    /// ([`crate::ef`]), persisted across rounds like `metric_scratch`.
+    /// `None` until the first round with error feedback armed.
+    pub ef: Option<crate::ef::EfState>,
 }
 
 impl Client {
@@ -195,6 +199,7 @@ pub fn build_clients(
             opt: Box::new(Adam::new(cfg.lr, cfg.weight_decay)),
             global_ids: full_sg.global_ids,
             metric_scratch: None,
+            ef: None,
         });
     }
     clients

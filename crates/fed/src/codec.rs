@@ -49,6 +49,9 @@ pub const STAGE_QUANT_I8: u8 = 1;
 pub const STAGE_QUANT_F16: u8 = 2;
 /// Wire id of the [`TopK`] stage.
 pub const STAGE_TOPK: u8 = 3;
+/// Wire id of the [`SketchQuant`] stage (grouped affine i8 with a
+/// shared scale table — the moment-sketch codec).
+pub const STAGE_SKETCH: u8 = 4;
 
 /// Maximum stages a chain (and its wire header) may carry.
 pub const MAX_STAGES: usize = 8;
@@ -84,6 +87,20 @@ pub enum Values {
         /// One quantized level `q ∈ 0..=255` per kept value.
         data: Vec<u8>,
     },
+    /// Grouped affine quantization with a shared scale table: values are
+    /// split into contiguous groups of `group` entries and each group
+    /// `g` decodes as `v ≈ zeros[g] + q · scales[g]` — the moment-sketch
+    /// storage ([`SketchQuant`]).
+    I8Grouped {
+        /// Group size (> 0); the last group may be short.
+        group: u32,
+        /// One quantization step per group.
+        scales: Vec<f32>,
+        /// One zero point per group.
+        zeros: Vec<f32>,
+        /// One quantized level `q ∈ 0..=255` per kept value.
+        data: Vec<u8>,
+    },
 }
 
 impl Values {
@@ -92,6 +109,7 @@ impl Values {
             Values::F32(v) => v.len(),
             Values::F16(v) => v.len(),
             Values::I8 { data, .. } => data.len(),
+            Values::I8Grouped { data, .. } => data.len(),
         }
     }
 }
@@ -136,6 +154,7 @@ impl Repr {
             Values::F32(_) => 0,
             Values::F16(_) => 1,
             Values::I8 { .. } => 2,
+            Values::I8Grouped { .. } => 3,
         };
         out.push(kind | if self.idx.is_some() { 4 } else { 0 });
         if let Some(idx) = &self.idx {
@@ -160,6 +179,16 @@ impl Repr {
                 out.extend_from_slice(&zero.to_le_bytes());
                 out.extend_from_slice(data);
             }
+            Values::I8Grouped { group, scales, zeros, data } => {
+                out.extend_from_slice(&group.to_le_bytes());
+                for s in scales {
+                    out.extend_from_slice(&s.to_le_bytes());
+                }
+                for z in zeros {
+                    out.extend_from_slice(&z.to_le_bytes());
+                }
+                out.extend_from_slice(data);
+            }
         }
     }
 
@@ -172,7 +201,7 @@ impl Repr {
             return Err(IoError::Corrupt("tensor length exceeds cap"));
         }
         let flags = take(input, 1)?[0];
-        if flags & !0x07 != 0 || flags & 0x03 == 3 {
+        if flags & !0x07 != 0 {
             return Err(IoError::Corrupt("bad tensor flags"));
         }
         let idx = if flags & 4 != 0 {
@@ -211,10 +240,26 @@ impl Repr {
                     .map(|c| u16::from_le_bytes(c.try_into().unwrap()))
                     .collect(),
             ),
-            _ => {
+            2 => {
                 let scale = f32::from_le_bytes(take(input, 4)?.try_into().unwrap());
                 let zero = f32::from_le_bytes(take(input, 4)?.try_into().unwrap());
                 Values::I8 { scale, zero, data: take(input, count)?.to_vec() }
+            }
+            _ => {
+                let group = u32::from_le_bytes(take(input, 4)?.try_into().unwrap());
+                if group == 0 {
+                    return Err(IoError::Corrupt("grouped tensor with zero group size"));
+                }
+                let ng = count.div_ceil(group as usize);
+                let scales: Vec<f32> = take(input, ng * 4)?
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                let zeros: Vec<f32> = take(input, ng * 4)?
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                Values::I8Grouped { group, scales, zeros, data: take(input, count)?.to_vec() }
             }
         };
         Ok(Repr { len, idx, vals })
@@ -489,6 +534,76 @@ impl Codec for TopK {
     }
 }
 
+/// The moment-sketch codec: grouped affine 8-bit quantization with a
+/// shared scale table, built for FedGTA's Eq. 4/5 smoothed-label moment
+/// uploads. Those vectors are the flattened `k_lp × order × classes`
+/// tensor whose rows (one per propagation step × moment order) live on
+/// wildly different scales — raw moments of order `p` span `p` decades —
+/// so one per-tensor scale (plain [`QuantI8`]) wastes most of its 256
+/// levels on the largest row. `SketchQuant` quantizes each contiguous
+/// group of `group` values (choose `group = classes` for one scale per
+/// moment row) against its own `(scale, zero)` pair, shipping
+/// `1 byte/value + 8 bytes/group`. Behaves exactly like [`QuantI8`]
+/// applied per group: same f64 scale math, same non-finite handling,
+/// same error bound (per-group `scale`).
+#[derive(Debug, Clone, Copy)]
+pub struct SketchQuant {
+    /// Values per quantization group (> 0); the last group may be short.
+    pub group: u32,
+}
+
+impl Codec for SketchQuant {
+    fn stages(&self, out: &mut Vec<Stage>) {
+        out.push(Stage { id: STAGE_SKETCH, param: self.group });
+    }
+    fn stage_encode(&self, r: Repr) -> Repr {
+        assert!(self.group > 0, "sketch requires group > 0");
+        let Values::F32(vals) = &r.vals else {
+            panic!("sketch requires f32 stage input — put quantization last in the chain");
+        };
+        let ng = vals.len().div_ceil(self.group as usize);
+        let mut scales = Vec::with_capacity(ng);
+        let mut zeros = Vec::with_capacity(ng);
+        let mut data = Vec::with_capacity(vals.len());
+        for chunk in vals.chunks(self.group as usize) {
+            let (scale, zero, q) = QuantI8::quantize(chunk);
+            scales.push(scale);
+            zeros.push(zero);
+            data.extend_from_slice(&q);
+        }
+        Repr {
+            len: r.len,
+            idx: r.idx,
+            vals: Values::I8Grouped { group: self.group, scales, zeros, data },
+        }
+    }
+    fn stage_decode(&self, r: Repr) -> Result<Repr, IoError> {
+        let Values::I8Grouped { group, scales, zeros, data } = &r.vals else {
+            return Err(IoError::Corrupt("codec stage mismatch (expected grouped i8 values)"));
+        };
+        if *group != self.group {
+            return Err(IoError::Corrupt("sketch group size does not match armed codec"));
+        }
+        let ng = data.len().div_ceil(self.group as usize);
+        if scales.len() != ng || zeros.len() != ng {
+            return Err(IoError::Corrupt("sketch scale table length mismatch"));
+        }
+        for (s, z) in scales.iter().zip(zeros) {
+            if !s.is_finite() || !z.is_finite() || *s < 0.0 {
+                return Err(IoError::Corrupt("bad quantization parameters"));
+            }
+        }
+        let mut vals = Vec::with_capacity(data.len());
+        for (g, chunk) in data.chunks(self.group as usize).enumerate() {
+            vals.extend_from_slice(&QuantI8::dequantize(scales[g], zeros[g], chunk));
+        }
+        Ok(Repr { len: r.len, idx: r.idx, vals: Values::F32(vals) })
+    }
+    fn is_lossless(&self) -> bool {
+        false
+    }
+}
+
 /// Runs stages forward on encode and backward on decode, so e.g.
 /// `topk=64+quant-i8` ships 64 indices plus 64 quantized bytes.
 pub struct Chain {
@@ -585,13 +700,18 @@ impl CodecSpec {
                     id: STAGE_TOPK,
                     param: k_override.or(param).unwrap_or(64),
                 },
+                "sketch" | "sketch-i8" => Stage {
+                    id: STAGE_SKETCH,
+                    param: param.unwrap_or(8),
+                },
                 other => {
                     return Err(format!(
-                        "unknown codec stage '{other}' (identity|quant-i8|quant-f16|topk[=k])"
+                        "unknown codec stage '{other}' \
+                         (identity|quant-i8|quant-f16|topk[=k]|sketch[=group])"
                     ))
                 }
             };
-            if stage.id != STAGE_TOPK && param.is_some() {
+            if !matches!(stage.id, STAGE_TOPK | STAGE_SKETCH) && param.is_some() {
                 return Err(format!("stage '{name}' takes no parameter"));
             }
             stages.push(stage);
@@ -616,6 +736,15 @@ impl CodecSpec {
                 STAGE_QUANT_I8 | STAGE_QUANT_F16 => {
                     if seen_quant {
                         return Err("at most one quantization stage per chain".into());
+                    }
+                    seen_quant = true;
+                }
+                STAGE_SKETCH => {
+                    if seen_quant {
+                        return Err("at most one quantization stage per chain".into());
+                    }
+                    if s.param == 0 {
+                        return Err("sketch requires group > 0".into());
                     }
                     seen_quant = true;
                 }
@@ -645,6 +774,7 @@ impl CodecSpec {
                 STAGE_QUANT_I8 => Box::new(QuantI8),
                 STAGE_QUANT_F16 => Box::new(QuantF16),
                 STAGE_TOPK => Box::new(TopK { k: s.param }),
+                STAGE_SKETCH => Box::new(SketchQuant { group: s.param }),
                 other => unreachable!("validated spec with stage id {other}"),
             }
         }
@@ -664,6 +794,7 @@ impl CodecSpec {
                 STAGE_QUANT_I8 => "quant-i8".to_string(),
                 STAGE_QUANT_F16 => "quant-f16".to_string(),
                 STAGE_TOPK => format!("topk={}", s.param),
+                STAGE_SKETCH => format!("sketch={}", s.param),
                 other => format!("stage{other}"),
             })
             .collect::<Vec<_>>()
@@ -696,7 +827,7 @@ pub fn decode_header(input: &mut &[u8]) -> Result<Vec<Stage>, IoError> {
     let mut stages = Vec::with_capacity(n);
     for _ in 0..n {
         let id = take(input, 1)?[0];
-        if id > STAGE_TOPK {
+        if id > STAGE_SKETCH {
             return Err(IoError::Corrupt("unknown codec stage id"));
         }
         let param = u32::from_le_bytes(take(input, 4)?.try_into().unwrap());
@@ -815,6 +946,76 @@ mod tests {
     }
 
     #[test]
+    fn sketch_quant_bounds_error_per_group() {
+        // Moment-sketch shaped tensor: 5 rows of 7 "classes" whose scales
+        // differ by orders of magnitude (raw moments of rising order).
+        let mut t = Vec::new();
+        for row in 0..5 {
+            let mag = 10f32.powi(row - 2);
+            for c in 0..7 {
+                t.push(((row * 7 + c) as f32 * 0.61).sin() * mag);
+            }
+        }
+        let codec = SketchQuant { group: 7 };
+        let back = roundtrip(&codec, &t);
+        assert_eq!(back.len(), t.len());
+        for (g, (orig, dec)) in t.chunks(7).zip(back.chunks(7)).enumerate() {
+            let (lo, hi) = orig
+                .iter()
+                .fold((f32::MAX, f32::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+            let scale = (hi - lo) / 255.0;
+            for (a, b) in orig.iter().zip(dec) {
+                assert!((a - b).abs() <= scale, "group {g}: {a} vs {b} (scale {scale})");
+            }
+        }
+        // Per-group scaling beats one per-tensor scale by construction:
+        // the smallest row would be crushed to ~0 error under the global
+        // scale; here it reconstructs within its own tiny scale.
+        let small_err: f32 = t[0..7]
+            .iter()
+            .zip(&back[0..7])
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(small_err <= (0.01 + 0.01) / 255.0 * 2.0, "small row error {small_err}");
+    }
+
+    #[test]
+    fn sketch_quant_serializes_grouped_and_rejects_hostile_tables() {
+        let t: Vec<f32> = (0..20).map(|i| i as f32).collect();
+        let codec = SketchQuant { group: 8 };
+        let mut buf = Vec::new();
+        codec.encode_tensor(&t, &mut buf);
+        // 4 len + 1 flags + 4 group + 3·4 scales + 3·4 zeros + 20 data.
+        assert_eq!(buf.len(), 4 + 1 + 4 + 12 + 12 + 20);
+        let mut input = buf.as_slice();
+        let back = codec.decode_tensor(&mut input).unwrap();
+        assert!(input.is_empty());
+        assert_eq!(back.len(), t.len());
+        // A different armed group size rejects the frame.
+        assert!(SketchQuant { group: 4 }.decode_tensor(&mut buf.as_slice()).is_err());
+        // Non-finite scale in the table rejects.
+        let hostile = Repr {
+            len: 4,
+            idx: None,
+            vals: Values::I8Grouped {
+                group: 4,
+                scales: vec![f32::NAN],
+                zeros: vec![0.0],
+                data: vec![0; 4],
+            },
+        };
+        assert!(SketchQuant { group: 4 }.stage_decode(hostile).is_err());
+        // Chained after top-k: kept values quantize per group.
+        let chain = Chain::new(vec![Box::new(TopK { k: 6 }), Box::new(SketchQuant { group: 3 })]);
+        let big: Vec<f32> = (0..100).map(|i| ((i * 13) % 17) as f32 - 8.0).collect();
+        let mut cbuf = Vec::new();
+        chain.encode_tensor(&big, &mut cbuf);
+        let dec = chain.decode_tensor(&mut cbuf.as_slice()).unwrap();
+        assert_eq!(dec.len(), big.len());
+        assert!(dec.iter().filter(|v| **v != 0.0).count() <= 6);
+    }
+
+    #[test]
     fn spec_parses_validates_and_names() {
         assert_eq!(CodecSpec::parse("identity").unwrap().name(), "identity");
         assert_eq!(CodecSpec::parse("topk=32+i8").unwrap().name(), "topk=32+quant-i8");
@@ -830,6 +1031,18 @@ mod tests {
         assert!(CodecSpec::parse_with("i8", "j=2").is_err());
         assert!(CodecSpec::parse("identity").unwrap().is_lossless());
         assert!(!CodecSpec::parse("f16").unwrap().is_lossless());
+        // The sketch stage is a quantizer: parameterized, exclusive with
+        // the other quantizers, and must follow any sparsifier.
+        assert_eq!(CodecSpec::parse("sketch=7").unwrap().name(), "sketch=7");
+        assert_eq!(CodecSpec::parse("sketch").unwrap().name(), "sketch=8");
+        assert_eq!(
+            CodecSpec::parse("topk=32+sketch-i8=4").unwrap().name(),
+            "topk=32+sketch=4"
+        );
+        assert!(CodecSpec::parse("sketch=0").is_err());
+        assert!(CodecSpec::parse("sketch+i8").is_err(), "two quantizers");
+        assert!(CodecSpec::parse("sketch=4+topk=2").is_err(), "topk after quant");
+        assert!(!CodecSpec::parse("sketch=7").unwrap().is_lossless());
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! Error-feedback accumulators for lossy upload codecs.
+//!
+//! Bare aggressive sparsification collapses accuracy (BENCH_COMMS.json:
+//! top-k at k=64 costs −25 pp on FedGTA) because every coordinate the
+//! codec drops is lost forever. Error feedback fixes that the classic
+//! way (Seide et al., 1-bit SGD; Karimireddy et al., EF-SGD): the client
+//! keeps the coding error as a **residual** and folds it into the next
+//! round's pre-encode tensor, so every coordinate eventually crosses the
+//! wire.
+//!
+//! ## Delta-vs-reference scheme
+//!
+//! Plain EF on full parameter vectors cannot work here: a 64-sparse
+//! *weight vector* aggregated server-side zeroes most coordinates. So
+//! what crosses the wire is a **delta against a mirrored reference**:
+//!
+//! - both sides track, per client and per tensor, `reference` — the
+//!   tensor the server currently holds for this client;
+//! - the client encodes `fed = f32(v − reference + residual)` (computed
+//!   in f64), where `v` is the tensor it wants the server to hold;
+//! - the server reconstructs `v̂ = reference + d` from the decoded delta
+//!   `d` and advances `reference ← v̂`; the client mirrors that update
+//!   with its own deterministic local decode of its own encoding;
+//! - the client's new residual is `target − f64(d)` where
+//!   `target = (v − reference) + residual` is the exact f64 pre-encode
+//!   delta — the full coding error, carried at f64 precision.
+//!
+//! Both sides apply the *same* f32 `reference[i] += d[i]` update, so the
+//! mirror holds bitwise, and `v̂` converges to `v` as residuals drain.
+//!
+//! ## Broadcast anchoring
+//!
+//! For the parameter tensor the reference is additionally **re-based at
+//! the round's broadcast vector** ([`EfTensor::rebase`]) by both sides
+//! before folding/applying. Without it the uploaded tensor is re-trained
+//! from the *aggregated* broadcast every round while the reference only
+//! tracks this client's own accepted deltas — the gap is dominated by
+//! everyone else's progress, a k-sparse delta never catches up, and the
+//! run settles a few points below the plain baseline. Anchored, the
+//! pre-encode delta is `local progress + residual` (the classic EF
+//! recursion of Karimireddy et al.) and the reference mirror for that
+//! tensor is consistent by construction: both sides reset it from the
+//! same broadcast bits each round. Auxiliary tensors (FedGTA's moment
+//! statistics) have no broadcast and keep the pure mirrored scheme
+//! above.
+//!
+//! ## Replay semantics under faults
+//!
+//! Acceptance is scripted before any thread spawns
+//! ([`crate::faults::RoundScript`]), so client and server agree on every
+//! upload's fate without an acknowledgement leg:
+//!
+//! - **accepted** upload: both references advance by `d`; the residual
+//!   keeps only the coding error `target − d`;
+//! - **rejected** upload (dropped, corrupted, straggler past deadline,
+//!   or beyond first-K acceptance): neither reference moves and the
+//!   client's residual carries the *entire* intended delta `target` —
+//!   nothing is lost, and because the server never decoded the frame,
+//!   nothing can double-apply;
+//! - **crashed / unreachable** client (never trained): its state is
+//!   untouched — the next round it trains re-folds from exactly where it
+//!   left off.
+//!
+//! Every update happens either inside the client's exclusive per-worker
+//! closure or on the driver thread in participant order, so the whole
+//! scheme is bit-identical at any thread count.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Per-tensor error-feedback state: the server-mirrored reference and
+/// the f64 residual (client side only; the server uses `reference`
+/// alone).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EfTensor {
+    /// Mirror of the server's reconstructed tensor: the running f32 sum
+    /// of every accepted decoded delta. Empty until first use.
+    pub reference: Vec<f32>,
+    /// Coding error carried to the next round, in f64 so the captured
+    /// error survives repeated folding.
+    pub residual: Vec<f64>,
+}
+
+/// The pre-encode fold of one round: the f32 tensor to feed the codec
+/// and the exact f64 target it rounds from.
+#[derive(Debug, Clone)]
+pub struct Folded {
+    /// What the codec encodes: `target` rounded to f32.
+    pub fed: Vec<f32>,
+    /// The exact intended delta `(v − reference) + residual`, in f64.
+    pub target: Vec<f64>,
+}
+
+impl EfTensor {
+    /// Folds the residual into this round's delta: sizes the state on
+    /// first use, then computes `target = (v − reference) + residual` in
+    /// f64 and its f32 rounding `fed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor length changed across rounds — model shapes
+    /// are fixed for a federation's lifetime.
+    pub fn fold(&mut self, v: &[f32]) -> Folded {
+        if self.reference.is_empty() && self.residual.is_empty() {
+            self.reference = vec![0.0; v.len()];
+            self.residual = vec![0.0; v.len()];
+        }
+        assert_eq!(v.len(), self.reference.len(), "EF tensor length changed across rounds");
+        let target: Vec<f64> = v
+            .iter()
+            .zip(&self.reference)
+            .zip(&self.residual)
+            .map(|((&v, &r), &res)| (v as f64 - r as f64) + res)
+            .collect();
+        let fed = target.iter().map(|&t| t as f32).collect();
+        Folded { fed, target }
+    }
+
+    /// Commits one round's outcome. `decoded` is the client's local
+    /// decode of its own encoding of `folded.fed` — deterministic, so it
+    /// equals bitwise what the server decoded (or would have decoded)
+    /// from the wire. `accepted` is the scripted truth of whether the
+    /// server aggregated this upload.
+    pub fn commit(&mut self, folded: &Folded, decoded: &[f32], accepted: bool) {
+        assert_eq!(decoded.len(), self.reference.len(), "EF decode length mismatch");
+        if accepted {
+            for (i, &d) in decoded.iter().enumerate() {
+                self.reference[i] += d;
+                self.residual[i] = folded.target[i] - d as f64;
+            }
+        } else {
+            // Rejected upload: the server saw nothing — carry the whole
+            // intended delta forward, references untouched on both sides.
+            self.residual.copy_from_slice(&folded.target);
+        }
+    }
+
+    /// Re-anchors the reference at `anchor` — the round's broadcast
+    /// vector, which client and server both hold bitwise.
+    ///
+    /// Without re-anchoring, the reference only tracks this client's own
+    /// accepted deltas, while the tensor it uploads is re-trained from
+    /// the *aggregated* broadcast every round: the gap `v − reference`
+    /// is then dominated by everyone else's progress and a k-sparse
+    /// delta can never catch up (a persistent accuracy floor). Anchoring
+    /// at the broadcast turns the pre-encode delta into *this round's
+    /// local progress plus the residual* — the classic error-feedback
+    /// recursion — and makes the reference mirror trivially consistent:
+    /// both sides reset it from the same broadcast, so cross-round
+    /// mirror drift is structurally impossible for anchored tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor length changed across rounds.
+    pub fn rebase(&mut self, anchor: &[f32]) {
+        if self.reference.is_empty() && self.residual.is_empty() {
+            self.reference = vec![0.0; anchor.len()];
+            self.residual = vec![0.0; anchor.len()];
+        }
+        assert_eq!(anchor.len(), self.reference.len(), "EF tensor length changed across rounds");
+        self.reference.copy_from_slice(anchor);
+    }
+
+    /// The server-side inverse of [`EfTensor::commit`]: advances the
+    /// reference by the decoded delta `v` and replaces `v` with the
+    /// reconstructed tensor (`reference + v`, which *is* the new
+    /// reference). The f32 update is the same instruction sequence the
+    /// client mirrors, so both references stay bitwise equal.
+    pub fn apply_delta(&mut self, v: &mut [f32]) {
+        if self.reference.is_empty() {
+            self.reference = vec![0.0; v.len()];
+        }
+        assert_eq!(v.len(), self.reference.len(), "EF tensor length changed across rounds");
+        for (r, d) in self.reference.iter_mut().zip(v.iter_mut()) {
+            *r += *d;
+            *d = *r;
+        }
+    }
+}
+
+/// One client's error-feedback state: one [`EfTensor`] per codec-routed
+/// payload tensor, in payload traversal order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EfState {
+    /// Per-tensor accumulators, indexed by payload tensor position.
+    pub tensors: Vec<EfTensor>,
+}
+
+impl EfState {
+    /// The accumulator for payload tensor `t`, growing the state on
+    /// first touch.
+    pub fn tensor(&mut self, t: usize) -> &mut EfTensor {
+        if self.tensors.len() <= t {
+            self.tensors.resize_with(t + 1, EfTensor::default);
+        }
+        &mut self.tensors[t]
+    }
+}
+
+/// The server side of the mirror: per-client references, keyed by
+/// federation index. Updated only on the driver thread, in participant
+/// order, for accepted uploads — a [`Mutex`] only because the round
+/// context is shared by reference with worker threads.
+#[derive(Debug, Default)]
+pub struct EfServer {
+    /// Per-client reference state (the `residual` halves stay empty).
+    pub clients: Mutex<BTreeMap<usize, EfState>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepted_commit_mirrors_server_reference() {
+        let mut client = EfTensor::default();
+        let mut server = EfTensor::default();
+        let v = [1.5f32, -2.0, 0.25];
+        let folded = client.fold(&v);
+        assert_eq!(folded.fed, v.to_vec(), "first fold is the raw tensor");
+        // A sparsifying codec kept only the largest coordinate.
+        let mut d = vec![0.0f32, -2.0, 0.0];
+        client.commit(&folded, &d, true);
+        server.apply_delta(&mut d);
+        assert_eq!(client.reference, server.reference, "mirror holds bitwise");
+        assert_eq!(d, vec![0.0, -2.0, 0.0], "reconstruction equals reference");
+        // The dropped coordinates live on in the residual, exactly.
+        assert_eq!(client.residual, vec![1.5f64, 0.0, 0.25]);
+        // Next round re-targets the missing mass plus the new delta.
+        let folded2 = client.fold(&v);
+        assert_eq!(folded2.fed, vec![3.0, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn rejected_commit_keeps_reference_and_carries_full_delta() {
+        let mut client = EfTensor::default();
+        let v = [4.0f32, -1.0];
+        let folded = client.fold(&v);
+        let d = vec![4.0f32, 0.0];
+        client.commit(&folded, &d, false);
+        assert_eq!(client.reference, vec![0.0, 0.0], "reference never moves on reject");
+        assert_eq!(client.residual, vec![4.0, -1.0], "entire delta carried");
+        // Replay next round: the fold re-targets exactly the same delta.
+        let replay = client.fold(&v);
+        assert_eq!(replay.fed, vec![8.0, -2.0] /* v − 0 + residual */);
+    }
+
+    #[test]
+    fn rebase_anchors_reference_and_keeps_residual() {
+        let mut t = EfTensor::default();
+        let v = [2.0f32, -4.0];
+        let folded = t.fold(&v);
+        // Codec dropped everything; the rejected commit carries it all.
+        t.commit(&folded, &[0.0, 0.0], false);
+        assert_eq!(t.residual, vec![2.0, -4.0]);
+        // Next round's broadcast re-anchors the reference; the residual
+        // survives so the dropped mass is still re-targeted on top of
+        // the new anchor.
+        t.rebase(&[1.0, 1.0]);
+        assert_eq!(t.reference, vec![1.0, 1.0]);
+        let folded2 = t.fold(&v);
+        assert_eq!(folded2.fed, vec![(2.0 - 1.0) + 2.0, (-4.0 - 1.0) + -4.0]);
+        // Rebase also sizes fresh state, and length changes still panic.
+        let mut fresh = EfTensor::default();
+        fresh.rebase(&[0.5]);
+        assert_eq!(fresh.reference, vec![0.5]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fresh.rebase(&[0.5, 0.5]);
+        }));
+        assert!(r.is_err(), "length change must panic");
+    }
+
+    #[test]
+    fn state_grows_per_tensor_and_length_change_panics() {
+        let mut st = EfState::default();
+        st.tensor(1).fold(&[1.0]);
+        assert_eq!(st.tensors.len(), 2);
+        assert!(st.tensors[0].reference.is_empty());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            st.tensor(1).fold(&[1.0, 2.0]);
+        }));
+        assert!(r.is_err(), "length change must panic");
+    }
+}

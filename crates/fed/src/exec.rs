@@ -25,8 +25,9 @@ use crate::client::Client;
 use crate::faults::AttemptFate;
 use crate::strategies::RoundCtx;
 use crate::transport::{
-    corrupt_frame, decode_upload, decode_upload_coded, encode_upload, encode_upload_coded,
-    CommsRound, Endpoint, MsgKind, WirePayload, SERVER_ID,
+    corrupt_frame, decode_broadcast_coded, decode_upload, decode_upload_routed,
+    encode_broadcast_coded, encode_upload, encode_upload_routed, CommsRound, Endpoint, MsgKind,
+    WirePayload, SERVER_ID,
 };
 use fedgta_graph::io::{Envelope, TraceContext};
 use fedgta_graph::par::par_map_indexed;
@@ -121,6 +122,13 @@ where
     let out = run_slots(slots, ctx.threads, |i, c| {
         let _cg = fedgta_obs::span_under("client_train", parent)
             .with_field("client", fedgta_obs::FieldVal::from(i));
+        // Declared start-of-round broadcast: load the strategy's model for
+        // this participant before its local step (the in-process twin of
+        // the transport path's broadcast frames).
+        if let Some(v) = ctx.broadcast.and_then(|b| b.vector_for(i)) {
+            c.model.set_params(v);
+            c.opt.reset();
+        }
         let ct0 = fedgta_obs::metrics_on().then(std::time::Instant::now);
         let (loss, payload) = f(i, c);
         if let Some(ct0) = ct0 {
@@ -201,14 +209,37 @@ where
     // exactly what a real socket transport will need.
     for &c in participants {
         let Some(fate) = script.fate(c) else { continue };
+        // With a download codec armed and a broadcast vector declared for
+        // this participant, the request carries the coded model under
+        // [`MsgKind::BroadcastCoded`]; otherwise the frame is the classic
+        // empty-payload `TrainRequest`, byte for byte. Both download-leg
+        // byte tallies are metered here, once per invited participant
+        // (driver thread, participant order — script-deterministic).
+        let coded_bcast = match (comms.codec_down, ctx.broadcast.and_then(|b| b.vector_for(c))) {
+            (Some(down), Some(v)) => {
+                let body = encode_broadcast_coded(down, v);
+                comms
+                    .bytes_down_raw
+                    .fetch_add(8 + 4 * v.len() as u64, Ordering::Relaxed);
+                comms
+                    .bytes_down_encoded
+                    .fetch_add(body.len() as u64, Ordering::Relaxed);
+                Some(body)
+            }
+            _ => None,
+        };
+        let (req_kind, req_body) = match &coded_bcast {
+            Some(body) => (MsgKind::BroadcastCoded, body.clone()),
+            None => (MsgKind::TrainRequest, Vec::new()),
+        };
         for (n, a) in fate.download.iter().enumerate() {
             let env = Envelope {
-                kind: MsgKind::TrainRequest as u8,
+                kind: req_kind as u8,
                 round,
                 sender: SERVER_ID,
                 seq: n as u32,
                 trace: wire_trace(parent),
-                payload: Vec::new(),
+                payload: req_body.clone(),
             };
             match a {
                 AttemptFate::Drop => {
@@ -233,9 +264,28 @@ where
         // trace context (frames from another run's trace are ignored).
         let mut requested = false;
         let mut wire_parent = parent;
+        let mut wire_bcast: Option<Vec<f32>> = None;
         for frame in transport.drain(Endpoint::Client(i)) {
             match Envelope::decode(&frame) {
-                Ok(env) if env.kind == MsgKind::TrainRequest as u8 && env.round == round => {
+                Ok(env)
+                    if (env.kind == MsgKind::TrainRequest as u8
+                        || env.kind == MsgKind::BroadcastCoded as u8)
+                        && env.round == round =>
+                {
+                    if env.kind == MsgKind::BroadcastCoded as u8 {
+                        // CRC-valid coded broadcast: decode it with the
+                        // armed download codec (both ends are configured
+                        // from the same CommsConfig). A frame that fails
+                        // here is hostile, not faulted — reject it like
+                        // any other garbage.
+                        match comms.codec_down.map(|d| decode_broadcast_coded(d, &env.payload)) {
+                            Some(Ok(v)) => wire_bcast = Some(v),
+                            _ => {
+                                corrupted.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        }
+                    }
                     requested = true;
                     if let Some(tc) = env.trace {
                         if tc.trace_id == fedgta_obs::run_trace_id() {
@@ -253,11 +303,30 @@ where
         let _cg = fedgta_obs::span_under("client_train", wire_parent)
             .with_field("client", fedgta_obs::FieldVal::from(i));
         let client_span = _cg.id();
+        // Start-of-round model: from the wire when the download codec is
+        // armed (the decoded — possibly lossy — broadcast), else the
+        // strategy's declared vector applied in-process (no codec = the
+        // broadcast never crosses the transport, exactly as before).
+        match comms.codec_down {
+            Some(_) => {
+                if let Some(v) = &wire_bcast {
+                    c.model.set_params(v);
+                    c.opt.reset();
+                }
+            }
+            None => {
+                if let Some(v) = ctx.broadcast.and_then(|b| b.vector_for(i)) {
+                    c.model.set_params(v);
+                    c.opt.reset();
+                }
+            }
+        }
         let ct0 = fedgta_obs::metrics_on().then(std::time::Instant::now);
-        let (loss, payload) = f(i, c);
+        let (loss, mut payload) = f(i, c);
         if let Some(ct0) = ct0 {
             observe_client_train_ns(ct0.elapsed().as_nanos() as u64);
         }
+        let fate = script.fate(i).expect("trainer has a fate");
         // Upload leg: the real result bytes cross the wire; scripted
         // corruption mangles the physical frame. With a codec armed the
         // body is the *encoded* frame — corruption and drops hit the
@@ -271,14 +340,60 @@ where
                 body
             }
             Some(codec) => {
+                // Error feedback: replace each payload tensor with its
+                // residual-folded delta before encoding. The fold and the
+                // commit below touch only this client's own state inside
+                // its exclusive worker closure — deterministic at any
+                // thread count.
+                let folds = comms.ef.map(|_| {
+                    let state = c.ef.get_or_insert_with(Default::default);
+                    // Anchored EF: re-base the parameter tensor's
+                    // reference at the broadcast this client just loaded
+                    // (the wire-decoded one when a download codec is
+                    // armed), so the pre-encode delta is this round's
+                    // local progress plus the residual, not a drifting
+                    // gap against everyone else's aggregate.
+                    let anchor = match comms.codec_down {
+                        Some(_) => wire_bcast.as_deref(),
+                        None => ctx.broadcast.and_then(|b| b.vector_for(i)),
+                    };
+                    if let Some(a) = anchor {
+                        state.tensor(0).rebase(a);
+                    }
+                    let mut folds = Vec::new();
+                    let mut t = 0usize;
+                    payload.visit_tensors(&mut |v| {
+                        let folded = state.tensor(t).fold(v);
+                        v.clear();
+                        v.extend_from_slice(&folded.fed);
+                        folds.push(folded);
+                        t += 1;
+                    });
+                    folds
+                });
                 let raw_len = encode_upload(loss, &payload).len() as u64;
                 let et0 = fedgta_obs::metrics_on().then(std::time::Instant::now);
-                let body = encode_upload_coded(codec, loss, &payload);
+                let body = encode_upload_routed(codec, comms.codec_sketch, loss, &payload);
                 if let Some(et0) = et0 {
                     observe_codec_encode_ns(et0.elapsed().as_nanos() as u64);
                 }
                 comms.bytes_raw.fetch_add(raw_len, Ordering::Relaxed);
                 comms.bytes_encoded.fetch_add(body.len() as u64, Ordering::Relaxed);
+                if let Some(folds) = folds {
+                    // Commit against the local decode of our own encoding
+                    // — bitwise what the server decodes from the wire —
+                    // resolved by the scripted acceptance fate (rejected
+                    // uploads carry their full delta to next round).
+                    let (_, mut dec) =
+                        decode_upload_routed::<R>(codec, comms.codec_sketch, &body)
+                            .expect("own coded upload decodes");
+                    let state = c.ef.as_mut().expect("EF state initialized by fold");
+                    let mut t = 0usize;
+                    dec.visit_tensors(&mut |d| {
+                        state.tensor(t).commit(&folds[t], d, fate.accepted);
+                        t += 1;
+                    });
+                }
                 body
             }
         };
@@ -286,7 +401,6 @@ where
             None => MsgKind::Upload,
             Some(_) => MsgKind::UploadCoded,
         };
-        let fate = script.fate(i).expect("trainer has a fate");
         for (n, a) in fate.upload.iter().enumerate() {
             match a {
                 AttemptFate::Drop => {
@@ -357,7 +471,9 @@ where
                 }
                 let decoded = match comms.codec {
                     None => decode_upload::<R>(&env.payload),
-                    Some(codec) => decode_upload_coded::<R>(codec, &env.payload),
+                    Some(codec) => {
+                        decode_upload_routed::<R>(codec, comms.codec_sketch, &env.payload)
+                    }
                 };
                 match decoded {
                     Ok(v) => {
@@ -376,9 +492,33 @@ where
         if !fate.accepted {
             continue;
         }
-        let (loss, payload) = by_sender
+        let (loss, mut payload) = by_sender
             .remove(&(c as u32))
             .expect("accepted upload arrived intact");
+        // Server half of error feedback: the wire carried a delta — fold
+        // it into this client's reference to reconstruct the tensor the
+        // strategy aggregates. Driver thread, participant order.
+        if let (Some(ef), Some(_)) = (comms.ef, comms.codec) {
+            let mut map = ef.clients.lock().unwrap_or_else(|e| e.into_inner());
+            let state = map.entry(c).or_default();
+            // Mirror the client's anchored rebase: it re-based tensor 0
+            // at the broadcast it loaded this round. With a download
+            // codec armed that was the *wire-decoded* vector, so the
+            // server re-derives the identical bits by round-tripping its
+            // own deterministic encoding.
+            if let Some(v) = ctx.broadcast.and_then(|b| b.vector_for(c)) {
+                let rt = comms.codec_down.map(|down| {
+                    decode_broadcast_coded(down, &encode_broadcast_coded(down, v))
+                        .expect("own broadcast round-trips")
+                });
+                state.tensor(0).rebase(rt.as_deref().unwrap_or(v));
+            }
+            let mut t = 0usize;
+            payload.visit_tensors(&mut |v| {
+                state.tensor(t).apply_delta(v);
+                t += 1;
+            });
+        }
         out.push(LocalResult { client: c, loss, payload });
     }
     record_comms_metrics(

@@ -134,6 +134,7 @@ impl Strategy for FedGl {
             threads: ctx.threads,
             train_clock: ctx.train_clock,
             comms: ctx.comms,
+            broadcast: ctx.broadcast,
         };
         self.inner.round(clients, participants, &ctx2)
     }

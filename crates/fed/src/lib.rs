@@ -23,13 +23,17 @@
 //!   seeded fault-injection layer behind the straggler-tolerant round
 //!   orchestrator ([`round::CommsConfig`]);
 //! - [`codec`]: composable upload codecs (identity, int8/f16
-//!   quantization, top-k sparsification, chains) compressing the
-//!   client→server leg before the envelope CRC — armed via
-//!   [`round::CommsConfig::codec`], lossless chains bit-identical to the
-//!   plain path.
+//!   quantization, top-k sparsification, moment-sketch grouping, chains)
+//!   compressing the client→server leg before the envelope CRC — armed
+//!   via [`round::CommsConfig::codec`], lossless chains bit-identical to
+//!   the plain path;
+//! - [`ef`]: per-client error-feedback accumulators (delta-vs-reference
+//!   with mirrored f32 references) that make aggressive sparsification
+//!   accuracy-competitive, with scripted replay semantics under faults.
 
 pub mod client;
 pub mod codec;
+pub mod ef;
 pub mod eval;
 pub mod exec;
 pub mod faults;
@@ -40,13 +44,14 @@ pub mod strategies;
 pub mod transport;
 
 pub use client::{build_clients, Client, ClientBuildConfig};
-pub use codec::{Chain, Codec, CodecSpec, Identity, QuantF16, QuantI8, TopK};
+pub use codec::{Chain, Codec, CodecSpec, Identity, QuantF16, QuantI8, SketchQuant, TopK};
+pub use ef::{EfServer, EfState, EfTensor};
 pub use eval::global_test_accuracy;
 pub use exec::{mean_loss, par_clients, train_participants, LocalResult};
 pub use faults::{FaultConfig, FaultEvent, FaultPlan, RoundScript};
 pub use round::{CommsConfig, RoundRecord, SimConfig, Simulation, TransportMode};
-pub use strategies::{RoundCtx, RoundStats, Strategy};
-pub use transport::{ChannelTransport, CommsRound, Transport, WirePayload};
+pub use strategies::{Broadcast, RoundCtx, RoundStats, Strategy};
+pub use transport::{ChannelTransport, CommsRound, TensorRouter, Transport, WirePayload};
 
 /// Errors from the federated simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -86,6 +86,19 @@ pub struct CommsConfig {
     /// contractually bit-identical to the plain path; lossy chains stay
     /// bit-deterministic at any thread count.
     pub codec: Option<crate::codec::CodecSpec>,
+    /// Download codec chain for the server→client model broadcast
+    /// (`None` = the broadcast stays in-process and never crosses the
+    /// wire — requests keep their empty-payload frames byte for byte).
+    pub codec_down: Option<crate::codec::CodecSpec>,
+    /// Sketch codec chain for the strategy's auxiliary upload tensors
+    /// (payload tensors after the model parameters — FedGTA's Eq. 4/5
+    /// moment vectors). `None` routes them through `codec`.
+    pub codec_sketch: Option<crate::codec::CodecSpec>,
+    /// Arms per-client error feedback on the upload leg: clients send
+    /// residual-folded deltas against a server-mirrored reference (see
+    /// [`crate::ef`]). Requires a lossy `codec` to be useful; a no-op
+    /// with no upload codec armed.
+    pub error_feedback: bool,
 }
 
 impl Default for CommsConfig {
@@ -99,6 +112,9 @@ impl Default for CommsConfig {
             oversample: 1.0,
             max_resamples: 2,
             codec: None,
+            codec_down: None,
+            codec_sketch: None,
+            error_feedback: false,
         }
     }
 }
@@ -140,6 +156,13 @@ pub struct RoundRecord {
     /// Upload body bytes that actually crossed the wire after the armed
     /// codec (equals `bytes_uploaded_raw` when no codec is armed).
     pub bytes_uploaded_encoded: usize,
+    /// Plain-encoding wire bytes of every broadcast body built this
+    /// round. 0 unless a download codec is armed (without one the
+    /// broadcast is applied in-process and never becomes wire bytes).
+    pub bytes_downloaded_raw: usize,
+    /// Broadcast body bytes that actually crossed the wire after the
+    /// armed download codec.
+    pub bytes_downloaded_encoded: usize,
     /// Resolved worker-thread count local training ran with (the
     /// determinism contract says this never affects the other fields).
     pub threads: usize,
@@ -246,10 +269,26 @@ impl Simulation {
         let plan = comms_cfg
             .as_ref()
             .map(|c| FaultPlan::new(c.faults.clone(), c.fault_seed));
-        let codec: Option<Box<dyn crate::codec::Codec>> = comms_cfg
+        // A fully lossless chain (identity stages only) is elided at build
+        // time: the executor then sends plain frames, so `--codec identity`
+        // costs zero header bytes — byte-identical to no codec at all.
+        // (Lossless ≡ plain was already the numeric contract; now it holds
+        // for the wire bytes too.)
+        let build_lossy = |spec: &Option<crate::codec::CodecSpec>| {
+            spec.as_ref().filter(|s| !s.is_lossless()).map(|s| s.build())
+        };
+        let codec: Option<Box<dyn crate::codec::Codec>> =
+            comms_cfg.as_ref().and_then(|c| build_lossy(&c.codec));
+        let codec_down: Option<Box<dyn crate::codec::Codec>> =
+            comms_cfg.as_ref().and_then(|c| build_lossy(&c.codec_down));
+        let codec_sketch: Option<Box<dyn crate::codec::Codec>> = comms_cfg
             .as_ref()
-            .and_then(|c| c.codec.as_ref())
-            .map(|spec| spec.build());
+            .filter(|_| codec.is_some())
+            .and_then(|c| build_lossy(&c.codec_sketch));
+        let ef_server = comms_cfg
+            .as_ref()
+            .filter(|c| c.error_feedback && codec.is_some())
+            .map(|_| crate::ef::EfServer::default());
         for round in 1..=self.config.rounds {
             let mut round_span = fedgta_obs::span!(
                 "round",
@@ -334,9 +373,12 @@ impl Simulation {
             }
             let train_clock = fedgta_obs::TimeCell::new();
             let comms_round = match (&script, &transport) {
-                (Some(s), Some(t)) => {
-                    Some(CommsRound::new(round, t, s, codec.as_deref()))
-                }
+                (Some(s), Some(t)) => Some(
+                    CommsRound::new(round, t, s, codec.as_deref())
+                        .with_sketch(codec_sketch.as_deref())
+                        .with_down(codec_down.as_deref())
+                        .with_error_feedback(ef_server.as_ref()),
+                ),
                 _ => None,
             };
             let t0 = Instant::now();
@@ -362,14 +404,20 @@ impl Simulation {
             };
             // Wire-byte truth: what the upload leg actually built and
             // sent. Direct mode has no wire; mirror the analytic count.
-            let (bytes_raw, bytes_encoded) = match &comms_round {
-                Some(cr) => (
-                    cr.bytes_raw.load(std::sync::atomic::Ordering::Relaxed) as usize,
-                    cr.bytes_encoded.load(std::sync::atomic::Ordering::Relaxed) as usize,
-                ),
-                None if comms_cfg.is_some() => (0, 0),
-                None => (stats.bytes_uploaded, stats.bytes_uploaded),
-            };
+            let (bytes_raw, bytes_encoded, bytes_down_raw, bytes_down_encoded) =
+                match &comms_round {
+                    Some(cr) => {
+                        use std::sync::atomic::Ordering::Relaxed;
+                        (
+                            cr.bytes_raw.load(Relaxed) as usize,
+                            cr.bytes_encoded.load(Relaxed) as usize,
+                            cr.bytes_down_raw.load(Relaxed) as usize,
+                            cr.bytes_down_encoded.load(Relaxed) as usize,
+                        )
+                    }
+                    None if comms_cfg.is_some() => (0, 0, 0, 0),
+                    None => (stats.bytes_uploaded, stats.bytes_uploaded, 0, 0),
+                };
             let round_ns = t0.elapsed().as_nanos() as u64;
             let train_ns = train_clock.take_ns().min(round_ns);
             let aggregate_ns = round_ns - train_ns;
@@ -394,7 +442,7 @@ impl Simulation {
             round_span.record("dropped", fedgta_obs::FieldVal::from(dropped));
             round_span.record("retries", fedgta_obs::FieldVal::from(retries));
             record_round_metrics(&stats, aggregate_ns);
-            record_codec_metrics(bytes_raw, bytes_encoded);
+            record_codec_metrics(bytes_raw, bytes_encoded, bytes_down_raw, bytes_down_encoded);
             // Flight-recorder breadcrumbs: deterministic per-round values
             // only (byte tallies and acceptance counts are functions of
             // the seeds, never of the clock or thread count), so dumps
@@ -406,6 +454,11 @@ impl Simulation {
                     "round.bytes_up_encoded",
                     round as u64,
                     bytes_encoded as u64,
+                );
+                fedgta_obs::recorder::record_metric(
+                    "round.bytes_down_encoded",
+                    round as u64,
+                    bytes_down_encoded as u64,
                 );
             }
             let elapsed_s = round_ns as f64 / 1e9;
@@ -423,6 +476,8 @@ impl Simulation {
                 bytes_downloaded: stats.bytes_downloaded,
                 bytes_uploaded_raw: bytes_raw,
                 bytes_uploaded_encoded: bytes_encoded,
+                bytes_downloaded_raw: bytes_down_raw,
+                bytes_downloaded_encoded: bytes_down_encoded,
                 threads,
                 participants_completed: completed,
                 participants_dropped: dropped,
@@ -465,21 +520,33 @@ fn record_round_metrics(stats: &crate::strategies::RoundStats, aggregate_ns: u64
         .observe(aggregate_ns);
 }
 
-/// Accumulates the per-round raw/encoded upload-byte split into the
-/// `comms.upload_bytes_raw` / `comms.upload_bytes_encoded` counters
+/// Accumulates the per-round raw/encoded byte splits of both wire legs
+/// into the `comms.upload_bytes_raw` / `comms.upload_bytes_encoded` /
+/// `comms.download_bytes_raw` / `comms.download_bytes_encoded` counters
 /// (no-op below metrics level).
 #[inline]
-fn record_codec_metrics(bytes_raw: usize, bytes_encoded: usize) {
+fn record_codec_metrics(
+    bytes_raw: usize,
+    bytes_encoded: usize,
+    bytes_down_raw: usize,
+    bytes_down_encoded: usize,
+) {
     use std::sync::{Arc, OnceLock};
     if !fedgta_obs::metrics_on() {
         return;
     }
     static RAW: OnceLock<Arc<fedgta_obs::Counter>> = OnceLock::new();
     static ENC: OnceLock<Arc<fedgta_obs::Counter>> = OnceLock::new();
+    static DRAW: OnceLock<Arc<fedgta_obs::Counter>> = OnceLock::new();
+    static DENC: OnceLock<Arc<fedgta_obs::Counter>> = OnceLock::new();
     RAW.get_or_init(|| fedgta_obs::global().counter("comms.upload_bytes_raw"))
         .add(bytes_raw as u64);
     ENC.get_or_init(|| fedgta_obs::global().counter("comms.upload_bytes_encoded"))
         .add(bytes_encoded as u64);
+    DRAW.get_or_init(|| fedgta_obs::global().counter("comms.download_bytes_raw"))
+        .add(bytes_down_raw as u64);
+    DENC.get_or_init(|| fedgta_obs::global().counter("comms.download_bytes_encoded"))
+        .add(bytes_down_encoded as u64);
 }
 
 /// The per-round participant count: `clamp(round(n · participation), 1, n)`.
@@ -559,7 +626,8 @@ fn round_summary_json(r: &RoundRecord) -> String {
     format!(
         "{{\"round\":{},\"mean_loss\":{:.6},\"test_acc\":{},\"elapsed_s\":{:.6},\
          \"completed\":{},\"dropped\":{},\"retries\":{},\"bytes_up_raw\":{},\
-         \"bytes_up_encoded\":{},\"bytes_down\":{}}}",
+         \"bytes_up_encoded\":{},\"bytes_down\":{},\"bytes_down_raw\":{},\
+         \"bytes_down_encoded\":{}}}",
         r.round,
         r.mean_loss,
         acc,
@@ -570,6 +638,8 @@ fn round_summary_json(r: &RoundRecord) -> String {
         r.bytes_uploaded_raw,
         r.bytes_uploaded_encoded,
         r.bytes_downloaded,
+        r.bytes_downloaded_raw,
+        r.bytes_downloaded_encoded,
     )
 }
 

@@ -1,7 +1,7 @@
 //! FedAvg (McMahan et al. 2017) — the data-size-weighted baseline
 //! (paper Eq. 2) — and the Local-only reference of Fig. 1(b).
 
-use super::{weighted_average, RoundCtx, RoundStats, Strategy};
+use super::{weighted_average, Broadcast, RoundCtx, RoundStats, Strategy};
 use crate::client::Client;
 use crate::exec::{mean_loss, train_participants};
 use fedgta_nn::TrainHooks;
@@ -40,11 +40,13 @@ impl Strategy for FedAvg {
             .global
             .get_or_insert_with(|| clients[0].model.params())
             .clone();
-        // Local steps run client-parallel; results come back in
-        // participant order, so the weighted average below is order-stable.
-        let results = train_participants(clients, participants, ctx, |i, c| {
-            c.model.set_params(&global);
-            c.opt.reset();
+        // The start-of-round model is a declared broadcast: the executor
+        // loads it (through the download codec when armed) before each
+        // participant's closure runs. Local steps run client-parallel;
+        // results come back in participant order, so the weighted average
+        // below is order-stable.
+        let ctx = ctx.with_broadcast(Broadcast::Global(&global));
+        let results = train_participants(clients, participants, &ctx, |i, c| {
             let mut hooks = TrainHooks {
                 pseudo: ctx.pseudo_for(i),
                 ..TrainHooks::none()

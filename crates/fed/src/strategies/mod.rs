@@ -27,6 +27,31 @@ pub use scaffold::Scaffold;
 use crate::client::Client;
 use fedgta_nn::models::PseudoLabels;
 
+/// The start-of-round model broadcast a strategy hands the executor:
+/// the parameter vector each participant loads (and resets its optimizer
+/// for) *before* local training. Declaring it here — instead of each
+/// strategy setting parameters inside its training closure — lets the
+/// transport path route the broadcast through the armed download codec
+/// ([`crate::round::CommsConfig::codec_down`]) as real wire bytes.
+#[derive(Clone, Copy)]
+pub enum Broadcast<'a> {
+    /// One shared global model for every participant (FedAvg family).
+    Global(&'a [f32]),
+    /// A personalized model per federation index (FedGTA); `None` entries
+    /// mean "no broadcast yet" — the client trains from where it is.
+    PerClient(&'a [Option<Vec<f32>>]),
+}
+
+impl<'a> Broadcast<'a> {
+    /// The vector client `i` starts this round from, if any.
+    pub fn vector_for(&self, i: usize) -> Option<&'a [f32]> {
+        match self {
+            Broadcast::Global(g) => Some(g),
+            Broadcast::PerClient(p) => p.get(i).and_then(|v| v.as_deref()),
+        }
+    }
+}
+
 /// Per-round context passed by the driver.
 pub struct RoundCtx<'a> {
     /// Local epochs per round (paper: 3 small / 5 large).
@@ -49,6 +74,11 @@ pub struct RoundCtx<'a> {
     /// replays its fault script — only the scripted survivors' results
     /// come back. `None` = the classic in-process direct path.
     pub comms: Option<&'a crate::transport::CommsRound<'a>>,
+    /// The strategy's start-of-round model broadcast, applied by the
+    /// executor to every participant before its training closure runs
+    /// (through the download codec when one is armed). `None` = the
+    /// strategy manages start-of-round state inside its closure.
+    pub broadcast: Option<Broadcast<'a>>,
 }
 
 impl<'a> RoundCtx<'a> {
@@ -67,6 +97,7 @@ impl<'a> RoundCtx<'a> {
             threads,
             train_clock: None,
             comms: None,
+            broadcast: None,
         }
     }
 
@@ -84,6 +115,22 @@ impl<'a> RoundCtx<'a> {
     pub fn with_comms(mut self, comms: &'a crate::transport::CommsRound<'a>) -> Self {
         self.comms = Some(comms);
         self
+    }
+
+    /// A copy of this context carrying a start-of-round broadcast —
+    /// strategies call this at the top of `round()` so the executor
+    /// distributes models (and meters/compresses the download leg when
+    /// armed) instead of the training closure doing it silently.
+    #[must_use]
+    pub fn with_broadcast(&self, b: Broadcast<'a>) -> RoundCtx<'a> {
+        RoundCtx {
+            epochs: self.epochs,
+            pseudo: self.pseudo,
+            threads: self.threads,
+            train_clock: self.train_clock,
+            comms: self.comms,
+            broadcast: Some(b),
+        }
     }
 
     /// The pseudo-labels for client `i`, if any.

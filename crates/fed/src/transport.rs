@@ -55,6 +55,13 @@ pub enum MsgKind {
     /// format addition additive: plain uploads are byte-for-byte what
     /// they were before codecs existed.
     UploadCoded = 3,
+    /// Server → client: a train request that additionally carries this
+    /// round's model broadcast compressed by the armed download codec —
+    /// a self-describing codec header followed by one coded tensor.
+    /// Another additive kind: with no download codec armed the broadcast
+    /// stays in-process and requests keep their empty-payload
+    /// [`MsgKind::TrainRequest`] frames byte for byte.
+    BroadcastCoded = 4,
 }
 
 impl MsgKind {
@@ -64,6 +71,7 @@ impl MsgKind {
             1 => Some(MsgKind::TrainRequest),
             2 => Some(MsgKind::Upload),
             3 => Some(MsgKind::UploadCoded),
+            4 => Some(MsgKind::BroadcastCoded),
             _ => None,
         }
     }
@@ -158,6 +166,15 @@ pub struct CommsRound<'a> {
     pub script: &'a crate::faults::RoundScript,
     /// Armed upload codec (`None` = plain [`MsgKind::Upload`] frames).
     pub codec: Option<&'a dyn Codec>,
+    /// Armed sketch codec for the strategy's auxiliary tensors (payload
+    /// tensors after the first); `None` routes them through `codec`.
+    pub codec_sketch: Option<&'a dyn Codec>,
+    /// Armed download codec: when set, the server→client broadcast rides
+    /// the request leg as [`MsgKind::BroadcastCoded`] frames.
+    pub codec_down: Option<&'a dyn Codec>,
+    /// Server-side error-feedback references; `Some` arms error feedback
+    /// on both ends of the upload leg.
+    pub ef: Option<&'a crate::ef::EfServer>,
     /// Plain-encoding bytes of every upload body built this round — what
     /// the round would have cost with no codec. Filled once per trainer
     /// by the executor (trainers are scripted, so the tally is
@@ -166,6 +183,13 @@ pub struct CommsRound<'a> {
     /// Upload body bytes that actually crossed the wire (equals
     /// `bytes_raw` when no codec is armed).
     pub bytes_encoded: AtomicU64,
+    /// Plain-encoding bytes of every broadcast body built this round
+    /// (filled once per invited participant with a broadcast vector;
+    /// stays 0 with no download codec — the broadcast is then applied
+    /// in-process and never crosses the wire).
+    pub bytes_down_raw: AtomicU64,
+    /// Broadcast body bytes that actually crossed the wire.
+    pub bytes_down_encoded: AtomicU64,
 }
 
 impl<'a> CommsRound<'a> {
@@ -181,9 +205,37 @@ impl<'a> CommsRound<'a> {
             transport,
             script,
             codec,
+            codec_sketch: None,
+            codec_down: None,
+            ef: None,
             bytes_raw: AtomicU64::new(0),
             bytes_encoded: AtomicU64::new(0),
+            bytes_down_raw: AtomicU64::new(0),
+            bytes_down_encoded: AtomicU64::new(0),
         }
+    }
+
+    /// Arms the sketch codec for auxiliary payload tensors (builder
+    /// style).
+    #[must_use]
+    pub fn with_sketch(mut self, sketch: Option<&'a dyn Codec>) -> Self {
+        self.codec_sketch = sketch;
+        self
+    }
+
+    /// Arms the download codec for the broadcast leg (builder style).
+    #[must_use]
+    pub fn with_down(mut self, down: Option<&'a dyn Codec>) -> Self {
+        self.codec_down = down;
+        self
+    }
+
+    /// Arms error feedback with the server's reference store (builder
+    /// style).
+    #[must_use]
+    pub fn with_error_feedback(mut self, ef: Option<&'a crate::ef::EfServer>) -> Self {
+        self.ef = ef;
+        self
     }
 }
 
@@ -203,6 +255,32 @@ pub fn corrupt_frame(frame: &mut [u8], bit_seed: u64) {
 // Wire payloads: strategy upload types serialized into envelope bytes.
 // ---------------------------------------------------------------------
 
+/// Routes each successive payload tensor to its armed codec: the first
+/// tensor (the model parameters — ~all upload bytes) to the main chain,
+/// every later tensor (strategy sketches and other auxiliaries) to the
+/// sketch chain when one is armed, else the main chain too. Payloads
+/// are traversed in a fixed field order, so the client's routing and
+/// the server's agree tensor for tensor.
+pub struct TensorRouter<'a> {
+    main: &'a dyn Codec,
+    sketch: Option<&'a dyn Codec>,
+    seen: usize,
+}
+
+impl<'a> TensorRouter<'a> {
+    /// A router over the armed chains.
+    pub fn new(main: &'a dyn Codec, sketch: Option<&'a dyn Codec>) -> Self {
+        Self { main, sketch, seen: 0 }
+    }
+
+    /// The codec for the next payload tensor, advancing the cursor.
+    pub fn next_codec(&mut self) -> &'a dyn Codec {
+        let c = if self.seen == 0 { self.main } else { self.sketch.unwrap_or(self.main) };
+        self.seen += 1;
+        c
+    }
+}
+
 /// A value that can cross the transport inside an envelope payload.
 ///
 /// Every implementation must round-trip **bit-exactly** — floats are
@@ -214,16 +292,22 @@ pub trait WirePayload: Sized {
     fn encode(&self, out: &mut Vec<u8>);
     /// Decodes one value from the front of `input`, advancing it.
     fn decode(input: &mut &[u8]) -> Result<Self, IoError>;
-    /// Codec-aware encoding: `Vec<f32>` tensors route through `codec`,
-    /// containers recurse, and every scalar keeps its plain bit-exact
-    /// encoding (losses, confidences and counts are never quantized).
-    fn encode_coded(&self, _codec: &dyn Codec, out: &mut Vec<u8>) {
+    /// Codec-aware encoding: `Vec<f32>` tensors route through the
+    /// router's armed codecs, containers recurse, and every scalar keeps
+    /// its plain bit-exact encoding (losses, confidences and counts are
+    /// never quantized).
+    fn encode_coded(&self, _router: &mut TensorRouter<'_>, out: &mut Vec<u8>) {
         self.encode(out);
     }
     /// Inverse of [`WirePayload::encode_coded`].
-    fn decode_coded(input: &mut &[u8], _codec: &dyn Codec) -> Result<Self, IoError> {
+    fn decode_coded(input: &mut &[u8], _router: &mut TensorRouter<'_>) -> Result<Self, IoError> {
         Self::decode(input)
     }
+    /// Visits every codec-routed tensor in the traversal order
+    /// [`WirePayload::encode_coded`] serializes them — the hook the
+    /// error-feedback layer folds residuals (client) and applies deltas
+    /// (server) through. Non-tensor fields are skipped.
+    fn visit_tensors(&mut self, _f: &mut dyn FnMut(&mut Vec<f32>)) {}
 }
 
 fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], IoError> {
@@ -293,11 +377,14 @@ impl WirePayload for Vec<f32> {
             .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
             .collect())
     }
-    fn encode_coded(&self, codec: &dyn Codec, out: &mut Vec<u8>) {
-        codec.encode_tensor(self, out);
+    fn encode_coded(&self, router: &mut TensorRouter<'_>, out: &mut Vec<u8>) {
+        router.next_codec().encode_tensor(self, out);
     }
-    fn decode_coded(input: &mut &[u8], codec: &dyn Codec) -> Result<Self, IoError> {
-        codec.decode_tensor(input)
+    fn decode_coded(input: &mut &[u8], router: &mut TensorRouter<'_>) -> Result<Self, IoError> {
+        router.next_codec().decode_tensor(input)
+    }
+    fn visit_tensors(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        f(self);
     }
 }
 
@@ -335,20 +422,25 @@ impl<T: WirePayload> WirePayload for Option<T> {
             _ => Err(IoError::Corrupt("bad option tag")),
         }
     }
-    fn encode_coded(&self, codec: &dyn Codec, out: &mut Vec<u8>) {
+    fn encode_coded(&self, router: &mut TensorRouter<'_>, out: &mut Vec<u8>) {
         match self {
             None => out.push(0),
             Some(v) => {
                 out.push(1);
-                v.encode_coded(codec, out);
+                v.encode_coded(router, out);
             }
         }
     }
-    fn decode_coded(input: &mut &[u8], codec: &dyn Codec) -> Result<Self, IoError> {
+    fn decode_coded(input: &mut &[u8], router: &mut TensorRouter<'_>) -> Result<Self, IoError> {
         match take(input, 1)?[0] {
             0 => Ok(None),
-            1 => Ok(Some(T::decode_coded(input, codec)?)),
+            1 => Ok(Some(T::decode_coded(input, router)?)),
             _ => Err(IoError::Corrupt("bad option tag")),
+        }
+    }
+    fn visit_tensors(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+        if let Some(v) = self {
+            v.visit_tensors(f);
         }
     }
 }
@@ -362,11 +454,14 @@ macro_rules! impl_wire_tuple {
             fn decode(input: &mut &[u8]) -> Result<Self, IoError> {
                 Ok(($($name::decode(input)?,)+))
             }
-            fn encode_coded(&self, codec: &dyn Codec, out: &mut Vec<u8>) {
-                $(self.$idx.encode_coded(codec, out);)+
+            fn encode_coded(&self, router: &mut TensorRouter<'_>, out: &mut Vec<u8>) {
+                $(self.$idx.encode_coded(router, out);)+
             }
-            fn decode_coded(input: &mut &[u8], codec: &dyn Codec) -> Result<Self, IoError> {
-                Ok(($($name::decode_coded(input, codec)?,)+))
+            fn decode_coded(input: &mut &[u8], router: &mut TensorRouter<'_>) -> Result<Self, IoError> {
+                Ok(($($name::decode_coded(input, router)?,)+))
+            }
+            fn visit_tensors(&mut self, f: &mut dyn FnMut(&mut Vec<f32>)) {
+                $(self.$idx.visit_tensors(f);)+
             }
         }
     };
@@ -403,13 +498,7 @@ pub fn encode_upload_coded<R: WirePayload>(
     loss: f32,
     payload: &R,
 ) -> Vec<u8> {
-    let mut stages: Vec<Stage> = Vec::new();
-    codec.stages(&mut stages);
-    let mut out = Vec::new();
-    encode_header(&stages, &mut out);
-    loss.encode(&mut out);
-    payload.encode_coded(codec, &mut out);
-    out
+    encode_upload_routed(codec, None, loss, payload)
 }
 
 /// Decodes an upload produced by [`encode_upload_coded`]. The header
@@ -418,20 +507,90 @@ pub fn encode_upload_coded<R: WirePayload>(
 /// frame. Trailing bytes are an error.
 pub fn decode_upload_coded<R: WirePayload>(
     codec: &dyn Codec,
-    mut bytes: &[u8],
+    bytes: &[u8],
 ) -> Result<(f32, R), IoError> {
+    decode_upload_routed(codec, None, bytes)
+}
+
+fn header_of(codec: &dyn Codec, out: &mut Vec<u8>) {
+    let mut stages: Vec<Stage> = Vec::new();
+    codec.stages(&mut stages);
+    encode_header(&stages, out);
+}
+
+fn expect_header(codec: &dyn Codec, bytes: &mut &[u8]) -> Result<(), IoError> {
     let mut expected: Vec<Stage> = Vec::new();
     codec.stages(&mut expected);
-    let got = decode_header(&mut bytes)?;
+    let got = decode_header(bytes)?;
     if got != expected {
         return Err(IoError::Corrupt("codec header does not match armed codec"));
     }
+    Ok(())
+}
+
+/// The routed generalization of [`encode_upload_coded`]: when a sketch
+/// codec is armed its self-describing header follows the main chain's,
+/// and payload tensors after the first route through it (see
+/// [`TensorRouter`]). With `sketch = None` the bytes are exactly the
+/// pre-sketch [`encode_upload_coded`] layout.
+pub fn encode_upload_routed<R: WirePayload>(
+    codec: &dyn Codec,
+    sketch: Option<&dyn Codec>,
+    loss: f32,
+    payload: &R,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    header_of(codec, &mut out);
+    if let Some(s) = sketch {
+        header_of(s, &mut out);
+    }
+    loss.encode(&mut out);
+    let mut router = TensorRouter::new(codec, sketch);
+    payload.encode_coded(&mut router, &mut out);
+    out
+}
+
+/// Inverse of [`encode_upload_routed`]. Both headers (when a sketch
+/// codec is armed, config-agreed on both ends) must match exactly;
+/// trailing bytes are an error.
+pub fn decode_upload_routed<R: WirePayload>(
+    codec: &dyn Codec,
+    sketch: Option<&dyn Codec>,
+    mut bytes: &[u8],
+) -> Result<(f32, R), IoError> {
+    expect_header(codec, &mut bytes)?;
+    if let Some(s) = sketch {
+        expect_header(s, &mut bytes)?;
+    }
     let loss = f32::decode(&mut bytes)?;
-    let payload = R::decode_coded(&mut bytes, codec)?;
+    let mut router = TensorRouter::new(codec, sketch);
+    let payload = R::decode_coded(&mut bytes, &mut router)?;
     if !bytes.is_empty() {
         return Err(IoError::Corrupt("trailing payload bytes"));
     }
     Ok((loss, payload))
+}
+
+/// Encodes the server→client model broadcast through the armed download
+/// codec: the self-describing codec header followed by one coded tensor.
+/// Travels under [`MsgKind::BroadcastCoded`] on the request leg.
+pub fn encode_broadcast_coded(codec: &dyn Codec, v: &[f32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    header_of(codec, &mut out);
+    codec.encode_tensor(v, &mut out);
+    out
+}
+
+/// Decodes a broadcast produced by [`encode_broadcast_coded`]. The
+/// header must match the client's armed download codec; trailing bytes
+/// are an error.
+pub fn decode_broadcast_coded(codec: &dyn Codec, mut bytes: &[u8]) -> Result<Vec<f32>, IoError> {
+    expect_header(codec, &mut bytes)?;
+    let v = codec.decode_tensor(&mut bytes)?;
+    if !bytes.is_empty() {
+        return Err(IoError::Corrupt("trailing broadcast bytes"));
+    }
+    Ok(v)
 }
 
 #[cfg(test)]

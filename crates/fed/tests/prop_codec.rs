@@ -10,9 +10,18 @@
 //!    the lower index, and kept values survive bit-exactly;
 //! 4. a coded frame is still covered end-to-end by the envelope CRC —
 //!    any single flipped bit is rejected — and truncated or
-//!    codec-mismatched bodies never decode.
+//!    codec-mismatched bodies never decode;
+//! 5. error feedback captures the coding error **exactly**:
+//!    `decode(encode(v + r)) + r′ == v + r` bitwise in f64 — without
+//!    qualification for pure sparsifiers, and under an exponent-gap
+//!    guard for quantizing chains (a quantized value 2²⁸ smaller than
+//!    its target can shift the f64 subtraction's rounding);
+//! 6. the moment-sketch codec quantizes each group against its own
+//!    scale, so per-value error is bounded by the *group's* range, not
+//!    the tensor's.
 
-use fedgta_fed::codec::{Chain, Codec, Identity, QuantF16, QuantI8, TopK};
+use fedgta_fed::codec::{Chain, Codec, Identity, QuantF16, QuantI8, SketchQuant, TopK};
+use fedgta_fed::ef::EfTensor;
 use fedgta_fed::transport::{
     corrupt_frame, decode_upload_coded, encode_upload_coded,
 };
@@ -27,6 +36,45 @@ fn any_bits_tensor(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
 
 fn finite_tensor(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-1.0e6f32..1.0e6, 0..max_len)
+}
+
+/// Values in `{0} ∪ ±[1e-4, 1e4]` — the domain the error-feedback
+/// exactness property is stated over (no subnormals, no overflow).
+fn ef_value() -> impl Strategy<Value = f32> {
+    (0u8..9, 1.0e-4f32..1.0e4).prop_map(|(sel, m)| match sel {
+        0 => 0.0,
+        1..=4 => m,
+        _ => -m,
+    })
+}
+
+/// An equal-length `(tensor, residual)` pair.
+fn ef_pair(max_len: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (1usize..max_len).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(ef_value(), n..=n),
+            proptest::collection::vec(ef_value(), n..=n),
+        )
+    })
+}
+
+/// Runs one error-feedback round over `codec`: fold `v` on top of a
+/// residual seeded from `r`, encode/decode, commit as accepted. Returns
+/// `(target, decoded, residual')`.
+fn ef_round(codec: &dyn Codec, v: &[f32], r: &[f32]) -> (Vec<f64>, Vec<f32>, Vec<f64>) {
+    let mut ef = EfTensor::default();
+    // Seed the residual by folding `r` and rejecting the upload — after
+    // which `residual == r` exactly (reference never moved from zero).
+    let seeded = ef.fold(r);
+    ef.commit(&seeded, &vec![0.0; r.len()], false);
+    let folded = ef.fold(v);
+    let mut buf = Vec::new();
+    codec.encode_tensor(&folded.fed, &mut buf);
+    let decoded = codec
+        .decode_tensor(&mut buf.as_slice())
+        .expect("own encoding decodes");
+    ef.commit(&folded, &decoded, true);
+    (folded.target, decoded, ef.residual)
 }
 
 proptest! {
@@ -122,6 +170,85 @@ proptest! {
             }
         }
         // Determinism: a second encode produces identical bytes.
+        let mut again = Vec::new();
+        codec.encode_tensor(&t, &mut again);
+        prop_assert_eq!(&buf, &again);
+    }
+
+    #[test]
+    fn error_feedback_is_exact_for_sparsifiers((v, r) in ef_pair(96), k in 1u32..32) {
+        // `decode(encode(v + r)) + r′ == v + r`, bitwise in f64, with no
+        // qualification: top-k transmits kept coordinates as the exact
+        // f32 fold and zeros the rest, and `a − RN32(a)` is always
+        // representable in f64, so the residual captures the coding
+        // error exactly and the sum reconstructs the target exactly.
+        let (target, d, r2) = ef_round(&TopK { k }, &v, &r);
+        for i in 0..v.len() {
+            // The fold itself was exact: v and r live within 2²⁷ of each
+            // other, so the f64 sum never rounds.
+            prop_assert_eq!(target[i].to_bits(), (v[i] as f64 + r[i] as f64).to_bits());
+            prop_assert_eq!(
+                (d[i] as f64 + r2[i]).to_bits(),
+                target[i].to_bits(),
+                "coordinate {}: {} + {} != {}", i, d[i], r2[i], target[i]
+            );
+        }
+    }
+
+    #[test]
+    fn error_feedback_is_exact_for_quantizing_chains((v, r) in ef_pair(96), k in 1u32..32) {
+        // Same invariant through `topk+quant-i8`, guarded: a dequantized
+        // value whose exponent sits more than 2²⁸ away from its target's
+        // can push the f64 subtraction into rounding, so those (rare)
+        // coordinates are exempt from the bitwise claim.
+        let chain = Chain::new(vec![Box::new(TopK { k }), Box::new(QuantI8)]);
+        let (target, d, r2) = ef_round(&chain, &v, &r);
+        for i in 0..v.len() {
+            let (t, dv) = (target[i], d[i] as f64);
+            if t != 0.0 && dv != 0.0 && (t.abs().log2() - dv.abs().log2()).abs() > 28.0 {
+                continue;
+            }
+            prop_assert_eq!(
+                (dv + r2[i]).to_bits(),
+                t.to_bits(),
+                "coordinate {}: {} + {} != {}", i, d[i], r2[i], t
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_error_is_bounded_per_group(
+        t in finite_tensor(256),
+        group in 1u32..24,
+    ) {
+        let codec = SketchQuant { group };
+        let mut buf = Vec::new();
+        codec.encode_tensor(&t, &mut buf);
+        let mut input = buf.as_slice();
+        let back = codec.decode_tensor(&mut input).expect("decodes");
+        prop_assert!(input.is_empty(), "trailing bytes after decode");
+        prop_assert_eq!(back.len(), t.len());
+        // Each group is quantized against its own range — the whole
+        // point of the sketch: a huge 5th moment in one group cannot
+        // blow up the resolution of a small 1st moment in another.
+        for (g, (chunk, dchunk)) in t
+            .chunks(group as usize)
+            .zip(back.chunks(group as usize))
+            .enumerate()
+        {
+            let (lo, hi) = chunk.iter().fold(
+                (f32::INFINITY, f32::NEG_INFINITY),
+                |(l, h), &v| (l.min(v), h.max(v)),
+            );
+            let scale = ((hi - lo) as f64 / 255.0) as f32;
+            for (&v, &b) in chunk.iter().zip(dchunk) {
+                prop_assert!(
+                    (b - v).abs() <= scale.max(f32::EPSILON),
+                    "group {g}: |{b} - {v}| > group scale {scale}"
+                );
+            }
+        }
+        // Determinism: encoding twice yields identical bytes.
         let mut again = Vec::new();
         codec.encode_tensor(&t, &mut again);
         prop_assert_eq!(&buf, &again);

@@ -891,21 +891,36 @@ pub fn render_report(s: &TraceSummary) -> String {
         }
     }
 
-    // Upload-codec effect: the raw/encoded byte counters the transport
-    // meters on every coded round (identity codec ⇒ equal, reduction 1×).
+    // Codec effect per wire leg: the raw/encoded byte counters the
+    // transport meters on every coded round (identity codec ⇒ equal,
+    // reduction 1×). The download row appears only when a download codec
+    // actually framed broadcasts — plain broadcasts never become wire
+    // bytes.
     let metric = |name: &str| s.metrics.iter().find(|m| m.name == name).map(|m| m.value);
-    if let (Some(raw), Some(enc)) = (
-        metric("comms.upload_bytes_raw"),
-        metric("comms.upload_bytes_encoded"),
-    ) {
-        if raw > 0 {
-            out.push_str("\nupload codec (wire bytes):\n");
+    let legs: Vec<(&str, u64, u64)> = [
+        ("uploads", "comms.upload_bytes_raw", "comms.upload_bytes_encoded"),
+        (
+            "downloads",
+            "comms.download_bytes_raw",
+            "comms.download_bytes_encoded",
+        ),
+    ]
+    .iter()
+    .filter_map(|&(leg, raw, enc)| match (metric(raw), metric(enc)) {
+        (Some(r), Some(e)) if r > 0 => Some((leg, r, e)),
+        _ => None,
+    })
+    .collect();
+    if !legs.is_empty() {
+        out.push_str("\ncodec (wire bytes):\n");
+        out.push_str(&format!(
+            "{:<10} {:<12} {:<12} {:>9}\n",
+            "leg", "raw", "encoded", "reduction"
+        ));
+        for (leg, raw, enc) in legs {
             out.push_str(&format!(
-                "{:<12} {:<12} {:>9}\n",
-                "raw", "encoded", "reduction"
-            ));
-            out.push_str(&format!(
-                "{:<12} {:<12} {:>8.2}x\n",
+                "{:<10} {:<12} {:<12} {:>8.2}x\n",
+                leg,
                 fmt_bytes(raw),
                 fmt_bytes(enc),
                 raw as f64 / enc.max(1) as f64,
@@ -1083,20 +1098,37 @@ mod tests {
         let extra = concat!(
             "{\"ev\":\"metric\",\"name\":\"comms.upload_bytes_raw\",\"kind\":\"counter\",\"value\":40960,\"count\":0,\"p50\":0,\"p95\":0,\"max\":0}\n",
             "{\"ev\":\"metric\",\"name\":\"comms.upload_bytes_encoded\",\"kind\":\"counter\",\"value\":10240,\"count\":0,\"p50\":0,\"p95\":0,\"max\":0}\n",
+            "{\"ev\":\"metric\",\"name\":\"comms.download_bytes_raw\",\"kind\":\"counter\",\"value\":8192,\"count\":0,\"p50\":0,\"p95\":0,\"max\":0}\n",
+            "{\"ev\":\"metric\",\"name\":\"comms.download_bytes_encoded\",\"kind\":\"counter\",\"value\":4096,\"count\":0,\"p50\":0,\"p95\":0,\"max\":0}\n",
             "{\"ev\":\"metric\",\"name\":\"graph.store.resident_bytes\",\"kind\":\"gauge\",\"value\":78643200,\"count\":0,\"p50\":0,\"p95\":0,\"max\":0}\n",
         );
         t = t.replace("{\"ev\":\"end\"}\n", &format!("{extra}{{\"ev\":\"end\"}}\n"));
         let s = summarize(&parse_trace(&t).unwrap());
         let rendered = render_report(&s);
-        assert!(rendered.contains("upload codec (wire bytes):"));
+        assert!(rendered.contains("codec (wire bytes):"));
+        assert!(rendered.contains("uploads"));
         assert!(rendered.contains("4.00x"), "40960/10240 reduction:\n{rendered}");
+        assert!(rendered.contains("downloads"));
+        assert!(rendered.contains("2.00x"), "8192/4096 reduction:\n{rendered}");
         assert!(rendered.contains("resource peaks:"));
         assert!(rendered.contains("graph store resident peak"));
         assert!(rendered.contains("75.0MiB"));
-        // Without the counters the sections stay absent.
+        // Without the counters the sections stay absent — and an
+        // upload-only trace renders no download row.
         let bare = render_report(&summarize(&parse_trace(&sample_trace()).unwrap()));
-        assert!(!bare.contains("upload codec"));
+        assert!(!bare.contains("codec (wire bytes)"));
         assert!(!bare.contains("resource peaks"));
+        let up_only = sample_trace().replace(
+            "{\"ev\":\"end\"}\n",
+            concat!(
+                "{\"ev\":\"metric\",\"name\":\"comms.upload_bytes_raw\",\"kind\":\"counter\",\"value\":100,\"count\":0,\"p50\":0,\"p95\":0,\"max\":0}\n",
+                "{\"ev\":\"metric\",\"name\":\"comms.download_bytes_raw\",\"kind\":\"counter\",\"value\":0,\"count\":0,\"p50\":0,\"p95\":0,\"max\":0}\n",
+                "{\"ev\":\"metric\",\"name\":\"comms.download_bytes_encoded\",\"kind\":\"counter\",\"value\":0,\"count\":0,\"p50\":0,\"p95\":0,\"max\":0}\n",
+                "{\"ev\":\"end\"}\n"
+            ),
+        );
+        let up_rendered = render_report(&summarize(&parse_trace(&up_only).unwrap()));
+        assert!(!up_rendered.contains("downloads"), "zero download leg omitted");
     }
 
     #[test]

@@ -92,7 +92,7 @@ fn traced_run_emits_complete_round_span_tree() {
     // Every client trained every round.
     assert_eq!(summary.clients.len(), 4);
     for c in &summary.clients {
-        assert_eq!(c.stats.count as usize, records.len(), "client {}", c.client);
+        assert_eq!(c.stats.count, records.len(), "client {}", c.client);
     }
     // All phases appear in the span-name stats.
     let names: Vec<&str> = summary.span_stats.iter().map(|s| s.name.as_str()).collect();

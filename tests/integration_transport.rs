@@ -83,6 +83,12 @@ fn assert_bit_identical(a: &[RoundRecord], b: &[RoundRecord], label: &str) {
             "{label} round {}: robustness fields",
             ra.round
         );
+        assert_eq!(
+            (ra.bytes_downloaded_raw, ra.bytes_downloaded_encoded),
+            (rb.bytes_downloaded_raw, rb.bytes_downloaded_encoded),
+            "{label} round {}: download byte meters",
+            ra.round
+        );
     }
 }
 
@@ -290,10 +296,10 @@ fn every_codec_is_bit_deterministic_for_every_strategy() {
 
 #[test]
 fn identity_codec_matches_plain_channel_trajectories() {
-    // A lossless chain must be invisible to learning: loss/accuracy
-    // trajectories bitwise equal to the plain channel path. (Byte meters
-    // legitimately differ — the coded frame carries the codec header and
-    // per-tensor metadata.)
+    // A lossless chain is *elided* at build time: the run ships plain
+    // frames, so not just the loss/accuracy trajectories but the byte
+    // meters themselves must be identical to the plain channel path —
+    // the identity header overhead is gone from the wire.
     for (label, make) in all_strategies() {
         let (plain, _) = run_sim_light(make(), 2, CommsConfig::default());
         let (coded, _) = run_sim_light(make(), 2, codec_comms("identity"));
@@ -311,9 +317,14 @@ fn identity_codec_matches_plain_channel_trajectories() {
                 "{label} round {}: identity codec changed the accuracy",
                 a.round
             );
-            // Identity framing swaps the plain tensor prefix for the repr
-            // prefix and adds the codec header, so encoded ≈ raw — but
-            // both meters must be live.
+            // Golden: an elided identity chain frames the very same
+            // bytes the plain channel does.
+            assert_eq!(
+                (a.bytes_uploaded, a.bytes_uploaded_raw, a.bytes_uploaded_encoded),
+                (b.bytes_uploaded, b.bytes_uploaded_raw, b.bytes_uploaded_encoded),
+                "{label} round {}: identity chain not elided to plain frames",
+                a.round
+            );
             assert!(
                 b.bytes_uploaded_raw > 0 && b.bytes_uploaded_encoded > 0,
                 "{label} round {}: byte meters not live",
@@ -321,6 +332,148 @@ fn identity_codec_matches_plain_channel_trajectories() {
             );
         }
     }
+}
+
+/// A fault-free channel config with upload, download and sketch codecs
+/// plus error feedback — the full tentpole configuration.
+fn tentpole_comms() -> CommsConfig {
+    CommsConfig {
+        codec: Some(CodecSpec::parse("topk=16+quant-i8").expect("valid spec")),
+        codec_down: Some(CodecSpec::parse("quant-i8").expect("valid spec")),
+        codec_sketch: Some(CodecSpec::parse("sketch=7").expect("valid spec")),
+        error_feedback: true,
+        ..CommsConfig::default()
+    }
+}
+
+#[test]
+fn error_feedback_with_download_and_sketch_codecs_is_bit_deterministic() {
+    // The full stack armed at once — error-feedback folding, sketch-coded
+    // auxiliary tensors, quantized broadcasts — must stay a pure function
+    // of the seeds: records, both wire legs' byte meters, and final
+    // client parameters bitwise equal at 1 vs 4 threads.
+    let run = |threads: usize| {
+        let clients = federation_with(ModelKind::Sgc, 900, 6, 600);
+        let mut sim = Simulation::new(
+            clients,
+            Box::new(FedGta::with_defaults()),
+            SimConfig {
+                rounds: 3,
+                local_epochs: 1,
+                participation: 1.0,
+                eval_every: 1,
+                seed: 900,
+                threads,
+            },
+        )
+        .with_comms(tentpole_comms());
+        let records = sim.run();
+        let params: Vec<Vec<f32>> = sim.clients.iter().map(|c| c.model.params()).collect();
+        (records, params)
+    };
+    let (r1, p1) = run(1);
+    let (r4, p4) = run(4);
+    assert_bit_identical(&r1, &r4, "EF+down+sketch threads 1 vs 4");
+    for (i, (a, b)) in p1.iter().zip(&p4).enumerate() {
+        assert_eq!(a.len(), b.len(), "client {i}: param lengths differ");
+        for (j, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "client {i} param {j}: {x} vs {y}");
+        }
+    }
+    // Both legs actually metered and compressed: uploads are sparsified
+    // every round; downloads are quantized ~4× from round 2 on (FedGTA
+    // has no personalized models to broadcast before its first
+    // aggregation, so round 1's download leg is legitimately empty).
+    for (n, r) in r1.iter().enumerate() {
+        assert!(
+            r.bytes_uploaded_encoded > 0
+                && r.bytes_uploaded_encoded < r.bytes_uploaded_raw / 3,
+            "round {}: upload codec not biting",
+            r.round
+        );
+        if n == 0 {
+            assert_eq!(
+                (r.bytes_downloaded_raw, r.bytes_downloaded_encoded),
+                (0, 0),
+                "round {}: broadcast metered before anything was aggregated",
+                r.round
+            );
+        } else {
+            assert!(
+                r.bytes_downloaded_encoded > 0
+                    && r.bytes_downloaded_encoded < r.bytes_downloaded_raw / 3,
+                "round {}: download codec not biting",
+                r.round
+            );
+        }
+    }
+}
+
+#[test]
+fn plain_broadcasts_never_become_wire_bytes() {
+    // Without a download codec the broadcast stays an empty-payload
+    // request frame: the download meters must read zero even with an
+    // upload codec and error feedback armed.
+    let comms = CommsConfig {
+        codec: Some(CodecSpec::parse("topk=16+quant-i8").expect("valid spec")),
+        error_feedback: true,
+        ..CommsConfig::default()
+    };
+    let (records, _) = run_sim_light(Box::new(FedGta::with_defaults()), 2, comms);
+    for r in &records {
+        assert_eq!(
+            (r.bytes_downloaded_raw, r.bytes_downloaded_encoded),
+            (0, 0),
+            "round {}: plain broadcast was metered as wire bytes",
+            r.round
+        );
+    }
+    // A lossless download chain is elided the same way the upload one
+    // is: `--codec-down identity` must look exactly like no download
+    // codec at all, trajectories included.
+    let with_identity_down = CommsConfig {
+        codec: Some(CodecSpec::parse("topk=16+quant-i8").expect("valid spec")),
+        codec_down: Some(CodecSpec::parse("identity").expect("valid spec")),
+        error_feedback: true,
+        ..CommsConfig::default()
+    };
+    let (elided, _) = run_sim_light(Box::new(FedGta::with_defaults()), 2, with_identity_down);
+    assert_bit_identical(&records, &elided, "identity download chain vs none");
+}
+
+#[test]
+fn chaos_with_error_feedback_replays_bit_identically() {
+    // The replay-semantics contract under fire: drops, corruption and
+    // crashes hit coded uploads while error feedback carries residuals
+    // across rounds — rejected uploads must carry their full delta
+    // forward (never double-applied, never lost), crashed clients leave
+    // their accumulator untouched, and the whole composition stays a
+    // pure function of the fault seed at any thread count.
+    let comms = || CommsConfig {
+        codec: Some(CodecSpec::parse("topk=16+quant-i8").unwrap()),
+        codec_down: Some(CodecSpec::parse("quant-i8").unwrap()),
+        codec_sketch: Some(CodecSpec::parse("sketch=7").unwrap()),
+        error_feedback: true,
+        ..chaos()
+    };
+    let (a, ev_a) = run_sim(Box::new(FedGta::with_defaults()), 1, 0.8, Some(comms()));
+    let (b, ev_b) = run_sim(Box::new(FedGta::with_defaults()), 1, 0.8, Some(comms()));
+    let (c, ev_c) = run_sim(Box::new(FedGta::with_defaults()), 4, 0.8, Some(comms()));
+    assert_bit_identical(&a, &b, "chaos+EF run-to-run");
+    assert_bit_identical(&a, &c, "chaos+EF threads 1 vs 4");
+    assert_eq!(ev_a, ev_b, "fault logs differ run-to-run");
+    assert_eq!(ev_a, ev_c, "fault logs differ across thread counts");
+    assert!(!ev_a.is_empty(), "chaos config produced no fault events");
+    // The chaos actually rejected uploads (the EF replay path ran), and
+    // rounds still aggregated.
+    assert!(
+        a.iter().any(|r| r.participants_dropped > 0),
+        "no upload was ever rejected — replay semantics untested"
+    );
+    assert!(
+        a.iter().any(|r| r.participants_completed > 0),
+        "no round ever aggregated"
+    );
 }
 
 #[test]
